@@ -1,0 +1,69 @@
+"""Ablation — estimation accuracy vs MAXVERS and MAXLIST.
+
+The paper introduces MAXVERS (size of the conditioning set ``W``) and
+MAXLIST (path length searched for joining points) as the accuracy/effort
+knobs of the estimator but reports no sweep; this bench supplies one.
+Expected shape: error strictly drops from MAXVERS = 0 (pure tree rule) and
+saturates, while runtime grows roughly as 2^MAXVERS.
+"""
+
+from __future__ import annotations
+
+import time
+
+from common import banner, write_result
+
+from repro.circuits import sn74181
+from repro.probability import (
+    EstimatorParams,
+    SignalProbabilityEstimator,
+    exact_signal_probabilities,
+)
+from repro.report import ascii_table
+
+
+def compute():
+    circuit = sn74181()
+    exact = exact_signal_probabilities(circuit, max_inputs=14)
+    rows = []
+    errors = []
+    for maxvers in (0, 1, 2, 3, 4, 5):
+        params = EstimatorParams(maxvers=maxvers)
+        start = time.perf_counter()
+        estimate = SignalProbabilityEstimator(circuit, params).run()
+        elapsed = time.perf_counter() - start
+        diffs = [abs(estimate[n] - exact[n]) for n in circuit.nodes]
+        avg = sum(diffs) / len(diffs)
+        rows.append([
+            str(maxvers), "8",
+            f"{max(diffs):.4f}", f"{avg:.5f}", f"{1000 * elapsed:.0f}",
+        ])
+        errors.append(avg)
+    # MAXLIST sweep at MAXVERS = 3.
+    for maxlist in (1, 2, 4, 8, 16):
+        params = EstimatorParams(maxvers=3, maxlist=maxlist)
+        start = time.perf_counter()
+        estimate = SignalProbabilityEstimator(circuit, params).run()
+        elapsed = time.perf_counter() - start
+        diffs = [abs(estimate[n] - exact[n]) for n in circuit.nodes]
+        rows.append([
+            "3", str(maxlist),
+            f"{max(diffs):.4f}", f"{sum(diffs) / len(diffs):.5f}",
+            f"{1000 * elapsed:.0f}",
+        ])
+    return rows, errors
+
+
+def test_ablation_maxvers(benchmark):
+    rows, errors = benchmark.pedantic(compute, rounds=1, iterations=1)
+    table = ascii_table(
+        ["MAXVERS", "MAXLIST", "max err", "avg err", "ms"],
+        rows,
+        title="Ablation - ALU estimation error vs MAXVERS / MAXLIST "
+              "(reference: exact enumeration)",
+    )
+    print(table)
+    write_result("ablation_maxvers", banner("MAXVERS ablation", table))
+    # Conditioning must beat the tree rule and keep improving overall.
+    assert errors[0] > errors[2] > errors[5] * 0.8
+    assert errors[5] < 0.01

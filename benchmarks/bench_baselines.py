@@ -1,0 +1,69 @@
+"""§4's comparison claim — SCOAP-derived probabilities vs PROTEST.
+
+"The investigations in [AgMe82] show that there is only a correlation 0.4
+between P_SCOAP and P_SIM even for pure combinational circuits … P_PROT
+and P_SIM however correlate with more than 0.9."  We compute all three
+estimators (plus STAFAN, the other 1984 contender) against the simulation
+reference on the ALU and MULT and assert the ordering.
+"""
+
+from __future__ import annotations
+
+from common import banner, scale, write_result
+
+from repro.baselines import (
+    pscoap_detection_probabilities,
+    stafan_detection_probabilities,
+)
+from repro.logicsim import PatternSet
+from repro.report import ascii_table, pearson
+
+
+def compute(alu_accuracy, mult_accuracy):
+    correlations = {}
+    for name, bundle in (("ALU", alu_accuracy), ("MULT", mult_accuracy)):
+        circuit, faults, estimates, reference = bundle
+        ref = [reference[f] for f in faults]
+        protest = pearson([estimates[f] for f in faults], ref)
+        pscoap = pscoap_detection_probabilities(circuit, faults)
+        scoap_co = pearson([pscoap[f] for f in faults], ref)
+        patterns = PatternSet.random(
+            circuit.inputs, scale(2048, 8192), seed=17
+        )
+        stafan = stafan_detection_probabilities(circuit, patterns, faults)
+        stafan_co = pearson([stafan[f] for f in faults], ref)
+        correlations[name] = {
+            "P_PROT": protest,
+            "P_SCOAP": scoap_co,
+            "STAFAN": stafan_co,
+        }
+    return correlations
+
+
+def test_baseline_correlations(benchmark, alu_accuracy, mult_accuracy):
+    correlations = benchmark.pedantic(
+        compute, args=(alu_accuracy, mult_accuracy), rounds=1, iterations=1
+    )
+    rows = [
+        [name,
+         f"{c['P_PROT']:.3f}",
+         f"{c['P_SCOAP']:.3f}",
+         f"{c['STAFAN']:.3f}"]
+        for name, c in correlations.items()
+    ]
+    table = ascii_table(
+        ["circuit", "corr(P_PROT, P_SIM)", "corr(P_SCOAP, P_SIM)",
+         "corr(STAFAN, P_SIM)"],
+        rows,
+        title="S4 claim - estimator correlations against simulation "
+              "(paper: P_SCOAP ~0.4, P_PROT >0.9)",
+    )
+    print(table)
+    write_result("baselines", banner("Baselines (S4)", table))
+    for name, c in correlations.items():
+        # The deterministic counting measure trails far behind.
+        assert c["P_PROT"] > 0.9, name
+        assert c["P_SCOAP"] < c["P_PROT"] - 0.15, name
+        # STAFAN (simulation-based) is competitive - the reason the paper
+        # positions PROTEST as the *analysis-only* alternative.
+        assert c["STAFAN"] > 0.8, name

@@ -1,0 +1,65 @@
+"""Baseline — cutting-algorithm bounds [BDS84] vs PROTEST point estimates.
+
+§1 positions PROTEST against Savir/Ditlow/Bardell's interval bounds:
+"PROTEST however computes a real number as estimation".  This bench
+quantifies the trade on the ALU: the average interval *width* of the sound
+bounds is far larger than the average *error* of PROTEST's point estimate,
+i.e. the point estimate is more informative wherever the bounds are loose.
+"""
+
+from __future__ import annotations
+
+from common import banner, write_result
+
+from repro.circuits import c17, sn74181
+from repro.probability import (
+    SignalProbabilityEstimator,
+    exact_signal_probabilities,
+    probability_bounds,
+)
+from repro.report import ascii_table
+
+
+def compute():
+    rows = []
+    summary = {}
+    for circuit in (c17(), sn74181()):
+        exact = exact_signal_probabilities(circuit, max_inputs=14)
+        estimate = SignalProbabilityEstimator(circuit).run()
+        bounds = probability_bounds(circuit)
+        widths = []
+        errors = []
+        contained = 0
+        for node in circuit.nodes:
+            lo, hi = bounds[node]
+            widths.append(hi - lo)
+            errors.append(abs(estimate[node] - exact[node]))
+            if lo - 1e-12 <= exact[node] <= hi + 1e-12:
+                contained += 1
+        avg_width = sum(widths) / len(widths)
+        avg_error = sum(errors) / len(errors)
+        rows.append([
+            circuit.name,
+            f"{avg_width:.4f}",
+            f"{max(widths):.4f}",
+            f"{avg_error:.4f}",
+            f"{contained}/{circuit.n_nodes}",
+        ])
+        summary[circuit.name] = (avg_width, avg_error, contained,
+                                 circuit.n_nodes)
+    return rows, summary
+
+
+def test_cutting_bounds(benchmark):
+    rows, summary = benchmark.pedantic(compute, rounds=1, iterations=1)
+    table = ascii_table(
+        ["circuit", "avg bound width", "max width", "avg PROTEST error",
+         "exact in bounds"],
+        rows,
+        title="Cutting algorithm [BDS84] vs PROTEST point estimates",
+    )
+    print(table)
+    write_result("cutting", banner("Cutting bounds", table))
+    for name, (width, error, contained, nodes) in summary.items():
+        assert contained == nodes, name  # soundness
+        assert error < width, name  # the point estimate carries more info

@@ -1,0 +1,33 @@
+"""Figure 5 — correlation diagram for the ALU (P_SIM vs P_PROT).
+
+The paper's scatter hugs the diagonal with correlation 0.97; the
+reproduced ASCII diagram is written to ``benchmarks/results/fig5.txt``.
+"""
+
+from __future__ import annotations
+
+from common import banner, write_result
+
+from repro.report import pearson, scatter_plot
+
+
+def make_plot(alu_accuracy):
+    _circuit, faults, estimates, exact = alu_accuracy
+    xs = [estimates[f] for f in faults]
+    ys = [exact[f] for f in faults]
+    plot = scatter_plot(
+        xs,
+        ys,
+        title=f"Fig. 5: ALU correlation diagram "
+              f"(Co = {pearson(xs, ys):.3f}, n = {len(xs)} faults)",
+    )
+    return plot, pearson(xs, ys)
+
+
+def test_fig5(benchmark, alu_accuracy):
+    plot, correlation = benchmark.pedantic(
+        make_plot, args=(alu_accuracy,), rounds=1, iterations=1
+    )
+    print(plot)
+    write_result("fig5", banner("Figure 5 (ALU)", plot))
+    assert correlation > 0.9

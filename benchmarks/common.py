@@ -1,0 +1,135 @@
+"""Shared infrastructure for the reproduction benches.
+
+Every bench regenerates one table or figure of the paper, prints the
+paper's published values next to the measured ones and records the result
+under ``benchmarks/results/``.  ``REPRO_FULL=1`` switches to paper-scale
+workloads (more patterns, more optimizer rounds); the default is sized so
+the whole bench suite finishes in minutes.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import time
+from typing import Callable, Dict, List, Sequence
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+#: Paper-scale workloads when set (REPRO_FULL=1).
+FULL = os.environ.get("REPRO_FULL", "") == "1"
+
+
+def scale(fast: int, full: int) -> int:
+    """Pick a workload size depending on REPRO_FULL."""
+    return full if FULL else fast
+
+
+def write_result(name: str, text: str) -> pathlib.Path:
+    """Store a bench's textual output under benchmarks/results/."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    return path
+
+
+def banner(title: str, body: str) -> str:
+    line = "=" * max(len(title), 20)
+    return f"{line}\n{title}\n{line}\n{body}"
+
+
+def timed(fn: Callable[[], object]) -> "tuple[object, float]":
+    start = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - start
+
+
+# --- Paper values (for side-by-side reporting) --------------------------------
+
+PAPER_TABLE1 = {
+    "ALU": {"Merr": 0.15, "delta": 0.04, "Co": 0.97},
+    "MULT": {"Merr": 0.48, "delta": 0.11, "Co": 0.90},
+}
+
+PAPER_TABLE2 = {"ALU": 212, "MULT": 433}
+
+PAPER_TABLE3 = {
+    # (d, e) -> N
+    "DIV": {
+        (1.0, 0.95): 499_960,
+        (1.0, 0.98): 614_590,
+        (1.0, 0.999): 966_967,
+        (0.98, 0.95): 491_827,
+        (0.98, 0.98): 608_900,
+        (0.98, 0.999): 965_591,
+    },
+    "COMP": {
+        (1.0, 0.95): 292_808_220,
+        (1.0, 0.98): 355_083_821,
+        (1.0, 0.999): 556_622_443,
+        (0.98, 0.95): 247_342_478,
+        (0.98, 0.98): 309_063_047,
+        (0.98, 0.999): 510_127_655,
+    },
+}
+
+PAPER_TABLE5 = {
+    "DIV": {
+        (1.0, 0.95): 6_066,
+        (1.0, 0.98): 6_860,
+        (1.0, 0.999): 10_063,
+        (0.98, 0.95): 5_097,
+        (0.98, 0.98): 5_780,
+        (0.98, 0.999): 8_052,
+    },
+    "COMP": {
+        (1.0, 0.95): 8_932,
+        (1.0, 0.98): 10_284,
+        (1.0, 0.999): 14_911,
+        (0.98, 0.95): 6_828,
+        (0.98, 0.98): 7_767,
+        (0.98, 0.999): 10_893,
+    },
+}
+
+#: Table 6: pattern count -> (DIV not-opt, DIV opt, COMP not-opt, COMP opt)
+PAPER_TABLE6 = {
+    10: (18.8, 26.1, 32.1, 44.5),
+    100: (56.5, 66.3, 70.4, 72.7),
+    1000: (69.1, 94.6, 75.8, 95.4),
+    2000: (71.4, 98.5, 76.5, 97.2),
+    3000: (73.2, 99.0, 77.2, 98.3),
+    4000: (74.7, 99.1, 79.6, 99.4),
+    5000: (76.8, 99.1, 80.0, 99.4),
+    6000: (77.2, 99.4, 80.4, 99.4),
+    7000: (77.2, 99.4, 80.4, 99.5),
+    8000: (77.2, 99.6, 80.5, 99.5),
+    9000: (77.2, 99.7, 80.5, 99.5),
+    10000: (77.2, 99.7, 80.6, 99.7),
+    11000: (77.2, 99.7, 80.6, 99.7),
+    12000: (77.2, 99.7, 80.7, 99.7),
+}
+
+#: Table 7: transistor count -> (estimated test set size, CPU seconds).
+PAPER_TABLE7 = [
+    (368, "594", 0.4),
+    (1_274, "7 800 000", 0.7),
+    (2_496, "120 000 000", 1.0),
+    (26_450, "3 250", 23.0),
+    (47_936, "8 284 000", 41.0),
+]
+
+#: Table 8: transistor count, inputs, optimized test set, CPU seconds.
+PAPER_TABLE8 = [
+    (368, 14, 167, 6.4),
+    (1_274, 32, 264, 49.0),
+    (2_496, 48, 43_010, 152.0),
+    (26_450, 32, 1_178, 2_181.0),
+]
+
+#: Table 4 (excerpt shown in reports): the paper's optimized COMP inputs.
+PAPER_TABLE4_SAMPLE = {
+    "A0": 0.63, "B0": 0.56, "A1": 0.69, "B1": 0.75,
+    "A4": 0.13, "B4": 0.13, "A5": 0.94, "B5": 0.88,
+    "TI1": 0.63, "TI2": 0.63, "TI3": 0.63,
+}

@@ -1,0 +1,101 @@
+"""Session-scoped caches shared by the reproduction benches.
+
+The expensive artifacts (fault-simulation references, optimization runs)
+are computed once per pytest session and reused by every bench that needs
+them, mirroring how the original tool would analyse a circuit once and
+reuse the numbers across tables.
+"""
+
+from __future__ import annotations
+
+import sys
+import pathlib
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+from common import FULL, scale  # noqa: E402
+
+from repro.circuits import comp24, divider, mult, sn74181  # noqa: E402
+from repro.detection import (  # noqa: E402
+    DetectionProbabilityEstimator,
+    exact_detection_probabilities,
+)
+from repro.faults import FaultSimulator, fault_universe  # noqa: E402
+from repro.logicsim import PatternSet  # noqa: E402
+from repro.optimize import optimize_input_probabilities  # noqa: E402
+from repro.probability import EstimatorParams  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def alu_accuracy():
+    """ALU: faults, PROTEST estimates and exact detection probabilities."""
+    circuit = sn74181()
+    faults = fault_universe(circuit)
+    estimates = DetectionProbabilityEstimator(circuit).run(faults=faults)
+    exact = exact_detection_probabilities(circuit, faults, max_inputs=14)
+    return circuit, faults, estimates, exact
+
+
+@pytest.fixture(scope="session")
+def mult_accuracy():
+    """MULT: faults, PROTEST estimates and sampled P_SIM."""
+    circuit = mult()
+    faults = fault_universe(circuit)
+    estimates = DetectionProbabilityEstimator(circuit).run(faults=faults)
+    n_patterns = scale(4096, 16384)
+    simulator = FaultSimulator(circuit, faults)
+    psim = simulator.detection_probabilities(
+        PatternSet.random(circuit.inputs, n_patterns, seed=11),
+        block_size=4096,
+    )
+    return circuit, faults, estimates, psim
+
+
+@pytest.fixture(scope="session")
+def div_detection():
+    """DIV: estimated detection probabilities at p = 0.5."""
+    circuit = divider()
+    faults = fault_universe(circuit)
+    detection = DetectionProbabilityEstimator(circuit).run(faults=faults)
+    return circuit, faults, detection
+
+
+@pytest.fixture(scope="session")
+def comp_detection():
+    """COMP: estimated detection probabilities at p = 0.5."""
+    circuit = comp24()
+    faults = fault_universe(circuit)
+    detection = DetectionProbabilityEstimator(circuit).run(faults=faults)
+    return circuit, faults, detection
+
+
+@pytest.fixture(scope="session")
+def comp_optimized(comp_detection):
+    """COMP: hill-climbed input probabilities (Table 4)."""
+    circuit, faults, _detection = comp_detection
+    result = optimize_input_probabilities(
+        circuit,
+        n_ref=1_000_000,
+        grid=16,
+        max_rounds=scale(7, 14),
+        faults=faults,
+    )
+    return result
+
+
+@pytest.fixture(scope="session")
+def div_optimized(div_detection):
+    """DIV: hill-climbed input probabilities (cheaper estimator settings)."""
+    circuit, faults, _detection = div_detection
+    result = optimize_input_probabilities(
+        circuit,
+        n_ref=1_000_000,
+        grid=16,
+        max_rounds=scale(2, 5),
+        params=EstimatorParams(maxvers=2, maxlist=5),
+        faults=faults,
+        step_sizes=(4, 1),
+    )
+    return result

@@ -1,0 +1,94 @@
+"""Self-test design flow (paper §8): from analysis to BIST hardware.
+
+The Karlsruhe CADDY synthesis system used PROTEST "as the key tool to
+achieve design for testability": when a circuit is self-tested with a
+standard BILBO, PROTEST supplies the necessary test length; when a
+weighted (NLFSR-style) generator is used, it also supplies the optimal
+input probabilities.  This example walks that flow for a divider:
+
+1. analyse -> conventional self-test length,
+2. optimize input probabilities,
+3. synthesize the weighting network (k/16 weights, AND/OR chains on LFSR
+   cells) and account its hardware overhead vs the BILBO register,
+4. run the *hardware-generated* weighted stream through the fault
+   simulator and compare signatures in a MISR.
+
+Run with::
+
+    python examples/bist_design.py
+"""
+
+from __future__ import annotations
+
+from repro import Protest
+from repro.bist import (
+    MISR,
+    WeightedGenerator,
+    aliasing_probability,
+    bilbo_cost,
+    circuit_signature,
+    compare_self_test,
+    lfsr_patterns,
+)
+from repro.circuits import divider
+from repro.report import ascii_table, format_count
+
+
+def main() -> None:
+    circuit = divider(10, 10, name="DIV10")
+    tool = Protest(circuit)
+    print(f"circuit under self test: {circuit}")
+
+    # 1. Conventional BILBO self test: how long must it run?
+    detection = tool.detection_probabilities()
+    n_conventional = tool.test_length(0.95, fraction=0.98,
+                                      detection_probs=detection)
+    print(f"\nconventional (p = 0.5) self test length: "
+          f"{format_count(n_conventional)} patterns")
+
+    # 2. Optimize the input probabilities.
+    result = tool.optimize(n_ref=max(n_conventional, 1024), max_rounds=4,
+                           step_sizes=(4, 1))
+    optimized = tool.detection_probabilities(result.probabilities)
+    n_weighted = tool.test_length(0.95, fraction=0.98,
+                                  detection_probs=optimized)
+    print(f"optimized self test length: {format_count(n_weighted)} patterns "
+          f"({n_conventional / max(n_weighted, 1):.0f}x shorter)")
+
+    # 3. Hardware: weighting network on top of the BILBO register.
+    generator = WeightedGenerator(circuit.inputs, result.probabilities)
+    plan = compare_self_test(
+        len(circuit.inputs), len(circuit.outputs),
+        n_conventional, n_weighted, generator,
+    )
+    rows = [
+        ["BILBO register", f"{plan.base_cost.cells} cells",
+         f"{plan.base_cost.gate_equivalents:.0f} GE"],
+        ["weighting network", f"{generator.extra_gates} gates",
+         f"{plan.weighting_overhead_ge:.0f} GE "
+         f"(+{100 * plan.overhead_fraction:.1f}%)"],
+    ]
+    print()
+    print(ascii_table(["block", "size", "cost"], rows,
+                      title="self-test hardware budget"))
+
+    # 4. Validate with the hardware streams + MISR signatures.
+    budget = 3000
+    plain_stream = lfsr_patterns(circuit.inputs, budget, seed=5)
+    weighted_stream = generator.patterns(budget, seed=5)
+    plain_cov = tool.fault_simulate(plain_stream).coverage()
+    weighted_cov = tool.fault_simulate(weighted_stream).coverage()
+    print(f"\nfault simulation with {budget} hardware patterns:"
+          f"\n  plain LFSR        coverage = {100 * plain_cov:.1f}%"
+          f"\n  weighted stream   coverage = {100 * weighted_cov:.1f}%")
+
+    good = circuit_signature(circuit, weighted_stream, width=16)
+    faulty = circuit_signature(circuit, weighted_stream, width=16,
+                               overrides={circuit.outputs[0]: 0})
+    print(f"\nMISR signatures (16 bit): good = {good:#06x}, "
+          f"example faulty = {faulty:#06x} "
+          f"(aliasing probability ~ {aliasing_probability(16):.1e})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""repro — a reproduction of PROTEST (Wunderlich, DAC 1985).
+
+Probabilistic testability analysis for combinational circuits: signal
+probability estimation, fault detection probability estimation, random test
+length computation and optimization of input signal probabilities, validated
+by fault simulation.
+
+Quick start::
+
+    from repro import Protest
+    from repro.circuits import sn74181
+
+    tool = Protest(sn74181())
+    probs = tool.signal_probabilities()
+    detect = tool.detection_probabilities()
+    n = tool.test_length(confidence=0.98, fraction=0.98)
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import (
+    CircuitError,
+    EstimationError,
+    OptimizationError,
+    ParseError,
+    ReproError,
+    SimulationError,
+    ValidationError,
+)
+
+__all__ = [
+    "CircuitError",
+    "EstimationError",
+    "OptimizationError",
+    "ParseError",
+    "Protest",
+    "ReproError",
+    "SimulationError",
+    "ValidationError",
+    "__version__",
+]
+
+
+def __getattr__(name):
+    # Lazy import to keep ``import repro`` cheap and avoid import cycles.
+    if name == "Protest":
+        from repro.protest import Protest
+
+        return Protest
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,11 @@
+"""Deterministic ATPG (PODEM) and the §8 hybrid random-first flow."""
+
+from repro.atpg.hybrid import HybridAtpgResult, hybrid_atpg
+from repro.atpg.podem import PodemGenerator, TestResult
+
+__all__ = [
+    "HybridAtpgResult",
+    "PodemGenerator",
+    "TestResult",
+    "hybrid_atpg",
+]

@@ -1,0 +1,118 @@
+"""The hybrid ATPG flow of paper §8.
+
+"The use of PROTEST also reduces the computing time of ordinary ATPG …
+Most ATPG first use fault simulation by random patterns, and second, when
+this becomes inefficient, they use other procedures like the D-algorithm.
+Computing time for fault simulation is drastically reduced by using
+optimized pattern sets … Additionally the number of faults which are to
+be created by the more expensive second procedure decreases."
+
+:func:`hybrid_atpg` implements exactly that pipeline: a (possibly
+weighted) random phase with fault dropping, then PODEM for whatever
+survives.  The returned statistics let the bench compare conventional vs
+PROTEST-optimized random phases.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from repro.circuit.netlist import Circuit
+from repro.faults.model import Fault, fault_universe
+from repro.faults.simulator import FaultSimulator
+from repro.logicsim.patterns import PatternSet
+from repro.atpg.podem import PodemGenerator, TestResult
+
+__all__ = ["HybridAtpgResult", "hybrid_atpg"]
+
+
+@dataclasses.dataclass
+class HybridAtpgResult:
+    """Statistics of one hybrid ATPG run."""
+
+    n_faults: int
+    detected_by_random: int
+    detected_by_podem: int
+    proven_redundant: int
+    aborted: int
+    random_patterns: int
+    deterministic_patterns: List[Dict[str, int]]
+    random_seconds: float
+    podem_seconds: float
+
+    @property
+    def coverage(self) -> float:
+        """Fault efficiency: detected or proven redundant."""
+        resolved = (
+            self.detected_by_random
+            + self.detected_by_podem
+            + self.proven_redundant
+        )
+        return resolved / self.n_faults if self.n_faults else 0.0
+
+    @property
+    def podem_workload(self) -> int:
+        """Faults handed to the expensive second procedure."""
+        return (
+            self.n_faults - self.detected_by_random
+        )
+
+
+def hybrid_atpg(
+    circuit: Circuit,
+    faults: "Iterable[Fault] | None" = None,
+    n_random: int = 1000,
+    input_probs: "float | Mapping[str, float] | None" = None,
+    seed: int = 0,
+    max_backtracks: int = 2000,
+) -> HybridAtpgResult:
+    """Random-pattern phase (with dropping) followed by PODEM."""
+    fault_list: List[Fault] = (
+        list(faults) if faults is not None else fault_universe(circuit)
+    )
+    start = time.perf_counter()
+    detected_random = 0
+    survivors: List[Fault] = fault_list
+    if n_random > 0:
+        patterns = PatternSet.random(
+            circuit.inputs, n_random, input_probs, seed
+        )
+        simulator = FaultSimulator(circuit, fault_list)
+        result = simulator.run(
+            patterns, block_size=min(n_random, 1024), drop_detected=True
+        )
+        survivors = result.undetected()
+        detected_random = len(fault_list) - len(survivors)
+    random_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    generator = PodemGenerator(circuit, max_backtracks=max_backtracks)
+    detected_podem = 0
+    redundant = 0
+    aborted = 0
+    tests: List[Dict[str, int]] = []
+    for fault in survivors:
+        outcome: TestResult = generator.generate(fault)
+        if outcome.detected:
+            detected_podem += 1
+            assert outcome.pattern is not None
+            tests.append(outcome.pattern)
+        elif outcome.proven_redundant:
+            redundant += 1
+        else:
+            aborted += 1
+    podem_seconds = time.perf_counter() - start
+
+    return HybridAtpgResult(
+        n_faults=len(fault_list),
+        detected_by_random=detected_random,
+        detected_by_podem=detected_podem,
+        proven_redundant=redundant,
+        aborted=aborted,
+        random_patterns=n_random,
+        deterministic_patterns=tests,
+        random_seconds=random_seconds,
+        podem_seconds=podem_seconds,
+    )

@@ -1,0 +1,18 @@
+"""Baseline testability measures PROTEST is compared against (paper §1/§4)."""
+
+from repro.baselines.pscoap import pscoap_detection_probabilities
+from repro.baselines.scoap import ScoapResult, scoap
+from repro.baselines.stafan import (
+    StafanResult,
+    stafan,
+    stafan_detection_probabilities,
+)
+
+__all__ = [
+    "ScoapResult",
+    "StafanResult",
+    "pscoap_detection_probabilities",
+    "scoap",
+    "stafan",
+    "stafan_detection_probabilities",
+]

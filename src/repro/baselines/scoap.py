@@ -1,0 +1,162 @@
+"""SCOAP testability measures (Goldstein 1979).
+
+The deterministic counting measure the paper's §4 compares against: for
+every node the 0/1-controllabilities ``CC0``/``CC1`` (minimum number of
+node assignments to force the value) and for every node/pin the
+observability ``CO`` (assignments to propagate it to an output).
+
+Unbounded values (e.g. controlling a constant to its impossible value) are
+``math.inf``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import math
+from typing import Dict, List, Mapping, Tuple
+
+from repro.circuit.netlist import Circuit, Pin
+from repro.circuit.topology import Topology
+from repro.circuit.types import GateType, eval_bool
+from repro.errors import EstimationError
+
+__all__ = ["ScoapResult", "scoap"]
+
+INF = math.inf
+
+
+@dataclasses.dataclass
+class ScoapResult:
+    """SCOAP controllabilities and observabilities of a circuit."""
+
+    cc0: Dict[str, float]
+    cc1: Dict[str, float]
+    co: Dict[str, float]  #: stem observability per node
+    co_pin: Dict[Pin, float]  #: observability per gate input pin
+
+    def controllability(self, node: str, value: int) -> float:
+        return self.cc1[node] if value else self.cc0[node]
+
+
+def scoap(circuit: Circuit) -> ScoapResult:
+    """Compute combinational SCOAP for every node and pin."""
+    cc0: Dict[str, float] = {}
+    cc1: Dict[str, float] = {}
+    for node in circuit.nodes:
+        if circuit.is_input(node):
+            cc0[node] = 1.0
+            cc1[node] = 1.0
+            continue
+        gate = circuit.gates[node]
+        zero, one = _gate_controllability(gate.gtype, gate, cc0, cc1)
+        cc0[node] = zero
+        cc1[node] = one
+
+    topology = Topology(circuit)
+    co: Dict[str, float] = {}
+    co_pin: Dict[Pin, float] = {}
+    for node in reversed(circuit.nodes):
+        best = 0.0 if circuit.is_output(node) else INF
+        for gate_name, pin in topology.branches[node]:
+            best = min(best, co_pin[(gate_name, pin)])
+        co[node] = best
+        if circuit.is_input(node):
+            continue
+        gate = circuit.gates[node]
+        for pin in range(gate.arity):
+            co_pin[(node, pin)] = _pin_observability(
+                gate, pin, co[node], cc0, cc1
+            )
+    return ScoapResult(cc0, cc1, co, co_pin)
+
+
+def _gate_controllability(
+    gtype: GateType,
+    gate,
+    cc0: Mapping[str, float],
+    cc1: Mapping[str, float],
+) -> Tuple[float, float]:
+    ins = gate.inputs
+    if gtype is GateType.AND:
+        return (
+            min(cc0[i] for i in ins) + 1.0,
+            sum(cc1[i] for i in ins) + 1.0,
+        )
+    if gtype is GateType.OR:
+        return (
+            sum(cc0[i] for i in ins) + 1.0,
+            min(cc1[i] for i in ins) + 1.0,
+        )
+    if gtype is GateType.NAND:
+        return (
+            sum(cc1[i] for i in ins) + 1.0,
+            min(cc0[i] for i in ins) + 1.0,
+        )
+    if gtype is GateType.NOR:
+        return (
+            min(cc1[i] for i in ins) + 1.0,
+            sum(cc0[i] for i in ins) + 1.0,
+        )
+    if gtype is GateType.NOT:
+        return cc1[ins[0]] + 1.0, cc0[ins[0]] + 1.0
+    if gtype is GateType.BUF:
+        return cc0[ins[0]] + 1.0, cc1[ins[0]] + 1.0
+    if gtype is GateType.CONST0:
+        return 1.0, INF
+    if gtype is GateType.CONST1:
+        return INF, 1.0
+    # XOR / XNOR / LUT: minimize the assignment cost over the truth table.
+    zero = INF
+    one = INF
+    for assignment in range(1 << len(ins)):
+        cost = 0.0
+        operands: List[int] = []
+        for i, src in enumerate(ins):
+            bit = (assignment >> i) & 1
+            operands.append(bit)
+            cost += cc1[src] if bit else cc0[src]
+        value = eval_bool(gtype, operands, gate.table)
+        if value:
+            one = min(one, cost + 1.0)
+        else:
+            zero = min(zero, cost + 1.0)
+    return zero, one
+
+
+def _pin_observability(
+    gate,
+    pin: int,
+    out_co: float,
+    cc0: Mapping[str, float],
+    cc1: Mapping[str, float],
+) -> float:
+    """min cost of side assignments that sensitize the pin, plus CO(out)."""
+    ins = gate.inputs
+    gtype = gate.gtype
+    if gtype in (GateType.NOT, GateType.BUF):
+        return out_co + 1.0
+    if gtype in (GateType.CONST0, GateType.CONST1):
+        return INF
+    if gtype in (GateType.AND, GateType.NAND):
+        side = sum(cc1[src] for i, src in enumerate(ins) if i != pin)
+        return out_co + side + 1.0
+    if gtype in (GateType.OR, GateType.NOR):
+        side = sum(cc0[src] for i, src in enumerate(ins) if i != pin)
+        return out_co + side + 1.0
+    # XOR / XNOR / LUT: cheapest sensitizing side assignment.
+    side_pins = [i for i in range(len(ins)) if i != pin]
+    best = INF
+    for assignment in itertools.product((0, 1), repeat=len(side_pins)):
+        operands = [0] * len(ins)
+        cost = 0.0
+        for bit, i in zip(assignment, side_pins):
+            operands[i] = bit
+            cost += cc1[ins[i]] if bit else cc0[ins[i]]
+        operands[pin] = 0
+        f0 = eval_bool(gtype, operands, gate.table)
+        operands[pin] = 1
+        f1 = eval_bool(gtype, operands, gate.table)
+        if f0 != f1:
+            best = min(best, cost + 1.0)
+    return out_co + best if best < INF else INF

@@ -1,0 +1,159 @@
+"""STAFAN — statistical fault analysis (Jain & Agrawal, DAC 1984).
+
+The closest contemporary of PROTEST (paper §1): instead of propagating
+probabilities analytically, STAFAN *extrapolates them from fault-free logic
+simulation*.  From ``N`` sampled patterns it counts per line
+
+* controllabilities ``C1 = ones/N``, ``C0 = 1 - C1``;
+* per-pin sensitization frequencies (patterns in which toggling the pin
+  would toggle the gate output — measured exactly, bit-parallel, as the
+  per-pattern Boolean difference);
+
+then propagates per-polarity observabilities ``B0/B1`` backwards
+(``B(pin, v) = B(out) * P(sensitized and line = v) / P(line = v)``) and
+estimates detection probabilities ``P(l s-a-0) = C1(l) * B1(l)``,
+``P(l s-a-1) = C0(l) * B0(l)``.
+
+Because its inputs are simulation counts, STAFAN needs patterns but no
+structural probability analysis — the trade-off the paper positions
+PROTEST against.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+from repro.circuit.netlist import Circuit, Pin
+from repro.circuit.topology import Topology
+from repro.circuit.types import eval_packed
+from repro.errors import EstimationError
+from repro.faults.model import Fault, fault_universe
+from repro.logicsim.patterns import PatternSet
+from repro.logicsim.simulator import simulate
+
+__all__ = ["StafanResult", "stafan", "stafan_detection_probabilities"]
+
+
+@dataclasses.dataclass
+class StafanResult:
+    """Counted controllabilities and derived observabilities."""
+
+    c1: Dict[str, float]
+    b0: Dict[str, float]  #: stem 0-observability
+    b1: Dict[str, float]  #: stem 1-observability
+    b0_pin: Dict[Pin, float]
+    b1_pin: Dict[Pin, float]
+    n_patterns: int
+
+    def c0(self, node: str) -> float:
+        return 1.0 - self.c1[node]
+
+
+def stafan(
+    circuit: Circuit,
+    patterns: PatternSet,
+    stem_combine: str = "or",
+) -> StafanResult:
+    """Run fault-free simulation and derive the STAFAN measures.
+
+    ``stem_combine`` is how branch observabilities merge at fan-out stems:
+    ``"or"`` (``1 - prod(1 - B_i)``, the usual choice) or ``"max"``.
+    """
+    if patterns.n_patterns == 0:
+        raise EstimationError("STAFAN needs at least one pattern")
+    if stem_combine not in ("or", "max"):
+        raise EstimationError(f"unknown stem_combine {stem_combine!r}")
+    n = patterns.n_patterns
+    mask = patterns.mask
+    values = simulate(circuit, patterns)
+    c1 = {node: values[node].bit_count() / n for node in circuit.nodes}
+
+    # Per-pin sensitization words (exact per-pattern Boolean difference).
+    sens: Dict[Pin, int] = {}
+    for name, gate in circuit.gates.items():
+        operands = [values[src] for src in gate.inputs]
+        for pin in range(gate.arity):
+            with_zero = list(operands)
+            with_zero[pin] = 0
+            with_one = list(operands)
+            with_one[pin] = mask
+            f0 = eval_packed(gate.gtype, with_zero, mask, gate.table)
+            f1 = eval_packed(gate.gtype, with_one, mask, gate.table)
+            sens[(name, pin)] = f0 ^ f1
+
+    topology = Topology(circuit)
+    b0: Dict[str, float] = {}
+    b1: Dict[str, float] = {}
+    b0_pin: Dict[Pin, float] = {}
+    b1_pin: Dict[Pin, float] = {}
+    for node in reversed(circuit.nodes):
+        zero_branches: List[float] = []
+        one_branches: List[float] = []
+        if circuit.is_output(node):
+            zero_branches.append(1.0)
+            one_branches.append(1.0)
+        for gate_name, pin in topology.branches[node]:
+            zero_branches.append(b0_pin[(gate_name, pin)])
+            one_branches.append(b1_pin[(gate_name, pin)])
+        b0[node] = _combine(zero_branches, stem_combine)
+        b1[node] = _combine(one_branches, stem_combine)
+        if circuit.is_input(node):
+            continue
+        gate = circuit.gates[node]
+        for pin, src in enumerate(gate.inputs):
+            word = values[src]
+            sens_word = sens[(node, pin)]
+            ones = word.bit_count()
+            zeros = n - ones
+            sens_one = (sens_word & word).bit_count()
+            sens_zero = (sens_word & (word ^ mask)).bit_count()
+            b1_pin[(node, pin)] = (
+                b1[node] * (sens_one / ones) if ones else 0.0
+            )
+            b0_pin[(node, pin)] = (
+                b0[node] * (sens_zero / zeros) if zeros else 0.0
+            )
+    return StafanResult(c1, b0, b1, b0_pin, b1_pin, n)
+
+
+def _combine(branches: List[float], mode: str) -> float:
+    if not branches:
+        return 0.0
+    if mode == "max":
+        return max(branches)
+    miss = 1.0
+    for b in branches:
+        miss *= 1.0 - b
+    return 1.0 - miss
+
+
+def stafan_detection_probabilities(
+    circuit: Circuit,
+    patterns: PatternSet,
+    faults: "Iterable[Fault] | None" = None,
+    stem_combine: str = "or",
+    measures: "StafanResult | None" = None,
+) -> Dict[Fault, float]:
+    """STAFAN detection probability estimates for a fault list."""
+    fault_list: List[Fault] = (
+        list(faults) if faults is not None else fault_universe(circuit)
+    )
+    result = measures or stafan(circuit, patterns, stem_combine)
+    out: Dict[Fault, float] = {}
+    for fault in fault_list:
+        if fault.pin is None:
+            node = fault.node
+            if fault.value == 0:
+                out[fault] = result.c1[node] * result.b1[node]
+            else:
+                out[fault] = result.c0(node) * result.b0[node]
+        else:
+            gate = circuit.gates[fault.node]
+            src = gate.inputs[fault.pin]
+            pin_key = (fault.node, fault.pin)
+            if fault.value == 0:
+                out[fault] = result.c1[src] * result.b1_pin[pin_key]
+            else:
+                out[fault] = result.c0(src) * result.b0_pin[pin_key]
+    return out

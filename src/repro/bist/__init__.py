@@ -1,0 +1,35 @@
+"""Self-test substrate: LFSRs, weighted generators, BILBO costs, signatures."""
+
+from repro.bist.bilbo import (
+    BilboCost,
+    SelfTestPlan,
+    bilbo_cost,
+    compare_self_test,
+)
+from repro.bist.lfsr import LFSR, PRIMITIVE_TAPS, lfsr_patterns
+from repro.bist.signature import (
+    MISR,
+    aliasing_probability,
+    circuit_signature,
+)
+from repro.bist.weighting import (
+    WeightPlan,
+    WeightedGenerator,
+    quantize_probability,
+)
+
+__all__ = [
+    "BilboCost",
+    "LFSR",
+    "MISR",
+    "PRIMITIVE_TAPS",
+    "SelfTestPlan",
+    "WeightPlan",
+    "WeightedGenerator",
+    "aliasing_probability",
+    "bilbo_cost",
+    "circuit_signature",
+    "compare_self_test",
+    "lfsr_patterns",
+    "quantize_probability",
+]

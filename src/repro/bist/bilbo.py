@@ -1,0 +1,77 @@
+"""BILBO cost model and self-test planning (paper §8).
+
+A BILBO register cell (Könemann/Mucha/Zwiehoff 1979, [Much81]) is a flip
+flop plus the multiplexing and feedback logic that lets the register act as
+a pattern generator or signature analyzer.  §8's claim is quantitative: the
+weighted (NLFSR) generator "reaches a higher fault detection probability in
+shorter test time, generating minimal hardware overhead compared to the
+standard BILBO" — this module provides the overhead/test-time arithmetic
+that the §8 bench and the BIST example report.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping
+
+from repro.bist.weighting import WeightedGenerator
+
+__all__ = ["BilboCost", "SelfTestPlan", "bilbo_cost", "compare_self_test"]
+
+#: Gate-equivalents per BILBO register cell (FF counted as 4 GE, plus the
+#: mode mux and feedback XOR) — the conventional figure of ~7 GE/cell.
+GE_PER_BILBO_CELL = 7.0
+#: Gate-equivalents of one weighting gate (AND2/OR2).
+GE_PER_WEIGHT_GATE = 1.0
+
+
+@dataclasses.dataclass(frozen=True)
+class BilboCost:
+    """Hardware cost of a BILBO-style self-test register."""
+
+    cells: int
+    gate_equivalents: float
+
+
+def bilbo_cost(n_inputs: int, n_outputs: int) -> BilboCost:
+    """Standard BILBO: one generator cell per input, one MISR cell per output."""
+    cells = n_inputs + n_outputs
+    return BilboCost(cells, cells * GE_PER_BILBO_CELL)
+
+
+@dataclasses.dataclass(frozen=True)
+class SelfTestPlan:
+    """Comparison of conventional vs weighted self test (§8)."""
+
+    conventional_length: int
+    weighted_length: int
+    base_cost: BilboCost
+    weighting_overhead_ge: float
+
+    @property
+    def speedup(self) -> float:
+        """Test-time ratio conventional / weighted."""
+        if self.weighted_length == 0:
+            return float("inf")
+        return self.conventional_length / self.weighted_length
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Weighting logic relative to the base BILBO hardware."""
+        return self.weighting_overhead_ge / self.base_cost.gate_equivalents
+
+
+def compare_self_test(
+    n_inputs: int,
+    n_outputs: int,
+    conventional_length: int,
+    weighted_length: int,
+    generator: WeightedGenerator,
+) -> SelfTestPlan:
+    """Assemble the §8 comparison for one circuit."""
+    return SelfTestPlan(
+        conventional_length=conventional_length,
+        weighted_length=weighted_length,
+        base_cost=bilbo_cost(n_inputs, n_outputs),
+        weighting_overhead_ge=generator.extra_gates * GE_PER_WEIGHT_GATE,
+    )

@@ -1,0 +1,170 @@
+"""Maximal-length linear feedback shift registers.
+
+The pseudo-random pattern source of self-test hardware (paper §1: "these
+registers generate pseudo-random patterns for the combinational part");
+also the equiprobable bit source that feeds the weighting network of §8.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence
+
+from repro.errors import ReproError
+from repro.logicsim.patterns import PatternSet
+
+__all__ = ["LFSR", "PRIMITIVE_TAPS", "lfsr_patterns"]
+
+#: Tap positions (1-based, from the standard tables of primitive
+#: polynomials over GF(2)) giving maximal period 2^n - 1.
+PRIMITIVE_TAPS: Dict[int, Sequence[int]] = {
+    2: (2, 1),
+    3: (3, 2),
+    4: (4, 3),
+    5: (5, 3),
+    6: (6, 5),
+    7: (7, 6),
+    8: (8, 6, 5, 4),
+    9: (9, 5),
+    10: (10, 7),
+    11: (11, 9),
+    12: (12, 11, 10, 4),
+    13: (13, 12, 11, 8),
+    14: (14, 13, 12, 2),
+    15: (15, 14),
+    16: (16, 15, 13, 4),
+    17: (17, 14),
+    18: (18, 11),
+    19: (19, 18, 17, 14),
+    20: (20, 17),
+    21: (21, 19),
+    22: (22, 21),
+    23: (23, 18),
+    24: (24, 23, 22, 17),
+    25: (25, 22),
+    26: (26, 25, 24, 20),
+    27: (27, 26, 25, 22),
+    28: (28, 25),
+    29: (29, 27),
+    30: (30, 29, 28, 7),
+    31: (31, 28),
+    32: (32, 31, 30, 10),
+    33: (33, 20),
+    40: (40, 38, 21, 19),
+    48: (48, 47, 21, 20),
+    64: (64, 63, 61, 60),
+}
+
+
+class LFSR:
+    """Fibonacci LFSR with configurable taps.
+
+    State bit 0 is the register output; with taps from
+    :data:`PRIMITIVE_TAPS` the sequence has period ``2^width - 1``.
+    """
+
+    def __init__(
+        self,
+        width: int,
+        taps: "Sequence[int] | None" = None,
+        seed: int = 1,
+    ) -> None:
+        if width < 2:
+            raise ReproError("LFSR width must be >= 2")
+        if taps is None:
+            if width not in PRIMITIVE_TAPS:
+                raise ReproError(
+                    f"no primitive taps on file for width {width}; "
+                    f"available: {sorted(PRIMITIVE_TAPS)}"
+                )
+            taps = PRIMITIVE_TAPS[width]
+        self.width = width
+        self.taps = tuple(taps)
+        if any(not 1 <= t <= width for t in self.taps):
+            raise ReproError(f"tap positions out of range: {self.taps}")
+        seed &= (1 << width) - 1
+        if seed == 0:
+            raise ReproError("LFSR seed must be non-zero")
+        self.state = seed
+
+    def step(self) -> int:
+        """Advance one clock; returns the new feedback bit."""
+        feedback = 0
+        for tap in self.taps:
+            feedback ^= (self.state >> (tap - 1)) & 1
+        self.state = ((self.state << 1) | feedback) & ((1 << self.width) - 1)
+        return feedback
+
+    def bit_stream(self, cell: int = 0) -> Iterator[int]:
+        """Infinite stream of one register cell's values over time."""
+        if not 0 <= cell < self.width:
+            raise ReproError(f"cell {cell} out of range")
+        while True:
+            yield (self.state >> cell) & 1
+            self.step()
+
+    def states(self, count: int) -> List[int]:
+        """The next ``count`` register states (advancing the LFSR)."""
+        result = []
+        for _ in range(count):
+            result.append(self.state)
+            self.step()
+        return result
+
+    def period(self, limit: "int | None" = None) -> int:
+        """Measured sequence period (for verification of tap tables)."""
+        start = self.state
+        bound = limit if limit is not None else (1 << self.width)
+        for count in range(1, bound + 1):
+            self.step()
+            if self.state == start:
+                return count
+        raise ReproError(f"period exceeds {bound}")
+
+
+def dense_state(width: int, seed: int) -> int:
+    """Expand a small integer seed into a dense non-zero register state.
+
+    Seeding a wide LFSR with a sparse state (like the conventional ``1``)
+    puts the impulse response of the feedback polynomial — long runs of
+    zeros — into the first thousands of output bits; a dense pseudo-random
+    state starts the register in a generic region of its orbit.
+    """
+    import random as _random
+
+    state = _random.Random(("lfsr", width, seed).__repr__()).getrandbits(width)
+    return state or 1
+
+
+def lfsr_patterns(
+    inputs: Sequence[str],
+    n_patterns: int,
+    width: "int | None" = None,
+    seed: int = 1,
+) -> PatternSet:
+    """Pseudo-random patterns: input *i* observes LFSR cell ``i``.
+
+    The register is at least as wide as the input list (standard BILBO
+    configuration: every circuit input is fed by one register cell).
+    ``seed`` selects a dense starting state deterministically.
+    """
+    needed = max(len(inputs), 2)
+    if width is None:
+        width = min(
+            (w for w in PRIMITIVE_TAPS if w >= needed),
+            default=None,
+        )
+        if width is None:
+            raise ReproError(
+                f"no tap table wide enough for {needed} inputs"
+            )
+    if width < needed:
+        raise ReproError(f"width {width} < {needed} inputs")
+    lfsr = LFSR(width, seed=dense_state(width, seed))
+    words = {name: 0 for name in inputs}
+    for j in range(n_patterns):
+        state = lfsr.state
+        for i, name in enumerate(inputs):
+            if (state >> i) & 1:
+                words[name] |= 1 << j
+        lfsr.step()
+    return PatternSet(inputs, n_patterns, words)

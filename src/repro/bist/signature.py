@@ -1,0 +1,88 @@
+"""MISR signature analysis.
+
+Self test "evaluates and compresses the responses by signature analysis
+[HeLe83]" (paper §1).  A multiple-input signature register (MISR) folds the
+per-pattern output responses into one ``width``-bit signature; a faulty
+circuit is declared faulty when its signature differs.  Aliasing (a faulty
+response folding to the fault-free signature) occurs with probability
+``~ 2^-width`` for long tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.circuit.netlist import Circuit
+from repro.errors import ReproError
+from repro.bist.lfsr import PRIMITIVE_TAPS
+from repro.logicsim.patterns import PatternSet
+from repro.logicsim.simulator import simulate
+
+__all__ = ["MISR", "circuit_signature", "aliasing_probability"]
+
+
+class MISR:
+    """Multiple-input signature register over GF(2)."""
+
+    def __init__(
+        self,
+        width: int = 16,
+        taps: "Sequence[int] | None" = None,
+    ) -> None:
+        if width < 2:
+            raise ReproError("MISR width must be >= 2")
+        if taps is None:
+            taps = PRIMITIVE_TAPS.get(width)
+            if taps is None:
+                raise ReproError(
+                    f"no tap table for width {width}; pass taps explicitly"
+                )
+        self.width = width
+        self.taps = tuple(taps)
+        self.state = 0
+
+    def reset(self) -> None:
+        self.state = 0
+
+    def clock(self, parallel_in: int) -> int:
+        """One compression step; ``parallel_in`` is the response word."""
+        feedback = 0
+        for tap in self.taps:
+            feedback ^= (self.state >> (tap - 1)) & 1
+        self.state = (
+            ((self.state << 1) | feedback) ^ parallel_in
+        ) & ((1 << self.width) - 1)
+        return self.state
+
+    def compress(self, responses: Iterable[int]) -> int:
+        """Fold a response sequence into the signature."""
+        for word in responses:
+            self.clock(word & ((1 << self.width) - 1))
+        return self.state
+
+
+def circuit_signature(
+    circuit: Circuit,
+    patterns: PatternSet,
+    width: int = 16,
+    overrides: "Dict[str, int] | None" = None,
+) -> int:
+    """Signature of the circuit's responses to a pattern sequence.
+
+    ``overrides`` forces node values (packed words) and is how a stem
+    fault's faulty signature is produced for aliasing experiments.
+    """
+    values = simulate(circuit, patterns, overrides=overrides)
+    misr = MISR(width)
+    responses: List[int] = []
+    for j in range(patterns.n_patterns):
+        word = 0
+        for i, out in enumerate(circuit.outputs):
+            word |= ((values[out] >> j) & 1) << (i % width)
+        responses.append(word)
+    return misr.compress(responses)
+
+
+def aliasing_probability(width: int) -> float:
+    """Asymptotic aliasing probability of a ``width``-bit MISR."""
+    return 2.0 ** (-width)

@@ -1,0 +1,169 @@
+"""Weighted-pattern generator synthesis (the §8 NLFSR application).
+
+PROTEST's optimized input probabilities are "used to design non-linear
+feedback shift registers (NLFSR), which generate such optimal pattern
+sequences [KuWu84] … Such an NLFSR reaches a higher fault detection
+probability in shorter test time, generating minimal hardware overhead
+compared to the standard BILBO."
+
+We reproduce the construction as a *weighting network*: every circuit
+input with target probability ``k / 2^m`` is driven by a chain of at most
+``m - 1`` AND/OR gates over independent equiprobable LFSR cells — the
+binary-expansion recurrence
+
+    p = 0.b1 b2 ... bm   ->   out = b1 ? (r | rest) : (r & rest)
+
+which realizes the probability exactly.  The module reports the gate
+overhead and generates the weighted pattern stream by simulating the
+network on a real LFSR, so the produced sets are reproducible hardware
+sequences, not idealized software randomness.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.logicsim.patterns import PatternSet
+from repro.bist.lfsr import LFSR, PRIMITIVE_TAPS
+
+__all__ = ["WeightPlan", "WeightedGenerator", "quantize_probability"]
+
+
+def quantize_probability(p: float, grid: int = 16) -> Tuple[int, int]:
+    """Snap ``p`` to ``k/grid`` with ``1 <= k <= grid-1``; returns (k, grid).
+
+    ``grid`` must be a power of two (hardware weights are binary).
+    """
+    if grid < 2 or grid & (grid - 1):
+        raise ReproError(f"grid must be a power of two, got {grid}")
+    k = min(max(round(p * grid), 1), grid - 1)
+    return k, grid
+
+
+@dataclasses.dataclass(frozen=True)
+class WeightPlan:
+    """Synthesized weighting chain for one input.
+
+    ``ops`` lists the chain operations applied MSB-first: each element is
+    ``"or"`` or ``"and"``, consuming one fresh random bit; the chain seed
+    is one more random bit.  Gate cost is ``len(ops)``.
+    """
+
+    target: float
+    k: int
+    grid: int
+    ops: Tuple[str, ...]
+
+    @property
+    def gate_count(self) -> int:
+        return len(self.ops)
+
+    @property
+    def random_bits(self) -> int:
+        return len(self.ops) + 1
+
+    @property
+    def realized(self) -> float:
+        return self.k / self.grid
+
+
+def _plan_for(k: int, grid: int, target: float) -> WeightPlan:
+    """Binary-expansion plan: 0.5 needs no gates, k/2^m needs <= m-1."""
+    m = grid.bit_length() - 1  # grid = 2^m
+    # Strip trailing zero bits: k/2^m == k'/2^m' with odd k'.
+    while k % 2 == 0:
+        k //= 2
+        m -= 1
+    bits = [(k >> (m - 1 - i)) & 1 for i in range(m)]  # MSB first
+    # The last expansion bit is realized by the seed bit itself; every
+    # earlier bit adds one OR (bit=1) / AND (bit=0) with a fresh bit.
+    ops = tuple("or" if bit else "and" for bit in bits[:-1])
+    return WeightPlan(target=target, k=k, grid=1 << m, ops=ops)
+
+
+class WeightedGenerator:
+    """Hardware-style weighted pattern generator for a whole input list."""
+
+    def __init__(
+        self,
+        inputs: Sequence[str],
+        probabilities: Mapping[str, float],
+        grid: int = 16,
+    ) -> None:
+        self.inputs = tuple(inputs)
+        self.plans: Dict[str, WeightPlan] = {}
+        for name in self.inputs:
+            if name not in probabilities:
+                raise ReproError(f"no probability for input {name!r}")
+            k, g = quantize_probability(probabilities[name], grid)
+            self.plans[name] = _plan_for(k, g, probabilities[name])
+
+    # -- hardware accounting ------------------------------------------------------
+
+    @property
+    def extra_gates(self) -> int:
+        """Weighting gates on top of a plain pattern register."""
+        return sum(plan.gate_count for plan in self.plans.values())
+
+    @property
+    def random_bits_per_pattern(self) -> int:
+        return sum(plan.random_bits for plan in self.plans.values())
+
+    def realized_probabilities(self) -> Dict[str, float]:
+        return {name: plan.realized for name, plan in self.plans.items()}
+
+    # -- pattern generation ----------------------------------------------------------
+
+    def patterns(
+        self,
+        n_patterns: int,
+        lfsr: "LFSR | None" = None,
+        seed: int = 1,
+    ) -> PatternSet:
+        """Generate ``n_patterns`` by clocking the network on an LFSR.
+
+        Every weighting chain consumes its random bits from distinct LFSR
+        cells; the register is clocked once per pattern, and chains longer
+        than the register wrap onto later time steps (standard practice:
+        the source bits of one pattern must merely be *distinct* cells).
+        """
+        total_bits = max(self.random_bits_per_pattern, 2)
+        if lfsr is None:
+            from repro.bist.lfsr import dense_state
+
+            width = min(
+                (w for w in PRIMITIVE_TAPS if w >= min(total_bits, 64)),
+                default=64,
+            )
+            lfsr = LFSR(width, seed=dense_state(width, seed))
+        words = {name: 0 for name in self.inputs}
+        for j in range(n_patterns):
+            bits = self._draw_bits(lfsr, total_bits)
+            cursor = 0
+            for name in self.inputs:
+                plan = self.plans[name]
+                value = bits[cursor]
+                cursor += 1
+                # ops are MSB-first; the recurrence builds from the LSB end,
+                # so apply them in reverse.
+                for op in reversed(plan.ops):
+                    fresh = bits[cursor]
+                    cursor += 1
+                    value = (fresh | value) if op == "or" else (fresh & value)
+                if value:
+                    words[name] |= 1 << j
+            lfsr.step()
+        return PatternSet(self.inputs, n_patterns, words)
+
+    def _draw_bits(self, lfsr: LFSR, count: int) -> List[int]:
+        bits: List[int] = []
+        while len(bits) < count:
+            state = lfsr.state
+            take = min(lfsr.width, count - len(bits))
+            bits.extend((state >> i) & 1 for i in range(take))
+            if len(bits) < count:
+                lfsr.step()
+        return bits

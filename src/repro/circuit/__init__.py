@@ -1,0 +1,38 @@
+"""Netlist substrate: circuit structures, parsers and structural analysis."""
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.bench_parser import load_bench, parse_bench
+from repro.circuit.netlist import Circuit, Gate, Pin
+from repro.circuit.sdl import format_sdl, load_sdl, parse_sdl, save_sdl
+from repro.circuit.topology import Topology
+from repro.circuit.transistors import (
+    gate_equivalents,
+    gate_transistors,
+    transistor_count,
+)
+from repro.circuit.types import GateType
+from repro.circuit.validate import Issue, check, validate
+from repro.circuit.writer import format_bench, save_bench
+
+__all__ = [
+    "Circuit",
+    "CircuitBuilder",
+    "Gate",
+    "GateType",
+    "Issue",
+    "Pin",
+    "Topology",
+    "check",
+    "format_bench",
+    "format_sdl",
+    "gate_equivalents",
+    "gate_transistors",
+    "load_bench",
+    "load_sdl",
+    "parse_bench",
+    "parse_sdl",
+    "save_bench",
+    "save_sdl",
+    "transistor_count",
+    "validate",
+]

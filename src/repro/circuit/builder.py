@@ -1,0 +1,157 @@
+"""Fluent construction of :class:`~repro.circuit.netlist.Circuit` objects.
+
+Example
+-------
+>>> from repro.circuit import CircuitBuilder
+>>> b = CircuitBuilder("half_adder")
+>>> a, bb = b.input("a"), b.input("b")
+>>> s = b.xor("sum", a, bb)
+>>> c = b.and_("carry", a, bb)
+>>> b.output(s), b.output(c)
+('sum', 'carry')
+>>> circuit = b.build()
+>>> circuit.n_gates
+2
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.circuit.netlist import Circuit, Gate
+from repro.circuit.types import GateType
+from repro.errors import CircuitError
+
+__all__ = ["CircuitBuilder"]
+
+
+class CircuitBuilder:
+    """Incrementally assemble a combinational circuit.
+
+    Node names must be unique.  The builder hands back the node name from
+    every call so construction code can be written dataflow-style.  Use
+    :meth:`fresh` for auto-generated unique internal names.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._inputs: List[str] = []
+        self._outputs: List[str] = []
+        self._gates: Dict[str, Gate] = {}
+        self._counter = 0
+
+    # -- nodes ----------------------------------------------------------------
+
+    def input(self, name: str) -> str:
+        """Declare a primary input and return its node name."""
+        self._check_new(name)
+        self._inputs.append(name)
+        return name
+
+    def inputs(self, *names: str) -> List[str]:
+        """Declare several primary inputs at once."""
+        return [self.input(n) for n in names]
+
+    def bus(self, prefix: str, width: int) -> List[str]:
+        """Declare ``width`` primary inputs named ``prefix0..prefix{w-1}``."""
+        return [self.input(f"{prefix}{i}") for i in range(width)]
+
+    def output(self, node: str, alias: Optional[str] = None) -> str:
+        """Mark an existing node as a primary output.
+
+        With ``alias`` a BUF gate is inserted so the output carries the
+        requested name (useful when exposing internal buses).
+        """
+        if alias is not None and alias != node:
+            node = self.buf(alias, node)
+        if node not in self._inputs and node not in self._gates:
+            raise CircuitError(f"cannot output unknown node {node!r}")
+        if node in self._outputs:
+            raise CircuitError(f"node {node!r} already declared as output")
+        self._outputs.append(node)
+        return node
+
+    def fresh(self, stem: str = "n") -> str:
+        """Return a unique, not-yet-used internal node name."""
+        while True:
+            self._counter += 1
+            name = f"{stem}_{self._counter}"
+            if name not in self._inputs and name not in self._gates:
+                return name
+
+    # -- gates ----------------------------------------------------------------
+
+    def gate(self, gtype: GateType, name: Optional[str], *sources: str,
+             table: int = 0) -> str:
+        """Add a gate of ``gtype`` named ``name`` (auto-named if ``None``)."""
+        if name is None:
+            name = self.fresh(gtype.value.lower())
+        self._check_new(name)
+        for src in sources:
+            if src not in self._inputs and src not in self._gates:
+                raise CircuitError(
+                    f"gate {name!r} reads unknown node {src!r}; "
+                    "declare sources before consumers"
+                )
+        self._gates[name] = Gate(name, gtype, tuple(sources), table)
+        return name
+
+    def and_(self, name: Optional[str], *sources: str) -> str:
+        return self.gate(GateType.AND, name, *sources)
+
+    def or_(self, name: Optional[str], *sources: str) -> str:
+        return self.gate(GateType.OR, name, *sources)
+
+    def nand(self, name: Optional[str], *sources: str) -> str:
+        return self.gate(GateType.NAND, name, *sources)
+
+    def nor(self, name: Optional[str], *sources: str) -> str:
+        return self.gate(GateType.NOR, name, *sources)
+
+    def xor(self, name: Optional[str], *sources: str) -> str:
+        return self.gate(GateType.XOR, name, *sources)
+
+    def xnor(self, name: Optional[str], *sources: str) -> str:
+        return self.gate(GateType.XNOR, name, *sources)
+
+    def not_(self, name: Optional[str], source: str) -> str:
+        return self.gate(GateType.NOT, name, source)
+
+    def buf(self, name: Optional[str], source: str) -> str:
+        return self.gate(GateType.BUF, name, source)
+
+    def const0(self, name: Optional[str] = None) -> str:
+        return self.gate(GateType.CONST0, name)
+
+    def const1(self, name: Optional[str] = None) -> str:
+        return self.gate(GateType.CONST1, name)
+
+    def lut(self, name: Optional[str], table: int, *sources: str) -> str:
+        return self.gate(GateType.LUT, name, *sources, table=table)
+
+    def mux(self, name: Optional[str], sel: str, if0: str, if1: str) -> str:
+        """2:1 multiplexer built from basic gates; returns the output node."""
+        if name is None:
+            name = self.fresh("mux")
+        nsel = self.not_(f"{name}_ns", sel)
+        a0 = self.and_(f"{name}_a0", nsel, if0)
+        a1 = self.and_(f"{name}_a1", sel, if1)
+        return self.or_(name, a0, a1)
+
+    # -- finalization -----------------------------------------------------------
+
+    def build(self) -> Circuit:
+        """Validate and freeze the circuit."""
+        if not self._outputs:
+            raise CircuitError(f"circuit {self.name!r} has no outputs")
+        return Circuit(self.name, self._inputs, self._outputs, self._gates.values())
+
+    # -- internal ---------------------------------------------------------------
+
+    def _check_new(self, name: str) -> None:
+        if not name or not isinstance(name, str):
+            raise CircuitError(f"invalid node name {name!r}")
+        if any(ch.isspace() for ch in name) or "(" in name or ")" in name:
+            raise CircuitError(f"node name {name!r} contains illegal characters")
+        if name in self._inputs or name in self._gates:
+            raise CircuitError(f"node {name!r} already defined")

@@ -1,0 +1,239 @@
+"""Immutable netlist data structures.
+
+A :class:`Circuit` follows the paper's notation ``S = <I, O, K, B>``
+(Fig. 1): the set of primary inputs ``I``, primary outputs ``O``, all nodes
+``K`` and the logic components ``B``.  Nodes are identified by strings; every
+gate drives exactly one node, named after the gate (ISCAS-85 convention), so
+``K = I ∪ {gate outputs}``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+from repro.circuit.types import GateType, arity_range, lut_table
+from repro.errors import CircuitError
+
+__all__ = ["Gate", "Circuit", "Pin"]
+
+
+#: A gate input pin, addressed as (gate output node name, input position).
+Pin = Tuple[str, int]
+
+
+@dataclasses.dataclass(frozen=True)
+class Gate:
+    """One logic component.
+
+    Attributes
+    ----------
+    name:
+        The node driven by this gate (also the gate's identifier).
+    gtype:
+        Gate type from the fixed alphabet.
+    inputs:
+        Names of the nodes feeding the gate, in pin order.
+    table:
+        Truth table for ``LUT`` gates (bit *m* = output for minterm *m*),
+        0 otherwise.
+    """
+
+    name: str
+    gtype: GateType
+    inputs: Tuple[str, ...]
+    table: int = 0
+
+    def __post_init__(self) -> None:
+        lo, hi = arity_range(self.gtype)
+        n = len(self.inputs)
+        if n < lo or (hi is not None and n > hi):
+            raise CircuitError(
+                f"gate {self.name!r}: {self.gtype} takes "
+                f"{lo}{'..' + str(hi) if hi is not None else '+'} inputs, "
+                f"got {n}"
+            )
+        if self.gtype is GateType.LUT:
+            object.__setattr__(
+                self, "table", lut_table(self.gtype, n, self.table)
+            )
+        else:
+            if self.table:
+                raise CircuitError(
+                    f"gate {self.name!r}: {self.gtype} takes no truth table"
+                )
+            object.__setattr__(self, "table", 0)
+
+    @property
+    def arity(self) -> int:
+        return len(self.inputs)
+
+
+class Circuit:
+    """An immutable combinational circuit.
+
+    Instances are normally produced by :class:`repro.circuit.CircuitBuilder`
+    or one of the parsers; the constructor validates that the structure is a
+    well-formed combinational DAG.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        inputs: Iterable[str],
+        outputs: Iterable[str],
+        gates: Iterable[Gate],
+    ) -> None:
+        self.name = str(name)
+        self._inputs: Tuple[str, ...] = tuple(inputs)
+        self._outputs: Tuple[str, ...] = tuple(outputs)
+        self._gates: Dict[str, Gate] = {}
+        for gate in gates:
+            if gate.name in self._gates:
+                raise CircuitError(f"node {gate.name!r} driven twice")
+            self._gates[gate.name] = gate
+        self._check_structure()
+        self._topo: Tuple[str, ...] = self._topological_order()
+
+    # -- construction helpers ------------------------------------------------
+
+    def _check_structure(self) -> None:
+        seen_inputs = set()
+        for node in self._inputs:
+            if node in seen_inputs:
+                raise CircuitError(f"duplicate primary input {node!r}")
+            seen_inputs.add(node)
+            if node in self._gates:
+                raise CircuitError(f"primary input {node!r} is also driven by a gate")
+        known = seen_inputs | set(self._gates)
+        for gate in self._gates.values():
+            for src in gate.inputs:
+                if src not in known:
+                    raise CircuitError(
+                        f"gate {gate.name!r} reads undriven node {src!r}"
+                    )
+        for node in self._outputs:
+            if node not in known:
+                raise CircuitError(f"primary output {node!r} is undriven")
+        if len(set(self._outputs)) != len(self._outputs):
+            raise CircuitError("duplicate primary output")
+
+    def _topological_order(self) -> Tuple[str, ...]:
+        """Kahn's algorithm over gate-to-gate edges; raises on loops."""
+        input_set = set(self._inputs)
+        consumers: Dict[str, List[str]] = {}
+        pending: Dict[str, int] = {}
+        for name, gate in self._gates.items():
+            gate_sources = {s for s in gate.inputs if s not in input_set}
+            pending[name] = len(gate_sources)
+            for src in gate_sources:
+                consumers.setdefault(src, []).append(name)
+        order: List[str] = list(self._inputs)
+        frontier = [name for name in self._gates if pending[name] == 0]
+        visited = 0
+        while frontier:
+            node = frontier.pop()
+            order.append(node)
+            visited += 1
+            for consumer in consumers.get(node, ()):
+                pending[consumer] -= 1
+                if pending[consumer] == 0:
+                    frontier.append(consumer)
+        if visited != len(self._gates):
+            cyclic = sorted(n for n, k in pending.items() if k > 0)
+            raise CircuitError(f"combinational loop involving {cyclic[:5]}")
+        return tuple(order)
+
+    # -- read API ------------------------------------------------------------
+
+    @property
+    def inputs(self) -> Tuple[str, ...]:
+        """Primary input node names, in declaration order."""
+        return self._inputs
+
+    @property
+    def outputs(self) -> Tuple[str, ...]:
+        """Primary output node names, in declaration order."""
+        return self._outputs
+
+    @property
+    def gates(self) -> Dict[str, Gate]:
+        """Mapping from driven node name to :class:`Gate` (do not mutate)."""
+        return self._gates
+
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        """All nodes (primary inputs first, then gates) in topological order."""
+        return self._topo
+
+    @property
+    def topological_gates(self) -> Iterator[Gate]:
+        """Gates in topological (evaluation) order."""
+        return (self._gates[n] for n in self._topo if n in self._gates)
+
+    def gate(self, node: str) -> Gate:
+        """The gate driving ``node``; raises for primary inputs."""
+        try:
+            return self._gates[node]
+        except KeyError:
+            raise CircuitError(f"node {node!r} is not driven by a gate") from None
+
+    def is_input(self, node: str) -> bool:
+        return node in self._input_set
+
+    def is_output(self, node: str) -> bool:
+        return node in self._output_set
+
+    def has_node(self, node: str) -> bool:
+        return node in self._gates or node in self._input_set
+
+    @property
+    def _input_set(self) -> frozenset:
+        cached = getattr(self, "_input_set_cache", None)
+        if cached is None:
+            cached = frozenset(self._inputs)
+            self._input_set_cache = cached
+        return cached
+
+    @property
+    def _output_set(self) -> frozenset:
+        cached = getattr(self, "_output_set_cache", None)
+        if cached is None:
+            cached = frozenset(self._outputs)
+            self._output_set_cache = cached
+        return cached
+
+    @property
+    def n_gates(self) -> int:
+        return len(self._gates)
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self._topo)
+
+    def __len__(self) -> int:
+        return self.n_nodes
+
+    def __contains__(self, node: object) -> bool:
+        return isinstance(node, str) and self.has_node(node)
+
+    def __repr__(self) -> str:
+        return (
+            f"Circuit({self.name!r}, inputs={len(self._inputs)}, "
+            f"outputs={len(self._outputs)}, gates={len(self._gates)})"
+        )
+
+    # -- convenience ----------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Simple structural statistics (used by reports and Table 7/8)."""
+        by_type: Dict[str, int] = {}
+        for gate in self._gates.values():
+            by_type[gate.gtype.value] = by_type.get(gate.gtype.value, 0) + 1
+        return {
+            "inputs": len(self._inputs),
+            "outputs": len(self._outputs),
+            "gates": len(self._gates),
+            "nodes": self.n_nodes,
+            **{f"gates_{k}": v for k, v in sorted(by_type.items())},
+        }

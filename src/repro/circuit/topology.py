@@ -1,0 +1,212 @@
+"""Structural analysis: fan-out, levels, cones and joining points.
+
+The joining-point machinery implements the paper's Fig. 2 definition: for
+two nodes ``a`` and ``b``, the set ``V(a, b)`` consists of the nodes with at
+least two immediate successors, one of which lies on a path to ``a`` and
+another on a path to ``b``.  A gate output exhibits reconvergent fan-out
+exactly when ``V(a, b)`` of its input pair is non-empty.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.circuit.netlist import Circuit, Pin
+
+__all__ = ["Topology"]
+
+
+class Topology:
+    """Derived structural views over a :class:`Circuit`.
+
+    The object is cheap to construct (one pass over the gates); expensive
+    cone queries are computed lazily and cached.
+    """
+
+    def __init__(self, circuit: Circuit) -> None:
+        self.circuit = circuit
+        #: Consumers of each node as ``(gate_name, pin_index)`` pairs.
+        self.branches: Dict[str, Tuple[Pin, ...]] = {}
+        branches: Dict[str, List[Pin]] = {node: [] for node in circuit.nodes}
+        for gate in circuit.gates.values():
+            for pin, src in enumerate(gate.inputs):
+                branches[src].append((gate.name, pin))
+        self.branches = {node: tuple(pins) for node, pins in branches.items()}
+        #: Topological position of every node.
+        self.topo_index: Dict[str, int] = {
+            node: i for i, node in enumerate(circuit.nodes)
+        }
+        self.level: Dict[str, int] = self._compute_levels()
+        self._tfo_cache: Dict[str, Tuple[str, ...]] = {}
+        self._tfi_cache: Dict[str, FrozenSet[str]] = {}
+
+    # -- elementary views -------------------------------------------------------
+
+    def _compute_levels(self) -> Dict[str, int]:
+        level: Dict[str, int] = {}
+        circuit = self.circuit
+        for node in circuit.nodes:
+            if circuit.is_input(node):
+                level[node] = 0
+            else:
+                gate = circuit.gates[node]
+                level[node] = 1 + max(
+                    (level[src] for src in gate.inputs), default=0
+                )
+        return level
+
+    @property
+    def depth(self) -> int:
+        """Logic depth of the circuit (maximal level)."""
+        return max(self.level.values(), default=0)
+
+    def fanout_degree(self, node: str) -> int:
+        """Number of fan-out branches (gate input pins) plus 1 if a PO."""
+        extra = 1 if self.circuit.is_output(node) else 0
+        return len(self.branches[node]) + extra
+
+    def is_stem(self, node: str) -> bool:
+        """True when the node has more than one fan-out branch."""
+        return self.fanout_degree(node) > 1
+
+    # -- cones --------------------------------------------------------------------
+
+    def tfo(self, node: str) -> Tuple[str, ...]:
+        """Transitive fan-out of ``node`` (excluding it), topologically sorted."""
+        cached = self._tfo_cache.get(node)
+        if cached is not None:
+            return cached
+        seen: Set[str] = set()
+        stack = [gate for gate, _pin in self.branches[node]]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(gate for gate, _pin in self.branches[current])
+        cone = tuple(sorted(seen, key=self.topo_index.__getitem__))
+        self._tfo_cache[node] = cone
+        return cone
+
+    def tfi(self, node: str) -> FrozenSet[str]:
+        """Transitive fan-in of ``node`` (including it)."""
+        cached = self._tfi_cache.get(node)
+        if cached is not None:
+            return cached
+        circuit = self.circuit
+        seen: Set[str] = {node}
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if circuit.is_input(current):
+                continue
+            for src in circuit.gates[current].inputs:
+                if src not in seen:
+                    seen.add(src)
+                    stack.append(src)
+        result = frozenset(seen)
+        self._tfi_cache[node] = result
+        return result
+
+    def bounded_tfi(self, node: str, max_depth: "int | None") -> Set[str]:
+        """Transitive fan-in of ``node`` up to ``max_depth`` edges back.
+
+        Includes ``node`` itself.  ``max_depth=None`` means unbounded.
+        """
+        if max_depth is None:
+            return set(self.tfi(node))
+        circuit = self.circuit
+        seen: Dict[str, int] = {node: 0}
+        frontier = [node]
+        depth = 0
+        while frontier and depth < max_depth:
+            depth += 1
+            next_frontier: List[str] = []
+            for current in frontier:
+                if circuit.is_input(current):
+                    continue
+                for src in circuit.gates[current].inputs:
+                    if src not in seen:
+                        seen[src] = depth
+                        next_frontier.append(src)
+            frontier = next_frontier
+        return set(seen)
+
+    # -- joining points -------------------------------------------------------------
+
+    def joining_points(
+        self,
+        nodes: Sequence[str],
+        max_depth: "int | None" = None,
+    ) -> List[str]:
+        """Joining points ``V`` of a tuple of nodes (typically gate inputs).
+
+        A node ``x`` belongs to ``V`` when it has at least two fan-out
+        branches and lies in the (depth-bounded) transitive fan-in of at
+        least two *distinct pins* of the tuple.  Repeated nodes in ``nodes``
+        (a gate fed twice from the same signal) therefore make that node its
+        own joining point, matching the paper's definition.
+
+        The result is sorted topologically (inputs first).
+        """
+        if len(nodes) < 2:
+            return []
+        tfis = [self.bounded_tfi(node, max_depth) for node in nodes]
+        candidates: Dict[str, int] = {}
+        for i, tfi in enumerate(tfis):
+            for node in tfi:
+                candidates[node] = candidates.get(node, 0) + 1
+        seen_twice = {node for node, hits in candidates.items() if hits >= 2}
+        # A literal repeat like AND(a, a) never counts twice above because the
+        # two pins have identical fan-in sets; handle it explicitly.
+        duplicates = {
+            node for i, node in enumerate(nodes) if node in nodes[:i]
+        }
+        seen_twice |= duplicates
+        result = [
+            node
+            for node in seen_twice
+            if len(self.branches[node]) >= 2
+        ]
+        result.sort(key=self.topo_index.__getitem__)
+        return result
+
+    def is_reconvergent(self, gate_name: str,
+                        max_depth: "int | None" = None) -> bool:
+        """True when the gate's inputs share at least one joining point."""
+        gate = self.circuit.gates[gate_name]
+        return bool(self.joining_points(gate.inputs, max_depth))
+
+    def reconvergent_gates(self, max_depth: "int | None" = None) -> List[str]:
+        """All gates with reconvergent fan-out at their inputs."""
+        return [
+            name
+            for name in self.circuit.gates
+            if self.is_reconvergent(name, max_depth)
+        ]
+
+    # -- conditional-evaluation support ----------------------------------------------
+
+    def forward_cone_within(
+        self,
+        sources: Iterable[str],
+        allowed: Set[str],
+    ) -> List[str]:
+        """Gate nodes reachable from ``sources`` while staying in ``allowed``.
+
+        Returns the gates (not the sources) in topological order; this is the
+        re-evaluation schedule for a conditional probability query whose
+        relevant region is ``allowed`` (usually a bounded TFI of the target).
+        """
+        seen: Set[str] = set()
+        stack = [s for s in sources if s in allowed]
+        cone: Set[str] = set()
+        while stack:
+            current = stack.pop()
+            for gate_name, _pin in self.branches[current]:
+                if gate_name in seen or gate_name not in allowed:
+                    continue
+                seen.add(gate_name)
+                cone.add(gate_name)
+                stack.append(gate_name)
+        return sorted(cone, key=self.topo_index.__getitem__)

@@ -1,0 +1,70 @@
+"""CMOS transistor cost model.
+
+Table 7 of the paper reports circuit sizes as transistor counts "based on a
+CMOS library".  This module provides the standard static-CMOS costs so our
+Tables 7/8 benches can report comparable size figures, plus NAND2-equivalent
+gate counts (the "gate equivalents" used for MULT in §4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.types import GateType
+
+__all__ = ["transistor_count", "gate_equivalents", "gate_transistors"]
+
+
+def gate_transistors(gtype: GateType, arity: int, table: int = 0) -> int:
+    """Static-CMOS transistor count of a single gate.
+
+    * n-input NAND/NOR: ``2n``
+    * n-input AND/OR: NAND/NOR plus an inverter: ``2n + 2``
+    * inverter: 2; buffer: 4 (two inverters)
+    * 2-input XOR/XNOR: 10 each; wider XORs as a tree of 2-input ones
+    * constants: 0 (tie cells)
+    * LUT: modeled as its minterm sum-of-products (upper bound)
+    """
+    if gtype in (GateType.NAND, GateType.NOR):
+        return 2 * arity
+    if gtype in (GateType.AND, GateType.OR):
+        return 2 * arity + 2
+    if gtype is GateType.NOT:
+        return 2
+    if gtype is GateType.BUF:
+        return 4
+    if gtype in (GateType.XOR, GateType.XNOR):
+        return 10 * (arity - 1)
+    if gtype in (GateType.CONST0, GateType.CONST1):
+        return 0
+    if gtype is GateType.LUT:
+        minterms = bin(table).count("1")
+        if minterms == 0 or minterms == 1 << arity:
+            return 0
+        and_cost = minterms * (2 * arity + 2)
+        or_cost = 2 * minterms + 2 if minterms > 1 else 0
+        return and_cost + or_cost
+    raise ValueError(f"unknown gate type {gtype!r}")
+
+
+def transistor_count(circuit: Circuit) -> int:
+    """Total CMOS transistor count of the circuit."""
+    return sum(
+        gate_transistors(gate.gtype, gate.arity, gate.table)
+        for gate in circuit.gates.values()
+    )
+
+
+def gate_equivalents(circuit: Circuit) -> float:
+    """NAND2-equivalent gate count (1 GE = 4 transistors)."""
+    return transistor_count(circuit) / 4.0
+
+
+def size_report(circuit: Circuit) -> Dict[str, float]:
+    """Size summary used by the Table 7/8 benches."""
+    return {
+        "gates": circuit.n_gates,
+        "transistors": transistor_count(circuit),
+        "gate_equivalents": round(gate_equivalents(circuit), 1),
+    }

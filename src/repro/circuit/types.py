@@ -1,0 +1,366 @@
+"""Gate types and their Boolean / probabilistic semantics.
+
+PROTEST accepts "combinational circuits with arbitrary boolean functions as
+basic components" (paper §2).  This module provides the fixed gate alphabet
+(AND/OR/NAND/NOR/XOR/XNOR/NOT/BUF/CONST0/CONST1) plus a generic truth-table
+gate (``LUT``) for arbitrary functions, together with the three evaluation
+modes every engine in the library needs:
+
+* **packed evaluation** — bit-parallel evaluation over Python integers where
+  bit *j* of every operand is pattern *j* (:func:`eval_packed`);
+* **probability evaluation** — the exact output probability for
+  *independent* inputs (:func:`gate_probability`), which is the building
+  block of the tree rule of [AgAg75] and of formula (2) of the paper;
+* **Boolean difference probability** — the probability that toggling one
+  input toggles the output (:func:`boolean_difference_probability`), used by
+  the observability engine.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+from repro.errors import CircuitError
+
+__all__ = [
+    "GateType",
+    "LUT_TYPES",
+    "arity_range",
+    "eval_packed",
+    "eval_bool",
+    "gate_probability",
+    "cofactor_probability",
+    "boolean_difference_probability",
+    "controlling_value",
+    "inversion_parity",
+    "lut_table",
+]
+
+
+class GateType(str, enum.Enum):
+    """The gate alphabet understood by every engine in the library."""
+
+    AND = "AND"
+    OR = "OR"
+    NAND = "NAND"
+    NOR = "NOR"
+    XOR = "XOR"
+    XNOR = "XNOR"
+    NOT = "NOT"
+    BUF = "BUF"
+    CONST0 = "CONST0"
+    CONST1 = "CONST1"
+    #: Generic truth-table component ("arbitrary boolean function").
+    LUT = "LUT"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Gate types that carry an explicit truth table.
+LUT_TYPES = frozenset({GateType.LUT})
+
+_MIN_ARITY = {
+    GateType.AND: 2,
+    GateType.OR: 2,
+    GateType.NAND: 2,
+    GateType.NOR: 2,
+    GateType.XOR: 2,
+    GateType.XNOR: 2,
+    GateType.NOT: 1,
+    GateType.BUF: 1,
+    GateType.CONST0: 0,
+    GateType.CONST1: 0,
+    GateType.LUT: 1,
+}
+
+_MAX_ARITY = {
+    GateType.NOT: 1,
+    GateType.BUF: 1,
+    GateType.CONST0: 0,
+    GateType.CONST1: 0,
+    # LUT truth tables are stored as ints; cap fan-in to keep them sane.
+    GateType.LUT: 16,
+}
+
+
+def arity_range(gtype: GateType) -> "tuple[int, int | None]":
+    """Return the inclusive ``(min, max)`` fan-in for ``gtype``.
+
+    ``max`` is ``None`` for gates with unbounded fan-in (AND/OR/...).
+    """
+    return _MIN_ARITY[gtype], _MAX_ARITY.get(gtype)
+
+
+def lut_table(gtype: GateType, n_inputs: int, table: "int | None") -> int:
+    """Validate and normalize the truth table of a LUT gate.
+
+    The table is an integer whose bit *m* is the output for the input
+    minterm *m* (input 0 is the least-significant selector bit).
+    """
+    if gtype is not GateType.LUT:
+        if table is not None:
+            raise CircuitError(f"{gtype} gates do not take a truth table")
+        return 0
+    if table is None:
+        raise CircuitError("LUT gates require a truth table")
+    rows = 1 << n_inputs
+    if not 0 <= table < (1 << rows):
+        raise CircuitError(
+            f"LUT truth table {table:#x} out of range for {n_inputs} inputs"
+        )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Packed (bit-parallel) evaluation
+# ---------------------------------------------------------------------------
+
+
+def eval_packed(
+    gtype: GateType,
+    operands: Sequence[int],
+    mask: int,
+    table: int = 0,
+) -> int:
+    """Evaluate a gate over packed pattern words.
+
+    ``operands`` are integers whose bit *j* is the value of that input in
+    pattern *j*; ``mask`` has one bit set per valid pattern.  The result is
+    masked to the pattern width.
+    """
+    if gtype is GateType.AND:
+        acc = mask
+        for op in operands:
+            acc &= op
+        return acc
+    if gtype is GateType.OR:
+        acc = 0
+        for op in operands:
+            acc |= op
+        return acc
+    if gtype is GateType.NAND:
+        acc = mask
+        for op in operands:
+            acc &= op
+        return acc ^ mask
+    if gtype is GateType.NOR:
+        acc = 0
+        for op in operands:
+            acc |= op
+        return (acc ^ mask) & mask
+    if gtype is GateType.XOR:
+        acc = 0
+        for op in operands:
+            acc ^= op
+        return acc & mask
+    if gtype is GateType.XNOR:
+        acc = 0
+        for op in operands:
+            acc ^= op
+        return (acc ^ mask) & mask
+    if gtype is GateType.NOT:
+        return (operands[0] ^ mask) & mask
+    if gtype is GateType.BUF:
+        return operands[0] & mask
+    if gtype is GateType.CONST0:
+        return 0
+    if gtype is GateType.CONST1:
+        return mask
+    if gtype is GateType.LUT:
+        return _eval_lut_packed(operands, mask, table)
+    raise CircuitError(f"unknown gate type {gtype!r}")
+
+
+def _eval_lut_packed(operands: Sequence[int], mask: int, table: int) -> int:
+    """Bit-parallel LUT evaluation by minterm expansion."""
+    n = len(operands)
+    out = 0
+    for minterm in range(1 << n):
+        if not (table >> minterm) & 1:
+            continue
+        term = mask
+        for i in range(n):
+            if (minterm >> i) & 1:
+                term &= operands[i]
+            else:
+                term &= operands[i] ^ mask
+            if not term:
+                break
+        out |= term
+    return out
+
+
+def eval_bool(gtype: GateType, operands: Sequence[int], table: int = 0) -> int:
+    """Evaluate a gate on scalar 0/1 operands; returns 0 or 1."""
+    return eval_packed(gtype, operands, 1, table)
+
+
+# ---------------------------------------------------------------------------
+# Probability evaluation (independent inputs)
+# ---------------------------------------------------------------------------
+
+
+def gate_probability(
+    gtype: GateType,
+    probs: Sequence[float],
+    table: int = 0,
+) -> float:
+    """Exact 1-probability of a gate output for *independent* inputs.
+
+    This is the tree rule of [AgAg75]: exact whenever the input signals are
+    statistically independent, and the elementary step of the PROTEST
+    estimator (paper §2, cases 2 and 3).
+    """
+    if gtype is GateType.AND:
+        acc = 1.0
+        for p in probs:
+            acc *= p
+        return acc
+    if gtype is GateType.OR:
+        acc = 1.0
+        for p in probs:
+            acc *= 1.0 - p
+        return 1.0 - acc
+    if gtype is GateType.NAND:
+        acc = 1.0
+        for p in probs:
+            acc *= p
+        return 1.0 - acc
+    if gtype is GateType.NOR:
+        acc = 1.0
+        for p in probs:
+            acc *= 1.0 - p
+        return acc
+    if gtype is GateType.XOR:
+        acc = 0.0
+        for p in probs:
+            acc = acc + p - 2.0 * acc * p
+        return acc
+    if gtype is GateType.XNOR:
+        acc = 0.0
+        for p in probs:
+            acc = acc + p - 2.0 * acc * p
+        return 1.0 - acc
+    if gtype is GateType.NOT:
+        return 1.0 - probs[0]
+    if gtype is GateType.BUF:
+        return probs[0]
+    if gtype is GateType.CONST0:
+        return 0.0
+    if gtype is GateType.CONST1:
+        return 1.0
+    if gtype is GateType.LUT:
+        return _lut_probability(probs, table)
+    raise CircuitError(f"unknown gate type {gtype!r}")
+
+
+def _lut_probability(probs: Sequence[float], table: int) -> float:
+    n = len(probs)
+    total = 0.0
+    for minterm in range(1 << n):
+        if not (table >> minterm) & 1:
+            continue
+        weight = 1.0
+        for i in range(n):
+            weight *= probs[i] if (minterm >> i) & 1 else 1.0 - probs[i]
+        total += weight
+    return total
+
+
+def cofactor_probability(
+    gtype: GateType,
+    probs: Sequence[float],
+    pin: int,
+    value: int,
+    table: int = 0,
+) -> float:
+    """Output probability with input ``pin`` forced to ``value`` (0/1)."""
+    forced = list(probs)
+    forced[pin] = float(value)
+    return gate_probability(gtype, forced, table)
+
+
+def boolean_difference_probability(
+    gtype: GateType,
+    probs: Sequence[float],
+    pin: int,
+    table: int = 0,
+    exact: bool = False,
+) -> float:
+    """Probability that toggling input ``pin`` toggles the gate output.
+
+    With ``exact=False`` this is the paper's signal-flow pin model
+    ``f(..0..) (+) f(..1..)`` with ``t (+) y = t + y - 2ty``: the two
+    cofactor probabilities are combined *as if independent*.  With
+    ``exact=True`` the true Boolean difference ``P(f|pin=0 XOR f|pin=1)``
+    is computed, which is exact for independent side inputs (our ablation
+    model; removes part of the paper's systematic under-estimation).
+    """
+    if not exact:
+        f0 = cofactor_probability(gtype, probs, pin, 0, table)
+        f1 = cofactor_probability(gtype, probs, pin, 1, table)
+        return f0 + f1 - 2.0 * f0 * f1
+    return _exact_boolean_difference(gtype, probs, pin, table)
+
+
+def _exact_boolean_difference(
+    gtype: GateType,
+    probs: Sequence[float],
+    pin: int,
+    table: int,
+) -> float:
+    """Exact ``P(df/dx = 1)`` by enumeration over the side inputs."""
+    n = len(probs)
+    side = [i for i in range(n) if i != pin]
+    total = 0.0
+    operands = [0] * n
+    for assignment in range(1 << len(side)):
+        weight = 1.0
+        for j, i in enumerate(side):
+            bit = (assignment >> j) & 1
+            operands[i] = bit
+            weight *= probs[i] if bit else 1.0 - probs[i]
+        if weight == 0.0:
+            continue
+        operands[pin] = 0
+        f0 = eval_bool(gtype, operands, table)
+        operands[pin] = 1
+        f1 = eval_bool(gtype, operands, table)
+        if f0 != f1:
+            total += weight
+    return total
+
+
+# ---------------------------------------------------------------------------
+# Structural attributes used by SCOAP / STAFAN / collapsing
+# ---------------------------------------------------------------------------
+
+_CONTROLLING = {
+    GateType.AND: 0,
+    GateType.NAND: 0,
+    GateType.OR: 1,
+    GateType.NOR: 1,
+}
+
+_INVERTING = {
+    GateType.NAND: True,
+    GateType.NOR: True,
+    GateType.NOT: True,
+    GateType.XNOR: True,
+    GateType.AND: False,
+    GateType.OR: False,
+    GateType.XOR: False,
+    GateType.BUF: False,
+}
+
+
+def controlling_value(gtype: GateType) -> "int | None":
+    """The controlling input value of the gate, or ``None`` if it has none."""
+    return _CONTROLLING.get(gtype)
+
+
+def inversion_parity(gtype: GateType) -> "bool | None":
+    """Whether the gate inverts (NAND/NOR/NOT/XNOR).  ``None`` for LUT/const."""
+    return _INVERTING.get(gtype)

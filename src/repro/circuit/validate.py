@@ -1,0 +1,89 @@
+"""Structural validation beyond what :class:`Circuit` enforces itself.
+
+``Circuit`` guarantees well-formedness (single driver, no cycles, declared
+outputs).  :func:`validate` adds the lint-level checks a testability tool
+wants before analysis: dangling nodes, unused inputs, constant outputs and
+so on.  Problems are reported, not raised, so callers can decide severity.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.topology import Topology
+from repro.circuit.types import GateType
+from repro.errors import ValidationError
+
+__all__ = ["Issue", "validate", "check"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Issue:
+    """One validation finding."""
+
+    severity: str  #: "error" | "warning"
+    code: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.severity}] {self.code}: {self.message}"
+
+
+def validate(circuit: Circuit) -> List[Issue]:
+    """Return the list of issues found in ``circuit`` (possibly empty)."""
+    issues: List[Issue] = []
+    topo = Topology(circuit)
+    for node in circuit.inputs:
+        if topo.fanout_degree(node) == 0:
+            issues.append(
+                Issue("warning", "unused-input",
+                      f"primary input {node!r} drives nothing")
+            )
+    for name in circuit.gates:
+        if topo.fanout_degree(name) == 0:
+            issues.append(
+                Issue("warning", "dangling-gate",
+                      f"gate {name!r} drives neither a gate nor an output")
+            )
+    for name, gate in circuit.gates.items():
+        if gate.gtype in (GateType.CONST0, GateType.CONST1):
+            continue
+        if len(set(gate.inputs)) != len(gate.inputs):
+            issues.append(
+                Issue("warning", "repeated-pin",
+                      f"gate {name!r} reads the same node on several pins")
+            )
+    for name, gate in circuit.gates.items():
+        if gate.gtype is GateType.LUT:
+            rows = 1 << gate.arity
+            if gate.table in (0, (1 << rows) - 1):
+                issues.append(
+                    Issue("warning", "constant-lut",
+                          f"LUT {name!r} computes a constant function")
+                )
+    if not circuit.inputs:
+        issues.append(
+            Issue("warning", "no-inputs", "circuit has no primary inputs")
+        )
+    return issues
+
+
+def check(circuit: Circuit, allow_warnings: bool = True) -> None:
+    """Raise :class:`ValidationError` when validation fails.
+
+    With ``allow_warnings=False`` any finding is fatal; otherwise only
+    ``error`` findings raise.
+    """
+    issues = validate(circuit)
+    fatal = [
+        issue
+        for issue in issues
+        if issue.severity == "error" or not allow_warnings
+    ]
+    if fatal:
+        summary = "; ".join(str(issue) for issue in fatal[:5])
+        raise ValidationError(
+            f"circuit {circuit.name!r} failed validation: {summary}"
+        )

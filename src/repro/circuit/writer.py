@@ -1,0 +1,53 @@
+"""Serialization of circuits to the ISCAS-85 ``.bench`` format."""
+
+from __future__ import annotations
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.types import GateType
+from repro.errors import CircuitError
+
+__all__ = ["format_bench", "save_bench"]
+
+_BENCH_NAMES = {
+    GateType.AND: "AND",
+    GateType.OR: "OR",
+    GateType.NAND: "NAND",
+    GateType.NOR: "NOR",
+    GateType.XOR: "XOR",
+    GateType.XNOR: "XNOR",
+    GateType.NOT: "NOT",
+    GateType.BUF: "BUFF",
+    GateType.CONST0: "CONST0",
+    GateType.CONST1: "CONST1",
+}
+
+
+def format_bench(circuit: Circuit) -> str:
+    """Serialize to ``.bench`` text.
+
+    LUT gates have no ``.bench`` counterpart and raise
+    :class:`~repro.errors.CircuitError`; use the SDL writer for those.
+    """
+    lines = [f"# {circuit.name}"]
+    for node in circuit.inputs:
+        lines.append(f"INPUT({node})")
+    for node in circuit.outputs:
+        lines.append(f"OUTPUT({node})")
+    for node in circuit.nodes:
+        if circuit.is_input(node):
+            continue
+        gate = circuit.gates[node]
+        type_name = _BENCH_NAMES.get(gate.gtype)
+        if type_name is None:
+            raise CircuitError(
+                f"gate {gate.name!r}: {gate.gtype} cannot be written to "
+                ".bench; use SDL instead"
+            )
+        lines.append(f"{gate.name} = {type_name}({', '.join(gate.inputs)})")
+    return "\n".join(lines) + "\n"
+
+
+def save_bench(circuit: Circuit, path: str) -> None:
+    """Write a circuit to a ``.bench`` file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(format_bench(circuit))

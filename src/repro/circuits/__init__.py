@@ -1,0 +1,55 @@
+"""Evaluation circuits: the paper's ALU / MULT / DIV / COMP plus generators."""
+
+from repro.circuits.adders import (
+    full_adder,
+    half_adder,
+    ripple_add,
+    ripple_carry_adder,
+    ripple_subtract,
+)
+from repro.circuits.comp24 import comp24, comp_reference
+from repro.circuits.divider import divider, divider_reference
+from repro.circuits.generators import (
+    and_or_ladder,
+    c17,
+    decoder,
+    majority,
+    mux_tree,
+    parity_tree,
+    random_dag,
+)
+from repro.circuits.library import REGISTRY, build, names
+from repro.circuits.mult import mult, mult_reference
+from repro.circuits.multiplier import array_multiplier, multiply
+from repro.circuits.sn7485 import sn7485, sn7485_reference
+from repro.circuits.sn74181 import sn74181, sn74181_reference
+
+__all__ = [
+    "REGISTRY",
+    "and_or_ladder",
+    "array_multiplier",
+    "build",
+    "c17",
+    "comp24",
+    "comp_reference",
+    "decoder",
+    "divider",
+    "divider_reference",
+    "full_adder",
+    "half_adder",
+    "majority",
+    "multiply",
+    "mult",
+    "mult_reference",
+    "mux_tree",
+    "names",
+    "parity_tree",
+    "random_dag",
+    "ripple_add",
+    "ripple_carry_adder",
+    "ripple_subtract",
+    "sn7485",
+    "sn7485_reference",
+    "sn74181",
+    "sn74181_reference",
+]

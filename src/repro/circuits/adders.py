@@ -1,0 +1,161 @@
+"""Adder / subtractor building blocks.
+
+These helpers emit gates into an existing
+:class:`~repro.circuit.CircuitBuilder` and return the produced node names,
+so larger datapaths (MULT, DIV) can be composed from them.  All buses are
+LSB-first lists of node names.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.circuit.builder import CircuitBuilder
+
+__all__ = [
+    "full_adder",
+    "half_adder",
+    "ripple_add",
+    "ripple_carry_adder",
+    "full_subtractor_cell",
+    "ripple_subtract",
+]
+
+
+def half_adder(
+    b: CircuitBuilder, x: str, y: str, prefix: str
+) -> Tuple[str, str]:
+    """Half adder; returns ``(sum, carry)``."""
+    s = b.xor(f"{prefix}_s", x, y)
+    c = b.and_(f"{prefix}_c", x, y)
+    return s, c
+
+
+def full_adder(
+    b: CircuitBuilder, x: str, y: str, cin: str, prefix: str
+) -> Tuple[str, str]:
+    """Full adder (2 XOR, 2 AND, 1 OR); returns ``(sum, carry)``."""
+    t = b.xor(f"{prefix}_t", x, y)
+    s = b.xor(f"{prefix}_s", t, cin)
+    c1 = b.and_(f"{prefix}_c1", x, y)
+    c2 = b.and_(f"{prefix}_c2", t, cin)
+    c = b.or_(f"{prefix}_c", c1, c2)
+    return s, c
+
+
+def ripple_add(
+    b: CircuitBuilder,
+    xs: Sequence[str],
+    ys: Sequence[str],
+    cin: Optional[str] = None,
+    prefix: str = "add",
+) -> Tuple[List[str], str]:
+    """Ripple-carry addition of two (possibly unequal-width) buses.
+
+    Missing high-order bits of the shorter bus are treated as zero without
+    emitting constant gates; returns ``(sum_bits, carry_out)`` where
+    ``sum_bits`` has ``max(len(xs), len(ys))`` entries.
+    """
+    if not xs or not ys:
+        raise ValueError("cannot add empty buses")
+    width = max(len(xs), len(ys))
+    sums: List[str] = []
+    carry: Optional[str] = cin
+    for i in range(width):
+        x = xs[i] if i < len(xs) else None
+        y = ys[i] if i < len(ys) else None
+        cell = f"{prefix}{i}"
+        if x is not None and y is not None:
+            if carry is None:
+                s, carry = half_adder(b, x, y, cell)
+            else:
+                s, carry = full_adder(b, x, y, carry, cell)
+        else:
+            lone = x if x is not None else y
+            assert lone is not None
+            if carry is None:
+                # x + 0 with no carry: the bit passes through unchanged.
+                s = lone
+            else:
+                s, carry = half_adder(b, lone, carry, cell)
+        sums.append(s)
+    # Position 0 always has both operand bits, so a carry cell exists.
+    assert carry is not None
+    return sums, carry
+
+
+def ripple_carry_adder(name: str, width: int) -> "CircuitBuilder":
+    """A standalone ``width``-bit adder circuit builder (A + B + CIN).
+
+    Returns the builder so callers may extend it; outputs are
+    ``S0..S{w-1}`` and ``COUT``.
+    """
+    b = CircuitBuilder(name)
+    xs = b.bus("A", width)
+    ys = b.bus("B", width)
+    cin = b.input("CIN")
+    sums, carry = ripple_add(b, xs, ys, cin, prefix="fa")
+    for i, s in enumerate(sums):
+        b.output(s, alias=f"S{i}")
+    b.output(carry, alias="COUT")
+    return b
+
+
+def full_subtractor_cell(
+    b: CircuitBuilder, a: str, s: str, bin_: Optional[str], prefix: str,
+    subtrahend_present: bool = True,
+) -> Tuple[str, str]:
+    """One cell of ``a - s - bin``; returns ``(difference, borrow_out)``.
+
+    With ``subtrahend_present=False`` the subtrahend bit is an implicit 0
+    (used above the subtrahend's width) and no constant gate is emitted.
+    """
+    if subtrahend_present:
+        t = b.xor(f"{prefix}_t", a, s)
+        na = b.not_(f"{prefix}_na", a)
+        g1 = b.and_(f"{prefix}_g1", na, s)
+        if bin_ is None:
+            return t, g1
+        d = b.xor(f"{prefix}_d", t, bin_)
+        nt = b.not_(f"{prefix}_nt", t)
+        g2 = b.and_(f"{prefix}_g2", nt, bin_)
+        borrow = b.or_(f"{prefix}_b", g1, g2)
+        return d, borrow
+    if bin_ is None:
+        return a, ""
+    d = b.xor(f"{prefix}_d", a, bin_)
+    na = b.not_(f"{prefix}_na", a)
+    borrow = b.and_(f"{prefix}_b", na, bin_)
+    return d, borrow
+
+
+def ripple_subtract(
+    b: CircuitBuilder,
+    xs: Sequence[str],
+    ys: Sequence[str],
+    prefix: str = "sub",
+) -> Tuple[List[str], str]:
+    """Ripple-borrow subtraction ``xs - ys`` (``len(ys) <= len(xs)``).
+
+    Returns ``(difference_bits, borrow_out)``; ``borrow_out = 1`` means
+    ``xs < ys`` as unsigned integers.
+    """
+    if len(ys) > len(xs):
+        raise ValueError("subtrahend wider than minuend")
+    diffs: List[str] = []
+    borrow: Optional[str] = None
+    for i in range(len(xs)):
+        present = i < len(ys)
+        d, borrow_next = full_subtractor_cell(
+            b,
+            xs[i],
+            ys[i] if present else "",
+            borrow,
+            f"{prefix}{i}",
+            subtrahend_present=present,
+        )
+        diffs.append(d)
+        borrow = borrow_next if borrow_next else None
+    if borrow is None:
+        raise ValueError("zero-width subtraction")
+    return diffs, borrow

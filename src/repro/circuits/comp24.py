@@ -1,0 +1,115 @@
+"""COMP — cascaded 24-bit word comparator built from SN7485 cells.
+
+Paper §5: "COMP is the connection of 16 slightly modified SN7485
+comparators to a cascaded 24 bit word comparator (Fig. 7)".  The scan of
+Fig. 7 does not recover how sixteen devices were arranged for 24 bits, so
+we use the canonical TI serial-expansion scheme: six comparators in a
+ripple cascade, the word's least-significant chunk receiving the external
+cascade inputs ``TI1..TI3`` (A<B, A=B, A>B).  The input set (A0..A23,
+B0..B23, TI1..TI3 — 51 inputs) exactly matches the paper's Table 4.
+
+A two-level ``tree`` composition is provided as an alternative topology;
+both share the property that drives the paper's Table 3: a fault near the
+cascade inputs is only observable when *all 24* bit pairs compare equal,
+i.e. with probability ``2^-24`` under uniform random patterns.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.netlist import Circuit
+from repro.circuits.sn7485 import comparator_cell
+
+__all__ = ["comp24", "comp_reference"]
+
+
+def comp24(width: int = 24, style: str = "cascade", name: str = "COMP") -> Circuit:
+    """Build the cascaded comparator over ``width`` bits (multiple of 4).
+
+    ``style="cascade"`` is the paper's serial expansion; ``style="tree"``
+    compares 4-bit chunks in parallel and combines chunk verdicts with a
+    second comparator level.
+    """
+    if width % 4 != 0 or width < 4:
+        raise ValueError("width must be a positive multiple of 4")
+    if style not in ("cascade", "tree"):
+        raise ValueError(f"unknown style {style!r}")
+    b = CircuitBuilder(name)
+    a_bus = b.bus("A", width)
+    b_bus = b.bus("B", width)
+    ti1 = b.input("TI1")  # cascade A<B
+    ti2 = b.input("TI2")  # cascade A=B
+    ti3 = b.input("TI3")  # cascade A>B
+    chunks = width // 4
+    if style == "cascade":
+        alb, aeb, agb = ti1, ti2, ti3
+        for chunk in range(chunks):
+            lo = 4 * chunk
+            alb, aeb, agb = comparator_cell(
+                b,
+                a_bus[lo : lo + 4],
+                b_bus[lo : lo + 4],
+                alb,
+                aeb,
+                agb,
+                f"u{chunk}",
+            )
+    else:
+        # Level 1: chunk verdicts; the (gt, lt) pair of each chunk becomes a
+        # 1-bit operand pair of the level-2 comparison, most significant
+        # chunk in the highest position.  Chunk cascade inputs are tied so
+        # equality maps to (0, 0): IALB=0, IAEB=1, IAGB=0 via constants.
+        one = b.const1("tie1")
+        zero = b.const0("tie0")
+        gts = []
+        lts = []
+        for chunk in range(chunks):
+            lo = 4 * chunk
+            c_alb, _c_aeb, c_agb = comparator_cell(
+                b,
+                a_bus[lo : lo + 4],
+                b_bus[lo : lo + 4],
+                zero,
+                one,
+                zero,
+                f"u{chunk}",
+            )
+            gts.append(c_agb)
+            lts.append(c_alb)
+        # Level 2: ripple over the chunk verdicts, 4 verdicts per device.
+        alb, aeb, agb = ti1, ti2, ti3
+        for base in range(0, chunks, 4):
+            group_gt = gts[base : base + 4]
+            group_lt = lts[base : base + 4]
+            while len(group_gt) < 4:  # pad with equal verdicts
+                group_gt.append(zero)
+                group_lt.append(zero)
+            alb, aeb, agb = comparator_cell(
+                b, group_gt, group_lt, alb, aeb, agb, f"t{base // 4}"
+            )
+    b.output(alb, alias="OALB")
+    b.output(aeb, alias="OAEB")
+    b.output(agb, alias="OAGB")
+    return b.build()
+
+
+def comp_reference(
+    a: int, bb: int, ti1: int, ti2: int, ti3: int, width: int = 24
+) -> "dict[str, int]":
+    """Chunk-exact reference of the *cascade* composition.
+
+    Mirrors the serial expansion chunk by chunk.  This matters for the
+    degenerate cascade input states (0,0,0) and (1,0,1), which the SN7485
+    datasheet maps to (1,0,1) and (0,0,0) respectively: they oscillate
+    through equal chunks instead of being absorbed.
+    """
+    from repro.circuits.sn7485 import sn7485_reference
+
+    state = {"OALB": ti1, "OAEB": ti2, "OAGB": ti3}
+    for chunk in range(width // 4):
+        a_chunk = (a >> (4 * chunk)) & 0xF
+        b_chunk = (bb >> (4 * chunk)) & 0xF
+        state = sn7485_reference(
+            a_chunk, b_chunk, state["OALB"], state["OAEB"], state["OAGB"]
+        )
+    return state

@@ -1,0 +1,182 @@
+"""Parametric circuit generators.
+
+Used by tests (structured corner cases), by the Table 7/8 size ladder and
+by property-based testing (seeded random DAGs).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random as _random
+from typing import List
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.netlist import Circuit
+from repro.circuit.types import GateType
+
+__all__ = [
+    "c17",
+    "parity_tree",
+    "decoder",
+    "mux_tree",
+    "majority",
+    "and_or_ladder",
+    "random_dag",
+]
+
+
+def c17(name: str = "c17") -> Circuit:
+    """The ISCAS-85 c17 benchmark (6 NAND gates)."""
+    b = CircuitBuilder(name)
+    g1, g2, g3, g6, g7 = b.inputs("G1", "G2", "G3", "G6", "G7")
+    g10 = b.nand("G10", g1, g3)
+    g11 = b.nand("G11", g3, g6)
+    g16 = b.nand("G16", g2, g11)
+    g19 = b.nand("G19", g11, g7)
+    g22 = b.nand("G22", g10, g16)
+    g23 = b.nand("G23", g16, g19)
+    b.output(g22)
+    b.output(g23)
+    return b.build()
+
+
+def parity_tree(width: int, name: "str | None" = None) -> Circuit:
+    """Balanced XOR tree over ``width`` inputs (no reconvergence)."""
+    if width < 2:
+        raise ValueError("parity tree needs at least 2 inputs")
+    b = CircuitBuilder(name or f"parity{width}")
+    layer: List[str] = b.bus("I", width)
+    level = 0
+    while len(layer) > 1:
+        level += 1
+        nxt: List[str] = []
+        for k in range(0, len(layer) - 1, 2):
+            nxt.append(b.xor(f"x{level}_{k // 2}", layer[k], layer[k + 1]))
+        if len(layer) % 2:
+            nxt.append(layer[-1])
+        layer = nxt
+    b.output(layer[0], alias="PARITY")
+    return b.build()
+
+
+def decoder(select_bits: int, name: "str | None" = None) -> Circuit:
+    """Full ``n -> 2^n`` decoder (heavy fan-out of the inverted selects)."""
+    if not 1 <= select_bits <= 8:
+        raise ValueError("decoder supports 1..8 select bits")
+    b = CircuitBuilder(name or f"dec{select_bits}")
+    sel = b.bus("S", select_bits)
+    nsel = [b.not_(f"NS{i}", s) for i, s in enumerate(sel)]
+    for row in range(1 << select_bits):
+        literals = [
+            sel[i] if (row >> i) & 1 else nsel[i] for i in range(select_bits)
+        ]
+        if select_bits == 1:
+            b.output(b.buf(f"O{row}", literals[0]))
+        else:
+            b.output(b.and_(f"O{row}", *literals))
+    return b.build()
+
+
+def mux_tree(select_bits: int, name: "str | None" = None) -> Circuit:
+    """``2^n : 1`` multiplexer built from 2:1 cells (reconvergent selects)."""
+    if not 1 <= select_bits <= 6:
+        raise ValueError("mux tree supports 1..6 select bits")
+    b = CircuitBuilder(name or f"mux{1 << select_bits}")
+    data = b.bus("D", 1 << select_bits)
+    sel = b.bus("S", select_bits)
+    layer = list(data)
+    for level, s in enumerate(sel):
+        layer = [
+            b.mux(f"m{level}_{k}", s, layer[2 * k], layer[2 * k + 1])
+            for k in range(len(layer) // 2)
+        ]
+    b.output(layer[0], alias="Y")
+    return b.build()
+
+
+def majority(width: int, name: "str | None" = None) -> Circuit:
+    """Majority-of-``width`` via OR of all minimal AND terms (width <= 7)."""
+    if not 3 <= width <= 7 or width % 2 == 0:
+        raise ValueError("majority wants an odd width in 3..7")
+    b = CircuitBuilder(name or f"maj{width}")
+    bits = b.bus("I", width)
+    need = width // 2 + 1
+    terms = [
+        b.and_(None, *[bits[i] for i in combo])
+        for combo in itertools.combinations(range(width), need)
+    ]
+    b.output(b.or_("MAJ", *terms))
+    return b.build()
+
+
+def and_or_ladder(depth: int, name: "str | None" = None) -> Circuit:
+    """Alternating AND/OR chain with a shared side input (reconvergent).
+
+    A compact worst case for tree-rule estimators: the side input ``X``
+    fans out to every level, so every gate past the first sees correlated
+    operands.
+    """
+    if depth < 2:
+        raise ValueError("ladder depth must be >= 2")
+    b = CircuitBuilder(name or f"ladder{depth}")
+    x = b.input("X")
+    current = b.input("I0")
+    for level in range(depth):
+        other = x if level % 2 == 0 else b.input(f"I{level + 1}")
+        if level % 2 == 0:
+            current = b.and_(f"L{level}", current, other)
+        else:
+            current = b.or_(f"L{level}", current, other)
+    b.output(current, alias="Y")
+    return b.build()
+
+
+def random_dag(
+    n_inputs: int,
+    n_gates: int,
+    seed: int,
+    name: "str | None" = None,
+    lut_fraction: float = 0.0,
+) -> Circuit:
+    """Seeded random combinational DAG (for property-based testing).
+
+    Every gate draws 1..4 operands from earlier nodes; dangling nodes are
+    collected into primary outputs so all logic is observable.
+    """
+    if n_inputs < 1 or n_gates < 1:
+        raise ValueError("need at least one input and one gate")
+    rng = _random.Random(seed)
+    b = CircuitBuilder(name or f"rand_{n_inputs}x{n_gates}_{seed}")
+    nodes: List[str] = b.bus("I", n_inputs)
+    two_plus = [
+        GateType.AND,
+        GateType.OR,
+        GateType.NAND,
+        GateType.NOR,
+        GateType.XOR,
+        GateType.XNOR,
+    ]
+    for g in range(n_gates):
+        if lut_fraction and rng.random() < lut_fraction:
+            arity = rng.randint(1, 3)
+            sources = [rng.choice(nodes) for _ in range(arity)]
+            table = rng.randrange(1 << (1 << arity))
+            node = b.lut(f"g{g}", table, *sources)
+        elif rng.random() < 0.15:
+            node = b.not_(f"g{g}", rng.choice(nodes))
+        else:
+            gtype = rng.choice(two_plus)
+            arity = rng.randint(2, 4)
+            sources = [rng.choice(nodes) for _ in range(arity)]
+            node = b.gate(gtype, f"g{g}", *sources)
+        nodes.append(node)
+    # Every undriven sink becomes a primary output so all logic is observable.
+    driven = set()
+    for gate in b._gates.values():
+        driven.update(gate.inputs)
+    sinks = [n for n in nodes[n_inputs:] if n not in driven]
+    if not sinks:
+        sinks = [nodes[-1]]
+    for node in sinks:
+        b.output(node)
+    return b.build()

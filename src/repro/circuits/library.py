@@ -1,0 +1,70 @@
+"""Named registry of the evaluation circuits.
+
+The CLI and the benchmark harness refer to circuits by name; the registry
+keeps one factory per name so sizes and styles stay consistent across
+tables.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.circuit.netlist import Circuit
+from repro.circuits.comp24 import comp24
+from repro.circuits.divider import divider
+from repro.circuits.generators import (
+    and_or_ladder,
+    c17,
+    decoder,
+    majority,
+    mux_tree,
+    parity_tree,
+)
+from repro.circuits.mult import mult
+from repro.circuits.multiplier import array_multiplier
+from repro.circuits.sn7485 import sn7485
+from repro.circuits.sn74181 import sn74181
+from repro.errors import ReproError
+
+__all__ = ["build", "names", "REGISTRY"]
+
+REGISTRY: Dict[str, Callable[[], Circuit]] = {
+    # The paper's four evaluation circuits.
+    "alu": sn74181,
+    "mult": mult,
+    "div": divider,
+    "comp": comp24,
+    # Smaller relatives (fast tests, optimizer workloads).
+    "comp8": lambda: comp24(width=8, name="COMP8"),
+    "comp12": lambda: comp24(width=12, name="COMP12"),
+    "comp_tree": lambda: comp24(style="tree", name="COMP_TREE"),
+    "div8x4": lambda: divider(8, 4, name="DIV8x4"),
+    "mult4": lambda: mult(4, name="MULT4"),
+    "sn7485": sn7485,
+    # Structural corner cases and the Table 7/8 ladder fillers.
+    "c17": c17,
+    "parity8": lambda: parity_tree(8),
+    "parity32": lambda: parity_tree(32),
+    "dec4": lambda: decoder(4),
+    "mux16": lambda: mux_tree(4),
+    "maj5": lambda: majority(5),
+    "ladder8": lambda: and_or_ladder(8),
+    "mul16": lambda: array_multiplier(16),
+    "mul24": lambda: array_multiplier(24),
+}
+
+
+def names() -> List[str]:
+    """All registered circuit names, sorted."""
+    return sorted(REGISTRY)
+
+
+def build(name: str) -> Circuit:
+    """Instantiate a registered circuit by name."""
+    try:
+        factory = REGISTRY[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown circuit {name!r}; available: {', '.join(names())}"
+        ) from None
+    return factory()

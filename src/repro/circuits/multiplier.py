@@ -1,0 +1,61 @@
+"""Array multipliers (schoolbook partial products + ripple accumulation)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.netlist import Circuit
+from repro.circuits.adders import ripple_add
+
+__all__ = ["multiply", "array_multiplier"]
+
+
+def multiply(
+    b: CircuitBuilder,
+    xs: Sequence[str],
+    ys: Sequence[str],
+    prefix: str = "mul",
+) -> List[str]:
+    """Emit an ``len(xs) x len(ys)`` array multiplier; returns product bits.
+
+    The product bus is LSB-first with ``len(xs) + len(ys)`` bits.  Row *i*
+    of partial products is accumulated into the running sum with a ripple
+    adder, the classical carry-propagate array.
+    """
+    n, m = len(xs), len(ys)
+    if n < 2 or m < 2:
+        raise ValueError("array multiplier needs operands of width >= 2")
+
+    def pp(i: int, j: int) -> str:
+        return b.and_(f"{prefix}_pp{i}_{j}", xs[j], ys[i])
+
+    product: List[str] = []
+    # acc holds the not-yet-final bits; after consuming row i it covers the
+    # weights i .. i+n (bit k of acc has weight i + k).
+    acc = [pp(0, j) for j in range(n)]
+    product.append(acc[0])
+    for i in range(1, m):
+        row = [pp(i, j) for j in range(n)]
+        sums, carry = ripple_add(b, acc[1:], row, prefix=f"{prefix}_r{i}_")
+        acc = sums + [carry]
+        product.append(acc[0])
+    product.extend(acc[1:])
+    assert len(product) == n + m
+    return product
+
+
+def array_multiplier(width: int, name: "str | None" = None) -> Circuit:
+    """A standalone ``width x width`` array multiplier circuit.
+
+    Inputs ``A0..`` and ``B0..``, outputs ``P0..P{2w-1}``.
+    """
+    if name is None:
+        name = f"mul{width}x{width}"
+    b = CircuitBuilder(name)
+    xs = b.bus("A", width)
+    ys = b.bus("B", width)
+    product = multiply(b, xs, ys)
+    for i, bit in enumerate(product):
+        b.output(bit, alias=f"P{i}")
+    return b.build()

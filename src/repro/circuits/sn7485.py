@@ -1,0 +1,113 @@
+"""SN7485 4-bit magnitude comparator (datasheet gate structure).
+
+The building block of the paper's COMP circuit: "COMP is the connection of
+16 slightly modified SN7485 comparators to a cascaded 24 bit word
+comparator" (paper §5, Fig. 7).
+
+The device compares two 4-bit words and three cascade inputs; its truth
+table (TI datasheet) is reproduced by :func:`sn7485_reference` and verified
+exhaustively in the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.netlist import Circuit
+
+__all__ = ["comparator_cell", "sn7485", "sn7485_reference"]
+
+
+def comparator_cell(
+    b: CircuitBuilder,
+    a_bus: Sequence[str],
+    b_bus: Sequence[str],
+    ialb: str,
+    iaeb: str,
+    iagb: str,
+    prefix: str,
+) -> Tuple[str, str, str]:
+    """Emit one SN7485 into ``b``; returns ``(OALB, OAEB, OAGB)``.
+
+    ``a_bus`` / ``b_bus`` are the 4-bit operands (LSB first) and the three
+    ``i*`` nodes are the cascade inputs (A<B, A=B, A>B).
+    """
+    if len(a_bus) != 4 or len(b_bus) != 4:
+        raise ValueError("SN7485 compares 4-bit words")
+    eq: List[str] = []
+    gt: List[str] = []
+    lt: List[str] = []
+    for i in range(4):
+        na = b.not_(f"{prefix}_na{i}", a_bus[i])
+        nb = b.not_(f"{prefix}_nb{i}", b_bus[i])
+        eq.append(b.xnor(f"{prefix}_e{i}", a_bus[i], b_bus[i]))
+        gt.append(b.and_(f"{prefix}_g{i}", a_bus[i], nb))
+        lt.append(b.and_(f"{prefix}_l{i}", na, b_bus[i]))
+    # Word-level (bit 3 most significant): strictly greater / less / equal.
+    gt_terms = [
+        gt[3],
+        b.and_(f"{prefix}_gt2", eq[3], gt[2]),
+        b.and_(f"{prefix}_gt1", eq[3], eq[2], gt[1]),
+        b.and_(f"{prefix}_gt0", eq[3], eq[2], eq[1], gt[0]),
+    ]
+    lt_terms = [
+        lt[3],
+        b.and_(f"{prefix}_lt2", eq[3], lt[2]),
+        b.and_(f"{prefix}_lt1", eq[3], eq[2], lt[1]),
+        b.and_(f"{prefix}_lt0", eq[3], eq[2], eq[1], lt[0]),
+    ]
+    word_gt = b.or_(f"{prefix}_wgt", *gt_terms)
+    word_lt = b.or_(f"{prefix}_wlt", *lt_terms)
+    word_eq = b.and_(f"{prefix}_weq", *eq)
+    # Cascade combination per the datasheet truth table: on word equality
+    # the outputs follow the cascade inputs, with I(A=B) dominating.
+    nialb = b.not_(f"{prefix}_nialb", ialb)
+    niaeb = b.not_(f"{prefix}_niaeb", iaeb)
+    niagb = b.not_(f"{prefix}_niagb", iagb)
+    oagb = b.or_(
+        f"{prefix}_OAGB",
+        word_gt,
+        b.and_(f"{prefix}_cg", word_eq, nialb, niaeb),
+    )
+    oalb = b.or_(
+        f"{prefix}_OALB",
+        word_lt,
+        b.and_(f"{prefix}_cl", word_eq, niagb, niaeb),
+    )
+    oaeb = b.and_(f"{prefix}_OAEB", word_eq, iaeb)
+    return oalb, oaeb, oagb
+
+
+def sn7485(name: str = "SN7485") -> Circuit:
+    """Standalone SN7485 circuit (A0-3, B0-3, IALB, IAEB, IAGB)."""
+    b = CircuitBuilder(name)
+    a_bus = b.bus("A", 4)
+    b_bus = b.bus("B", 4)
+    ialb = b.input("IALB")
+    iaeb = b.input("IAEB")
+    iagb = b.input("IAGB")
+    oalb, oaeb, oagb = comparator_cell(b, a_bus, b_bus, ialb, iaeb, iagb, "u0")
+    b.output(oalb, alias="OALB")
+    b.output(oaeb, alias="OAEB")
+    b.output(oagb, alias="OAGB")
+    return b.build()
+
+
+def sn7485_reference(
+    a: int, bb: int, ialb: int, iaeb: int, iagb: int
+) -> Dict[str, int]:
+    """Datasheet truth table of the SN7485 (4-bit operands)."""
+    if a > bb:
+        return {"OALB": 0, "OAEB": 0, "OAGB": 1}
+    if a < bb:
+        return {"OALB": 1, "OAEB": 0, "OAGB": 0}
+    if iaeb:
+        return {"OALB": 0, "OAEB": 1, "OAGB": 0}
+    if iagb and not ialb:
+        return {"OALB": 0, "OAEB": 0, "OAGB": 1}
+    if ialb and not iagb:
+        return {"OALB": 1, "OAEB": 0, "OAGB": 0}
+    if not ialb and not iagb:
+        return {"OALB": 1, "OAEB": 0, "OAGB": 1}
+    return {"OALB": 0, "OAEB": 0, "OAGB": 0}

@@ -1,0 +1,242 @@
+"""Command-line interface: ``protest <subcommand>``.
+
+Subcommands
+-----------
+``analyze``    estimate testability and required test lengths
+``testlen``    just the Table-2/3 style N for given d/e
+``optimize``   hill-climb the input probabilities (Table 4)
+``generate``   emit a (weighted) random pattern set
+``fsim``       fault-simulate a pattern set and print the coverage curve
+``circuits``   list the built-in evaluation circuits
+``convert``    convert between .bench and .sdl netlists
+
+Circuits are referenced either by a built-in name (see ``circuits``) or by
+a ``.bench`` / ``.sdl`` file path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional
+
+from repro.circuit.bench_parser import load_bench
+from repro.circuit.netlist import Circuit
+from repro.circuit.sdl import load_sdl, save_sdl
+from repro.circuit.transistors import transistor_count
+from repro.circuit.writer import save_bench
+from repro.circuits.library import REGISTRY, build, names
+from repro.errors import ReproError
+from repro.faults.coverage import TABLE6_CHECKPOINTS
+from repro.logicsim.patterns import PatternSet
+from repro.probability.estimator import EstimatorParams
+from repro.protest import Protest
+from repro.report.tables import ascii_table, format_count
+
+__all__ = ["main"]
+
+
+def _load_circuit(spec: str) -> Circuit:
+    if spec in REGISTRY:
+        return build(spec)
+    if spec.endswith(".bench"):
+        return load_bench(spec)
+    if spec.endswith(".sdl"):
+        return load_sdl(spec)
+    raise ReproError(
+        f"unknown circuit {spec!r}: not a registered name and not a "
+        ".bench/.sdl path"
+    )
+
+
+def _load_probs(spec: "str | None") -> "Dict[str, float] | float | None":
+    if spec is None:
+        return None
+    try:
+        return float(spec)
+    except ValueError:
+        pass
+    with open(spec, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict):
+        raise ReproError(f"{spec}: expected a JSON object of input probabilities")
+    return {str(k): float(v) for k, v in data.items()}
+
+
+def _tool(args: argparse.Namespace) -> Protest:
+    circuit = _load_circuit(args.circuit)
+    params = EstimatorParams(maxvers=args.maxvers, maxlist=args.maxlist)
+    return Protest(circuit, params, stem_model=args.stem_model,
+                   pin_model=args.pin_model)
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("circuit", help="built-in name or .bench/.sdl path")
+    parser.add_argument("--probs", default=None,
+                        help="input 1-probability: scalar or JSON file")
+    parser.add_argument("--maxvers", type=int, default=3,
+                        help="MAXVERS: max conditioning-set size")
+    parser.add_argument("--maxlist", type=int, default=8,
+                        help="MAXLIST: joining-point search depth")
+    parser.add_argument("--stem-model", default="chain",
+                        choices=("chain", "multi_output"))
+    parser.add_argument("--pin-model", default="boolean_difference",
+                        choices=("independent", "boolean_difference"))
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    tool = _tool(args)
+    report = tool.analyze(_load_probs(args.probs))
+    print(report.to_text())
+    print(f"  transistors (CMOS): {transistor_count(tool.circuit)}")
+    return 0
+
+
+def _cmd_testlen(args: argparse.Namespace) -> int:
+    tool = _tool(args)
+    detection = tool.detection_probabilities(_load_probs(args.probs))
+    rows = []
+    for fraction in args.fraction:
+        for confidence in args.confidence:
+            n = tool.test_length(confidence, fraction,
+                                 detection_probs=detection)
+            rows.append([f"{fraction:.2f}", f"{confidence:.3f}",
+                         format_count(n)])
+    print(ascii_table(["d", "e", "N"], rows,
+                      title=f"required test lengths for {tool.circuit.name}"))
+    return 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    tool = _tool(args)
+    result = tool.optimize(
+        n_ref=args.n_ref, grid=args.grid, max_rounds=args.rounds,
+        start=_load_probs(args.probs),
+    )
+    print(f"log J_N: {result.initial_score:.2f} -> {result.score:.2f} "
+          f"({result.rounds} rounds, {result.evaluations} evaluations)")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(result.probabilities, handle, indent=2, sort_keys=True)
+        print(f"optimized probabilities written to {args.output}")
+    else:
+        rows = [[name, f"{p:.4f}"] for name, p in
+                sorted(result.probabilities.items())]
+        print(ascii_table(["input", "p"], rows))
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    tool = _tool(args)
+    patterns = tool.generate_patterns(args.count, _load_probs(args.probs),
+                                      seed=args.seed)
+    for j in range(patterns.n_patterns):
+        vec = patterns.vector(j)
+        print("".join(str(vec[name]) for name in patterns.inputs))
+    return 0
+
+
+def _cmd_fsim(args: argparse.Namespace) -> int:
+    tool = _tool(args)
+    patterns = tool.generate_patterns(args.count, _load_probs(args.probs),
+                                      seed=args.seed)
+    result = tool.fault_simulate(patterns)
+    checkpoints = [n for n in TABLE6_CHECKPOINTS if n <= args.count]
+    if args.count not in checkpoints:
+        checkpoints.append(args.count)
+    rows = [[str(n), f"{100.0 * result.coverage_at(n):.1f}"]
+            for n in checkpoints]
+    print(ascii_table(["patterns", "coverage %"], rows,
+                      title=f"fault simulation of {tool.circuit.name} "
+                            f"({len(tool.faults)} faults)"))
+    return 0
+
+
+def _cmd_circuits(_args: argparse.Namespace) -> int:
+    rows = []
+    for name in names():
+        circuit = build(name)
+        rows.append([name, circuit.name, str(len(circuit.inputs)),
+                     str(len(circuit.outputs)), str(circuit.n_gates),
+                     str(transistor_count(circuit))])
+    print(ascii_table(
+        ["name", "title", "inputs", "outputs", "gates", "transistors"], rows))
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    circuit = _load_circuit(args.circuit)
+    if args.output.endswith(".bench"):
+        save_bench(circuit, args.output)
+    elif args.output.endswith(".sdl"):
+        save_sdl(circuit, args.output)
+    else:
+        raise ReproError("output must end in .bench or .sdl")
+    print(f"wrote {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="protest",
+        description="Probabilistic testability analysis "
+                    "(reproduction of Wunderlich, DAC 1985)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("analyze", help="full testability report")
+    _add_common(p)
+    p.set_defaults(func=_cmd_analyze)
+
+    p = sub.add_parser("testlen", help="required random test length")
+    _add_common(p)
+    p.add_argument("--confidence", "-e", type=float, nargs="+",
+                   default=[0.95, 0.98, 0.999])
+    p.add_argument("--fraction", "-d", type=float, nargs="+",
+                   default=[1.0, 0.98])
+    p.set_defaults(func=_cmd_testlen)
+
+    p = sub.add_parser("optimize", help="optimize input probabilities")
+    _add_common(p)
+    p.add_argument("--n-ref", type=int, default=4096)
+    p.add_argument("--grid", type=int, default=16)
+    p.add_argument("--rounds", type=int, default=10)
+    p.add_argument("--output", "-o", default=None,
+                   help="write optimized probabilities to a JSON file")
+    p.set_defaults(func=_cmd_optimize)
+
+    p = sub.add_parser("generate", help="emit random patterns")
+    _add_common(p)
+    p.add_argument("--count", "-n", type=int, default=16)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_generate)
+
+    p = sub.add_parser("fsim", help="fault-simulate random patterns")
+    _add_common(p)
+    p.add_argument("--count", "-n", type=int, default=1000)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_fsim)
+
+    p = sub.add_parser("circuits", help="list built-in circuits")
+    p.set_defaults(func=_cmd_circuits)
+
+    p = sub.add_parser("convert", help="convert netlist formats")
+    p.add_argument("circuit")
+    p.add_argument("output")
+    p.set_defaults(func=_cmd_convert)
+    return parser
+
+
+def main(argv: "List[str] | None" = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

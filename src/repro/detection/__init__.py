@@ -1,0 +1,23 @@
+"""Fault detection probability estimation (signal-flow and single-path)."""
+
+from repro.detection.estimator import (
+    DetectionProbabilityEstimator,
+    detection_probability,
+)
+from repro.detection.exact import exact_detection_probabilities
+from repro.detection.observability import (
+    Observabilities,
+    ObservabilityAnalyzer,
+    combine_chain,
+)
+from repro.detection.single_path import SinglePathEstimator
+
+__all__ = [
+    "DetectionProbabilityEstimator",
+    "Observabilities",
+    "ObservabilityAnalyzer",
+    "SinglePathEstimator",
+    "combine_chain",
+    "detection_probability",
+    "exact_detection_probabilities",
+]

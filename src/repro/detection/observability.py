@@ -1,0 +1,119 @@
+"""Signal-flow observability propagation (paper §3).
+
+For every pin ``x`` the value ``s(x)`` models the probability that a change
+at ``x`` is visible at a primary output.  Propagation runs in reverse
+topological order:
+
+* a primary output is observable with probability 1;
+* a fan-out stem combines its branch observabilities with one of the two
+  models the paper gives:
+
+  - ``chain``:  ``s(x) = s(x1) (+) ... (+) s(xm)`` with
+    ``t (+) y = t + y - 2ty`` — the associative "exactly one path" rule;
+  - ``multi_output``: ``s(x) = 1 - (1-s(x1))...(1-s(xm))`` — "an
+    alternative model for circuits with a large number of primary outputs";
+
+* a gate input pin ``e_i`` attenuates the gate output's observability by
+  the probability that toggling ``e_i`` toggles the output:
+  ``s(e_i) = s(x) * (f(..0..) (+) f(..1..))``.  The ``independent`` pin
+  model combines the two cofactor probabilities as if they were
+  independent (the paper's formula); ``boolean_difference`` computes the
+  exact per-gate Boolean difference probability instead (our ablation).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Mapping, Tuple
+
+from repro.circuit.netlist import Circuit, Pin
+from repro.circuit.topology import Topology
+from repro.circuit.types import boolean_difference_probability
+from repro.errors import EstimationError
+
+__all__ = ["Observabilities", "ObservabilityAnalyzer", "combine_chain"]
+
+STEM_MODELS = ("chain", "multi_output")
+PIN_MODELS = ("independent", "boolean_difference")
+
+
+def combine_chain(values: "list[float]") -> float:
+    """Fold with the paper's associative ``t (+) y = t + y - 2ty``."""
+    acc = 0.0
+    for v in values:
+        acc = acc + v - 2.0 * acc * v
+    return acc
+
+
+@dataclasses.dataclass
+class Observabilities:
+    """Stem and pin observabilities of one analysis run."""
+
+    stems: Dict[str, float]
+    pins: Dict[Pin, float]
+    stem_model: str
+    pin_model: str
+
+    def stem(self, node: str) -> float:
+        return self.stems[node]
+
+    def pin(self, gate: str, pin: int) -> float:
+        return self.pins[(gate, pin)]
+
+
+class ObservabilityAnalyzer:
+    """Reverse-topological observability propagation."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        stem_model: str = "chain",
+        pin_model: str = "boolean_difference",
+        topology: "Topology | None" = None,
+    ) -> None:
+        if stem_model not in STEM_MODELS:
+            raise EstimationError(
+                f"stem_model must be one of {STEM_MODELS}, got {stem_model!r}"
+            )
+        if pin_model not in PIN_MODELS:
+            raise EstimationError(
+                f"pin_model must be one of {PIN_MODELS}, got {pin_model!r}"
+            )
+        self.circuit = circuit
+        self.topology = topology or Topology(circuit)
+        self.stem_model = stem_model
+        self.pin_model = pin_model
+
+    def run(self, signal_probs: Mapping[str, float]) -> Observabilities:
+        """Propagate observabilities given the signal probabilities."""
+        stems: Dict[str, float] = {}
+        pins: Dict[Pin, float] = {}
+        exact_pin = self.pin_model == "boolean_difference"
+        for node in reversed(self.circuit.nodes):
+            branch_values = []
+            if self.circuit.is_output(node):
+                branch_values.append(1.0)
+            for gate_name, pin in self.topology.branches[node]:
+                branch_values.append(pins[(gate_name, pin)])
+            if self.stem_model == "chain":
+                stem = combine_chain(branch_values)
+            else:
+                miss = 1.0
+                for v in branch_values:
+                    miss *= 1.0 - v
+                stem = 1.0 - miss
+            stems[node] = stem
+            if self.circuit.is_input(node):
+                continue
+            gate = self.circuit.gates[node]
+            operand_probs = [signal_probs[src] for src in gate.inputs]
+            for pin in range(gate.arity):
+                sensitivity = boolean_difference_probability(
+                    gate.gtype,
+                    operand_probs,
+                    pin,
+                    gate.table,
+                    exact=exact_pin,
+                )
+                pins[(node, pin)] = stem * sensitivity
+        return Observabilities(stems, pins, self.stem_model, self.pin_model)

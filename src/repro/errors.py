@@ -1,0 +1,48 @@
+"""Exception hierarchy for the PROTEST reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the failing subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the :mod:`repro` library."""
+
+
+class CircuitError(ReproError):
+    """Raised for malformed circuit structures (duplicate nodes, cycles...)."""
+
+
+class ParseError(ReproError):
+    """Raised when a netlist description cannot be parsed.
+
+    Attributes
+    ----------
+    line:
+        1-based line number of the offending input line, when known.
+    """
+
+    def __init__(self, message: str, line: "int | None" = None) -> None:
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class ValidationError(CircuitError):
+    """Raised when a structurally complete circuit violates an invariant."""
+
+
+class SimulationError(ReproError):
+    """Raised for inconsistent simulation requests (pattern mismatch...)."""
+
+
+class EstimationError(ReproError):
+    """Raised for invalid probability-estimation requests."""
+
+
+class OptimizationError(ReproError):
+    """Raised when input-probability optimization is asked the impossible."""

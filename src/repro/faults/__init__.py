@@ -1,0 +1,32 @@
+"""Stuck-at fault model, collapsing and parallel-pattern fault simulation."""
+
+from repro.faults.collapse import CollapsedFaults, collapse
+from repro.faults.coverage import (
+    TABLE6_CHECKPOINTS,
+    coverage_table,
+    predicted_coverage,
+)
+from repro.faults.model import (
+    Fault,
+    branch_faults,
+    fault_universe,
+    faults_for_nodes,
+    stem_faults,
+)
+from repro.faults.simulator import FaultRecord, FaultSimResult, FaultSimulator
+
+__all__ = [
+    "CollapsedFaults",
+    "Fault",
+    "FaultRecord",
+    "FaultSimResult",
+    "FaultSimulator",
+    "TABLE6_CHECKPOINTS",
+    "branch_faults",
+    "collapse",
+    "coverage_table",
+    "fault_universe",
+    "faults_for_nodes",
+    "predicted_coverage",
+    "stem_faults",
+]

@@ -1,0 +1,124 @@
+"""Structural fault-equivalence collapsing.
+
+Two faults are equivalent when every test detects either both or neither.
+The classical structural rules are applied:
+
+* AND/NAND: any input s-a-0 is equivalent to the output s-a-0 (AND) /
+  s-a-1 (NAND); dually OR/NOR with input s-a-1.
+* NOT/BUF: each input fault is equivalent to the correspondingly
+  (un)inverted output fault.
+* A fan-out-free stem fault is equivalent to the single branch fault it
+  feeds.
+
+Collapsing is exact (equivalence only, no dominance), so every collapsed
+class has identical detection behaviour — a property the test suite checks
+by simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.topology import Topology
+from repro.circuit.types import GateType, controlling_value, inversion_parity
+from repro.faults.model import Fault, fault_universe
+
+__all__ = ["collapse", "CollapsedFaults"]
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self.parent: Dict[Fault, Fault] = {}
+
+    def find(self, item: Fault) -> Fault:
+        parent = self.parent.setdefault(item, item)
+        if parent is item:
+            return item
+        root = self.find(parent)
+        self.parent[item] = root
+        return root
+
+    def union(self, a: Fault, b: Fault) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra is not rb:
+            self.parent[rb] = ra
+
+
+class CollapsedFaults:
+    """Result of :func:`collapse`: representatives and their classes."""
+
+    def __init__(self, classes: Dict[Fault, List[Fault]]) -> None:
+        self.classes = classes
+
+    @property
+    def representatives(self) -> List[Fault]:
+        return sorted(self.classes, key=lambda f: f.sort_key)
+
+    def class_of(self, representative: Fault) -> List[Fault]:
+        return self.classes[representative]
+
+    @property
+    def n_collapsed(self) -> int:
+        return len(self.classes)
+
+    @property
+    def n_total(self) -> int:
+        return sum(len(members) for members in self.classes.values())
+
+    def __len__(self) -> int:
+        return len(self.classes)
+
+
+def collapse(
+    circuit: Circuit,
+    faults: "Sequence[Fault] | None" = None,
+) -> CollapsedFaults:
+    """Collapse a fault list (default: the full universe) by equivalence."""
+    if faults is None:
+        faults = fault_universe(circuit)
+    available = set(faults)
+    uf = _UnionFind()
+    topo = Topology(circuit)
+
+    def maybe_union(a: Fault, b: Fault) -> None:
+        if a in available and b in available:
+            uf.union(a, b)
+
+    for gate in circuit.gates.values():
+        gtype = gate.gtype
+        ctrl = controlling_value(gtype)
+        inverts = inversion_parity(gtype)
+        if gtype in (GateType.NOT, GateType.BUF):
+            flip = 1 if gtype is GateType.NOT else 0
+            for value in (0, 1):
+                maybe_union(
+                    Fault(gate.name, 0, value),
+                    Fault(gate.name, None, value ^ flip),
+                )
+        elif ctrl is not None and inverts is not None:
+            out_value = ctrl ^ (1 if inverts else 0)
+            for pin in range(gate.arity):
+                maybe_union(
+                    Fault(gate.name, pin, ctrl),
+                    Fault(gate.name, None, out_value),
+                )
+        # Fan-out-free stems: stem fault == its only branch fault.
+        for pin, src in enumerate(gate.inputs):
+            if topo.fanout_degree(src) == 1:
+                for value in (0, 1):
+                    maybe_union(
+                        Fault(src, None, value),
+                        Fault(gate.name, pin, value),
+                    )
+
+    classes: Dict[Fault, List[Fault]] = {}
+    for fault in faults:
+        root = uf.find(fault)
+        classes.setdefault(root, []).append(fault)
+    # Prefer a stem fault as the class representative.
+    normalized: Dict[Fault, List[Fault]] = {}
+    for members in classes.values():
+        members.sort(key=lambda f: f.sort_key)
+        normalized[members[0]] = members
+    return CollapsedFaults(normalized)

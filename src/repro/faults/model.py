@@ -1,0 +1,106 @@
+"""Single stuck-at fault model on gate pins.
+
+The paper's faults live on component *pins* ("the detection probability of
+a stuck-at-i, i=0,1, fault at x", §3): both the output pins of gates /
+primary inputs (**stem** faults) and the input pins of gates (**branch**
+faults, distinct fault sites on every fan-out branch).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, List, Optional, Sequence
+
+from repro.circuit.netlist import Circuit
+from repro.errors import ReproError
+
+__all__ = ["Fault", "fault_universe", "stem_faults", "branch_faults"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Fault:
+    """One stuck-at fault.
+
+    ``pin is None``: stem fault on node ``node`` (a primary input or a gate
+    output).  Otherwise: branch fault on input pin ``pin`` of gate ``node``.
+    ``value`` is the stuck logic value (0 or 1).
+    """
+
+    node: str
+    pin: Optional[int]
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.value not in (0, 1):
+            raise ReproError(f"stuck value must be 0/1, got {self.value!r}")
+        if self.pin is not None and self.pin < 0:
+            raise ReproError(f"negative pin index {self.pin}")
+
+    @property
+    def is_stem(self) -> bool:
+        return self.pin is None
+
+    @property
+    def site(self) -> str:
+        """Human-readable fault site."""
+        if self.pin is None:
+            return self.node
+        return f"{self.node}.in{self.pin}"
+
+    def __str__(self) -> str:
+        return f"{self.site} s-a-{self.value}"
+
+    @property
+    def sort_key(self) -> "tuple[bool, str, int, int]":
+        """Stable ordering key (stems first, then by site)."""
+        return (self.pin is not None, self.node, self.pin or 0, self.value)
+
+
+def stem_faults(circuit: Circuit) -> List[Fault]:
+    """Both polarities on every node (primary inputs and gate outputs)."""
+    faults: List[Fault] = []
+    for node in circuit.nodes:
+        faults.append(Fault(node, None, 0))
+        faults.append(Fault(node, None, 1))
+    return faults
+
+
+def branch_faults(circuit: Circuit, only_fanout_stems: bool = False) -> List[Fault]:
+    """Both polarities on every gate input pin.
+
+    With ``only_fanout_stems=True``, pins fed by a fan-out-free node are
+    skipped (they are equivalent to the driving stem fault anyway); this is
+    the cheap half of checkpoint-style reduction.
+    """
+    from repro.circuit.topology import Topology
+
+    topo = Topology(circuit) if only_fanout_stems else None
+    faults: List[Fault] = []
+    for gate in circuit.gates.values():
+        for pin, src in enumerate(gate.inputs):
+            if topo is not None and topo.fanout_degree(src) <= 1:
+                continue
+            faults.append(Fault(gate.name, pin, 0))
+            faults.append(Fault(gate.name, pin, 1))
+    return faults
+
+
+def fault_universe(
+    circuit: Circuit,
+    include_branches: bool = True,
+    only_fanout_stems: bool = False,
+) -> List[Fault]:
+    """The full uncollapsed stuck-at fault list of a circuit."""
+    faults = stem_faults(circuit)
+    if include_branches:
+        faults.extend(branch_faults(circuit, only_fanout_stems))
+    return faults
+
+
+def faults_for_nodes(circuit: Circuit, nodes: Sequence[str]) -> Iterator[Fault]:
+    """Stem faults restricted to the given nodes (both polarities)."""
+    for node in nodes:
+        if not circuit.has_node(node):
+            raise ReproError(f"unknown node {node!r}")
+        yield Fault(node, None, 0)
+        yield Fault(node, None, 1)

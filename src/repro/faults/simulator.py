@@ -1,0 +1,247 @@
+"""Parallel-pattern single-fault simulation.
+
+For every fault the simulator injects the stuck value and propagates the
+*difference* region event-driven through the fan-out cone, over a whole
+block of packed patterns at once.  Per fault it records
+
+* the number of detecting patterns (``P_SIM = count / N``, the paper's
+  simulation reference of §4), and
+* the index of the first detecting pattern (for the coverage-growth curves
+  of Table 6).
+
+``drop_detected=True`` skips already-detected faults in later blocks (the
+classical fault dropping), which leaves first-detection indices exact but
+makes detection *counts* lower bounds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.topology import Topology
+from repro.circuit.types import eval_packed
+from repro.errors import SimulationError
+from repro.faults.model import Fault, fault_universe
+from repro.logicsim.patterns import PatternSet
+from repro.logicsim.simulator import simulate
+
+__all__ = ["FaultSimulator", "FaultSimResult", "FaultRecord"]
+
+
+@dataclasses.dataclass
+class FaultRecord:
+    """Per-fault outcome of a simulation run."""
+
+    fault: Fault
+    detect_count: int = 0
+    first_detect: Optional[int] = None
+    simulated_patterns: int = 0
+
+    @property
+    def detected(self) -> bool:
+        return self.first_detect is not None
+
+    @property
+    def detection_probability(self) -> float:
+        """Empirical detection probability (``P_SIM``)."""
+        if self.simulated_patterns == 0:
+            return 0.0
+        return self.detect_count / self.simulated_patterns
+
+
+class FaultSimResult:
+    """Aggregate outcome of a fault-simulation run."""
+
+    def __init__(
+        self,
+        records: Dict[Fault, FaultRecord],
+        n_patterns: int,
+        dropped: bool,
+    ) -> None:
+        self.records = records
+        self.n_patterns = n_patterns
+        self.dropped = dropped
+
+    @property
+    def faults(self) -> List[Fault]:
+        return list(self.records)
+
+    def coverage(self) -> float:
+        """Fraction of faults detected by the whole pattern set."""
+        if not self.records:
+            return 0.0
+        detected = sum(1 for r in self.records.values() if r.detected)
+        return detected / len(self.records)
+
+    def coverage_at(self, n: int) -> float:
+        """Fault coverage after the first ``n`` patterns."""
+        if not self.records:
+            return 0.0
+        detected = sum(
+            1
+            for r in self.records.values()
+            if r.first_detect is not None and r.first_detect < n
+        )
+        return detected / len(self.records)
+
+    def coverage_curve(self, checkpoints: Sequence[int]) -> List[float]:
+        """Coverage after each checkpoint pattern count (Table 6 rows)."""
+        return [self.coverage_at(n) for n in checkpoints]
+
+    def detection_probabilities(self) -> Dict[Fault, float]:
+        """``P_SIM`` per fault; exact only without fault dropping."""
+        if self.dropped:
+            raise SimulationError(
+                "detection counts are lower bounds after fault dropping; "
+                "re-run with drop_detected=False for P_SIM"
+            )
+        return {
+            fault: record.detection_probability
+            for fault, record in self.records.items()
+        }
+
+    def undetected(self) -> List[Fault]:
+        return [f for f, r in self.records.items() if not r.detected]
+
+
+class FaultSimulator:
+    """Stuck-at fault simulator for one circuit."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        faults: "Iterable[Fault] | None" = None,
+    ) -> None:
+        self.circuit = circuit
+        self.topology = Topology(circuit)
+        self._gates = circuit.gates
+        self._topo_index = self.topology.topo_index
+        self._output_set = frozenset(circuit.outputs)
+        self.faults: List[Fault] = (
+            list(faults) if faults is not None else fault_universe(circuit)
+        )
+        for fault in self.faults:
+            self._check_fault(fault)
+
+    def _check_fault(self, fault: Fault) -> None:
+        if fault.pin is None:
+            if not self.circuit.has_node(fault.node):
+                raise SimulationError(f"fault on unknown node {fault.node!r}")
+            return
+        gate = self._gates.get(fault.node)
+        if gate is None:
+            raise SimulationError(
+                f"branch fault on {fault.node!r}, which is not a gate"
+            )
+        if fault.pin >= gate.arity:
+            raise SimulationError(
+                f"branch fault pin {fault.pin} out of range for "
+                f"{fault.node!r} (arity {gate.arity})"
+            )
+
+    # -- main entry point -------------------------------------------------------
+
+    def run(
+        self,
+        patterns: PatternSet,
+        block_size: int = 1024,
+        drop_detected: bool = False,
+    ) -> FaultSimResult:
+        """Simulate all faults against all patterns.
+
+        Patterns are processed in blocks of ``block_size``; within a block
+        the propagation is bit-parallel.
+        """
+        if patterns.n_patterns == 0:
+            raise SimulationError("empty pattern set")
+        if block_size < 1:
+            raise SimulationError("block_size must be positive")
+        records = {fault: FaultRecord(fault) for fault in self.faults}
+        offset = 0
+        while offset < patterns.n_patterns:
+            stop = min(offset + block_size, patterns.n_patterns)
+            block = patterns.slice(offset, stop)
+            good = simulate(self.circuit, block)
+            mask = block.mask
+            for fault in self.faults:
+                record = records[fault]
+                if drop_detected and record.detected:
+                    continue
+                detect = self.detection_word(fault, good, mask)
+                record.simulated_patterns += block.n_patterns
+                if detect:
+                    record.detect_count += detect.bit_count()
+                    if record.first_detect is None:
+                        first = (detect & -detect).bit_length() - 1
+                        record.first_detect = offset + first
+            offset = stop
+        return FaultSimResult(records, patterns.n_patterns, drop_detected)
+
+    def detection_probabilities(
+        self, patterns: PatternSet, block_size: int = 4096
+    ) -> Dict[Fault, float]:
+        """Convenience: exact ``P_SIM`` map over the given pattern set."""
+        result = self.run(patterns, block_size=block_size, drop_detected=False)
+        return result.detection_probabilities()
+
+    # -- single-fault propagation -------------------------------------------------
+
+    def detection_word(
+        self,
+        fault: Fault,
+        good: Mapping[str, int],
+        mask: int,
+    ) -> int:
+        """Detection word of one fault over one block (bit per pattern).
+
+        ``good`` are fault-free packed node values (from
+        :func:`repro.logicsim.simulate`); bit *j* of the result is set when
+        pattern *j* detects the fault at some primary output.
+        """
+        forced = mask if fault.value else 0
+        overlay: Dict[str, int] = {}
+        detect = 0
+        heap: List[tuple] = []
+        queued = set()
+
+        def schedule(node: str) -> None:
+            for consumer, _pin in self.topology.branches[node]:
+                if consumer not in queued:
+                    queued.add(consumer)
+                    heapq.heappush(
+                        heap, (self._topo_index[consumer], consumer)
+                    )
+
+        first_gate: Optional[str] = None
+        if fault.pin is None:
+            diff = good[fault.node] ^ forced
+            if diff == 0:
+                return 0
+            overlay[fault.node] = forced
+            if fault.node in self._output_set:
+                detect |= diff
+            schedule(fault.node)
+        else:
+            first_gate = fault.node
+            queued.add(first_gate)
+            heapq.heappush(heap, (self._topo_index[first_gate], first_gate))
+
+        while heap:
+            _, name = heapq.heappop(heap)
+            gate = self._gates[name]
+            operands = [
+                overlay.get(src, good[src]) for src in gate.inputs
+            ]
+            if name == first_gate and fault.pin is not None:
+                operands[fault.pin] = forced
+            word = eval_packed(gate.gtype, operands, mask, gate.table)
+            if word == good[name]:
+                continue
+            overlay[name] = word
+            if name in self._output_set:
+                detect |= word ^ good[name]
+            schedule(name)
+        return detect & mask

@@ -1,0 +1,30 @@
+"""Bit-parallel logic simulation and pattern generation."""
+
+from repro.logicsim.bitops import (
+    bit_slice,
+    lowest_set_bit,
+    mask_for,
+    pack_bits,
+    popcount,
+    unpack_bits,
+)
+from repro.logicsim.patterns import PatternSet, resolve_input_probs
+from repro.logicsim.simulator import (
+    node_probabilities,
+    simulate,
+    simulate_outputs,
+)
+
+__all__ = [
+    "PatternSet",
+    "bit_slice",
+    "lowest_set_bit",
+    "mask_for",
+    "node_probabilities",
+    "pack_bits",
+    "popcount",
+    "resolve_input_probs",
+    "simulate",
+    "simulate_outputs",
+    "unpack_bits",
+]

@@ -1,0 +1,62 @@
+"""Packed-bit helpers for bit-parallel simulation.
+
+Patterns are packed into arbitrary-precision Python integers: bit *j* of a
+word is the value of the signal under pattern *j*.  Python's big-int bitwise
+operators give portable, allocation-light SIMD over thousands of patterns
+per word.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = [
+    "mask_for",
+    "pack_bits",
+    "unpack_bits",
+    "popcount",
+    "lowest_set_bit",
+    "bit_slice",
+]
+
+
+def mask_for(n_patterns: int) -> int:
+    """All-ones word of width ``n_patterns``."""
+    if n_patterns < 0:
+        raise ValueError("pattern count must be non-negative")
+    return (1 << n_patterns) - 1
+
+
+def pack_bits(bits: Iterable[int]) -> int:
+    """Pack an iterable of 0/1 values; element *j* becomes bit *j*."""
+    word = 0
+    for j, bit in enumerate(bits):
+        if bit not in (0, 1, False, True):
+            raise ValueError(f"bit {j} is {bit!r}, expected 0 or 1")
+        if bit:
+            word |= 1 << j
+    return word
+
+
+def unpack_bits(word: int, n_patterns: int) -> List[int]:
+    """Inverse of :func:`pack_bits`."""
+    return [(word >> j) & 1 for j in range(n_patterns)]
+
+
+def popcount(word: int) -> int:
+    """Number of set bits."""
+    return word.bit_count()
+
+
+def lowest_set_bit(word: int) -> "int | None":
+    """Index of the least significant set bit, or ``None`` if zero."""
+    if word == 0:
+        return None
+    return (word & -word).bit_length() - 1
+
+
+def bit_slice(word: int, start: int, stop: int) -> int:
+    """Bits ``start..stop-1`` of ``word`` as a ``stop-start``-wide word."""
+    if stop < start:
+        raise ValueError("stop must be >= start")
+    return (word >> start) & mask_for(stop - start)

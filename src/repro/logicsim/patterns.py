@@ -1,0 +1,232 @@
+"""Pattern sets: generation and packed storage of input stimuli.
+
+A :class:`PatternSet` stores, for every primary input, one packed word whose
+bit *j* is the value applied by pattern *j*.  Constructors cover the three
+sources PROTEST needs:
+
+* :meth:`PatternSet.random` — independent Bernoulli stimuli, uniform or with
+  per-input probabilities ("a tupel of boolean random variables T", §2);
+* :meth:`PatternSet.exhaustive` — all ``2^n`` input combinations (used for
+  exact references);
+* :meth:`PatternSet.from_vectors` — explicit vectors.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.logicsim.bitops import mask_for, pack_bits, unpack_bits
+
+__all__ = ["PatternSet", "resolve_input_probs"]
+
+#: Probability resolution used when quantizing to hardware weights (§6/§8
+#: use multiples of 1/16).
+DEFAULT_GRID = 16
+
+
+def resolve_input_probs(
+    inputs: Sequence[str],
+    probs: "float | Mapping[str, float] | None",
+) -> Dict[str, float]:
+    """Normalize a probability specification to a complete per-input map.
+
+    ``probs`` may be ``None`` (0.5 everywhere), a scalar, or a mapping that
+    must cover every input.  Values must lie in [0, 1].
+    """
+    if probs is None:
+        return {name: 0.5 for name in inputs}
+    if isinstance(probs, (int, float)):
+        value = float(probs)
+        _check_prob("*", value)
+        return {name: value for name in inputs}
+    resolved = {}
+    for name in inputs:
+        if name not in probs:
+            raise SimulationError(f"no probability given for input {name!r}")
+        value = float(probs[name])
+        _check_prob(name, value)
+        resolved[name] = value
+    return resolved
+
+
+def _check_prob(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise SimulationError(
+            f"probability for {name!r} is {value}, outside [0, 1]"
+        )
+
+
+class PatternSet:
+    """A packed set of input patterns for a fixed input list."""
+
+    def __init__(
+        self,
+        inputs: Sequence[str],
+        n_patterns: int,
+        words: Mapping[str, int],
+    ) -> None:
+        self.inputs: Tuple[str, ...] = tuple(inputs)
+        self.n_patterns = int(n_patterns)
+        if self.n_patterns < 0:
+            raise SimulationError("pattern count must be non-negative")
+        mask = mask_for(self.n_patterns)
+        self.words: Dict[str, int] = {}
+        for name in self.inputs:
+            if name not in words:
+                raise SimulationError(f"missing word for input {name!r}")
+            self.words[name] = words[name] & mask
+        self.mask = mask
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def random(
+        cls,
+        inputs: Sequence[str],
+        n_patterns: int,
+        probs: "float | Mapping[str, float] | None" = None,
+        seed: "int | None" = None,
+    ) -> "PatternSet":
+        """Independent Bernoulli patterns with per-input 1-probabilities."""
+        resolved = resolve_input_probs(inputs, probs)
+        rng = _random.Random(seed)
+        mask = mask_for(n_patterns)
+        words: Dict[str, int] = {}
+        for name in inputs:
+            words[name] = _bernoulli_word(rng, n_patterns, resolved[name], mask)
+        return cls(inputs, n_patterns, words)
+
+    @classmethod
+    def exhaustive(cls, inputs: Sequence[str]) -> "PatternSet":
+        """All ``2^n`` combinations; input *i* toggles with period ``2^i``."""
+        n = len(inputs)
+        if n > 24:
+            raise SimulationError(
+                f"exhaustive set over {n} inputs would need 2^{n} patterns"
+            )
+        n_patterns = 1 << n
+        words: Dict[str, int] = {}
+        for i, name in enumerate(inputs):
+            block = mask_for(1 << i) << (1 << i)
+            period = 1 << (i + 1)
+            word = 0
+            for start in range(0, n_patterns, period):
+                word |= block << start
+            words[name] = word
+        return cls(inputs, n_patterns, words)
+
+    @classmethod
+    def from_vectors(
+        cls,
+        inputs: Sequence[str],
+        vectors: Iterable[Mapping[str, int]],
+    ) -> "PatternSet":
+        """Build from explicit per-pattern dictionaries."""
+        rows = list(vectors)
+        words = {name: 0 for name in inputs}
+        for j, row in enumerate(rows):
+            for name in inputs:
+                try:
+                    bit = row[name]
+                except KeyError:
+                    raise SimulationError(
+                        f"pattern {j} does not assign input {name!r}"
+                    ) from None
+                if bit not in (0, 1):
+                    raise SimulationError(
+                        f"pattern {j} assigns {name!r}={bit!r}"
+                    )
+                if bit:
+                    words[name] |= 1 << j
+        return cls(inputs, len(rows), words)
+
+    # -- access -------------------------------------------------------------------
+
+    def vector(self, index: int) -> Dict[str, int]:
+        """Pattern ``index`` as a name → 0/1 dictionary."""
+        if not 0 <= index < self.n_patterns:
+            raise SimulationError(
+                f"pattern index {index} out of range 0..{self.n_patterns - 1}"
+            )
+        return {
+            name: (self.words[name] >> index) & 1 for name in self.inputs
+        }
+
+    def vectors(self) -> List[Dict[str, int]]:
+        """All patterns as dictionaries (for small sets / reports)."""
+        return [self.vector(j) for j in range(self.n_patterns)]
+
+    def observed_probabilities(self) -> Dict[str, float]:
+        """Empirical 1-frequency of every input across the set."""
+        if self.n_patterns == 0:
+            return {name: 0.0 for name in self.inputs}
+        return {
+            name: self.words[name].bit_count() / self.n_patterns
+            for name in self.inputs
+        }
+
+    def slice(self, start: int, stop: int) -> "PatternSet":
+        """Patterns ``start..stop-1`` as a new set."""
+        if not 0 <= start <= stop <= self.n_patterns:
+            raise SimulationError(
+                f"invalid slice {start}:{stop} of {self.n_patterns} patterns"
+            )
+        width = stop - start
+        words = {
+            name: (self.words[name] >> start) & mask_for(width)
+            for name in self.inputs
+        }
+        return PatternSet(self.inputs, width, words)
+
+    def concat(self, other: "PatternSet") -> "PatternSet":
+        """Concatenate two pattern sets over the same inputs."""
+        if other.inputs != self.inputs:
+            raise SimulationError("pattern sets cover different inputs")
+        words = {
+            name: self.words[name]
+            | (other.words[name] << self.n_patterns)
+            for name in self.inputs
+        }
+        return PatternSet(self.inputs, self.n_patterns + other.n_patterns, words)
+
+    def __len__(self) -> int:
+        return self.n_patterns
+
+    def __repr__(self) -> str:
+        return f"PatternSet(inputs={len(self.inputs)}, patterns={self.n_patterns})"
+
+
+def _bernoulli_word(
+    rng: _random.Random, n_patterns: int, prob: float, mask: int
+) -> int:
+    """A packed word whose bits are i.i.d. Bernoulli(prob)."""
+    if prob <= 0.0:
+        return 0
+    if prob >= 1.0:
+        return mask
+    if prob == 0.5:
+        return rng.getrandbits(n_patterns) if n_patterns else 0
+    # Bit-sliced comparison of a 53-bit uniform integer per position against
+    # the probability threshold would need 53 random words; instead compose
+    # the probability from its binary expansion: successively
+    #   p = 0.b1 b2 b3 ...  ->  word = b1 ? (r | rest) : (r & rest)
+    # which uses one random word per bit of resolution (24 bits here).
+    resolution = 24
+    threshold = round(prob * (1 << resolution))
+    threshold = min(max(threshold, 0), 1 << resolution)
+    if threshold == 0:
+        return 0
+    if threshold == 1 << resolution:
+        return mask
+    word = 0
+    # Build from the least significant expansion bit upward.
+    for level in range(resolution):
+        bit = (threshold >> level) & 1
+        rand = rng.getrandbits(n_patterns)
+        if bit:
+            word = rand | word
+        else:
+            word = rand & word
+    return word & mask

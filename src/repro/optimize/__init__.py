@@ -1,0 +1,13 @@
+"""Optimization of primary-input signal probabilities (paper §6)."""
+
+from repro.optimize.hillclimb import (
+    OptimizationResult,
+    optimize_input_probabilities,
+)
+from repro.optimize.objective import TestQualityObjective
+
+__all__ = [
+    "OptimizationResult",
+    "TestQualityObjective",
+    "optimize_input_probabilities",
+]

@@ -1,0 +1,160 @@
+"""Hill-climbing optimization of the input signal probabilities (paper §6).
+
+"PROTEST includes an optimizing procedure, which finds a local maximum of
+J_N.  The procedure works according to the hill climbing principle" — we
+use coordinate ascent on a probability grid: every optimized probability is
+a multiple of ``1/grid`` (the paper's Table 4 values are all multiples of
+1/16), moves of one grid step per input are accepted greedily, and rounds
+repeat until no move improves ``log J_N`` or the round budget is spent.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random as _random
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.circuit.netlist import Circuit
+from repro.errors import OptimizationError
+from repro.faults.model import Fault
+from repro.optimize.objective import TestQualityObjective
+from repro.probability.estimator import EstimatorParams
+
+__all__ = ["OptimizationResult", "optimize_input_probabilities"]
+
+
+@dataclasses.dataclass
+class OptimizationResult:
+    """Outcome of an input-probability optimization."""
+
+    probabilities: Dict[str, float]
+    score: float
+    initial_score: float
+    rounds: int
+    evaluations: int
+    history: List[float]
+
+    @property
+    def improved(self) -> bool:
+        return self.score > self.initial_score
+
+
+def optimize_input_probabilities(
+    circuit: Circuit,
+    n_ref: int = 4096,
+    grid: int = 16,
+    max_rounds: int = 10,
+    start: "float | Mapping[str, float] | None" = None,
+    params: "EstimatorParams | None" = None,
+    stem_model: str = "chain",
+    pin_model: str = "boolean_difference",
+    faults: "Iterable[Fault] | None" = None,
+    inputs: "Sequence[str] | None" = None,
+    jitter: int = 2,
+    seed: int = 0,
+    step_sizes: Sequence[int] = (1,),
+) -> OptimizationResult:
+    """Maximize ``J_N`` over the tuple of input probabilities.
+
+    Parameters
+    ----------
+    n_ref:
+        The numerical parameter ``N`` of ``J_N`` (paper §6).
+    grid:
+        Probability resolution; candidates are ``k/grid`` with
+        ``1 <= k <= grid - 1``.  16 matches the paper's Table 4.
+    max_rounds:
+        Full passes over the inputs; each round tries one step up and one
+        step down per input and greedily accepts improvements.
+    start:
+        Initial tuple.  When omitted, the climb starts from 0.5 perturbed
+        by up to ``jitter`` grid steps per input (seeded, deterministic).
+        The uniform point 0.5 is a *saddle* for symmetric structures — on
+        a comparator, ``dP(A_i = B_i)/dp_{A_i} = 2 p_{B_i} - 1 = 0`` —
+        where pure coordinate ascent would see zero improvement in every
+        direction; randomized starting points are the textbook hill-
+        climbing remedy ([Nils80], which the paper cites) and explain
+        Table 4's jointly-high / jointly-low input pairs.
+    inputs:
+        Restrict the optimization to a subset of the primary inputs.
+    jitter / seed:
+        Magnitude (grid steps) and seed of the start perturbation; only
+        used when ``start`` is omitted.
+    step_sizes:
+        Move magnitudes (in grid steps) tried per input and direction.
+        ``(4, 1)`` escapes shallow plateaus that defeat pure unit steps
+        (useful on DIV, where quotient and remainder faults pull the
+        divisor weights in opposite directions).
+
+    The returned probabilities keep non-optimized inputs at their start
+    value.
+    """
+    if grid < 2:
+        raise OptimizationError("grid must be >= 2")
+    if max_rounds < 1:
+        raise OptimizationError("max_rounds must be >= 1")
+    if jitter < 0:
+        raise OptimizationError("jitter must be >= 0")
+    objective = TestQualityObjective(
+        circuit, n_ref, params, stem_model, pin_model, faults
+    )
+    from repro.logicsim.patterns import resolve_input_probs
+
+    explicit_start = start is not None
+    current = resolve_input_probs(circuit.inputs, start if explicit_start else 0.5)
+    # Snap the starting point onto the grid.
+    step = 1.0 / grid
+    for name, value in current.items():
+        k = min(max(round(value * grid), 1), grid - 1)
+        current[name] = k / grid
+    optimized = list(inputs) if inputs is not None else list(circuit.inputs)
+    unknown = [name for name in optimized if name not in current]
+    if unknown:
+        raise OptimizationError(f"unknown inputs {unknown[:5]!r}")
+    if not explicit_start and jitter > 0:
+        rng = _random.Random(seed)
+        for name in optimized:
+            k = round(current[name] * grid) + rng.randint(-jitter, jitter)
+            current[name] = min(max(k, 1), grid - 1) / grid
+
+    score, signal_probs = objective.evaluate(current)
+    initial_score = score
+    history = [score]
+    rounds_done = 0
+    for _round in range(max_rounds):
+        rounds_done += 1
+        round_improved = False
+        for name in optimized:
+            base = current[name]
+            best_value, best_score, best_signal = base, score, signal_probs
+            for magnitude in step_sizes:
+                for direction in (1, -1):
+                    candidate = base + direction * magnitude * step
+                    if not (step - 1e-12 <= candidate <= 1.0 - step + 1e-12):
+                        continue
+                    trial = dict(current)
+                    trial[name] = candidate
+                    trial_score, trial_signal = objective.evaluate_update(
+                        signal_probs, trial
+                    )
+                    if trial_score > best_score + 1e-12:
+                        best_value, best_score, best_signal = (
+                            candidate,
+                            trial_score,
+                            trial_signal,
+                        )
+            if best_value != base:
+                current[name] = best_value
+                score, signal_probs = best_score, best_signal
+                round_improved = True
+        history.append(score)
+        if not round_improved:
+            break
+    return OptimizationResult(
+        probabilities=current,
+        score=score,
+        initial_score=initial_score,
+        rounds=rounds_done,
+        evaluations=objective.evaluations,
+        history=history,
+    )

@@ -1,0 +1,106 @@
+"""The optimization objective ``J_N(X)`` (paper §6).
+
+For an input-probability tuple ``X`` and a numerical parameter ``N``,
+
+    J_N(X) = prod over f of (1 - (1 - P_f(X))^N)
+
+estimates the probability that ``N`` patterns drawn with weights ``X``
+detect the whole fault set.  The optimizer maximizes ``log J_N``; the
+incremental signal-probability update keeps single-input moves cheap.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.circuit.netlist import Circuit
+from repro.errors import OptimizationError
+from repro.faults.model import Fault, fault_universe
+from repro.detection.estimator import DetectionProbabilityEstimator
+from repro.probability.estimator import EstimatorParams, SignalProbabilities
+
+__all__ = ["TestQualityObjective"]
+
+#: Faults with estimated P_f == 0 contribute this log term instead of -inf,
+#: keeping the search surface finite while still penalizing them heavily.
+_ZERO_FAULT_PENALTY = -80.0
+
+
+class TestQualityObjective:
+    """``log J_N`` evaluator with incremental re-estimation."""
+
+    __test__ = False  # not a pytest class, despite the Test* name
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        n_ref: int = 4096,
+        params: "EstimatorParams | None" = None,
+        stem_model: str = "chain",
+        pin_model: str = "boolean_difference",
+        faults: "Iterable[Fault] | None" = None,
+    ) -> None:
+        if n_ref < 1:
+            raise OptimizationError("n_ref must be >= 1")
+        self.circuit = circuit
+        self.n_ref = n_ref
+        self.detector = DetectionProbabilityEstimator(
+            circuit, params, stem_model, pin_model
+        )
+        self.faults: List[Fault] = (
+            list(faults) if faults is not None else fault_universe(circuit)
+        )
+        self.evaluations = 0
+
+    # -- scoring --------------------------------------------------------------------
+
+    def _score(self, detection_probs: Mapping[Fault, float]) -> float:
+        total = 0.0
+        n = self.n_ref
+        for p in detection_probs.values():
+            if p >= 1.0:
+                continue
+            if p <= 0.0:
+                total += _ZERO_FAULT_PENALTY
+                continue
+            log_miss = n * math.log1p(-p)
+            miss = -math.expm1(log_miss)
+            if miss <= 0.0:
+                total += _ZERO_FAULT_PENALTY
+            else:
+                total += math.log(miss)
+        return total
+
+    def evaluate(
+        self,
+        input_probs: "float | Mapping[str, float] | None",
+    ) -> Tuple[float, SignalProbabilities]:
+        """Full evaluation; returns ``(log J_N, signal probabilities)``."""
+        signal_probs = self.detector.signal_estimator.run(input_probs)
+        detection = self.detector.run(
+            faults=self.faults, signal_probs=signal_probs
+        )
+        self.evaluations += 1
+        return self._score(detection), signal_probs
+
+    def evaluate_update(
+        self,
+        previous: SignalProbabilities,
+        input_probs: Mapping[str, float],
+    ) -> Tuple[float, SignalProbabilities]:
+        """Evaluation after a small change, reusing the previous estimate."""
+        signal_probs = self.detector.signal_estimator.update(
+            previous, input_probs
+        )
+        detection = self.detector.run(
+            faults=self.faults, signal_probs=signal_probs
+        )
+        self.evaluations += 1
+        return self._score(detection), signal_probs
+
+    def detection_probabilities(
+        self, signal_probs: SignalProbabilities
+    ) -> Dict[Fault, float]:
+        """Detection map for a finished tuple (for test-length reporting)."""
+        return self.detector.run(faults=self.faults, signal_probs=signal_probs)

@@ -1,0 +1,29 @@
+"""Signal-probability engines: the PROTEST estimator and exact references."""
+
+from repro.probability.bdd import (
+    BDD,
+    bdd_signal_probabilities,
+    circuit_bdds,
+)
+from repro.probability.conditional import ConditionalEvaluator
+from repro.probability.cutting import interval_gate, probability_bounds
+from repro.probability.estimator import (
+    EstimatorParams,
+    SignalProbabilities,
+    SignalProbabilityEstimator,
+)
+from repro.probability.exact import exact_signal_probabilities, pattern_weights
+
+__all__ = [
+    "BDD",
+    "ConditionalEvaluator",
+    "EstimatorParams",
+    "SignalProbabilities",
+    "SignalProbabilityEstimator",
+    "bdd_signal_probabilities",
+    "circuit_bdds",
+    "exact_signal_probabilities",
+    "interval_gate",
+    "pattern_weights",
+    "probability_bounds",
+]

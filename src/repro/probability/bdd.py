@@ -1,0 +1,290 @@
+"""A small ROBDD package with exact probability evaluation.
+
+Used as the second exact reference: BDD-based probabilities remain feasible
+on circuits whose enumeration space is too large but whose function is
+structured (the comparator COMP being the canonical example — its BDDs are
+linear in the word width).  Probability of a BDD node is computed by the
+standard linear-time dynamic program
+
+    P(f) = (1 - p_v) * P(f.low) + p_v * P(f.high)
+
+which is exact for independent inputs regardless of variable order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.types import GateType
+from repro.errors import EstimationError
+
+__all__ = ["BDD", "circuit_bdds", "bdd_signal_probabilities"]
+
+FALSE = 0
+TRUE = 1
+
+
+class BDD:
+    """Reduced ordered BDD manager over a fixed variable order."""
+
+    def __init__(
+        self,
+        variables: Sequence[str],
+        node_limit: int = 2_000_000,
+    ) -> None:
+        if len(set(variables)) != len(variables):
+            raise EstimationError("duplicate BDD variables")
+        self.variables: Tuple[str, ...] = tuple(variables)
+        self.level: Dict[str, int] = {v: i for i, v in enumerate(variables)}
+        self.node_limit = node_limit
+        # id -> (level, low, high); ids 0/1 are the terminals.
+        self._nodes: List[Optional[Tuple[int, int, int]]] = [None, None]
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._not_cache: Dict[int, int] = {}
+        self._apply_cache: Dict[Tuple[str, int, int], int] = {}
+
+    # -- construction -----------------------------------------------------------
+
+    def _mk(self, level: int, low: int, high: int) -> int:
+        if low == high:
+            return low
+        key = (level, low, high)
+        node = self._unique.get(key)
+        if node is None:
+            node = len(self._nodes)
+            if node > self.node_limit:
+                raise EstimationError(
+                    f"BDD node limit {self.node_limit} exceeded"
+                )
+            self._nodes.append(key)
+            self._unique[key] = node
+        return node
+
+    def var(self, name: str) -> int:
+        """The BDD of a single variable."""
+        try:
+            level = self.level[name]
+        except KeyError:
+            raise EstimationError(f"unknown BDD variable {name!r}") from None
+        return self._mk(level, FALSE, TRUE)
+
+    def const(self, value: int) -> int:
+        return TRUE if value else FALSE
+
+    # -- operations --------------------------------------------------------------
+
+    def negate(self, f: int) -> int:
+        if f <= TRUE:
+            return TRUE - f
+        cached = self._not_cache.get(f)
+        if cached is None:
+            level, low, high = self._nodes[f]  # type: ignore[misc]
+            cached = self._mk(level, self.negate(low), self.negate(high))
+            self._not_cache[f] = cached
+        return cached
+
+    def apply(self, op: str, f: int, g: int) -> int:
+        """Binary apply for ``op`` in {"and", "or", "xor"}."""
+        terminal = _TERMINAL_RULES[op](f, g)
+        if terminal is not None:
+            return terminal
+        key = (op, f, g) if f <= g else (op, g, f)
+        cached = self._apply_cache.get(key)
+        if cached is not None:
+            return cached
+        f_level = self._nodes[f][0] if f > TRUE else _MAX_LEVEL
+        g_level = self._nodes[g][0] if g > TRUE else _MAX_LEVEL
+        level = min(f_level, g_level)
+        f_low, f_high = self._cofactors(f, level)
+        g_low, g_high = self._cofactors(g, level)
+        result = self._mk(
+            level,
+            self.apply(op, f_low, g_low),
+            self.apply(op, f_high, g_high),
+        )
+        self._apply_cache[key] = result
+        return result
+
+    def apply_many(self, op: str, operands: Sequence[int]) -> int:
+        if not operands:
+            raise EstimationError("apply_many needs at least one operand")
+        acc = operands[0]
+        for other in operands[1:]:
+            acc = self.apply(op, acc, other)
+        return acc
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """if-then-else: (f AND g) OR (NOT f AND h)."""
+        return self.apply(
+            "or",
+            self.apply("and", f, g),
+            self.apply("and", self.negate(f), h),
+        )
+
+    def _cofactors(self, f: int, level: int) -> Tuple[int, int]:
+        if f <= TRUE:
+            return f, f
+        node_level, low, high = self._nodes[f]  # type: ignore[misc]
+        if node_level == level:
+            return low, high
+        return f, f
+
+    # -- queries ------------------------------------------------------------------
+
+    def probability(self, f: int, probs: Mapping[str, float]) -> float:
+        """Exact ``P(f = 1)`` for independent variables."""
+        memo: Dict[int, float] = {FALSE: 0.0, TRUE: 1.0}
+
+        def walk(node: int) -> float:
+            cached = memo.get(node)
+            if cached is not None:
+                return cached
+            level, low, high = self._nodes[node]  # type: ignore[misc]
+            p = probs[self.variables[level]]
+            value = (1.0 - p) * walk(low) + p * walk(high)
+            memo[node] = value
+            return value
+
+        return walk(f)
+
+    def size(self, f: int) -> int:
+        """Number of internal nodes reachable from ``f``."""
+        seen = set()
+        stack = [f]
+        while stack:
+            node = stack.pop()
+            if node <= TRUE or node in seen:
+                continue
+            seen.add(node)
+            _level, low, high = self._nodes[node]  # type: ignore[misc]
+            stack.extend((low, high))
+        return len(seen)
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self._nodes) - 2
+
+
+_MAX_LEVEL = 1 << 60
+
+
+def _and_terminal(f: int, g: int) -> Optional[int]:
+    if f == FALSE or g == FALSE:
+        return FALSE
+    if f == TRUE:
+        return g
+    if g == TRUE:
+        return f
+    if f == g:
+        return f
+    return None
+
+
+def _or_terminal(f: int, g: int) -> Optional[int]:
+    if f == TRUE or g == TRUE:
+        return TRUE
+    if f == FALSE:
+        return g
+    if g == FALSE:
+        return f
+    if f == g:
+        return f
+    return None
+
+
+def _xor_terminal(f: int, g: int) -> Optional[int]:
+    if f == g:
+        return FALSE
+    if f == FALSE:
+        return g
+    if g == FALSE:
+        return f
+    return None
+
+
+_TERMINAL_RULES = {
+    "and": _and_terminal,
+    "or": _or_terminal,
+    "xor": _xor_terminal,
+}
+
+
+def circuit_bdds(
+    circuit: Circuit,
+    manager: "BDD | None" = None,
+    nodes: "Iterable[str] | None" = None,
+) -> Tuple[BDD, Dict[str, int]]:
+    """Build the BDD of every circuit node (or of a requested subset).
+
+    Returns the manager and a node-name → BDD-id map.  The variable order
+    is the circuit's input declaration order.
+    """
+    bdd = manager or BDD(circuit.inputs)
+    wanted = set(nodes) if nodes is not None else None
+    refs: Dict[str, int] = {}
+    for name in circuit.inputs:
+        refs[name] = bdd.var(name)
+    for node in circuit.nodes:
+        if node in refs:
+            continue
+        gate = circuit.gates[node]
+        operands = [refs[src] for src in gate.inputs]
+        refs[node] = _gate_bdd(bdd, gate.gtype, operands, gate.table)
+    if wanted is not None:
+        refs = {name: refs[name] for name in wanted}
+    return bdd, refs
+
+
+def _gate_bdd(
+    bdd: BDD, gtype: GateType, operands: Sequence[int], table: int
+) -> int:
+    if gtype is GateType.AND:
+        return bdd.apply_many("and", operands)
+    if gtype is GateType.OR:
+        return bdd.apply_many("or", operands)
+    if gtype is GateType.NAND:
+        return bdd.negate(bdd.apply_many("and", operands))
+    if gtype is GateType.NOR:
+        return bdd.negate(bdd.apply_many("or", operands))
+    if gtype is GateType.XOR:
+        return bdd.apply_many("xor", operands)
+    if gtype is GateType.XNOR:
+        return bdd.negate(bdd.apply_many("xor", operands))
+    if gtype is GateType.NOT:
+        return bdd.negate(operands[0])
+    if gtype is GateType.BUF:
+        return operands[0]
+    if gtype is GateType.CONST0:
+        return FALSE
+    if gtype is GateType.CONST1:
+        return TRUE
+    if gtype is GateType.LUT:
+        result = FALSE
+        for minterm in range(1 << len(operands)):
+            if not (table >> minterm) & 1:
+                continue
+            term = TRUE
+            for i, operand in enumerate(operands):
+                literal = (
+                    operand if (minterm >> i) & 1 else bdd.negate(operand)
+                )
+                term = bdd.apply("and", term, literal)
+            result = bdd.apply("or", result, term)
+        return result
+    raise EstimationError(f"unknown gate type {gtype!r}")
+
+
+def bdd_signal_probabilities(
+    circuit: Circuit,
+    input_probs: "float | Mapping[str, float] | None" = None,
+    nodes: "Iterable[str] | None" = None,
+) -> Dict[str, float]:
+    """Exact signal probabilities through BDDs (order = input order)."""
+    from repro.logicsim.patterns import resolve_input_probs
+
+    resolved = resolve_input_probs(circuit.inputs, input_probs)
+    bdd, refs = circuit_bdds(circuit, nodes=nodes)
+    return {
+        name: bdd.probability(ref, resolved) for name, ref in refs.items()
+    }

@@ -1,0 +1,88 @@
+"""One-level conditional probability evaluation.
+
+The PROTEST estimator (paper §2, formula (2)) needs two kinds of
+conditional quantities:
+
+* ``P(a | A_v)`` — the probability of a gate input given an assignment of
+  values to the selected joining points ``W``;
+* the Bayes-chain factors ``P(x_j = v_j | x_1..x_{j-1})`` that expand
+  ``P(A_v)``.
+
+Both are produced here by *one-level* conditioning: the cone between the
+conditioning nodes and the target is re-evaluated with the tree rule,
+treating every node outside the cone as carrying its unconditional
+estimate.  This bounded recursion is what keeps the tool's effort "nearly
+linear" (paper §1); deeper nesting would re-introduce the exponential
+blow-up the estimator is designed to avoid.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.circuit.topology import Topology
+from repro.circuit.types import gate_probability
+
+__all__ = ["ConditionalEvaluator"]
+
+
+class ConditionalEvaluator:
+    """Evaluates conditional node probabilities over a base estimate."""
+
+    def __init__(self, topology: Topology, depth: "int | None") -> None:
+        self.topology = topology
+        self.circuit = topology.circuit
+        #: Path-length bound for the re-evaluated region (MAXLIST).
+        self.depth = depth
+
+    def probability(
+        self,
+        target: str,
+        conditions: Mapping[str, int],
+        base: Mapping[str, float],
+    ) -> float:
+        """``P(target = 1 | conditions)`` under the one-level model.
+
+        ``base`` carries the unconditional estimates of every node computed
+        so far (the estimator guarantees all of the target's transitive
+        fan-in is present).
+        """
+        if target in conditions:
+            return float(conditions[target])
+        allowed = self.topology.bounded_tfi(target, self.depth)
+        relevant = [node for node in conditions if node in allowed]
+        if not relevant:
+            return base[target]
+        cone = self.topology.forward_cone_within(relevant, allowed)
+        values: Dict[str, float] = {
+            node: float(value) for node, value in conditions.items()
+        }
+        gates = self.circuit.gates
+        for name in cone:
+            if name in conditions:
+                continue  # conditioned nodes stay pinned
+            gate = gates[name]
+            operand_probs = [
+                values.get(src, base[src]) for src in gate.inputs
+            ]
+            values[name] = gate_probability(
+                gate.gtype, operand_probs, gate.table
+            )
+        return values.get(target, base[target])
+
+    def influence(
+        self,
+        target: str,
+        node: str,
+        base: Mapping[str, float],
+    ) -> float:
+        """``P(target | node=1) - P(target | node=0)``.
+
+        The covariance of two signals factorizes over this difference:
+        ``Cov(target, node) = p_x (1-p_x) * influence`` under the one-level
+        model, which is exactly the quantity the paper's selection
+        heuristic needs (§2).
+        """
+        high = self.probability(target, {node: 1}, base)
+        low = self.probability(target, {node: 0}, base)
+        return high - low

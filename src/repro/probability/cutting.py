@@ -1,0 +1,120 @@
+"""The cutting algorithm of Savir, Ditlow and Bardell [BDS84].
+
+The contemporaneous alternative PROTEST is compared against in §1: instead
+of a point estimate, compute a *guaranteed interval* for every signal
+probability by cutting reconvergent fan-out and propagating intervals
+through the remaining tree.
+
+We cut **every** branch of every multi-fan-out stem to the vacuous
+``[0, 1]``.  This is more conservative than the textbook "keep one branch"
+variant, and deliberately so: keeping a branch is unsound in the presence
+of XOR-shaped reconvergence (property-based testing found the
+counterexample ``XNOR(i1, i0, i1, i0)``, whose exact probability 1 escapes
+the kept-branch interval).  With all occurrences cut, soundness has a
+short proof: conditioned on an assignment of *all* multi-fan-out stems,
+any two distinct gate operands share no free variables (a shared ancestor
+would itself be a stem), hence are conditionally independent; by induction
+every operand's interval contains its conditional probability, the
+endpoint-corner evaluation of the multilinear gate function then contains
+the gate's conditional probability, and the unconditional probability is
+a convex combination of conditional ones.
+
+The bench ``bench_cutting`` contrasts interval width with PROTEST's point
+estimate error, reproducing the paper's motivation for computing "a real
+number as estimation" instead of bounds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.topology import Topology
+from repro.circuit.types import GateType, gate_probability
+from repro.errors import EstimationError
+from repro.logicsim.patterns import resolve_input_probs
+
+__all__ = ["probability_bounds", "interval_gate"]
+
+Interval = Tuple[float, float]
+
+_MONOTONE_UP = {GateType.AND, GateType.OR}
+_MONOTONE_DOWN = {GateType.NAND, GateType.NOR}
+
+
+def interval_gate(
+    gtype: GateType, operands: List[Interval], table: int = 0
+) -> Interval:
+    """Tight output interval of a gate whose inputs are independent intervals.
+
+    Gate probability functions are multilinear, so extrema are attained at
+    interval endpoints; monotone gates need only two evaluations, the rest
+    enumerate the ``2^arity`` endpoint corners (arity capped at 12).
+    """
+    los = [lo for lo, _hi in operands]
+    his = [hi for _lo, hi in operands]
+    if gtype in _MONOTONE_UP:
+        return (
+            gate_probability(gtype, los),
+            gate_probability(gtype, his),
+        )
+    if gtype in _MONOTONE_DOWN:
+        return (
+            gate_probability(gtype, his),
+            gate_probability(gtype, los),
+        )
+    if gtype is GateType.NOT:
+        return (1.0 - his[0], 1.0 - los[0])
+    if gtype is GateType.BUF:
+        return operands[0]
+    if gtype is GateType.CONST0:
+        return (0.0, 0.0)
+    if gtype is GateType.CONST1:
+        return (1.0, 1.0)
+    n = len(operands)
+    if n > 12:
+        raise EstimationError(
+            f"interval propagation through a {n}-input {gtype} is too wide"
+        )
+    lo_best, hi_best = 1.0, 0.0
+    for corner in range(1 << n):
+        point = [
+            his[i] if (corner >> i) & 1 else los[i] for i in range(n)
+        ]
+        value = gate_probability(gtype, point, table)
+        lo_best = min(lo_best, value)
+        hi_best = max(hi_best, value)
+    return (lo_best, hi_best)
+
+
+def probability_bounds(
+    circuit: Circuit,
+    input_probs: "float | Mapping[str, float] | None" = None,
+) -> Dict[str, Interval]:
+    """Sound ``[low, high]`` bounds for every node's signal probability."""
+    resolved = resolve_input_probs(circuit.inputs, input_probs)
+    topology = Topology(circuit)
+    intervals: Dict[str, Interval] = {
+        name: (p, p) for name, p in resolved.items()
+    }
+    # A stem is cut when more than one gate pin consumes it (a primary
+    # output does not duplicate the signal into further logic).
+    cut = {
+        node
+        for node in circuit.nodes
+        if len(topology.branches[node]) > 1
+    }
+    for node in circuit.nodes:
+        if node in intervals:
+            continue
+        gate = circuit.gates[node]
+        operand_intervals: List[Interval] = [
+            (0.0, 1.0) if src in cut else intervals[src]
+            for src in gate.inputs
+        ]
+        intervals[node] = interval_gate(
+            gate.gtype, operand_intervals, gate.table
+        )
+    # The stems themselves still report their (sound) computed interval;
+    # only their *uses* are freed.
+    return intervals

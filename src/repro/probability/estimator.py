@@ -1,0 +1,294 @@
+"""The PROTEST signal-probability estimator (paper §2).
+
+For every gate the estimator distinguishes the paper's four cases:
+
+1. primary inputs carry their given probability;
+2. single-input gates (inverters) follow the exact rule;
+3. gates whose inputs share no joining points use the tree rule of
+   [AgAg75] (exact under independence);
+4. gates with reconvergent fan-out are conditioned on a bounded subset
+   ``W`` of their joining points ``V`` (formula (2))::
+
+       p_k  =  sum over assignments A_v of W:
+                  P(A_v) * P_gate( P(input_i | A_v) ... )
+
+The subset is chosen by the paper's covariance heuristic: maximize the
+captured ``|Cov(a, x) * Cov(b, x)| / S(x)^2`` mass.  ``MAXVERS`` bounds
+``|W|`` and ``MAXLIST`` bounds the path length searched for joining points;
+``MAXVERS = 0`` degenerates to the pure tree rule, and letting ``W`` cover
+all of ``V`` recovers the exact probability on textbook reconvergence
+examples (see the tests).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.circuit.netlist import Circuit, Gate
+from repro.circuit.topology import Topology
+from repro.circuit.types import gate_probability
+from repro.errors import EstimationError
+from repro.logicsim.patterns import resolve_input_probs
+from repro.probability.conditional import ConditionalEvaluator
+
+__all__ = ["EstimatorParams", "SignalProbabilities", "SignalProbabilityEstimator"]
+
+
+@dataclasses.dataclass(frozen=True)
+class EstimatorParams:
+    """Tuning knobs of the estimator (paper §2, last paragraph).
+
+    Attributes
+    ----------
+    maxvers:
+        Maximal cardinality of the conditioning set ``W`` (the paper's
+        MAXVERS).  Cost per reconvergent gate grows as ``2^maxvers``.
+    maxlist:
+        Maximal path length searched for joining points (MAXLIST), also
+        the radius of the conditional re-evaluation region.
+    candidate_cap:
+        Upper bound on how many joining-point candidates are scored; the
+        topologically closest candidates are kept.  Purely a guard against
+        pathological fan-in regions.
+    """
+
+    maxvers: int = 3
+    maxlist: int = 8
+    candidate_cap: int = 10
+
+    def __post_init__(self) -> None:
+        if self.maxvers < 0:
+            raise EstimationError("maxvers must be >= 0")
+        if self.maxlist < 1:
+            raise EstimationError("maxlist must be >= 1")
+        if self.candidate_cap < 1:
+            raise EstimationError("candidate_cap must be >= 1")
+
+
+class SignalProbabilities(Mapping[str, float]):
+    """Estimated signal probability of every node (read-only mapping)."""
+
+    def __init__(
+        self,
+        probs: Dict[str, float],
+        input_probs: Dict[str, float],
+        conditioned_gates: int,
+    ) -> None:
+        self._probs = probs
+        self.input_probs = input_probs
+        #: Number of gates that required joining-point conditioning.
+        self.conditioned_gates = conditioned_gates
+
+    def __getitem__(self, node: str) -> float:
+        return self._probs[node]
+
+    def __iter__(self):
+        return iter(self._probs)
+
+    def __len__(self) -> int:
+        return len(self._probs)
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self._probs)
+
+
+class SignalProbabilityEstimator:
+    """Near-linear signal-probability estimation with bounded conditioning."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        params: "EstimatorParams | None" = None,
+        topology: "Topology | None" = None,
+    ) -> None:
+        self.circuit = circuit
+        self.params = params or EstimatorParams()
+        self.topology = topology or Topology(circuit)
+        self._conditional = ConditionalEvaluator(
+            self.topology, self.params.maxlist
+        )
+        # Joining points per gate are purely structural: cache them.
+        self._joining_cache: Dict[str, List[str]] = {}
+
+    # -- public API ----------------------------------------------------------------
+
+    def run(
+        self,
+        input_probs: "float | Mapping[str, float] | None" = None,
+    ) -> SignalProbabilities:
+        """Estimate all node probabilities for the given input tuple."""
+        resolved = resolve_input_probs(self.circuit.inputs, input_probs)
+        probs: Dict[str, float] = dict(resolved)
+        conditioned = 0
+        for node in self.circuit.nodes:
+            if node in probs:
+                continue
+            value, used_conditioning = self._gate_probability(
+                self.circuit.gates[node], probs
+            )
+            probs[node] = value
+            conditioned += int(used_conditioning)
+        return SignalProbabilities(probs, resolved, conditioned)
+
+    def update(
+        self,
+        previous: SignalProbabilities,
+        input_probs: "float | Mapping[str, float] | None",
+    ) -> SignalProbabilities:
+        """Re-estimate after an input-probability change.
+
+        Only gates in the transitive fan-out of the changed inputs are
+        recomputed — the key speed-up for the §6 hill climber, whose moves
+        touch one input at a time.
+        """
+        resolved = resolve_input_probs(self.circuit.inputs, input_probs)
+        changed = [
+            name
+            for name in self.circuit.inputs
+            if resolved[name] != previous.input_probs.get(name)
+        ]
+        if not changed:
+            return previous
+        dirty = set(changed)
+        for node in changed:
+            dirty.update(self.topology.tfo(node))
+        probs = previous.as_dict()
+        for node in changed:
+            probs[node] = resolved[node]
+        conditioned = previous.conditioned_gates
+        for node in self.circuit.nodes:
+            if node not in dirty or node in resolved:
+                continue
+            value, _used = self._gate_probability(
+                self.circuit.gates[node], probs
+            )
+            probs[node] = value
+        return SignalProbabilities(probs, resolved, conditioned)
+
+    def joining_points_of(self, gate_name: str) -> List[str]:
+        """The (depth-bounded) joining points of a gate's input tuple."""
+        cached = self._joining_cache.get(gate_name)
+        if cached is None:
+            gate = self.circuit.gates[gate_name]
+            cached = self.topology.joining_points(
+                gate.inputs, self.params.maxlist
+            )
+            self._joining_cache[gate_name] = cached
+        return cached
+
+    # -- core ------------------------------------------------------------------------
+
+    def _gate_probability(
+        self, gate: Gate, probs: Dict[str, float]
+    ) -> Tuple[float, bool]:
+        """Estimate one gate's output probability (cases 2-4)."""
+        operand_probs = [probs[src] for src in gate.inputs]
+        if gate.arity < 2 or self.params.maxvers == 0:
+            return gate_probability(gate.gtype, operand_probs, gate.table), False
+        joining = self.joining_points_of(gate.name)
+        if not joining:
+            return gate_probability(gate.gtype, operand_probs, gate.table), False
+        selected = self._select_conditioning_set(gate, joining, probs)
+        if not selected:
+            return gate_probability(gate.gtype, operand_probs, gate.table), False
+        value = self._conditioned_probability(gate, selected, probs)
+        return value, True
+
+    def _select_conditioning_set(
+        self,
+        gate: Gate,
+        joining: List[str],
+        probs: Mapping[str, float],
+    ) -> List[str]:
+        """Rank joining points by the paper's covariance score, keep MAXVERS.
+
+        score(x) = sum over input pairs (i, j) of
+                   |Cov(a_i, x) * Cov(a_j, x)| / S(x)^2
+                 = Var(x) * sum |influence_i(x) * influence_j(x)|
+        """
+        candidates = joining
+        if len(candidates) > self.params.candidate_cap:
+            # Keep the topologically closest joining points.
+            candidates = candidates[-self.params.candidate_cap :]
+        distinct_inputs = list(dict.fromkeys(gate.inputs))
+        scored: List[Tuple[float, str]] = []
+        for x in candidates:
+            variance = probs[x] * (1.0 - probs[x])
+            if variance <= 0.0:
+                continue  # a constant node cannot carry correlation
+            influences = [
+                self._conditional.influence(a, x, probs)
+                for a in distinct_inputs
+            ]
+            if len(distinct_inputs) == 1:
+                # Gate fed twice from one signal: full self-correlation.
+                score = variance * abs(influences[0])
+            else:
+                score = 0.0
+                for i in range(len(influences)):
+                    for j in range(i + 1, len(influences)):
+                        score += abs(influences[i] * influences[j])
+                score *= variance
+            scored.append((score, x))
+        scored.sort(key=lambda item: (-item[0], item[1]))
+        selected = [x for score, x in scored if score > 0.0]
+        if len(selected) < self.params.maxvers:
+            # Zero first-order covariance does not imply independence (an
+            # XOR pair is the classic counterexample), so fill the unused
+            # slots with the topologically closest remaining candidates:
+            # conditioning on a truly independent node is harmless, while
+            # joint (higher-order) correlation gets captured.
+            chosen = set(selected)
+            for x in reversed(candidates):
+                if x not in chosen and probs[x] * (1.0 - probs[x]) > 0.0:
+                    selected.append(x)
+                    chosen.add(x)
+                if len(selected) >= self.params.maxvers:
+                    break
+        return selected[: self.params.maxvers]
+
+    def _conditioned_probability(
+        self,
+        gate: Gate,
+        selected: Sequence[str],
+        probs: Dict[str, float],
+    ) -> float:
+        """Formula (2): sum over assignments of the conditioning set.
+
+        The assignment probabilities ``P(A_v)`` are expanded with the Bayes
+        chain over the topologically ordered conditioning nodes; shared
+        prefixes are evaluated once by the depth-first recursion.
+        """
+        order = sorted(selected, key=self.topology.topo_index.__getitem__)
+        conditional = self._conditional
+        total = 0.0
+        conditions: Dict[str, int] = {}
+
+        def descend(index: int, weight: float) -> float:
+            if weight <= 0.0:
+                return 0.0
+            if index == len(order):
+                cond_inputs = [
+                    conditional.probability(src, conditions, probs)
+                    for src in gate.inputs
+                ]
+                return weight * gate_probability(
+                    gate.gtype, cond_inputs, gate.table
+                )
+            node = order[index]
+            p_one = conditional.probability(node, conditions, probs)
+            p_one = min(max(p_one, 0.0), 1.0)
+            acc = 0.0
+            for value, branch_weight in ((1, p_one), (0, 1.0 - p_one)):
+                if branch_weight <= 0.0:
+                    continue
+                conditions[node] = value
+                acc += descend(index + 1, weight * branch_weight)
+                del conditions[node]
+            return acc
+
+        total = descend(0, 1.0)
+        # Guard against accumulated float error.
+        return min(max(total, 0.0), 1.0)

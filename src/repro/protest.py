@@ -1,0 +1,228 @@
+"""The :class:`Protest` facade — the tool's workflow in one object.
+
+Mirrors the input/output contract of the original tool (paper §1):
+
+* estimated signal probability at each node for a given input tuple;
+* estimated detection probability of each fault;
+* the number of patterns needed for a required fault coverage with a
+  desired confidence;
+* an optimized tuple of input signal probabilities;
+* random pattern sets realizing a tuple of probabilities;
+* results of a static fault simulation with those patterns.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.topology import Topology
+from repro.detection.estimator import DetectionProbabilityEstimator
+from repro.errors import EstimationError
+from repro.faults.model import Fault, fault_universe
+from repro.faults.simulator import FaultSimResult, FaultSimulator
+from repro.logicsim.patterns import PatternSet
+from repro.optimize.hillclimb import (
+    OptimizationResult,
+    optimize_input_probabilities,
+)
+from repro.probability.estimator import (
+    EstimatorParams,
+    SignalProbabilities,
+    SignalProbabilityEstimator,
+)
+from repro.report.tables import ascii_table, format_count
+from repro.testlen.length import expected_coverage, required_test_length
+
+__all__ = ["Protest", "TestabilityReport"]
+
+
+@dataclasses.dataclass
+class TestabilityReport:
+    """Summary of one analysis run (printable)."""
+
+    circuit_name: str
+    n_faults: int
+    min_detection: float
+    median_detection: float
+    hardest_faults: List[Tuple[Fault, float]]
+    test_lengths: Dict[Tuple[float, float], int]
+
+    def to_text(self) -> str:
+        lines = [
+            f"PROTEST analysis of {self.circuit_name}",
+            f"  faults analysed: {self.n_faults}",
+            f"  min / median estimated P_f: "
+            f"{self.min_detection:.3e} / {self.median_detection:.3e}",
+            "  hardest faults:",
+        ]
+        for fault, p in self.hardest_faults:
+            lines.append(f"    {str(fault):30s} P_f = {p:.3e}")
+        rows = [
+            [f"{d:.2f}", f"{e:.3f}", format_count(n)]
+            for (d, e), n in sorted(self.test_lengths.items())
+        ]
+        lines.append(
+            ascii_table(["d", "e", "N"], rows, title="  required test lengths")
+        )
+        return "\n".join(lines)
+
+
+class Protest:
+    """Probabilistic testability analysis of one combinational circuit."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        params: "EstimatorParams | None" = None,
+        stem_model: str = "chain",
+        pin_model: str = "boolean_difference",
+        faults: "Iterable[Fault] | None" = None,
+    ) -> None:
+        self.circuit = circuit
+        self.params = params or EstimatorParams()
+        self.topology = Topology(circuit)
+        self.faults: List[Fault] = (
+            list(faults) if faults is not None else fault_universe(circuit)
+        )
+        self._detector = DetectionProbabilityEstimator(
+            circuit, self.params, stem_model, pin_model, self.topology
+        )
+        self._fsim: "FaultSimulator | None" = None
+
+    # -- estimation ---------------------------------------------------------------
+
+    def signal_probabilities(
+        self,
+        input_probs: "float | Mapping[str, float] | None" = None,
+    ) -> SignalProbabilities:
+        """Estimated 1-probability of every node."""
+        return self._detector.signal_estimator.run(input_probs)
+
+    def detection_probabilities(
+        self,
+        input_probs: "float | Mapping[str, float] | None" = None,
+        faults: "Iterable[Fault] | None" = None,
+    ) -> Dict[Fault, float]:
+        """Estimated detection probability of every fault."""
+        return self._detector.run(
+            input_probs=input_probs,
+            faults=faults if faults is not None else self.faults,
+        )
+
+    # -- test lengths ----------------------------------------------------------------
+
+    def test_length(
+        self,
+        confidence: float = 0.95,
+        fraction: float = 1.0,
+        input_probs: "float | Mapping[str, float] | None" = None,
+        detection_probs: "Mapping[Fault, float] | None" = None,
+    ) -> int:
+        """Patterns needed so the easiest ``fraction`` of faults is covered
+        with probability ``confidence`` (formula (3), Tables 2/3/5)."""
+        if detection_probs is None:
+            detection_probs = self.detection_probabilities(input_probs)
+        return required_test_length(
+            list(detection_probs.values()), confidence, fraction
+        )
+
+    def expected_coverage(
+        self,
+        n_patterns: int,
+        input_probs: "float | Mapping[str, float] | None" = None,
+        detection_probs: "Mapping[Fault, float] | None" = None,
+    ) -> float:
+        """Predicted fault coverage after ``n_patterns`` random patterns."""
+        if detection_probs is None:
+            detection_probs = self.detection_probabilities(input_probs)
+        return expected_coverage(list(detection_probs.values()), n_patterns)
+
+    # -- optimization ----------------------------------------------------------------
+
+    def optimize(
+        self,
+        n_ref: int = 4096,
+        grid: int = 16,
+        max_rounds: int = 10,
+        start: "float | Mapping[str, float] | None" = None,
+        faults: "Iterable[Fault] | None" = None,
+        **kwargs,
+    ) -> OptimizationResult:
+        """Optimize the input probabilities (paper §6, Table 4).
+
+        Extra keyword arguments (``jitter``, ``seed``, ``step_sizes``,
+        ``inputs``) pass through to
+        :func:`repro.optimize.optimize_input_probabilities`.
+        """
+        return optimize_input_probabilities(
+            self.circuit,
+            n_ref=n_ref,
+            grid=grid,
+            max_rounds=max_rounds,
+            start=start,
+            params=self.params,
+            stem_model=self._detector.observability_analyzer.stem_model,
+            pin_model=self._detector.observability_analyzer.pin_model,
+            faults=faults if faults is not None else self.faults,
+            **kwargs,
+        )
+
+    # -- patterns and simulation --------------------------------------------------------
+
+    def generate_patterns(
+        self,
+        n_patterns: int,
+        input_probs: "float | Mapping[str, float] | None" = None,
+        seed: "int | None" = None,
+    ) -> PatternSet:
+        """Random pattern set realizing the given input probabilities."""
+        return PatternSet.random(
+            self.circuit.inputs, n_patterns, input_probs, seed
+        )
+
+    def fault_simulate(
+        self,
+        patterns: PatternSet,
+        faults: "Iterable[Fault] | None" = None,
+        drop_detected: bool = True,
+        block_size: int = 1024,
+    ) -> FaultSimResult:
+        """Static fault simulation of a pattern set."""
+        fault_list = list(faults) if faults is not None else self.faults
+        simulator = FaultSimulator(self.circuit, fault_list)
+        return simulator.run(
+            patterns, block_size=block_size, drop_detected=drop_detected
+        )
+
+    # -- reporting --------------------------------------------------------------------
+
+    def analyze(
+        self,
+        input_probs: "float | Mapping[str, float] | None" = None,
+        confidences: Sequence[float] = (0.95, 0.98, 0.999),
+        fractions: Sequence[float] = (1.0, 0.98),
+        hardest: int = 5,
+    ) -> TestabilityReport:
+        """One-shot analysis: detection probabilities plus test lengths."""
+        detection = self.detection_probabilities(input_probs)
+        ranked = sorted(detection.items(), key=lambda item: item[1])
+        values = sorted(detection.values())
+        lengths: Dict[Tuple[float, float], int] = {}
+        for fraction in fractions:
+            for confidence in confidences:
+                try:
+                    lengths[(fraction, confidence)] = required_test_length(
+                        values, confidence, fraction
+                    )
+                except EstimationError:
+                    lengths[(fraction, confidence)] = -1
+        return TestabilityReport(
+            circuit_name=self.circuit.name,
+            n_faults=len(detection),
+            min_detection=values[0] if values else 0.0,
+            median_detection=values[len(values) // 2] if values else 0.0,
+            hardest_faults=ranked[:hardest],
+            test_lengths=lengths,
+        )

@@ -1,0 +1,15 @@
+"""Plain-text reporting: tables, scatter diagrams, accuracy statistics."""
+
+from repro.report.scatter import scatter_plot
+from repro.report.stats import AccuracyStats, accuracy_stats, pearson
+from repro.report.tables import ascii_table, format_count, format_prob
+
+__all__ = [
+    "AccuracyStats",
+    "accuracy_stats",
+    "ascii_table",
+    "format_count",
+    "format_prob",
+    "pearson",
+    "scatter_plot",
+]

@@ -1,0 +1,57 @@
+"""ASCII correlation diagrams (the paper's Figs 5 and 6)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+__all__ = ["scatter_plot"]
+
+
+def scatter_plot(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 61,
+    height: int = 21,
+    xlabel: str = "P_PROT",
+    ylabel: str = "P_SIM",
+    title: "str | None" = None,
+) -> str:
+    """Plot unit-square points as a character grid.
+
+    Cells holding one point print ``+``, several points ``*`` — mirroring
+    the paper's correlation diagrams where dense diagonals darken.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys differ in length")
+    if width < 10 or height < 5:
+        raise ValueError("plot area too small")
+    grid = [[0] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        cx = min(max(x, 0.0), 1.0)
+        cy = min(max(y, 0.0), 1.0)
+        col = min(int(cx * (width - 1) + 0.5), width - 1)
+        row = min(int(cy * (height - 1) + 0.5), height - 1)
+        grid[row][col] += 1
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for r in range(height - 1, -1, -1):
+        label = ""
+        frac = r / (height - 1)
+        if r == height - 1:
+            label = "1.0"
+        elif r == 0:
+            label = "0.0"
+        elif abs(frac - 0.5) < 0.5 / (height - 1):
+            label = "0.5"
+        body = "".join(
+            "*" if c > 1 else ("+" if c == 1 else " ") for c in grid[r]
+        )
+        lines.append(f"{label:>4} |{body}|")
+    lines.append("     +" + "-" * width + "+")
+    lines.append(
+        "      0.0" + " " * (width - 12) + "1.0"
+    )
+    lines.append(f"      {ylabel} (vertical) vs {xlabel} (horizontal)")
+    return "\n".join(lines)

@@ -1,0 +1,72 @@
+"""Error and correlation statistics (the paper's Table 1 metrics).
+
+* ``Merr`` — maximal absolute difference between estimate and simulation;
+* ``delta`` — the average difference
+  ``sum |P_PROT - P_SIM| / (number of faults)``;
+* ``Co`` — the (Pearson) correlation coefficient of the two series.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Sequence
+
+__all__ = ["AccuracyStats", "accuracy_stats", "pearson"]
+
+
+def pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation coefficient; 0.0 for degenerate series."""
+    if len(xs) != len(ys):
+        raise ValueError("series differ in length")
+    n = len(xs)
+    if n < 2:
+        return 0.0
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    if var_x <= 0.0 or var_y <= 0.0:
+        return 0.0
+    cov = sum(
+        (x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)
+    )
+    return cov / math.sqrt(var_x * var_y)
+
+
+@dataclasses.dataclass(frozen=True)
+class AccuracyStats:
+    """Table 1 row: estimation accuracy against a simulation reference."""
+
+    max_error: float  #: Merr
+    mean_error: float  #: Δ (average |estimate - reference|)
+    correlation: float  #: Co
+    under_estimated: float  #: fraction of faults with reference > estimate
+    n: int
+
+    def row(self, label: str) -> "list[str]":
+        return [
+            label,
+            f"{self.max_error:.2f}",
+            f"{self.mean_error:.2f}",
+            f"{self.correlation:.2f}",
+        ]
+
+
+def accuracy_stats(
+    estimates: Sequence[float], references: Sequence[float]
+) -> AccuracyStats:
+    """Compute the Table 1 metrics for parallel series."""
+    if len(estimates) != len(references):
+        raise ValueError("series differ in length")
+    if not estimates:
+        raise ValueError("empty series")
+    diffs = [abs(e - r) for e, r in zip(estimates, references)]
+    under = sum(1 for e, r in zip(estimates, references) if r > e)
+    return AccuracyStats(
+        max_error=max(diffs),
+        mean_error=sum(diffs) / len(diffs),
+        correlation=pearson(estimates, references),
+        under_estimated=under / len(estimates),
+        n=len(estimates),
+    )

@@ -1,0 +1,55 @@
+"""Plain-text tables in the style of the paper's Tables 1-8."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+__all__ = ["ascii_table", "format_count", "format_prob"]
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: "str | None" = None,
+) -> str:
+    """Render a boxed fixed-width table."""
+    cells = [[str(h) for h in headers]] + [
+        [str(c) for c in row] for row in rows
+    ]
+    n_cols = max(len(row) for row in cells)
+    widths = [0] * n_cols
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(row: Sequence[str]) -> str:
+        padded = [
+            (row[i] if i < len(row) else "").rjust(widths[i])
+            for i in range(n_cols)
+        ]
+        return "| " + " | ".join(padded) + " |"
+
+    separator = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(separator)
+    out.append(line(cells[0]))
+    out.append(separator)
+    for row in cells[1:]:
+        out.append(line(row))
+    out.append(separator)
+    return "\n".join(out)
+
+
+def format_count(n: "int | float") -> str:
+    """Readable large pattern counts (Table 3/5 style)."""
+    if n == float("inf"):
+        return "inf"
+    n = int(n)
+    return f"{n:,}".replace(",", " ")
+
+
+def format_prob(p: float, digits: int = 2) -> str:
+    """Compact probability formatting (Table 4 style)."""
+    return f"{p:.{digits}f}"

@@ -1,0 +1,17 @@
+"""Random-pattern test length mathematics (formula (3) of the paper)."""
+
+from repro.testlen.length import (
+    all_detected_probability,
+    expected_coverage,
+    log_all_detected_probability,
+    required_test_length,
+    select_easiest_fraction,
+)
+
+__all__ = [
+    "all_detected_probability",
+    "expected_coverage",
+    "log_all_detected_probability",
+    "required_test_length",
+    "select_easiest_fraction",
+]

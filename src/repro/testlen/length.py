@@ -1,0 +1,139 @@
+"""Random test length computation (paper §5, formula (3)).
+
+Under the independence assumption, ``N`` random patterns detect all faults
+of ``F`` with probability
+
+    P_F(N) = prod over f in F of (1 - (1 - P_f)^N)       (3)
+
+PROTEST answers two questions built on (3):
+
+* the probability that a given pattern count reaches full coverage
+  (:func:`all_detected_probability`), and
+* the smallest ``N`` reaching a required confidence ``e``, optionally for
+  only the easiest ``d*100 %`` of the faults
+  (:func:`required_test_length`) — the quantity of Tables 2, 3 and 5.
+
+All products are evaluated in log space so the astronomically small
+probabilities of random-pattern-resistant circuits (COMP needs ~10^8
+patterns) stay representable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.errors import EstimationError
+
+__all__ = [
+    "all_detected_probability",
+    "log_all_detected_probability",
+    "required_test_length",
+    "select_easiest_fraction",
+    "expected_coverage",
+]
+
+
+def select_easiest_fraction(
+    probabilities: Sequence[float], fraction: float
+) -> List[float]:
+    """The ``d*100 %`` faults with the *highest* detection probability.
+
+    ``fraction=1.0`` keeps everything.  The paper's ``F_d`` (§5).
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise EstimationError(f"fraction must be in (0, 1], got {fraction}")
+    if fraction == 1.0:
+        return list(probabilities)
+    keep = int(math.floor(fraction * len(probabilities) + 1e-9))
+    keep = max(keep, 1)
+    ranked = sorted(probabilities, reverse=True)
+    return ranked[:keep]
+
+
+def log_all_detected_probability(
+    probabilities: Iterable[float], n_patterns: int
+) -> float:
+    """``log P_F(N)`` of formula (3); ``-inf`` when any fault is undetectable."""
+    if n_patterns < 0:
+        raise EstimationError("pattern count must be non-negative")
+    total = 0.0
+    for p in probabilities:
+        if p >= 1.0:
+            continue
+        if p <= 0.0 or n_patterns == 0:
+            return -math.inf
+        log_miss = n_patterns * math.log1p(-p)  # log (1-p)^N
+        miss = -math.expm1(log_miss)  # 1 - (1-p)^N, accurately
+        if miss <= 0.0:
+            return -math.inf
+        total += math.log(miss)
+    return total
+
+
+def all_detected_probability(
+    probabilities: Iterable[float], n_patterns: int
+) -> float:
+    """``P_F(N)`` of formula (3)."""
+    return math.exp(log_all_detected_probability(probabilities, n_patterns))
+
+
+def required_test_length(
+    probabilities: Sequence[float],
+    confidence: float,
+    fraction: float = 1.0,
+    max_length: int = 1 << 62,
+) -> int:
+    """Smallest ``N`` with ``P_{F_d}(N) >= confidence`` (Tables 2/3/5).
+
+    Raises :class:`~repro.errors.EstimationError` when the kept fault set
+    contains an undetectable fault (``P_f = 0``) — no finite test reaches
+    the confidence then — or when ``N`` would exceed ``max_length``.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise EstimationError(
+            f"confidence must be in (0, 1), got {confidence}"
+        )
+    kept = select_easiest_fraction(probabilities, fraction)
+    kept = [p for p in kept if p < 1.0]
+    if not kept:
+        return 0
+    if min(kept) <= 0.0:
+        raise EstimationError(
+            "fault set contains undetectable faults (P_f = 0); "
+            "use fraction < 1 to exclude them"
+        )
+    target = math.log(confidence)
+
+    def enough(n: int) -> bool:
+        return log_all_detected_probability(kept, n) >= target
+
+    low, high = 0, 1
+    while not enough(high):
+        high *= 2
+        if high > max_length:
+            raise EstimationError(
+                f"required test length exceeds {max_length}"
+            )
+    while high - low > 1:
+        mid = (low + high) // 2
+        if enough(mid):
+            high = mid
+        else:
+            low = mid
+    return high
+
+
+def expected_coverage(
+    probabilities: Sequence[float], n_patterns: int
+) -> float:
+    """Expected fault coverage ``mean_f (1 - (1-P_f)^N)`` after N patterns."""
+    if not probabilities:
+        return 0.0
+    total = 0.0
+    for p in probabilities:
+        if p >= 1.0:
+            total += 1.0
+        elif p > 0.0 and n_patterns > 0:
+            total += -math.expm1(n_patterns * math.log1p(-p))
+    return total / len(probabilities)

@@ -1,0 +1,53 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit import CircuitBuilder
+
+
+@pytest.fixture
+def tree_circuit():
+    """Fan-out-free circuit: the tree rule is exact on it."""
+    b = CircuitBuilder("tree")
+    a, bb, c, d = b.inputs("a", "b", "c", "d")
+    n1 = b.and_("n1", a, bb)
+    n2 = b.or_("n2", c, d)
+    n3 = b.xor("n3", n1, n2)
+    b.output(n3)
+    return b.build()
+
+
+@pytest.fixture
+def reconvergent_circuit():
+    """k = AND(AND(x, y), AND(x, z)) — exact P(k) = P(x)P(y)P(z)."""
+    b = CircuitBuilder("reconv")
+    x, y, z = b.inputs("x", "y", "z")
+    a = b.and_("a", x, y)
+    c = b.and_("c", x, z)
+    k = b.and_("k", a, c)
+    b.output(k)
+    return b.build()
+
+
+@pytest.fixture
+def xor_pair_circuit():
+    """AND of two identical XNORs: zero covariance but full correlation."""
+    b = CircuitBuilder("xorpair")
+    i1, i2 = b.inputs("i1", "i2")
+    n1 = b.xnor("n1", i1, i2)
+    n2 = b.xnor("n2", i1, i2)
+    k = b.and_("k", n1, n2)
+    b.output(k)
+    return b.build()
+
+
+def bits_to_int(values, names):
+    """Pack named 0/1 values (LSB first) into an integer."""
+    return sum(values[name] << i for i, name in enumerate(names))
+
+
+def int_to_vec(value, names):
+    """Inverse of :func:`bits_to_int`."""
+    return {name: (value >> i) & 1 for i, name in enumerate(names)}

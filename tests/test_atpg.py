@@ -1,0 +1,150 @@
+"""Tests for PODEM and the hybrid random-first ATPG flow (paper §8)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.atpg import PodemGenerator, hybrid_atpg
+from repro.circuit import CircuitBuilder
+from repro.circuits import c17, mux_tree, parity_tree, sn74181
+from repro.faults import Fault, FaultSimulator, fault_universe
+from repro.logicsim import PatternSet, simulate
+
+
+def verify_test(circuit, fault, pattern) -> bool:
+    """Does the produced pattern actually detect the fault?"""
+    ps = PatternSet.from_vectors(circuit.inputs, [pattern])
+    good = simulate(circuit, ps)
+    simulator = FaultSimulator(circuit, [fault])
+    return bool(simulator.detection_word(fault, good, ps.mask))
+
+
+@pytest.mark.parametrize(
+    "factory", [c17, lambda: parity_tree(5), lambda: mux_tree(2)]
+)
+def test_all_faults_get_verified_tests(factory):
+    """These circuits have no redundant faults: PODEM must test them all."""
+    circuit = factory()
+    generator = PodemGenerator(circuit)
+    for fault in fault_universe(circuit):
+        result = generator.generate(fault)
+        assert result.detected, str(fault)
+        assert verify_test(circuit, fault, result.pattern), str(fault)
+        assert not result.aborted
+
+
+def test_alu_sampled_faults():
+    """Every PODEM verdict on the ALU must agree with exhaustive truth.
+
+    The SN74181 contains genuinely redundant faults (e.g. the carry AOI
+    side pin ``C2B.in2 s-a-1`` requires ``Y0 = 0`` and ``X0 = 1``
+    simultaneously, which contradict through A0) — PODEM must prove those
+    and test everything else.
+    """
+    from repro.detection import exact_detection_probabilities
+
+    circuit = sn74181()
+    generator = PodemGenerator(circuit)
+    faults = fault_universe(circuit)[::7]  # sampled for speed
+    exact = exact_detection_probabilities(circuit, faults, max_inputs=14)
+    redundant_found = 0
+    for fault in faults:
+        result = generator.generate(fault)
+        if result.proven_redundant:
+            assert exact[fault] == 0.0, str(fault)
+            redundant_found += 1
+        else:
+            assert result.detected, str(fault)
+            assert verify_test(circuit, fault, result.pattern), str(fault)
+            assert exact[fault] > 0.0, str(fault)
+    assert redundant_found >= 1  # the ALU's known redundancies show up
+
+
+def test_redundant_fault_proven():
+    b = CircuitBuilder("red")
+    a = b.input("a")
+    one = b.const1("one")
+    b.output(b.and_("y", a, one))
+    circuit = b.build()
+    generator = PodemGenerator(circuit)
+    result = generator.generate(Fault("one", None, 1))
+    assert result.proven_redundant
+    assert not result.detected
+    # The excitable polarity is testable.
+    result = generator.generate(Fault("one", None, 0))
+    assert result.detected
+    assert result.pattern == {"a": 1}
+
+
+def test_masked_redundancy():
+    """y = OR(AND(x, z), x): AND-output s-a-0 is undetectable."""
+    b = CircuitBuilder("masked")
+    x, z = b.inputs("x", "z")
+    n1 = b.and_("n1", x, z)
+    b.output(b.or_("y", n1, x))
+    circuit = b.build()
+    generator = PodemGenerator(circuit)
+    result = generator.generate(Fault("n1", None, 0))
+    assert result.proven_redundant
+    # ... while n1 s-a-1 is testable (x=0, z arbitrary... needs y flip).
+    result = generator.generate(Fault("n1", None, 1))
+    assert result.detected
+    assert verify_test(circuit, Fault("n1", None, 1), result.pattern)
+
+
+def test_branch_fault_tests():
+    circuit = c17()
+    generator = PodemGenerator(circuit)
+    fault = Fault("G16", 1, 1)  # branch of the G11 stem
+    result = generator.generate(fault)
+    assert result.detected
+    assert verify_test(circuit, fault, result.pattern)
+
+
+def test_backtrack_limit_reports_abort():
+    circuit = sn74181()
+    generator = PodemGenerator(circuit, max_backtracks=0)
+    # A fault needing at least one backtrack may abort; it must never
+    # produce a wrong answer.
+    outcomes = [
+        generator.generate(f) for f in fault_universe(circuit)[:40]
+    ]
+    for result in outcomes:
+        if result.detected:
+            assert verify_test(circuit, result.fault, result.pattern)
+        else:
+            assert result.aborted or result.proven_redundant
+
+
+def test_hybrid_flow_random_then_podem():
+    circuit = c17()
+    result = hybrid_atpg(circuit, n_random=64, seed=3)
+    assert result.n_faults == len(fault_universe(circuit))
+    assert result.coverage == 1.0
+    assert result.detected_by_random + result.detected_by_podem == (
+        result.n_faults
+    )
+    # With a decent random phase, PODEM sees only the stragglers.
+    assert result.podem_workload < result.n_faults / 2
+
+
+def test_hybrid_flow_no_random_phase():
+    circuit = c17()
+    result = hybrid_atpg(circuit, n_random=0)
+    assert result.detected_by_random == 0
+    assert result.detected_by_podem == result.n_faults
+    assert len(result.deterministic_patterns) == result.n_faults
+
+
+def test_hybrid_flow_weighted_random_reduces_podem_workload():
+    """The §8 claim in miniature on an AND tree: biased-high patterns
+    detect the hard s-a-0 faults that uniform ones hand to PODEM."""
+    b = CircuitBuilder("and8")
+    bits = b.bus("I", 8)
+    b.output(b.and_("y", *bits))
+    circuit = b.build()
+    uniform = hybrid_atpg(circuit, n_random=40, seed=5)
+    weighted = hybrid_atpg(
+        circuit, n_random=40, input_probs=0.9375, seed=5
+    )
+    assert weighted.podem_workload < uniform.podem_workload

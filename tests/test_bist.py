@@ -1,0 +1,148 @@
+"""Tests for the BIST substrate: LFSR, weighting network, BILBO, MISR."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bist import (
+    LFSR,
+    MISR,
+    PRIMITIVE_TAPS,
+    WeightedGenerator,
+    aliasing_probability,
+    bilbo_cost,
+    circuit_signature,
+    compare_self_test,
+    lfsr_patterns,
+    quantize_probability,
+)
+from repro.circuits import c17
+from repro.errors import ReproError
+from repro.logicsim import PatternSet
+
+
+@pytest.mark.parametrize("width", [2, 3, 4, 5, 8, 10, 16])
+def test_lfsr_maximal_period(width):
+    assert LFSR(width).period() == (1 << width) - 1
+
+
+def test_lfsr_validation():
+    with pytest.raises(ReproError):
+        LFSR(1)
+    with pytest.raises(ReproError):
+        LFSR(8, seed=0)
+    with pytest.raises(ReproError):
+        LFSR(8, taps=(9, 1))
+    with pytest.raises(ReproError):
+        LFSR(37)  # no tap table entry
+
+
+def test_lfsr_states_deterministic():
+    a = LFSR(8, seed=5).states(16)
+    b = LFSR(8, seed=5).states(16)
+    assert a == b
+    assert len(set(a)) == 16  # no repeat within the period
+
+
+def test_lfsr_bit_stream():
+    lfsr = LFSR(4, seed=1)
+    stream = lfsr.bit_stream()
+    bits = [next(stream) for _ in range(15)]
+    assert set(bits) <= {0, 1}
+    assert sum(bits) == 8  # maximal-length property: 2^(n-1) ones
+
+
+def test_lfsr_patterns_balanced():
+    patterns = lfsr_patterns([f"i{k}" for k in range(6)], 1000, seed=3)
+    for name, freq in patterns.observed_probabilities().items():
+        assert freq == pytest.approx(0.5, abs=0.06), name
+
+
+def test_lfsr_patterns_width_checks():
+    with pytest.raises(ReproError):
+        lfsr_patterns(["a", "b", "c"], 10, width=2)
+
+
+def test_quantize_probability():
+    assert quantize_probability(0.7, 16) == (11, 16)
+    assert quantize_probability(0.0, 16) == (1, 16)  # never degenerate
+    assert quantize_probability(1.0, 16) == (15, 16)
+    with pytest.raises(ReproError):
+        quantize_probability(0.5, 12)  # not a power of two
+
+
+def test_weight_plan_costs():
+    generator = WeightedGenerator(
+        ["a", "b", "c"], {"a": 0.5, "b": 0.75, "c": 11 / 16}
+    )
+    plans = generator.plans
+    assert plans["a"].gate_count == 0  # 0.5 is free
+    assert plans["b"].gate_count == 1  # 0.75 = 0.11b -> one OR
+    assert plans["c"].gate_count == 3  # 0.1011b -> three gates
+    assert generator.extra_gates == 4
+
+
+def test_weight_plan_realized_values():
+    generator = WeightedGenerator(["x"], {"x": 0.13})  # Table 4's 0.13
+    assert generator.realized_probabilities()["x"] == pytest.approx(2 / 16)
+
+
+def test_weighted_generator_statistics():
+    probs = {"a": 0.8125, "b": 0.5, "c": 0.0625, "d": 0.9375}
+    generator = WeightedGenerator(list(probs), probs)
+    patterns = generator.patterns(30000, seed=2)
+    observed = patterns.observed_probabilities()
+    for name in probs:
+        target = generator.realized_probabilities()[name]
+        assert observed[name] == pytest.approx(target, abs=0.02), name
+
+
+def test_weighted_generator_missing_probability():
+    with pytest.raises(ReproError):
+        WeightedGenerator(["a", "b"], {"a": 0.5})
+
+
+def test_bilbo_cost_and_plan():
+    cost = bilbo_cost(10, 6)
+    assert cost.cells == 16
+    assert cost.gate_equivalents == pytest.approx(16 * 7.0)
+    generator = WeightedGenerator(["a"], {"a": 0.9375})
+    plan = compare_self_test(10, 6, 1_000_000, 5_000, generator)
+    assert plan.speedup == pytest.approx(200.0)
+    assert 0.0 < plan.overhead_fraction < 0.1
+
+
+def test_misr_distinguishes_responses():
+    misr_a = MISR(16)
+    misr_b = MISR(16)
+    sig_a = misr_a.compress([1, 2, 3, 4, 5])
+    sig_b = misr_b.compress([1, 2, 3, 4, 6])
+    assert sig_a != sig_b
+
+
+def test_misr_deterministic_and_resettable():
+    misr = MISR(16)
+    first = misr.compress([7, 9, 11])
+    misr.reset()
+    assert misr.compress([7, 9, 11]) == first
+
+
+def test_circuit_signature_detects_stem_fault():
+    circuit = c17()
+    patterns = PatternSet.random(circuit.inputs, 128, seed=4)
+    good = circuit_signature(circuit, patterns)
+    faulty = circuit_signature(
+        circuit, patterns, overrides={"G11": 0}
+    )
+    assert good != faulty
+
+
+def test_aliasing_probability():
+    assert aliasing_probability(16) == pytest.approx(2.0 ** -16)
+
+
+def test_misr_validation():
+    with pytest.raises(ReproError):
+        MISR(1)
+    with pytest.raises(ReproError):
+        MISR(37)

@@ -1,0 +1,126 @@
+"""Unit tests for packed-bit helpers and pattern sets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.logicsim import (
+    PatternSet,
+    bit_slice,
+    lowest_set_bit,
+    mask_for,
+    pack_bits,
+    popcount,
+    resolve_input_probs,
+    unpack_bits,
+)
+
+
+def test_mask_for():
+    assert mask_for(0) == 0
+    assert mask_for(3) == 0b111
+    with pytest.raises(ValueError):
+        mask_for(-1)
+
+
+def test_pack_unpack_roundtrip():
+    bits = [1, 0, 0, 1, 1, 0, 1]
+    word = pack_bits(bits)
+    assert unpack_bits(word, len(bits)) == bits
+
+
+def test_pack_rejects_non_bits():
+    with pytest.raises(ValueError):
+        pack_bits([0, 2, 1])
+
+
+def test_popcount_lowest_bit_slice():
+    assert popcount(0b101101) == 4
+    assert lowest_set_bit(0b101000) == 3
+    assert lowest_set_bit(0) is None
+    assert bit_slice(0b110110, 1, 4) == 0b011
+    with pytest.raises(ValueError):
+        bit_slice(1, 3, 2)
+
+
+def test_resolve_input_probs_forms():
+    inputs = ["a", "b"]
+    assert resolve_input_probs(inputs, None) == {"a": 0.5, "b": 0.5}
+    assert resolve_input_probs(inputs, 0.25) == {"a": 0.25, "b": 0.25}
+    assert resolve_input_probs(inputs, {"a": 0.1, "b": 1.0}) == {
+        "a": 0.1,
+        "b": 1.0,
+    }
+    with pytest.raises(SimulationError, match="no probability"):
+        resolve_input_probs(inputs, {"a": 0.1})
+    with pytest.raises(SimulationError, match="outside"):
+        resolve_input_probs(inputs, 1.5)
+
+
+def test_exhaustive_encoding():
+    ps = PatternSet.exhaustive(["a", "b", "c"])
+    assert ps.n_patterns == 8
+    for j in range(8):
+        vec = ps.vector(j)
+        assert vec["a"] == (j >> 0) & 1
+        assert vec["b"] == (j >> 1) & 1
+        assert vec["c"] == (j >> 2) & 1
+
+
+def test_exhaustive_rejects_wide():
+    with pytest.raises(SimulationError, match="2\\^25"):
+        PatternSet.exhaustive([f"i{k}" for k in range(25)])
+
+
+def test_random_deterministic_by_seed():
+    a = PatternSet.random(["x", "y"], 256, seed=42)
+    b = PatternSet.random(["x", "y"], 256, seed=42)
+    c = PatternSet.random(["x", "y"], 256, seed=43)
+    assert a.words == b.words
+    assert a.words != c.words
+
+
+def test_random_weighted_statistics():
+    probs = {"a": 0.0625, "b": 0.5, "c": 0.9375, "d": 0.0, "e": 1.0}
+    ps = PatternSet.random(list(probs), 200_000, probs, seed=7)
+    observed = ps.observed_probabilities()
+    assert observed["d"] == 0.0
+    assert observed["e"] == 1.0
+    for name in ("a", "b", "c"):
+        assert observed[name] == pytest.approx(probs[name], abs=0.01)
+
+
+def test_from_vectors_and_vector_access():
+    rows = [{"a": 1, "b": 0}, {"a": 0, "b": 1}, {"a": 1, "b": 1}]
+    ps = PatternSet.from_vectors(["a", "b"], rows)
+    assert ps.n_patterns == 3
+    assert ps.vectors() == rows
+    with pytest.raises(SimulationError):
+        ps.vector(3)
+
+
+def test_from_vectors_validation():
+    with pytest.raises(SimulationError, match="does not assign"):
+        PatternSet.from_vectors(["a", "b"], [{"a": 1}])
+    with pytest.raises(SimulationError, match="assigns"):
+        PatternSet.from_vectors(["a"], [{"a": 2}])
+
+
+def test_slice_and_concat():
+    ps = PatternSet.random(["a", "b"], 100, seed=1)
+    head = ps.slice(0, 40)
+    tail = ps.slice(40, 100)
+    assert head.n_patterns == 40
+    whole = head.concat(tail)
+    assert whole.words == ps.words
+    with pytest.raises(SimulationError):
+        ps.slice(50, 20)
+    other = PatternSet.random(["a", "c"], 10, seed=1)
+    with pytest.raises(SimulationError, match="different inputs"):
+        head.concat(other)
+
+
+def test_missing_input_word_rejected():
+    with pytest.raises(SimulationError, match="missing word"):
+        PatternSet(["a", "b"], 4, {"a": 0b1010})

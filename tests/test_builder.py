@@ -1,0 +1,130 @@
+"""Unit tests for the fluent CircuitBuilder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit import CircuitBuilder, GateType
+from repro.errors import CircuitError
+from repro.logicsim import PatternSet, simulate
+
+
+def test_basic_build():
+    b = CircuitBuilder("demo")
+    a, bb = b.inputs("a", "b")
+    n = b.and_("n", a, bb)
+    b.output(n)
+    circuit = b.build()
+    assert circuit.inputs == ("a", "b")
+    assert circuit.outputs == ("n",)
+
+
+def test_bus_naming():
+    b = CircuitBuilder("demo")
+    bus = b.bus("D", 4)
+    assert bus == ["D0", "D1", "D2", "D3"]
+
+
+def test_output_alias_inserts_buffer():
+    b = CircuitBuilder("demo")
+    a = b.input("a")
+    n = b.not_("n", a)
+    b.output(n, alias="OUT")
+    circuit = b.build()
+    assert "OUT" in circuit.outputs
+    assert circuit.gate("OUT").gtype is GateType.BUF
+
+
+def test_fresh_names_unique():
+    b = CircuitBuilder("demo")
+    b.input("a")
+    names = {b.fresh() for _ in range(100)}
+    assert len(names) == 100
+
+
+def test_auto_named_gate():
+    b = CircuitBuilder("demo")
+    a = b.input("a")
+    node = b.not_(None, a)
+    assert node.startswith("not")
+
+
+def test_duplicate_name_rejected():
+    b = CircuitBuilder("demo")
+    b.input("a")
+    with pytest.raises(CircuitError, match="already defined"):
+        b.input("a")
+    with pytest.raises(CircuitError, match="already defined"):
+        b.not_("a", "a")
+
+
+def test_unknown_source_rejected():
+    b = CircuitBuilder("demo")
+    b.input("a")
+    with pytest.raises(CircuitError, match="unknown node"):
+        b.and_("n", "a", "ghost")
+
+
+def test_output_unknown_node_rejected():
+    b = CircuitBuilder("demo")
+    b.input("a")
+    with pytest.raises(CircuitError, match="unknown node"):
+        b.output("ghost")
+
+
+def test_duplicate_output_rejected():
+    b = CircuitBuilder("demo")
+    a = b.input("a")
+    b.output(a)
+    with pytest.raises(CircuitError, match="already declared"):
+        b.output(a)
+
+
+def test_no_outputs_rejected():
+    b = CircuitBuilder("demo")
+    b.input("a")
+    with pytest.raises(CircuitError, match="no outputs"):
+        b.build()
+
+
+def test_illegal_names_rejected():
+    b = CircuitBuilder("demo")
+    for bad in ("", "a b", "x(1)", None):
+        with pytest.raises(CircuitError):
+            b.input(bad)  # type: ignore[arg-type]
+
+
+def test_mux_semantics():
+    b = CircuitBuilder("demo")
+    s, x, y = b.inputs("s", "x", "y")
+    m = b.mux("m", s, x, y)
+    b.output(m)
+    circuit = b.build()
+    values = simulate(circuit, PatternSet.exhaustive(circuit.inputs))
+    for j in range(8):
+        vec = {n: (values[n] >> j) & 1 for n in ("s", "x", "y", "m")}
+        expected = vec["y"] if vec["s"] else vec["x"]
+        assert vec["m"] == expected
+
+
+def test_const_gates():
+    b = CircuitBuilder("demo")
+    b.input("a")
+    one = b.const1("one")
+    zero = b.const0("zero")
+    n = b.or_("n", one, zero)
+    b.output(n)
+    circuit = b.build()
+    ps = PatternSet.exhaustive(circuit.inputs)
+    values = simulate(circuit, ps)
+    assert values["n"] == ps.mask
+
+
+def test_lut_gate_through_builder():
+    b = CircuitBuilder("demo")
+    a, bb = b.inputs("a", "b")
+    n = b.lut("n", 0b0110, a, bb)  # XOR truth table
+    b.output(n)
+    circuit = b.build()
+    values = simulate(circuit, PatternSet.exhaustive(circuit.inputs))
+    assert values["n"] == values["a"] ^ values["b"]

@@ -1,0 +1,128 @@
+"""Functional verification of SN7485 and the COMP cascade."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.circuits import comp24, comp_reference, sn7485, sn7485_reference
+from repro.logicsim import PatternSet, simulate
+from tests.conftest import bits_to_int
+
+
+def test_sn7485_exhaustive():
+    circuit = sn7485()
+    ps = PatternSet.exhaustive(circuit.inputs)  # 2^11 patterns
+    values = simulate(circuit, ps)
+    for j in range(ps.n_patterns):
+        vec = ps.vector(j)
+        a = bits_to_int(vec, [f"A{i}" for i in range(4)])
+        b = bits_to_int(vec, [f"B{i}" for i in range(4)])
+        expected = sn7485_reference(
+            a, b, vec["IALB"], vec["IAEB"], vec["IAGB"]
+        )
+        for out, want in expected.items():
+            assert (values[out] >> j) & 1 == want, (a, b, vec, out)
+
+
+def test_sn7485_reference_truth_table_normal_states():
+    # Datasheet rows for A=B with the three canonical cascade states.
+    assert sn7485_reference(5, 5, 0, 1, 0) == {
+        "OALB": 0, "OAEB": 1, "OAGB": 0,
+    }
+    assert sn7485_reference(5, 5, 0, 0, 1) == {
+        "OALB": 0, "OAEB": 0, "OAGB": 1,
+    }
+    assert sn7485_reference(5, 5, 1, 0, 0) == {
+        "OALB": 1, "OAEB": 0, "OAGB": 0,
+    }
+
+
+def test_sn7485_reference_degenerate_states():
+    # The datasheet's "not normal operation" rows.
+    assert sn7485_reference(7, 7, 0, 0, 0) == {
+        "OALB": 1, "OAEB": 0, "OAGB": 1,
+    }
+    assert sn7485_reference(7, 7, 1, 0, 1) == {
+        "OALB": 0, "OAEB": 0, "OAGB": 0,
+    }
+
+
+def test_sn7485_word_comparison_dominates_cascade():
+    assert sn7485_reference(9, 3, 1, 1, 1)["OAGB"] == 1
+    assert sn7485_reference(2, 3, 0, 0, 0)["OALB"] == 1
+
+
+@pytest.mark.parametrize("width", [8, 12, 24])
+def test_comp_cascade_random(width):
+    circuit = comp24(width=width, name=f"COMP{width}")
+    assert len(circuit.inputs) == 2 * width + 3
+    rng = random.Random(width)
+    rows = []
+    for _ in range(600):
+        a = rng.getrandbits(width)
+        # Bias towards equal / near-equal words to exercise the cascade.
+        roll = rng.random()
+        if roll < 0.4:
+            b = a
+        elif roll < 0.7:
+            b = a ^ (1 << rng.randrange(width))
+        else:
+            b = rng.getrandbits(width)
+        vec = {f"A{i}": (a >> i) & 1 for i in range(width)}
+        vec.update({f"B{i}": (b >> i) & 1 for i in range(width)})
+        vec.update(
+            TI1=rng.getrandbits(1), TI2=rng.getrandbits(1),
+            TI3=rng.getrandbits(1),
+        )
+        rows.append((a, b, vec))
+    ps = PatternSet.from_vectors(circuit.inputs, [r[2] for r in rows])
+    values = simulate(circuit, ps)
+    for j, (a, b, vec) in enumerate(rows):
+        expected = comp_reference(
+            a, b, vec["TI1"], vec["TI2"], vec["TI3"], width
+        )
+        for out, want in expected.items():
+            assert (values[out] >> j) & 1 == want, (a, b, vec)
+
+
+def test_comp_tree_style_canonical_cascade_states():
+    circuit = comp24(width=8, style="tree", name="COMPT8")
+    rng = random.Random(99)
+    rows = []
+    for _ in range(400):
+        a = rng.getrandbits(8)
+        b = a if rng.random() < 0.5 else rng.getrandbits(8)
+        # Canonical cascade state: exactly "equal so far".
+        vec = {f"A{i}": (a >> i) & 1 for i in range(8)}
+        vec.update({f"B{i}": (b >> i) & 1 for i in range(8)})
+        vec.update(TI1=0, TI2=1, TI3=0)
+        rows.append((a, b, vec))
+    ps = PatternSet.from_vectors(circuit.inputs, [r[2] for r in rows])
+    values = simulate(circuit, ps)
+    for j, (a, b, _vec) in enumerate(rows):
+        gt = (values["OAGB"] >> j) & 1
+        lt = (values["OALB"] >> j) & 1
+        eq = (values["OAEB"] >> j) & 1
+        assert (gt, eq, lt) == (
+            int(a > b), int(a == b), int(a < b)
+        )
+
+
+def test_comp_input_set_matches_table4():
+    circuit = comp24()
+    names = set(circuit.inputs)
+    expected = (
+        {f"A{i}" for i in range(24)}
+        | {f"B{i}" for i in range(24)}
+        | {"TI1", "TI2", "TI3"}
+    )
+    assert names == expected  # the 51 inputs of the paper's Table 4
+
+
+def test_comp_rejects_bad_width_or_style():
+    with pytest.raises(ValueError):
+        comp24(width=10)
+    with pytest.raises(ValueError):
+        comp24(style="ring")

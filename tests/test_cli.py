@@ -1,0 +1,88 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_analyze_builtin(capsys):
+    assert main(["analyze", "c17"]) == 0
+    out = capsys.readouterr().out
+    assert "PROTEST analysis of c17" in out
+    assert "transistors" in out
+
+
+def test_testlen_builtin(capsys):
+    assert main(["testlen", "c17", "-e", "0.95", "-d", "1.0"]) == 0
+    out = capsys.readouterr().out
+    assert "required test lengths" in out
+
+
+def test_testlen_scalar_probs(capsys):
+    assert main(["testlen", "c17", "--probs", "0.75"]) == 0
+
+
+def test_optimize_writes_json(tmp_path, capsys):
+    out_file = str(tmp_path / "probs.json")
+    assert main([
+        "optimize", "c17", "--rounds", "2", "--n-ref", "128",
+        "-o", out_file,
+    ]) == 0
+    data = json.loads(open(out_file).read())
+    assert set(data) == {"G1", "G2", "G3", "G6", "G7"}
+
+
+def test_optimize_then_testlen_with_probs_file(tmp_path, capsys):
+    out_file = str(tmp_path / "probs.json")
+    main(["optimize", "c17", "--rounds", "1", "-o", out_file])
+    capsys.readouterr()
+    assert main(["testlen", "c17", "--probs", out_file]) == 0
+
+
+def test_generate_patterns(capsys):
+    assert main(["generate", "c17", "-n", "5", "--seed", "1"]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert len(lines) == 5
+    assert all(set(line) <= {"0", "1"} and len(line) == 5 for line in lines)
+
+
+def test_fsim_coverage_table(capsys):
+    assert main(["fsim", "c17", "-n", "200", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "coverage %" in out
+    assert "200" in out
+
+
+def test_circuits_listing(capsys):
+    assert main(["circuits"]) == 0
+    out = capsys.readouterr().out
+    for name in ("alu", "mult", "div", "comp"):
+        assert name in out
+
+
+def test_convert_roundtrip(tmp_path, capsys):
+    bench = str(tmp_path / "c17.bench")
+    sdl = str(tmp_path / "c17.sdl")
+    assert main(["convert", "c17", bench]) == 0
+    assert main(["convert", bench, sdl]) == 0
+    assert main(["analyze", sdl]) == 0
+
+
+def test_unknown_circuit_reports_error(capsys):
+    assert main(["analyze", "nonesuch"]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_convert_bad_extension(tmp_path, capsys):
+    assert main(["convert", "c17", str(tmp_path / "out.v")]) == 1
+
+
+def test_model_flags(capsys):
+    assert main([
+        "analyze", "c17", "--stem-model", "multi_output",
+        "--pin-model", "independent", "--maxvers", "1", "--maxlist", "4",
+    ]) == 0

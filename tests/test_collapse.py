@@ -1,0 +1,81 @@
+"""Unit tests for fault-equivalence collapsing.
+
+The key check is semantic: every fault in a collapsed class must have an
+identical detection word over the exhaustive pattern set.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit import CircuitBuilder
+from repro.circuits import c17, sn7485
+from repro.faults import FaultSimulator, collapse, fault_universe
+from repro.logicsim import PatternSet, simulate
+
+
+def test_collapse_reduces_c17():
+    result = collapse(c17())
+    assert result.n_total == len(fault_universe(c17()))
+    # The classic figure for c17 with pin faults: far fewer classes.
+    assert result.n_collapsed < result.n_total
+    assert result.n_collapsed >= 11  # at least one class per node pair
+
+
+@pytest.mark.parametrize("factory", [c17, sn7485])
+def test_collapsed_classes_are_behaviourally_equivalent(factory):
+    circuit = factory()
+    result = collapse(circuit)
+    ps = PatternSet.exhaustive(circuit.inputs)
+    good = simulate(circuit, ps)
+    simulator = FaultSimulator(circuit, fault_universe(circuit))
+    for representative in result.representatives:
+        words = {
+            simulator.detection_word(member, good, ps.mask)
+            for member in result.class_of(representative)
+        }
+        assert len(words) == 1, (
+            f"class of {representative} not equivalent: {words}"
+        )
+
+
+def test_not_gate_collapsing():
+    b = CircuitBuilder("inv")
+    a = b.input("a")
+    b.output(b.not_("y", a))
+    circuit = b.build()
+    result = collapse(circuit)
+    # a s-a-0 == y.in0 s-a-0 == y s-a-1; dually for the other polarity:
+    # 6 faults in 2 classes.
+    assert result.n_total == 6
+    assert result.n_collapsed == 2
+
+
+def test_and_gate_collapsing():
+    b = CircuitBuilder("and2")
+    x, y = b.inputs("x", "y")
+    b.output(b.and_("z", x, y))
+    circuit = b.build()
+    result = collapse(circuit)
+    # 10 faults: inputs s-a-0 (2, plus their stems) and z s-a-0 merge into
+    # one class; the s-a-1 faults stay separate.
+    universe = fault_universe(circuit)
+    assert result.n_total == len(universe)
+    sizes = sorted(len(result.class_of(r)) for r in result.representatives)
+    assert sizes[-1] == 5  # {x, x.pin, y, y.pin, z} all s-a-0
+    assert result.n_collapsed == 4
+
+
+def test_representatives_prefer_stems():
+    result = collapse(c17())
+    for representative in result.representatives:
+        members = result.class_of(representative)
+        if any(m.is_stem for m in members):
+            assert representative.is_stem
+
+
+def test_collapse_custom_fault_list():
+    circuit = c17()
+    subset = fault_universe(circuit)[:10]
+    result = collapse(circuit, subset)
+    assert result.n_total == 10

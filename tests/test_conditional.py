@@ -1,0 +1,95 @@
+"""Tests for the one-level conditional evaluator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit import CircuitBuilder, Topology
+from repro.probability.conditional import ConditionalEvaluator
+
+
+def build_chain():
+    b = CircuitBuilder("chain")
+    x, y = b.inputs("x", "y")
+    n1 = b.and_("n1", x, y)
+    n2 = b.not_("n2", n1)
+    b.output(n2)
+    return b.build()
+
+
+def base_probs(circuit, values=None):
+    """Tree-rule probabilities as a base estimate."""
+    from repro.circuit.types import gate_probability
+
+    probs = dict(values or {})
+    for node in circuit.nodes:
+        if circuit.is_input(node):
+            probs.setdefault(node, 0.5)
+        else:
+            gate = circuit.gates[node]
+            probs[node] = gate_probability(
+                gate.gtype, [probs[s] for s in gate.inputs], gate.table
+            )
+    return probs
+
+
+def test_condition_on_ancestor():
+    circuit = build_chain()
+    topo = Topology(circuit)
+    evaluator = ConditionalEvaluator(topo, depth=None)
+    base = base_probs(circuit)
+    # P(n1 | x=1) = p_y, P(n1 | x=0) = 0.
+    assert evaluator.probability("n1", {"x": 1}, base) == pytest.approx(0.5)
+    assert evaluator.probability("n1", {"x": 0}, base) == 0.0
+    # Through the inverter.
+    assert evaluator.probability("n2", {"x": 0}, base) == 1.0
+
+
+def test_condition_on_self():
+    circuit = build_chain()
+    evaluator = ConditionalEvaluator(Topology(circuit), depth=None)
+    base = base_probs(circuit)
+    assert evaluator.probability("n1", {"n1": 1}, base) == 1.0
+    assert evaluator.probability("n1", {"n1": 0}, base) == 0.0
+
+
+def test_unrelated_condition_returns_base():
+    circuit = build_chain()
+    evaluator = ConditionalEvaluator(Topology(circuit), depth=None)
+    base = base_probs(circuit)
+    # y's value does not affect x.
+    assert evaluator.probability("x", {"y": 1}, base) == base["x"]
+
+
+def test_depth_bound_cuts_influence():
+    circuit = build_chain()
+    evaluator = ConditionalEvaluator(Topology(circuit), depth=1)
+    base = base_probs(circuit)
+    # n2 is 2 levels from x; with depth=1 the condition is out of range.
+    assert evaluator.probability("n2", {"x": 0}, base) == base["n2"]
+
+
+def test_influence_sign():
+    circuit = build_chain()
+    evaluator = ConditionalEvaluator(Topology(circuit), depth=None)
+    base = base_probs(circuit)
+    assert evaluator.influence("n1", "x", base) == pytest.approx(0.5)
+    assert evaluator.influence("n2", "x", base) == pytest.approx(-0.5)
+
+
+def test_multi_condition_chain():
+    b = CircuitBuilder("two")
+    x, y, z = b.inputs("x", "y", "z")
+    n1 = b.or_("n1", x, y)
+    n2 = b.and_("n2", n1, z)
+    b.output(n2)
+    circuit = b.build()
+    evaluator = ConditionalEvaluator(Topology(circuit), depth=None)
+    base = base_probs(circuit)
+    # P(n2 | x=0, z=1) = P(y) = 0.5; P(n2 | x=1, z=1) = 1.
+    assert evaluator.probability(
+        "n2", {"x": 0, "z": 1}, base
+    ) == pytest.approx(0.5)
+    assert evaluator.probability(
+        "n2", {"x": 1, "z": 1}, base
+    ) == pytest.approx(1.0)

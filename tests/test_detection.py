@@ -1,0 +1,112 @@
+"""Tests for fault detection probability estimation (paper §3/§4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit import CircuitBuilder
+from repro.circuits import c17, sn74181
+from repro.detection import (
+    DetectionProbabilityEstimator,
+    exact_detection_probabilities,
+)
+from repro.errors import EstimationError
+from repro.faults import Fault, fault_universe
+from repro.report import accuracy_stats
+
+
+def test_and_gate_detection_probabilities_closed_form():
+    b = CircuitBuilder("and2")
+    x, y = b.inputs("x", "y")
+    b.output(b.and_("z", x, y))
+    circuit = b.build()
+    det = DetectionProbabilityEstimator(circuit).run(
+        input_probs={"x": 0.5, "y": 0.3}
+    )
+    # z s-a-0 needs z=1: p = 0.15; z s-a-1 needs z=0: p = 0.85.
+    assert det[Fault("z", None, 0)] == pytest.approx(0.15)
+    assert det[Fault("z", None, 1)] == pytest.approx(0.85)
+    # x s-a-0 needs x=1 and y=1.
+    assert det[Fault("x", None, 0)] == pytest.approx(0.5 * 0.3)
+    # x s-a-1 needs x=0 and y=1.
+    assert det[Fault("x", None, 1)] == pytest.approx(0.5 * 0.3)
+
+
+def test_estimates_match_exact_on_small_circuits():
+    """On fan-out-light circuits the model should be nearly exact."""
+    b = CircuitBuilder("small")
+    a, bb, c = b.inputs("a", "b", "c")
+    n1 = b.and_("n1", a, bb)
+    n2 = b.or_("n2", n1, c)
+    b.output(n2)
+    circuit = b.build()
+    faults = fault_universe(circuit)
+    estimated = DetectionProbabilityEstimator(circuit).run(faults=faults)
+    exact = exact_detection_probabilities(circuit, faults)
+    for fault in faults:
+        assert estimated[fault] == pytest.approx(exact[fault], abs=1e-9), str(fault)
+
+
+def test_alu_correlation_reproduces_table1():
+    """Table 1's headline: PROTEST correlates > 0.9 with simulation."""
+    circuit = sn74181()
+    faults = fault_universe(circuit)
+    estimated = DetectionProbabilityEstimator(circuit).run(faults=faults)
+    exact = exact_detection_probabilities(circuit, faults, max_inputs=14)
+    stats = accuracy_stats(
+        [estimated[f] for f in faults], [exact[f] for f in faults]
+    )
+    assert stats.correlation > 0.9
+    assert stats.mean_error < 0.12
+    # The documented systematic under-estimation (Figs 5/6).
+    assert stats.under_estimated > 0.5
+
+
+def test_weighted_exact_detection():
+    b = CircuitBuilder("and2")
+    x, y = b.inputs("x", "y")
+    b.output(b.and_("z", x, y))
+    circuit = b.build()
+    probs = {"x": 0.75, "y": 0.25}
+    exact = exact_detection_probabilities(circuit, input_probs=probs)
+    assert exact[Fault("z", None, 0)] == pytest.approx(0.75 * 0.25)
+    assert exact[Fault("x", None, 1)] == pytest.approx(0.25 * 0.25)
+
+
+def test_signal_probs_and_input_probs_mutually_exclusive():
+    circuit = c17()
+    estimator = DetectionProbabilityEstimator(circuit)
+    signal = estimator.signal_estimator.run()
+    with pytest.raises(EstimationError, match="not both"):
+        estimator.run(input_probs=0.5, signal_probs=signal)
+
+
+def test_reusing_signal_probabilities():
+    circuit = c17()
+    estimator = DetectionProbabilityEstimator(circuit)
+    signal = estimator.signal_estimator.run()
+    a = estimator.run(signal_probs=signal)
+    b = estimator.run()
+    assert a == b
+
+
+def test_branch_vs_stem_faults_differ_across_fanout():
+    """On a fan-out stem, the branch fault is easier than the stem fault
+    under the chain model (only one path needs to propagate)."""
+    circuit = c17()
+    faults = fault_universe(circuit)
+    det = DetectionProbabilityEstimator(circuit).run(faults=faults)
+    # G11 fans out to G16 and G19.
+    stem = det[Fault("G11", None, 0)]
+    branch16 = det[Fault("G16", 1, 0)]
+    branch19 = det[Fault("G19", 0, 0)]
+    assert branch16 > 0 and branch19 > 0 and stem > 0
+    # Consistency of the chain rule at the stem.
+    assert stem <= branch16 + branch19 + 1e-9
+
+
+def test_exact_detection_input_cap():
+    from repro.circuits import comp24
+
+    with pytest.raises(EstimationError, match="capped"):
+        exact_detection_probabilities(comp24())

@@ -1,0 +1,176 @@
+"""Tests for the exact engines (enumeration, BDD) and the cutting bounds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit import CircuitBuilder
+from repro.circuits import c17, comp24, parity_tree
+from repro.errors import EstimationError
+from repro.probability import (
+    BDD,
+    bdd_signal_probabilities,
+    circuit_bdds,
+    exact_signal_probabilities,
+    interval_gate,
+    pattern_weights,
+    probability_bounds,
+)
+from repro.circuit.types import GateType
+
+
+def test_pattern_weights_sum_to_one():
+    weights = pattern_weights(3, [0.2, 0.7, 0.5])
+    assert len(weights) == 8
+    assert sum(weights) == pytest.approx(1.0)
+    # Pattern 0 (all zeros) has weight (1-p0)(1-p1)(1-p2).
+    assert weights[0] == pytest.approx(0.8 * 0.3 * 0.5)
+    # Pattern 0b101: inputs 0 and 2 high.
+    assert weights[0b101] == pytest.approx(0.2 * 0.3 * 0.5)
+
+
+def test_exact_uniform_counts(reconvergent_circuit):
+    exact = exact_signal_probabilities(reconvergent_circuit)
+    # k = x & y & z over uniform inputs.
+    assert exact["k"] == pytest.approx(1 / 8)
+
+
+def test_exact_weighted(reconvergent_circuit):
+    probs = {"x": 0.25, "y": 0.5, "z": 1.0}
+    exact = exact_signal_probabilities(reconvergent_circuit, probs)
+    assert exact["k"] == pytest.approx(0.25 * 0.5 * 1.0)
+
+
+def test_exact_input_cap():
+    circuit = parity_tree(20)
+    with pytest.raises(EstimationError, match="capped"):
+        exact_signal_probabilities(circuit)
+    # Raising the cap explicitly works (parity of 20 uniform bits = 0.5).
+    exact = exact_signal_probabilities(
+        circuit, nodes=[circuit.outputs[0]], max_inputs=20
+    )
+    assert exact[circuit.outputs[0]] == pytest.approx(0.5)
+
+
+# --- BDD ------------------------------------------------------------------
+
+
+def test_bdd_variable_and_negation():
+    bdd = BDD(["a", "b"])
+    a = bdd.var("a")
+    na = bdd.negate(a)
+    assert bdd.negate(na) == a  # involution via unique table
+    assert bdd.probability(a, {"a": 0.3, "b": 0.9}) == pytest.approx(0.3)
+    assert bdd.probability(na, {"a": 0.3, "b": 0.9}) == pytest.approx(0.7)
+
+
+def test_bdd_apply_reduction():
+    bdd = BDD(["a"])
+    a = bdd.var("a")
+    assert bdd.apply("and", a, a) == a
+    assert bdd.apply("xor", a, a) == 0
+    assert bdd.apply("or", a, bdd.negate(a)) == 1
+
+
+def test_bdd_ite():
+    bdd = BDD(["s", "x", "y"])
+    s, x, y = bdd.var("s"), bdd.var("x"), bdd.var("y")
+    mux = bdd.ite(s, y, x)
+    probs = {"s": 0.5, "x": 0.2, "y": 0.8}
+    assert bdd.probability(mux, probs) == pytest.approx(0.5 * 0.8 + 0.5 * 0.2)
+
+
+def test_bdd_unknown_variable():
+    bdd = BDD(["a"])
+    with pytest.raises(EstimationError):
+        bdd.var("zz")
+    with pytest.raises(EstimationError):
+        BDD(["a", "a"])
+
+
+def test_bdd_node_limit():
+    bdd = BDD([f"v{i}" for i in range(8)], node_limit=3)
+    with pytest.raises(EstimationError, match="node limit"):
+        refs = [bdd.var(f"v{i}") for i in range(8)]
+        bdd.apply_many("xor", refs)
+
+
+@pytest.mark.parametrize("factory", [c17, lambda: parity_tree(6)])
+def test_bdd_probabilities_match_enumeration(factory):
+    circuit = factory()
+    enum = exact_signal_probabilities(circuit)
+    via_bdd = bdd_signal_probabilities(circuit)
+    for node in circuit.nodes:
+        assert via_bdd[node] == pytest.approx(enum[node], abs=1e-12), node
+
+
+def test_bdd_handles_comp_cascade():
+    """COMP's BDDs stay small — the reason BDDs are our second reference."""
+    circuit = comp24(width=8, name="COMP8")
+    probs = bdd_signal_probabilities(circuit, nodes=circuit.outputs)
+    # With uniform inputs and TI uniform: P(A=B chunk) = 2^-8 ...
+    # final OAEB = P(words equal) * P(TI2=1) = 2^-8 * 0.5.
+    assert probs["OAEB"] == pytest.approx(2.0 ** -8 * 0.5, rel=1e-9)
+
+
+def test_bdd_lut_gate():
+    b = CircuitBuilder("lut")
+    x, y = b.inputs("x", "y")
+    n = b.lut("n", 0b0110, x, y)  # XOR
+    b.output(n)
+    circuit = b.build()
+    probs = bdd_signal_probabilities(circuit, {"x": 0.3, "y": 0.4})
+    assert probs["n"] == pytest.approx(0.3 * 0.6 + 0.7 * 0.4)
+
+
+def test_circuit_bdds_size_query():
+    bdd, refs = circuit_bdds(parity_tree(8))
+    out = refs["PARITY"]
+    # Parity BDD is linear in width.
+    assert bdd.size(out) == 2 * 8 - 1 - 0  # 15 nodes for 8-input parity
+
+
+# --- Cutting bounds ----------------------------------------------------------
+
+
+def test_interval_gate_monotone():
+    lo, hi = interval_gate(GateType.AND, [(0.2, 0.4), (0.5, 1.0)])
+    assert lo == pytest.approx(0.1)
+    assert hi == pytest.approx(0.4)
+    lo, hi = interval_gate(GateType.NOR, [(0.2, 0.4), (0.0, 0.5)])
+    assert lo == pytest.approx(0.6 * 0.5)
+    assert hi == pytest.approx(0.8 * 1.0)
+
+
+def test_interval_gate_xor_corners():
+    lo, hi = interval_gate(GateType.XOR, [(0.0, 1.0), (0.5, 0.5)])
+    assert lo == pytest.approx(0.5)
+    assert hi == pytest.approx(0.5)
+    lo, hi = interval_gate(GateType.XOR, [(0.0, 0.2), (0.0, 0.1)])
+    assert lo == 0.0
+    assert hi == pytest.approx(0.2 + 0.1 - 2 * 0.2 * 0.1)
+
+
+def test_bounds_contain_exact_on_c17():
+    circuit = c17()
+    exact = exact_signal_probabilities(circuit)
+    bounds = probability_bounds(circuit)
+    for node in circuit.nodes:
+        lo, hi = bounds[node]
+        assert lo - 1e-12 <= exact[node] <= hi + 1e-12, node
+        assert 0.0 <= lo <= hi <= 1.0
+
+
+def test_bounds_tight_on_trees(tree_circuit):
+    exact = exact_signal_probabilities(tree_circuit)
+    bounds = probability_bounds(tree_circuit)
+    for node in tree_circuit.nodes:
+        lo, hi = bounds[node]
+        assert hi - lo < 1e-12  # no fan-out, nothing is cut
+        assert lo == pytest.approx(exact[node])
+
+
+def test_bounds_widen_after_reconvergence(reconvergent_circuit):
+    bounds = probability_bounds(reconvergent_circuit)
+    lo, hi = bounds["k"]
+    assert hi - lo > 0.1  # the cut branch costs real information

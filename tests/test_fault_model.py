@@ -1,0 +1,85 @@
+"""Unit tests for the stuck-at fault model and fault universes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import c17
+from repro.errors import ReproError
+from repro.faults import (
+    Fault,
+    branch_faults,
+    fault_universe,
+    faults_for_nodes,
+    stem_faults,
+)
+
+
+def test_fault_validation():
+    with pytest.raises(ReproError):
+        Fault("x", None, 2)
+    with pytest.raises(ReproError):
+        Fault("x", -1, 0)
+
+
+def test_fault_site_and_str():
+    stem = Fault("G10", None, 0)
+    branch = Fault("G16", 1, 1)
+    assert stem.is_stem and not branch.is_stem
+    assert stem.site == "G10"
+    assert branch.site == "G16.in1"
+    assert str(stem) == "G10 s-a-0"
+    assert str(branch) == "G16.in1 s-a-1"
+
+
+def test_fault_hashable_and_sortable():
+    faults = fault_universe(c17())
+    assert len(set(faults)) == len(faults)
+    ordered = sorted(faults, key=lambda f: f.sort_key)
+    assert ordered[0].is_stem
+
+
+def test_stem_fault_count():
+    circuit = c17()
+    stems = stem_faults(circuit)
+    # 5 inputs + 6 gates, both polarities.
+    assert len(stems) == 2 * 11
+
+
+def test_branch_fault_count():
+    circuit = c17()
+    branches = branch_faults(circuit)
+    total_pins = sum(g.arity for g in circuit.gates.values())
+    assert len(branches) == 2 * total_pins
+
+
+def test_branch_faults_fanout_stem_filter():
+    circuit = c17()
+    filtered = branch_faults(circuit, only_fanout_stems=True)
+    full = branch_faults(circuit)
+    assert 0 < len(filtered) < len(full)
+    # Every kept pin is fed by a multi-fan-out stem.
+    from repro.circuit import Topology
+
+    topo = Topology(circuit)
+    for fault in filtered:
+        src = circuit.gates[fault.node].inputs[fault.pin]
+        assert topo.fanout_degree(src) > 1
+
+
+def test_fault_universe_composition():
+    circuit = c17()
+    universe = fault_universe(circuit)
+    assert len(universe) == len(stem_faults(circuit)) + len(
+        branch_faults(circuit)
+    )
+    stems_only = fault_universe(circuit, include_branches=False)
+    assert len(stems_only) == len(stem_faults(circuit))
+
+
+def test_faults_for_nodes():
+    circuit = c17()
+    faults = list(faults_for_nodes(circuit, ["G10", "G1"]))
+    assert len(faults) == 4
+    with pytest.raises(ReproError, match="unknown node"):
+        list(faults_for_nodes(circuit, ["nope"]))

@@ -1,0 +1,162 @@
+"""Unit tests for gate semantics (packed eval, probabilities, differences)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.circuit.types import (
+    GateType,
+    arity_range,
+    boolean_difference_probability,
+    cofactor_probability,
+    controlling_value,
+    eval_bool,
+    eval_packed,
+    gate_probability,
+    inversion_parity,
+    lut_table,
+)
+from repro.errors import CircuitError
+
+TWO_INPUT = [
+    (GateType.AND, lambda a, b: a & b),
+    (GateType.OR, lambda a, b: a | b),
+    (GateType.NAND, lambda a, b: 1 - (a & b)),
+    (GateType.NOR, lambda a, b: 1 - (a | b)),
+    (GateType.XOR, lambda a, b: a ^ b),
+    (GateType.XNOR, lambda a, b: 1 - (a ^ b)),
+]
+
+
+@pytest.mark.parametrize("gtype,func", TWO_INPUT)
+def test_eval_bool_two_input_truth_tables(gtype, func):
+    for a, b in itertools.product((0, 1), repeat=2):
+        assert eval_bool(gtype, [a, b]) == func(a, b)
+
+
+@pytest.mark.parametrize("gtype,func", TWO_INPUT)
+def test_eval_packed_matches_bitwise(gtype, func):
+    mask = (1 << 4) - 1
+    a_word = 0b0101  # pattern j: a = j & 1
+    b_word = 0b0011  # pattern j: b = (j >> 1) & 1
+    word = eval_packed(gtype, [a_word, b_word], mask)
+    for j in range(4):
+        expected = func((a_word >> j) & 1, (b_word >> j) & 1)
+        assert (word >> j) & 1 == expected
+
+
+def test_eval_not_buf_const():
+    mask = 0b111
+    assert eval_packed(GateType.NOT, [0b010], mask) == 0b101
+    assert eval_packed(GateType.BUF, [0b010], mask) == 0b010
+    assert eval_packed(GateType.CONST0, [], mask) == 0
+    assert eval_packed(GateType.CONST1, [], mask) == mask
+
+
+def test_eval_wide_gates():
+    mask = (1 << 8) - 1
+    ops = [0b11110000, 0b11001100, 0b10101010]
+    anded = eval_packed(GateType.AND, ops, mask)
+    assert anded == 0b11110000 & 0b11001100 & 0b10101010
+    xored = eval_packed(GateType.XOR, ops, mask)
+    assert xored == 0b11110000 ^ 0b11001100 ^ 0b10101010
+
+
+def test_lut_eval_matches_table():
+    # 2-input LUT implementing a -> b (implication): table rows m0..m3.
+    table = 0b1101  # 00->1, 01->0, 10->1, 11->1  (input0 = a, input1 = b)
+    for a, b in itertools.product((0, 1), repeat=2):
+        m = a | (b << 1)
+        assert eval_bool(GateType.LUT, [a, b], table) == (table >> m) & 1
+
+
+def test_lut_table_validation():
+    with pytest.raises(CircuitError):
+        lut_table(GateType.LUT, 2, None)
+    with pytest.raises(CircuitError):
+        lut_table(GateType.LUT, 2, 1 << 4)  # out of range for 4 rows
+    assert lut_table(GateType.LUT, 2, 0b1010) == 0b1010
+    with pytest.raises(CircuitError):
+        lut_table(GateType.AND, 2, 3)
+
+
+def test_arity_ranges():
+    assert arity_range(GateType.AND) == (2, None)
+    assert arity_range(GateType.NOT) == (1, 1)
+    assert arity_range(GateType.CONST0) == (0, 0)
+    lo, hi = arity_range(GateType.LUT)
+    assert lo == 1 and hi == 16
+
+
+@pytest.mark.parametrize("gtype,func", TWO_INPUT)
+def test_gate_probability_matches_enumeration(gtype, func):
+    pa, pb = 0.3, 0.8
+    expected = sum(
+        (pa if a else 1 - pa) * (pb if b else 1 - pb)
+        for a, b in itertools.product((0, 1), repeat=2)
+        if func(a, b)
+    )
+    assert gate_probability(gtype, [pa, pb]) == pytest.approx(expected)
+
+
+def test_gate_probability_wide_xor():
+    # XOR of n independent p=0.5 signals is exactly 0.5.
+    assert gate_probability(GateType.XOR, [0.5] * 5) == pytest.approx(0.5)
+    # XOR of biased inputs: closed form (1 - prod(1-2p))/2.
+    probs = [0.1, 0.3, 0.7]
+    prod = 1.0
+    for p in probs:
+        prod *= 1.0 - 2.0 * p
+    assert gate_probability(GateType.XOR, probs) == pytest.approx(
+        (1.0 - prod) / 2.0
+    )
+
+
+def test_lut_probability_matches_enumeration():
+    table = 0b0110  # XOR as a LUT
+    probs = [0.25, 0.6]
+    assert gate_probability(GateType.LUT, probs, table) == pytest.approx(
+        gate_probability(GateType.XOR, probs)
+    )
+
+
+def test_cofactor_probability():
+    # AND with a forced to 1 has probability p_b.
+    assert cofactor_probability(GateType.AND, [0.3, 0.8], 0, 1) == pytest.approx(0.8)
+    assert cofactor_probability(GateType.AND, [0.3, 0.8], 0, 0) == 0.0
+
+
+def test_boolean_difference_and_gate_both_models_agree():
+    # For unate gates the independent model equals the exact difference.
+    probs = [0.3, 0.8, 0.6]
+    for gtype in (GateType.AND, GateType.OR, GateType.NAND, GateType.NOR):
+        for pin in range(3):
+            approx = boolean_difference_probability(gtype, probs, pin)
+            exact = boolean_difference_probability(
+                gtype, probs, pin, exact=True
+            )
+            assert approx == pytest.approx(exact)
+
+
+def test_boolean_difference_xor_models_differ():
+    probs = [0.5, 0.5]
+    exact = boolean_difference_probability(GateType.XOR, probs, 0, exact=True)
+    approx = boolean_difference_probability(GateType.XOR, probs, 0)
+    assert exact == pytest.approx(1.0)  # XOR always propagates
+    assert approx == pytest.approx(0.5)  # the paper's independence artefact
+
+
+def test_controlling_values_and_parity():
+    assert controlling_value(GateType.AND) == 0
+    assert controlling_value(GateType.NOR) == 1
+    assert controlling_value(GateType.XOR) is None
+    assert inversion_parity(GateType.NAND) is True
+    assert inversion_parity(GateType.OR) is False
+    assert inversion_parity(GateType.LUT) is None
+
+
+def test_unknown_gate_type_rejected():
+    with pytest.raises(CircuitError):
+        eval_packed("MYSTERY", [1], 1)  # type: ignore[arg-type]

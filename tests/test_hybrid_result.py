@@ -1,0 +1,50 @@
+"""Additional invariants of the hybrid-ATPG result accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.atpg import hybrid_atpg
+from repro.circuits import c17
+from repro.faults import FaultSimulator, fault_universe
+from repro.logicsim import PatternSet
+
+
+def test_accounting_adds_up():
+    circuit = c17()
+    result = hybrid_atpg(circuit, n_random=32, seed=9)
+    resolved = (
+        result.detected_by_random
+        + result.detected_by_podem
+        + result.proven_redundant
+        + result.aborted
+    )
+    assert resolved == result.n_faults
+    assert 0.0 <= result.coverage <= 1.0
+    assert result.random_patterns == 32
+    assert result.random_seconds >= 0.0
+    assert result.podem_seconds >= 0.0
+
+
+def test_deterministic_patterns_actually_detect():
+    """Every PODEM pattern in the result must detect at least one of the
+    random-phase survivors."""
+    circuit = c17()
+    result = hybrid_atpg(circuit, n_random=16, seed=2)
+    if not result.deterministic_patterns:
+        pytest.skip("random phase detected everything")
+    faults = fault_universe(circuit)
+    simulator = FaultSimulator(circuit, faults)
+    patterns = PatternSet.from_vectors(
+        circuit.inputs, result.deterministic_patterns
+    )
+    outcome = simulator.run(patterns)
+    detected = sum(1 for r in outcome.records.values() if r.detected)
+    assert detected >= len(result.deterministic_patterns)
+
+
+def test_more_random_patterns_reduce_podem_share():
+    circuit = c17()
+    small = hybrid_atpg(circuit, n_random=4, seed=5)
+    large = hybrid_atpg(circuit, n_random=256, seed=5)
+    assert large.podem_workload <= small.podem_workload

@@ -1,0 +1,113 @@
+"""End-to-end integration tests: the paper's workflow on real circuits."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import comp24, divider, sn74181
+from repro.detection import DetectionProbabilityEstimator, exact_detection_probabilities
+from repro.faults import FaultSimulator, fault_universe
+from repro.logicsim import PatternSet
+from repro.protest import Protest
+from repro.report import accuracy_stats
+from repro.testlen import required_test_length
+
+
+def test_alu_full_pipeline_table1_and_table2():
+    """Estimate -> correlate vs exact -> test length -> validate by fsim."""
+    circuit = sn74181()
+    tool = Protest(circuit)
+    faults = tool.faults
+    estimated = tool.detection_probabilities()
+    exact = exact_detection_probabilities(circuit, faults, max_inputs=14)
+    stats = accuracy_stats(
+        [estimated[f] for f in faults], [exact[f] for f in faults]
+    )
+    # Table 1 shape: correlation comfortably above 0.9.
+    assert stats.correlation > 0.9
+
+    # Table 2 shape: a couple hundred patterns at d = e = 0.98.
+    n = tool.test_length(confidence=0.98, fraction=0.98)
+    assert 50 <= n <= 2000
+
+    # Validation by fault simulation (the paper reports 99.9..100 %).
+    patterns = tool.generate_patterns(n, seed=7)
+    result = tool.fault_simulate(patterns)
+    assert result.coverage() >= 0.97
+
+
+def test_comp_random_pattern_resistance_table3():
+    """COMP at p = 0.5 needs astronomically many patterns (Table 3)."""
+    circuit = comp24()
+    detection = DetectionProbabilityEstimator(circuit).run()
+    values = list(detection.values())
+    n_full = required_test_length(values, 0.95)
+    assert n_full > 10**7  # paper: 2.9 * 10^8
+    # d=0.98 helps but stays enormous.
+    n_frac = required_test_length(values, 0.95, fraction=0.98)
+    assert n_frac > 10**6
+
+
+def test_comp_optimization_reduces_length_table5():
+    """Optimized probabilities shrink COMP's test by orders of magnitude."""
+    circuit = comp24()
+    tool = Protest(circuit)
+    baseline = tool.test_length(confidence=0.95, fraction=0.98)
+    result = tool.optimize(n_ref=8192, max_rounds=6)
+    optimized = tool.test_length(
+        confidence=0.95, fraction=0.98, input_probs=result.probabilities
+    )
+    assert optimized < baseline / 100  # paper: ~5 orders of magnitude
+
+
+def test_div_coverage_growth_table6_shape():
+    """Uniform random patterns stall on DIV; weighted ones do better."""
+    circuit = divider(10, 10, name="DIV10")  # scaled for test speed
+    faults = fault_universe(circuit)
+    simulator = FaultSimulator(circuit, faults)
+    uniform = simulator.run(
+        PatternSet.random(circuit.inputs, 1000, seed=5),
+        block_size=500,
+        drop_detected=True,
+    )
+    # Divisor high bits biased low, dividend high bits biased high:
+    # quotient bits get exercised (the §6 story in miniature).
+    weights = {name: 0.5 for name in circuit.inputs}
+    for i in range(5, 10):
+        weights[f"V{i}"] = 0.125
+        weights[f"D{i}"] = 0.875
+    weighted = simulator.run(
+        PatternSet.random(circuit.inputs, 1000, weights, seed=5),
+        block_size=500,
+        drop_detected=True,
+    )
+    assert weighted.coverage() > uniform.coverage() + 0.02
+
+
+def test_estimator_predicts_simulated_coverage():
+    """expected_coverage from estimates tracks the simulated curve."""
+    circuit = sn74181()
+    tool = Protest(circuit)
+    patterns = tool.generate_patterns(512, seed=11)
+    simulated = tool.fault_simulate(patterns)
+    for n in (32, 128, 512):
+        predicted = tool.expected_coverage(n)
+        measured = simulated.coverage_at(n)
+        assert abs(predicted - measured) < 0.08, n
+
+
+def test_weighted_pattern_generation_matches_optimized_tuple():
+    """§8 flow: optimized tuple -> hardware weights -> observed stream."""
+    from repro.bist import WeightedGenerator
+
+    circuit = comp24(width=8, name="COMP8")
+    tool = Protest(circuit)
+    result = tool.optimize(n_ref=2048, max_rounds=4)
+    generator = WeightedGenerator(
+        circuit.inputs, result.probabilities, grid=16
+    )
+    stream = generator.patterns(4000, seed=13)
+    observed = stream.observed_probabilities()
+    realized = generator.realized_probabilities()
+    for name in circuit.inputs:
+        assert observed[name] == pytest.approx(realized[name], abs=0.05)

@@ -1,0 +1,94 @@
+"""Unit tests for the bit-parallel simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit import CircuitBuilder
+from repro.circuits import c17
+from repro.errors import SimulationError
+from repro.logicsim import (
+    PatternSet,
+    node_probabilities,
+    simulate,
+    simulate_outputs,
+)
+
+
+def eval_c17(vec):
+    """Direct Python evaluation of c17 for cross-checking."""
+    g10 = 1 - (vec["G1"] & vec["G3"])
+    g11 = 1 - (vec["G3"] & vec["G6"])
+    g16 = 1 - (vec["G2"] & g11)
+    g19 = 1 - (g11 & vec["G7"])
+    return {
+        "G22": 1 - (g10 & g16),
+        "G23": 1 - (g16 & g19),
+    }
+
+
+def test_c17_exhaustive_against_python_model():
+    circuit = c17()
+    ps = PatternSet.exhaustive(circuit.inputs)
+    values = simulate(circuit, ps)
+    for j in range(ps.n_patterns):
+        vec = ps.vector(j)
+        expected = eval_c17(vec)
+        for out, want in expected.items():
+            assert (values[out] >> j) & 1 == want
+
+
+def test_simulate_outputs_subset():
+    circuit = c17()
+    ps = PatternSet.random(circuit.inputs, 64, seed=5)
+    outs = simulate_outputs(circuit, ps)
+    assert set(outs) == {"G22", "G23"}
+
+
+def test_overrides_force_nodes():
+    circuit = c17()
+    ps = PatternSet.random(circuit.inputs, 32, seed=5)
+    forced = simulate(circuit, ps, overrides={"G11": 0})
+    assert forced["G11"] == 0
+    # G16 = NAND(G2, G11) with G11 = 0 is constant 1.
+    assert forced["G16"] == ps.mask
+
+
+def test_override_unknown_node_rejected():
+    circuit = c17()
+    ps = PatternSet.random(circuit.inputs, 8, seed=5)
+    with pytest.raises(SimulationError, match="unknown node"):
+        simulate(circuit, ps, overrides={"nope": 0})
+
+
+def test_pattern_set_must_cover_inputs():
+    circuit = c17()
+    ps = PatternSet.random(["G1"], 8, seed=5)
+    with pytest.raises(SimulationError, match="lacks inputs"):
+        simulate(circuit, ps)
+
+
+def test_node_probabilities_match_popcounts():
+    circuit = c17()
+    ps = PatternSet.exhaustive(circuit.inputs)
+    probs = node_probabilities(circuit, ps)
+    # NAND of two uniform independent inputs is 1 with prob 3/4.
+    assert probs["G10"] == pytest.approx(0.75)
+    assert probs["G1"] == pytest.approx(0.5)
+
+
+def test_node_probabilities_empty_patterns_rejected():
+    circuit = c17()
+    empty = PatternSet(circuit.inputs, 0, {n: 0 for n in circuit.inputs})
+    with pytest.raises(SimulationError):
+        node_probabilities(circuit, empty)
+
+
+def test_packed_values_masked():
+    b = CircuitBuilder("inv")
+    a = b.input("a")
+    b.output(b.not_("y", a))
+    circuit = b.build()
+    ps = PatternSet.from_vectors(["a"], [{"a": 0}, {"a": 1}, {"a": 0}])
+    values = simulate(circuit, ps)
+    assert values["y"] == 0b101  # no stray bits beyond the mask

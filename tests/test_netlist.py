@@ -1,0 +1,132 @@
+"""Unit tests for the Circuit / Gate data structures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit import Circuit, Gate, GateType
+from repro.errors import CircuitError
+
+
+def make_simple():
+    gates = [
+        Gate("n1", GateType.AND, ("a", "b")),
+        Gate("n2", GateType.NOT, ("n1",)),
+    ]
+    return Circuit("simple", ["a", "b"], ["n2"], gates)
+
+
+def test_basic_construction():
+    circuit = make_simple()
+    assert circuit.inputs == ("a", "b")
+    assert circuit.outputs == ("n2",)
+    assert circuit.n_gates == 2
+    assert circuit.n_nodes == 4
+    assert len(circuit) == 4
+
+
+def test_topological_order_inputs_first():
+    circuit = make_simple()
+    order = circuit.nodes
+    assert set(order[:2]) == {"a", "b"}
+    assert order.index("n1") < order.index("n2")
+
+
+def test_gate_lookup():
+    circuit = make_simple()
+    assert circuit.gate("n1").gtype is GateType.AND
+    with pytest.raises(CircuitError):
+        circuit.gate("a")  # primary input has no driving gate
+
+
+def test_is_input_output_contains():
+    circuit = make_simple()
+    assert circuit.is_input("a") and not circuit.is_input("n1")
+    assert circuit.is_output("n2") and not circuit.is_output("n1")
+    assert "n1" in circuit and "zz" not in circuit
+    assert 42 not in circuit
+
+
+def test_duplicate_driver_rejected():
+    gates = [
+        Gate("n1", GateType.AND, ("a", "b")),
+        Gate("n1", GateType.OR, ("a", "b")),
+    ]
+    with pytest.raises(CircuitError, match="driven twice"):
+        Circuit("bad", ["a", "b"], ["n1"], gates)
+
+
+def test_input_also_driven_rejected():
+    gates = [Gate("a", GateType.NOT, ("b",))]
+    with pytest.raises(CircuitError, match="also driven"):
+        Circuit("bad", ["a", "b"], ["a"], gates)
+
+
+def test_undriven_source_rejected():
+    gates = [Gate("n1", GateType.AND, ("a", "ghost"))]
+    with pytest.raises(CircuitError, match="undriven node"):
+        Circuit("bad", ["a"], ["n1"], gates)
+
+
+def test_undriven_output_rejected():
+    with pytest.raises(CircuitError, match="undriven"):
+        Circuit("bad", ["a"], ["ghost"], [])
+
+
+def test_duplicate_output_rejected():
+    gates = [Gate("n1", GateType.NOT, ("a",))]
+    with pytest.raises(CircuitError, match="duplicate primary output"):
+        Circuit("bad", ["a"], ["n1", "n1"], gates)
+
+
+def test_duplicate_input_rejected():
+    with pytest.raises(CircuitError, match="duplicate primary input"):
+        Circuit("bad", ["a", "a"], ["a"], [])
+
+
+def test_combinational_loop_rejected():
+    gates = [
+        Gate("n1", GateType.AND, ("a", "n2")),
+        Gate("n2", GateType.OR, ("n1", "a")),
+    ]
+    with pytest.raises(CircuitError, match="loop"):
+        Circuit("bad", ["a"], ["n2"], gates)
+
+
+def test_self_loop_rejected():
+    gates = [Gate("n1", GateType.BUF, ("n1",))]
+    with pytest.raises(CircuitError, match="loop"):
+        Circuit("bad", ["a"], ["n1"], gates)
+
+
+def test_gate_arity_enforced():
+    with pytest.raises(CircuitError, match="inputs"):
+        Gate("n1", GateType.NOT, ("a", "b"))
+    with pytest.raises(CircuitError, match="inputs"):
+        Gate("n1", GateType.AND, ("a",))
+    # Wide AND is fine.
+    Gate("n1", GateType.AND, tuple("abcdefgh"))
+
+
+def test_repeated_input_pin_allowed():
+    gates = [Gate("n1", GateType.AND, ("a", "a"))]
+    circuit = Circuit("ok", ["a"], ["n1"], gates)
+    assert circuit.gate("n1").arity == 2
+
+
+def test_output_can_be_primary_input():
+    circuit = Circuit("wire", ["a"], ["a"], [])
+    assert circuit.is_output("a")
+
+
+def test_stats():
+    stats = make_simple().stats()
+    assert stats["inputs"] == 2
+    assert stats["gates"] == 2
+    assert stats["gates_AND"] == 1
+    assert stats["gates_NOT"] == 1
+
+
+def test_repr_mentions_counts():
+    text = repr(make_simple())
+    assert "simple" in text and "gates=2" in text

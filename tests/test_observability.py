@@ -1,0 +1,142 @@
+"""Tests for observability propagation (paper §3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit import CircuitBuilder
+from repro.detection import ObservabilityAnalyzer, combine_chain
+from repro.errors import EstimationError
+from repro.probability import SignalProbabilityEstimator
+
+
+def analyzed(circuit, **kwargs):
+    probs = SignalProbabilityEstimator(circuit).run()
+    return ObservabilityAnalyzer(circuit, **kwargs).run(probs), probs
+
+
+def test_combine_chain_algebra():
+    assert combine_chain([]) == 0.0
+    assert combine_chain([0.3]) == pytest.approx(0.3)
+    assert combine_chain([0.3, 0.4]) == pytest.approx(0.3 + 0.4 - 2 * 0.12)
+    # Associativity.
+    assert combine_chain([0.2, 0.5, 0.7]) == pytest.approx(
+        combine_chain([combine_chain([0.2, 0.5]), 0.7])
+    )
+
+
+def test_primary_output_fully_observable():
+    b = CircuitBuilder("wire")
+    a = b.input("a")
+    b.output(b.buf("y", a))
+    circuit = b.build()
+    obs, _ = analyzed(circuit)
+    assert obs.stem("y") == 1.0
+    assert obs.stem("a") == 1.0  # buffer difference probability is 1
+
+
+def test_and_pin_observability_is_side_probability():
+    b = CircuitBuilder("and2")
+    x, y = b.inputs("x", "y")
+    b.output(b.and_("z", x, y))
+    circuit = b.build()
+    probs = SignalProbabilityEstimator(circuit).run({"x": 0.5, "y": 0.3})
+    obs = ObservabilityAnalyzer(circuit).run(probs)
+    assert obs.pin("z", 0) == pytest.approx(0.3)  # side input y
+    assert obs.pin("z", 1) == pytest.approx(0.5)
+    assert obs.stem("x") == pytest.approx(0.3)
+
+
+def test_xor_pin_models_differ():
+    b = CircuitBuilder("xor2")
+    x, y = b.inputs("x", "y")
+    b.output(b.xor("z", x, y))
+    circuit = b.build()
+    probs = SignalProbabilityEstimator(circuit).run()
+    exact = ObservabilityAnalyzer(circuit, pin_model="boolean_difference").run(probs)
+    indep = ObservabilityAnalyzer(circuit, pin_model="independent").run(probs)
+    assert exact.pin("z", 0) == pytest.approx(1.0)
+    assert indep.pin("z", 0) == pytest.approx(0.5)
+
+
+def test_stem_models_on_fanout():
+    """A stem feeding two XOR paths to two POs: chain vs multi-output."""
+    b = CircuitBuilder("fan")
+    x, y, z = b.inputs("x", "y", "z")
+    o1 = b.xor("o1", x, y)
+    o2 = b.xor("o2", x, z)
+    b.output(o1)
+    b.output(o2)
+    circuit = b.build()
+    probs = SignalProbabilityEstimator(circuit).run()
+    chain = ObservabilityAnalyzer(
+        circuit, stem_model="chain", pin_model="boolean_difference"
+    ).run(probs)
+    multi = ObservabilityAnalyzer(
+        circuit, stem_model="multi_output", pin_model="boolean_difference"
+    ).run(probs)
+    # Both branches observable with probability 1 (exact XOR difference):
+    # the "exactly one path" chain model cancels them, the multi-output
+    # model saturates at 1 — the Fig. 6 bias in miniature.
+    assert chain.stem("x") == pytest.approx(0.0)
+    assert multi.stem("x") == pytest.approx(1.0)
+
+
+def test_po_with_further_fanout():
+    """A node that is both PO and internal stem: PO contributes s = 1."""
+    b = CircuitBuilder("po_stem")
+    x, y = b.inputs("x", "y")
+    n = b.and_("n", x, y)
+    m = b.not_("m", n)
+    b.output(n)
+    b.output(m)
+    circuit = b.build()
+    obs, _ = analyzed(circuit, stem_model="multi_output")
+    assert obs.stem("n") == pytest.approx(1.0)
+
+
+def test_unobservable_without_path():
+    """Dangling logic has observability 0."""
+    b = CircuitBuilder("dangle")
+    x, y = b.inputs("x", "y")
+    b.and_("dead", x, y)
+    b.output(b.not_("out", x))
+    circuit = b.build()
+    obs, _ = analyzed(circuit)
+    assert obs.stem("dead") == 0.0
+    assert obs.pin("dead", 1) == 0.0
+    assert obs.stem("y") == 0.0
+
+
+def test_invalid_models_rejected():
+    b = CircuitBuilder("x")
+    a = b.input("a")
+    b.output(b.buf("y", a))
+    circuit = b.build()
+    with pytest.raises(EstimationError):
+        ObservabilityAnalyzer(circuit, stem_model="nope")
+    with pytest.raises(EstimationError):
+        ObservabilityAnalyzer(circuit, pin_model="nope")
+
+
+def test_observability_attenuates_through_and_chain():
+    """s decays by the side-probability per AND level (chain of ANDs)."""
+    b = CircuitBuilder("chain")
+    current = b.input("i0")
+    for level in range(1, 5):
+        nxt = b.input(f"i{level}")
+        current = b.and_(f"n{level}", current, nxt)
+    b.output(current)
+    circuit = b.build()
+    obs, probs = analyzed(circuit)
+    # i0 must pass 4 AND gates, each with side probability ~0.5, 0.25, ...
+    expected = 1.0
+    for level in range(1, 5):
+        expected *= probs[f"i{level}"] if level == 1 else probs[f"n{level - 1}"]
+    # match: s(i0) = prod of side input probabilities
+    side = probs["i1"]
+    s = obs.stem("i0")
+    assert s < 0.1  # strongly attenuated
+    assert s == pytest.approx(
+        probs["i1"] * probs["i2"] * probs["i3"] * probs["i4"], abs=1e-9
+    )

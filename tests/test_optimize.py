@@ -1,0 +1,105 @@
+"""Tests for the input-probability optimizer (paper §6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit import CircuitBuilder
+from repro.circuits import comp24
+from repro.errors import OptimizationError
+from repro.optimize import TestQualityObjective, optimize_input_probabilities
+from repro.testlen import required_test_length
+
+
+def skewed_and_circuit():
+    """y = AND(a, b, c, d): the optimum pushes all inputs high."""
+    b = CircuitBuilder("and4")
+    ins = b.inputs("a", "b", "c", "d")
+    b.output(b.and_("y", *ins))
+    return b.build()
+
+
+def test_objective_evaluate_and_update_agree():
+    circuit = skewed_and_circuit()
+    objective = TestQualityObjective(circuit, n_ref=64)
+    score, signal = objective.evaluate(0.5)
+    probs = dict(signal.input_probs)
+    probs["a"] = 0.8125
+    updated_score, updated_signal = objective.evaluate_update(signal, probs)
+    fresh_score, _ = objective.evaluate(probs)
+    assert updated_score == pytest.approx(fresh_score, abs=1e-9)
+    assert objective.evaluations == 3
+
+
+def test_objective_rejects_bad_n_ref():
+    with pytest.raises(OptimizationError):
+        TestQualityObjective(skewed_and_circuit(), n_ref=0)
+
+
+def test_optimizer_improves_and_circuit():
+    circuit = skewed_and_circuit()
+    result = optimize_input_probabilities(
+        circuit, n_ref=64, grid=16, max_rounds=10
+    )
+    assert result.improved
+    assert result.score > result.initial_score
+    # The hardest fault (y s-a-1 needs all-1s... actually s-a-0) pushes
+    # probabilities up; every optimized p should sit above 0.5.
+    assert all(p > 0.5 for p in result.probabilities.values())
+    # History is monotone non-decreasing.
+    assert all(
+        a <= b + 1e-9 for a, b in zip(result.history, result.history[1:])
+    )
+
+
+def test_optimizer_respects_grid():
+    circuit = skewed_and_circuit()
+    result = optimize_input_probabilities(
+        circuit, n_ref=64, grid=8, max_rounds=4
+    )
+    for p in result.probabilities.values():
+        assert abs(p * 8 - round(p * 8)) < 1e-9
+        assert 1 / 8 <= p <= 7 / 8
+
+
+def test_optimizer_shortens_comparator_test():
+    """The §6 headline on a small COMP: optimized probabilities cut N."""
+    circuit = comp24(width=8, name="COMP8")
+    from repro.detection import DetectionProbabilityEstimator
+
+    detector = DetectionProbabilityEstimator(circuit)
+    base = list(detector.run().values())
+    n_before = required_test_length(base, 0.95, fraction=0.98)
+    result = optimize_input_probabilities(
+        circuit, n_ref=2048, grid=16, max_rounds=6
+    )
+    optimized = list(detector.run(result.probabilities).values())
+    n_after = required_test_length(optimized, 0.95, fraction=0.98)
+    assert n_after < n_before / 3  # at least a 3x cut on 8 bits
+
+
+def test_optimizer_subset_of_inputs():
+    circuit = skewed_and_circuit()
+    result = optimize_input_probabilities(
+        circuit, n_ref=64, max_rounds=3, inputs=["a"]
+    )
+    assert result.probabilities["b"] == pytest.approx(0.5)
+    assert result.probabilities["a"] != pytest.approx(0.5)
+
+
+def test_optimizer_validation():
+    circuit = skewed_and_circuit()
+    with pytest.raises(OptimizationError):
+        optimize_input_probabilities(circuit, grid=1)
+    with pytest.raises(OptimizationError):
+        optimize_input_probabilities(circuit, max_rounds=0)
+    with pytest.raises(OptimizationError):
+        optimize_input_probabilities(circuit, inputs=["zz"])
+
+
+def test_optimizer_deterministic():
+    circuit = skewed_and_circuit()
+    a = optimize_input_probabilities(circuit, n_ref=64, max_rounds=3)
+    b = optimize_input_probabilities(circuit, n_ref=64, max_rounds=3)
+    assert a.probabilities == b.probabilities
+    assert a.score == b.score

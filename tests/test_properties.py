@@ -1,0 +1,178 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These pit the fast engines against brute-force references on seeded random
+DAGs, covering structure shapes no hand-written example would.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit import Topology
+from repro.circuit.types import GateType, eval_bool, gate_probability
+from repro.circuits import random_dag
+from repro.faults import FaultSimulator, collapse, fault_universe
+from repro.logicsim import PatternSet, pack_bits, simulate, unpack_bits
+from repro.probability import (
+    SignalProbabilityEstimator,
+    bdd_signal_probabilities,
+    exact_signal_probabilities,
+    probability_bounds,
+)
+
+# Small circuits keep each example fast; hypothesis varies the shape.
+dag_strategy = st.builds(
+    random_dag,
+    n_inputs=st.integers(min_value=2, max_value=6),
+    n_gates=st.integers(min_value=2, max_value=18),
+    seed=st.integers(min_value=0, max_value=10_000),
+    lut_fraction=st.sampled_from([0.0, 0.3]),
+)
+
+prob_strategy = st.floats(
+    min_value=0.0, max_value=1.0, allow_nan=False, width=32
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(word=st.integers(min_value=0, max_value=(1 << 64) - 1))
+def test_pack_unpack_roundtrip(word):
+    bits = unpack_bits(word, 64)
+    assert pack_bits(bits) == word
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    gtype=st.sampled_from(
+        [GateType.AND, GateType.OR, GateType.NAND, GateType.NOR,
+         GateType.XOR, GateType.XNOR]
+    ),
+    probs=st.lists(prob_strategy, min_size=2, max_size=4),
+)
+def test_gate_probability_equals_minterm_sum(gtype, probs):
+    """The closed forms must equal brute-force minterm summation."""
+    n = len(probs)
+    total = 0.0
+    for minterm in range(1 << n):
+        operands = [(minterm >> i) & 1 for i in range(n)]
+        if eval_bool(gtype, operands):
+            weight = 1.0
+            for i in range(n):
+                weight *= probs[i] if operands[i] else 1.0 - probs[i]
+            total += weight
+    assert gate_probability(gtype, probs) == pytest.approx(total, abs=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(circuit=dag_strategy)
+def test_simulation_matches_per_pattern_eval(circuit):
+    """Bit-parallel simulation == scalar evaluation, pattern by pattern."""
+    patterns = PatternSet.exhaustive(circuit.inputs)
+    values = simulate(circuit, patterns)
+    for j in (0, patterns.n_patterns // 2, patterns.n_patterns - 1):
+        vec = patterns.vector(j)
+        scalar = dict(vec)
+        for node in circuit.nodes:
+            if circuit.is_input(node):
+                continue
+            gate = circuit.gates[node]
+            scalar[node] = eval_bool(
+                gate.gtype, [scalar[s] for s in gate.inputs], gate.table
+            )
+        for node in circuit.nodes:
+            assert (values[node] >> j) & 1 == scalar[node]
+
+
+@settings(max_examples=20, deadline=None)
+@given(circuit=dag_strategy)
+def test_estimator_bounded_and_cutting_sound(circuit):
+    """Estimates live in [0,1]; exact value lies inside the cut bounds."""
+    estimate = SignalProbabilityEstimator(circuit).run()
+    exact = exact_signal_probabilities(circuit)
+    bounds = probability_bounds(circuit)
+    for node in circuit.nodes:
+        assert 0.0 <= estimate[node] <= 1.0
+        lo, hi = bounds[node]
+        assert lo - 1e-9 <= exact[node] <= hi + 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(circuit=dag_strategy)
+def test_bdd_equals_enumeration(circuit):
+    enum = exact_signal_probabilities(circuit)
+    via_bdd = bdd_signal_probabilities(circuit)
+    for node in circuit.nodes:
+        assert via_bdd[node] == pytest.approx(enum[node], abs=1e-9)
+
+
+@settings(max_examples=15, deadline=None)
+@given(circuit=dag_strategy)
+def test_estimator_no_worse_than_tree_rule_on_average(circuit):
+    from repro.probability import EstimatorParams
+
+    exact = exact_signal_probabilities(circuit)
+    tree = SignalProbabilityEstimator(
+        circuit, EstimatorParams(maxvers=0)
+    ).run()
+    cond = SignalProbabilityEstimator(circuit).run()
+    tree_err = sum(abs(tree[n] - exact[n]) for n in circuit.nodes)
+    cond_err = sum(abs(cond[n] - exact[n]) for n in circuit.nodes)
+    # Conditioning may not *win* on every node but must not lose overall
+    # (tolerance for heuristic selection noise).
+    assert cond_err <= tree_err + 0.05
+
+
+@settings(max_examples=15, deadline=None)
+@given(circuit=dag_strategy)
+def test_collapsed_classes_equivalent_by_simulation(circuit):
+    result = collapse(circuit)
+    patterns = PatternSet.exhaustive(circuit.inputs)
+    good = simulate(circuit, patterns)
+    simulator = FaultSimulator(circuit, fault_universe(circuit))
+    for representative in result.representatives:
+        members = result.class_of(representative)
+        if len(members) == 1:
+            continue
+        words = {
+            simulator.detection_word(f, good, patterns.mask)
+            for f in members
+        }
+        assert len(words) == 1
+
+
+@settings(max_examples=15, deadline=None)
+@given(circuit=dag_strategy, seed=st.integers(0, 1000))
+def test_coverage_curve_monotone(circuit, seed):
+    patterns = PatternSet.random(circuit.inputs, 64, seed=seed)
+    result = FaultSimulator(circuit).run(patterns, block_size=16)
+    curve = result.coverage_curve([1, 2, 4, 8, 16, 32, 64])
+    assert all(a <= b + 1e-12 for a, b in zip(curve, curve[1:]))
+
+
+@settings(max_examples=10, deadline=None)
+@given(circuit=dag_strategy)
+def test_detection_estimates_within_unit_interval(circuit):
+    from repro.detection import DetectionProbabilityEstimator
+
+    detection = DetectionProbabilityEstimator(circuit).run()
+    for fault, p in detection.items():
+        assert -1e-12 <= p <= 1.0 + 1e-12
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    pfs=st.lists(
+        st.floats(min_value=1e-6, max_value=1.0, allow_nan=False),
+        min_size=1,
+        max_size=30,
+    ),
+    confidence=st.floats(min_value=0.5, max_value=0.999),
+)
+def test_required_length_minimality_property(pfs, confidence):
+    from repro.testlen import all_detected_probability, required_test_length
+
+    n = required_test_length(pfs, confidence)
+    assert all_detected_probability(pfs, n) >= confidence
+    if n > 0:
+        assert all_detected_probability(pfs, n - 1) < confidence

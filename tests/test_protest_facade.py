@@ -1,0 +1,99 @@
+"""Tests for the Protest facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import c17, comp24
+from repro.faults import Fault, fault_universe
+from repro.protest import Protest
+
+
+@pytest.fixture
+def tool():
+    return Protest(c17())
+
+
+def test_signal_probabilities(tool):
+    probs = tool.signal_probabilities()
+    assert probs["G10"] == pytest.approx(0.75, abs=0.02)
+
+
+def test_detection_probabilities_cover_universe(tool):
+    detection = tool.detection_probabilities()
+    assert set(detection) == set(fault_universe(c17()))
+    assert all(0.0 <= p <= 1.0 for p in detection.values())
+
+
+def test_test_length_consistency(tool):
+    detection = tool.detection_probabilities()
+    direct = tool.test_length(0.95, detection_probs=detection)
+    recomputed = tool.test_length(0.95)
+    assert direct == recomputed
+    assert tool.test_length(0.999) > direct
+
+
+def test_expected_coverage_monotone(tool):
+    detection = tool.detection_probabilities()
+    c10 = tool.expected_coverage(10, detection_probs=detection)
+    c100 = tool.expected_coverage(100, detection_probs=detection)
+    assert 0.0 < c10 < c100 <= 1.0
+
+
+def test_generate_and_simulate_roundtrip(tool):
+    patterns = tool.generate_patterns(256, seed=3)
+    result = tool.fault_simulate(patterns)
+    assert 0.9 < result.coverage() <= 1.0
+    # The predicted coverage should be in the same ballpark.
+    predicted = tool.expected_coverage(256)
+    assert abs(predicted - result.coverage()) < 0.1
+
+
+def test_weighted_patterns_respect_probabilities(tool):
+    probs = {name: 0.875 for name in c17().inputs}
+    patterns = tool.generate_patterns(20000, probs, seed=1)
+    observed = patterns.observed_probabilities()
+    for name, freq in observed.items():
+        assert freq == pytest.approx(0.875, abs=0.02)
+
+
+def test_optimize_smoke(tool):
+    result = tool.optimize(n_ref=256, max_rounds=2)
+    assert result.evaluations > 0
+    assert result.score >= result.initial_score
+
+
+def test_analyze_report(tool):
+    report = tool.analyze()
+    text = report.to_text()
+    assert "c17" in text
+    assert "required test lengths" in text
+    assert report.n_faults == len(fault_universe(c17()))
+    assert report.min_detection > 0
+    assert len(report.hardest_faults) == 5
+
+
+def test_restricted_fault_list():
+    faults = [Fault("G22", None, 0), Fault("G22", None, 1)]
+    tool = Protest(c17(), faults=faults)
+    detection = tool.detection_probabilities()
+    assert set(detection) == set(faults)
+
+
+def test_analyze_handles_undetectable_faults():
+    """A comparator with an undetectable fault reports N = -1 gracefully."""
+    from repro.circuit import CircuitBuilder
+
+    b = CircuitBuilder("redundant")
+    a = b.input("a")
+    one = b.const1("one")
+    b.output(b.and_("y", a, one))
+    tool = Protest(b.build())
+    report = tool.analyze(fractions=(1.0,))
+    assert report.test_lengths[(1.0, 0.95)] == -1
+
+
+def test_comp_scale_analysis_smoke():
+    tool = Protest(comp24(width=8, name="COMP8"))
+    report = tool.analyze(confidences=(0.95,), fractions=(0.98,))
+    assert report.test_lengths[(0.98, 0.95)] > 100

@@ -1,0 +1,94 @@
+"""Tests for the reporting helpers (tables, scatter, statistics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.report import (
+    accuracy_stats,
+    ascii_table,
+    format_count,
+    format_prob,
+    pearson,
+    scatter_plot,
+)
+
+
+def test_ascii_table_alignment():
+    text = ascii_table(["name", "N"], [["DIV", 499960], ["COMP", 292808220]])
+    lines = text.splitlines()
+    assert len({len(line) for line in lines}) == 1  # rectangular
+    assert "DIV" in text and "292808220" in text
+
+
+def test_ascii_table_title():
+    text = ascii_table(["a"], [["1"]], title="Table 2")
+    assert text.startswith("Table 2")
+
+
+def test_ascii_table_ragged_rows():
+    text = ascii_table(["a", "b", "c"], [["1"], ["1", "2", "3"]])
+    assert "3" in text
+
+
+def test_format_count():
+    assert format_count(212) == "212"
+    assert format_count(292808220) == "292 808 220"
+    assert format_count(float("inf")) == "inf"
+
+
+def test_format_prob():
+    assert format_prob(0.625) == "0.62"
+    assert format_prob(0.9375, 4) == "0.9375"
+
+
+def test_pearson_perfect_and_anticorrelated():
+    xs = [0.1, 0.2, 0.5, 0.9]
+    assert pearson(xs, xs) == pytest.approx(1.0)
+    assert pearson(xs, [1 - x for x in xs]) == pytest.approx(-1.0)
+
+
+def test_pearson_degenerate():
+    assert pearson([1.0, 1.0], [0.2, 0.9]) == 0.0
+    assert pearson([0.5], [0.5]) == 0.0
+    with pytest.raises(ValueError):
+        pearson([1, 2], [1])
+
+
+def test_accuracy_stats():
+    stats = accuracy_stats([0.2, 0.4, 0.6], [0.3, 0.4, 0.9])
+    assert stats.max_error == pytest.approx(0.3)
+    assert stats.mean_error == pytest.approx((0.1 + 0.0 + 0.3) / 3)
+    assert stats.under_estimated == pytest.approx(2 / 3)
+    assert stats.n == 3
+    row = stats.row("ALU")
+    assert row[0] == "ALU" and len(row) == 4
+
+
+def test_accuracy_stats_validation():
+    with pytest.raises(ValueError):
+        accuracy_stats([], [])
+    with pytest.raises(ValueError):
+        accuracy_stats([0.1], [0.1, 0.2])
+
+
+def test_scatter_plot_marks_points():
+    text = scatter_plot([0.0, 1.0, 0.5, 0.5], [0.0, 1.0, 0.5, 0.5])
+    assert "*" in text  # the duplicated midpoint densifies
+    assert "+" in text
+    assert "P_SIM" in text
+    lines = text.splitlines()
+    assert any(line.startswith(" 1.0") for line in lines)
+    assert any(line.startswith(" 0.0") for line in lines)
+
+
+def test_scatter_plot_clamps_out_of_range():
+    text = scatter_plot([-0.5, 1.5], [2.0, -1.0])
+    assert "+" in text
+
+
+def test_scatter_plot_validation():
+    with pytest.raises(ValueError):
+        scatter_plot([0.1], [])
+    with pytest.raises(ValueError):
+        scatter_plot([0.1], [0.1], width=3)

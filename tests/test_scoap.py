@@ -1,0 +1,111 @@
+"""Tests for SCOAP and the P_SCOAP transform."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.circuit import CircuitBuilder
+from repro.circuits import c17
+from repro.baselines import pscoap_detection_probabilities, scoap
+from repro.faults import Fault, fault_universe
+
+
+def test_primary_input_costs():
+    result = scoap(c17())
+    for node in ("G1", "G2", "G3", "G6", "G7"):
+        assert result.cc0[node] == 1.0
+        assert result.cc1[node] == 1.0
+
+
+def test_and_gate_textbook_values():
+    b = CircuitBuilder("and2")
+    x, y = b.inputs("x", "y")
+    b.output(b.and_("z", x, y))
+    result = scoap(b.build())
+    assert result.cc1["z"] == 3.0  # both inputs to 1, +1
+    assert result.cc0["z"] == 2.0  # cheapest input to 0, +1
+    # Observability of x: set y to 1 (cost 1) + CO(z)=0 + 1.
+    assert result.co["x"] == 2.0
+
+
+def test_inverter_swaps_controllabilities():
+    b = CircuitBuilder("inv")
+    a = b.input("a")
+    b.output(b.not_("y", a))
+    result = scoap(b.build())
+    assert result.cc0["y"] == 2.0
+    assert result.cc1["y"] == 2.0
+    assert result.co["a"] == 1.0
+
+
+def test_xor_gate_minimum_assignment():
+    b = CircuitBuilder("xor2")
+    x, y = b.inputs("x", "y")
+    b.output(b.xor("z", x, y))
+    result = scoap(b.build())
+    # z=1: one input 1, the other 0: cost 2 + 1.
+    assert result.cc1["z"] == 3.0
+    assert result.cc0["z"] == 3.0
+    # Pin observability: the side input can take either value: cost 1 + 1.
+    assert result.co["x"] == 2.0
+
+
+def test_constant_gates_infinite_cost():
+    b = CircuitBuilder("const")
+    a = b.input("a")
+    one = b.const1("one")
+    b.output(b.and_("y", a, one))
+    result = scoap(b.build())
+    assert result.cc1["one"] == 1.0
+    assert math.isinf(result.cc0["one"])
+
+
+def test_stem_observability_is_min_over_branches():
+    circuit = c17()
+    result = scoap(circuit)
+    branch_values = [
+        result.co_pin[("G16", 1)],
+        result.co_pin[("G19", 0)],
+    ]
+    assert result.co["G11"] == min(branch_values)
+
+
+def test_deeper_nodes_cost_more():
+    circuit = c17()
+    result = scoap(circuit)
+    assert result.cc1["G22"] > result.cc1["G10"] - 1e-9
+    assert result.co["G1"] > result.co["G22"]
+
+
+def test_pscoap_probabilities_in_range():
+    circuit = c17()
+    probs = pscoap_detection_probabilities(circuit)
+    assert set(probs) == set(fault_universe(circuit))
+    for fault, p in probs.items():
+        assert 0.0 <= p <= 1.0, str(fault)
+
+
+def test_pscoap_monotone_in_cost():
+    """Cheaper faults get higher pseudo-probability."""
+    b = CircuitBuilder("chain")
+    current = b.input("i0")
+    for level in range(1, 6):
+        nxt = b.input(f"i{level}")
+        current = b.and_(f"n{level}", current, nxt)
+    b.output(current)
+    circuit = b.build()
+    probs = pscoap_detection_probabilities(circuit)
+    # A fault deep in the chain (i0 s-a-1: all sides must be 1) is rated
+    # below the output fault.
+    assert probs[Fault("i0", None, 1)] < probs[Fault("n5", None, 1)]
+
+
+def test_pscoap_undetectable_is_zero():
+    b = CircuitBuilder("const")
+    a = b.input("a")
+    one = b.const1("one")
+    b.output(b.and_("y", a, one))
+    probs = pscoap_detection_probabilities(b.build())
+    assert probs[Fault("one", None, 1)] == 0.0  # can never be excited

@@ -1,0 +1,93 @@
+"""Tests for the STAFAN baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit import CircuitBuilder
+from repro.circuits import c17
+from repro.baselines import stafan, stafan_detection_probabilities
+from repro.detection import exact_detection_probabilities
+from repro.errors import EstimationError
+from repro.faults import fault_universe
+from repro.logicsim import PatternSet
+from repro.report import accuracy_stats
+
+
+def test_counted_controllabilities():
+    circuit = c17()
+    patterns = PatternSet.exhaustive(circuit.inputs)
+    result = stafan(circuit, patterns)
+    assert result.c1["G1"] == pytest.approx(0.5)
+    assert result.c1["G10"] == pytest.approx(0.75)  # NAND of two uniforms
+    assert result.c0("G10") == pytest.approx(0.25)
+
+
+def test_primary_output_observability_one():
+    circuit = c17()
+    patterns = PatternSet.exhaustive(circuit.inputs)
+    result = stafan(circuit, patterns)
+    assert result.b0["G22"] == 1.0
+    assert result.b1["G22"] == 1.0
+
+
+def test_estimates_close_to_exact_on_exhaustive_patterns():
+    """With the full input space, STAFAN's counts are exact and its only
+    error source is the propagation model — correlation should be high."""
+    circuit = c17()
+    patterns = PatternSet.exhaustive(circuit.inputs)
+    faults = fault_universe(circuit)
+    estimates = stafan_detection_probabilities(circuit, patterns, faults)
+    exact = exact_detection_probabilities(circuit, faults)
+    stats = accuracy_stats(
+        [estimates[f] for f in faults], [exact[f] for f in faults]
+    )
+    assert stats.correlation > 0.85
+    assert stats.mean_error < 0.15
+
+
+def test_sampling_noise_converges():
+    circuit = c17()
+    faults = fault_universe(circuit)
+    coarse = stafan_detection_probabilities(
+        circuit, PatternSet.random(circuit.inputs, 64, seed=1), faults
+    )
+    fine = stafan_detection_probabilities(
+        circuit, PatternSet.random(circuit.inputs, 8192, seed=1), faults
+    )
+    exact_ps = PatternSet.exhaustive(circuit.inputs)
+    reference = stafan_detection_probabilities(circuit, exact_ps, faults)
+    coarse_err = sum(abs(coarse[f] - reference[f]) for f in faults)
+    fine_err = sum(abs(fine[f] - reference[f]) for f in faults)
+    assert fine_err < coarse_err
+
+
+def test_stem_combine_modes():
+    circuit = c17()
+    patterns = PatternSet.exhaustive(circuit.inputs)
+    or_mode = stafan(circuit, patterns, stem_combine="or")
+    max_mode = stafan(circuit, patterns, stem_combine="max")
+    # OR-combination dominates the max.
+    for node in circuit.nodes:
+        assert or_mode.b1[node] >= max_mode.b1[node] - 1e-12
+    with pytest.raises(EstimationError):
+        stafan(circuit, patterns, stem_combine="sum")
+
+
+def test_empty_patterns_rejected():
+    circuit = c17()
+    empty = PatternSet(circuit.inputs, 0, {n: 0 for n in circuit.inputs})
+    with pytest.raises(EstimationError):
+        stafan(circuit, empty)
+
+
+def test_constant_line_observability_zero_denominator():
+    """A line that is never 0 (or never 1) must not divide by zero."""
+    b = CircuitBuilder("const")
+    a = b.input("a")
+    one = b.const1("one")
+    b.output(b.and_("y", a, one))
+    circuit = b.build()
+    patterns = PatternSet.exhaustive(circuit.inputs)
+    result = stafan(circuit, patterns)
+    assert result.b0_pin[("y", 1)] == 0.0  # 'one' is never 0

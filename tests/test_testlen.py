@@ -1,0 +1,111 @@
+"""Tests for the test-length mathematics (formula (3), Tables 2/3/5)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import EstimationError
+from repro.testlen import (
+    all_detected_probability,
+    expected_coverage,
+    log_all_detected_probability,
+    required_test_length,
+    select_easiest_fraction,
+)
+
+
+def test_single_fault_closed_form():
+    """For one fault, N = ceil(log(1-e) / log(1-p))."""
+    p, e = 0.01, 0.95
+    expected = math.ceil(math.log(1 - e) / math.log(1 - p))
+    assert required_test_length([p], e) == expected
+
+
+def test_probability_matches_direct_product():
+    pfs = [0.5, 0.1, 0.25]
+    n = 17
+    direct = 1.0
+    for p in pfs:
+        direct *= 1 - (1 - p) ** n
+    assert all_detected_probability(pfs, n) == pytest.approx(direct)
+
+
+def test_monotone_in_n():
+    pfs = [0.02, 0.3, 0.001]
+    values = [all_detected_probability(pfs, n) for n in (10, 100, 1000, 10000)]
+    assert all(a <= b for a, b in zip(values, values[1:]))
+
+
+def test_required_length_is_minimal():
+    pfs = [0.05, 0.2, 0.007]
+    for e in (0.9, 0.99):
+        n = required_test_length(pfs, e)
+        assert all_detected_probability(pfs, n) >= e
+        assert all_detected_probability(pfs, n - 1) < e
+
+
+def test_fraction_drops_hardest():
+    pfs = [0.5] * 98 + [1e-9, 1e-9]
+    full = required_test_length(pfs, 0.95)  # dominated by the 1e-9 faults
+    d98 = required_test_length(pfs, 0.95, fraction=0.98)
+    assert d98 < full / 1000  # orders of magnitude shorter
+
+
+def test_select_easiest_fraction():
+    pfs = [0.9, 0.1, 0.5, 0.3]
+    assert select_easiest_fraction(pfs, 1.0) == pfs
+    assert select_easiest_fraction(pfs, 0.5) == [0.9, 0.5]
+    assert select_easiest_fraction(pfs, 0.01) == [0.9]  # at least one kept
+    with pytest.raises(EstimationError):
+        select_easiest_fraction(pfs, 0.0)
+    with pytest.raises(EstimationError):
+        select_easiest_fraction(pfs, 1.5)
+
+
+def test_undetectable_fault_raises():
+    with pytest.raises(EstimationError, match="undetectable"):
+        required_test_length([0.5, 0.0], 0.95)
+    # ... unless the fraction excludes it.
+    assert required_test_length([0.5, 0.0], 0.95, fraction=0.5) > 0
+
+
+def test_certain_faults_need_no_patterns():
+    assert required_test_length([1.0, 1.0], 0.99) == 0
+
+
+def test_confidence_validation():
+    with pytest.raises(EstimationError):
+        required_test_length([0.5], 0.0)
+    with pytest.raises(EstimationError):
+        required_test_length([0.5], 1.0)
+
+
+def test_max_length_guard():
+    with pytest.raises(EstimationError, match="exceeds"):
+        required_test_length([1e-15], 0.999, max_length=10**6)
+
+
+def test_log_space_survives_tiny_probabilities():
+    """COMP-scale inputs: p ~ 1e-8 and N ~ 1e8 stay finite and sane."""
+    pfs = [1e-8] * 100 + [0.5] * 1000
+    n = required_test_length(pfs, 0.95)
+    assert 1e8 < n < 1e10
+    log_p = log_all_detected_probability(pfs, n)
+    assert math.exp(log_p) >= 0.95
+
+
+def test_zero_patterns():
+    assert all_detected_probability([0.5], 0) == 0.0
+    assert log_all_detected_probability([], 0) == 0.0  # empty product = 1
+    with pytest.raises(EstimationError):
+        log_all_detected_probability([0.5], -1)
+
+
+def test_expected_coverage_properties():
+    pfs = [0.5, 0.01, 1.0, 0.0]
+    assert expected_coverage(pfs, 0) == pytest.approx(0.25)  # only the 1.0
+    cov = expected_coverage(pfs, 1000)
+    assert 0.74 < cov < 0.76  # the p=0 fault can never be covered
+    assert expected_coverage([], 10) == 0.0

@@ -1,0 +1,112 @@
+"""Unit tests for structural analysis (levels, cones, joining points)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit import CircuitBuilder, Topology
+from repro.circuits import c17
+
+
+def build_diamond():
+    """x fans out into two paths that reconverge at k."""
+    b = CircuitBuilder("diamond")
+    x, y, z = b.inputs("x", "y", "z")
+    a = b.and_("a", x, y)
+    c = b.and_("c", x, z)
+    k = b.or_("k", a, c)
+    b.output(k)
+    return b.build()
+
+
+def test_levels():
+    circuit = build_diamond()
+    topo = Topology(circuit)
+    assert topo.level["x"] == 0
+    assert topo.level["a"] == 1
+    assert topo.level["k"] == 2
+    assert topo.depth == 2
+
+
+def test_branches_and_fanout_degree():
+    circuit = build_diamond()
+    topo = Topology(circuit)
+    assert set(topo.branches["x"]) == {("a", 0), ("c", 0)}
+    assert topo.fanout_degree("x") == 2
+    assert topo.fanout_degree("k") == 1  # primary output only
+    assert topo.is_stem("x")
+    assert not topo.is_stem("y")
+
+
+def test_tfo():
+    circuit = build_diamond()
+    topo = Topology(circuit)
+    assert set(topo.tfo("x")) == {"a", "c", "k"}
+    assert set(topo.tfo("y")) == {"a", "k"}
+    assert topo.tfo("k") == ()
+
+
+def test_tfi():
+    circuit = build_diamond()
+    topo = Topology(circuit)
+    assert topo.tfi("k") == frozenset({"k", "a", "c", "x", "y", "z"})
+    assert topo.tfi("a") == frozenset({"a", "x", "y"})
+
+
+def test_bounded_tfi_depth():
+    circuit = build_diamond()
+    topo = Topology(circuit)
+    assert topo.bounded_tfi("k", 0) == {"k"}
+    assert topo.bounded_tfi("k", 1) == {"k", "a", "c"}
+    assert topo.bounded_tfi("k", 2) == {"k", "a", "c", "x", "y", "z"}
+    assert topo.bounded_tfi("k", None) == set(topo.tfi("k"))
+
+
+def test_joining_points_diamond():
+    circuit = build_diamond()
+    topo = Topology(circuit)
+    gate = circuit.gates["k"]
+    assert topo.joining_points(gate.inputs) == ["x"]
+    # Depth counts edges back from the gate *inputs*: 1 step reaches x,
+    # 0 steps sees only the inputs themselves.
+    assert topo.joining_points(gate.inputs, max_depth=1) == ["x"]
+    assert topo.joining_points(gate.inputs, max_depth=0) == []
+
+
+def test_joining_points_repeated_signal():
+    b = CircuitBuilder("dup")
+    a = b.input("a")
+    k = b.and_("k", a, a)
+    b.output(k)
+    circuit = b.build()
+    topo = Topology(circuit)
+    assert topo.joining_points(circuit.gates["k"].inputs) == ["a"]
+
+
+def test_no_joining_points_in_tree(tree_circuit):
+    topo = Topology(tree_circuit)
+    for gate in tree_circuit.gates.values():
+        assert topo.joining_points(gate.inputs) == []
+
+
+def test_reconvergent_gates_c17():
+    circuit = c17()
+    topo = Topology(circuit)
+    reconv = set(topo.reconvergent_gates())
+    # G16 and G19 share stem G11; G22/G23 reconverge through G11 and G16.
+    assert "G22" in reconv
+    assert "G23" in reconv
+    assert "G10" not in reconv
+
+
+def test_forward_cone_within():
+    circuit = build_diamond()
+    topo = Topology(circuit)
+    allowed = {"x", "a", "c", "k"}
+    cone = topo.forward_cone_within(["x"], allowed)
+    assert set(cone) == {"a", "c", "k"}
+    assert cone[-1] == "k"  # topological: the reconvergence comes last
+    # Restricting the region prunes the cone.
+    cone = topo.forward_cone_within(["x"], {"x", "a"})
+    assert cone == ["a"]
+    assert topo.forward_cone_within(["k"], allowed) == []
