@@ -4,34 +4,43 @@ Paper (p = 0.5): DIV needs ~5*10^5..9.7*10^5 patterns, COMP
 ~2.5*10^8..5.6*10^8 — "these large pattern sets cause random pattern
 testing to become uneconomical".  The reproduction must land in the same
 regime: >= 10^5 for DIV and >= 10^7 for COMP.
+
+Since the API redesign this bench is the showcase of the batch front-end:
+both circuits run through one ``run_sweep`` call and the whole (d, e) grid
+falls out of each run's serializable report.
 """
 
 from __future__ import annotations
 
-from common import PAPER_TABLE3, banner, write_result
+from common import PAPER_TABLE3, banner, write_json_result, write_result
 
+from repro.api import run_sweep
+from repro.circuits import comp24, divider
 from repro.report import ascii_table, format_count
-from repro.testlen import required_test_length
 
 GRID = [(1.0, 0.95), (1.0, 0.98), (1.0, 0.999),
         (0.98, 0.95), (0.98, 0.98), (0.98, 0.999)]
 
 
-def compute(div_detection, comp_detection):
-    measured = {}
-    for name, bundle in (("DIV", div_detection), ("COMP", comp_detection)):
-        _circuit, _faults, detection = bundle
-        values = list(detection.values())
-        measured[name] = {
-            (d, e): required_test_length(values, e, d) for d, e in GRID
-        }
-    return measured
-
-
-def test_table3(benchmark, div_detection, comp_detection):
-    measured = benchmark.pedantic(
-        compute, args=(div_detection, comp_detection), rounds=1, iterations=1
+def compute():
+    sweep = run_sweep(
+        [divider(), comp24()],
+        ["paper"],
+        workers=2,
+        confidences=(0.95, 0.98, 0.999),
+        fractions=(1.0, 0.98),
     )
+    assert not sweep.failed, [run.error for run in sweep.failed]
+    return sweep
+
+
+def test_table3(benchmark):
+    sweep = benchmark.pedantic(compute, rounds=1, iterations=1)
+    write_json_result("table3", sweep.to_json(indent=2))
+    measured = {
+        run.circuit: {key: run.report.test_lengths[key] for key in GRID}
+        for run in sweep.runs
+    }
     rows = []
     for d, e in GRID:
         rows.append([

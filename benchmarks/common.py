@@ -33,6 +33,18 @@ def write_result(name: str, text: str) -> pathlib.Path:
     return path
 
 
+def write_json_result(name: str, payload: str) -> pathlib.Path:
+    """Store a bench's machine-readable output under benchmarks/results/.
+
+    ``payload`` is an already-serialized JSON string — typically a result
+    object's ``to_json()`` from :mod:`repro.api`.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(payload + "\n", encoding="utf-8")
+    return path
+
+
 def banner(title: str, body: str) -> str:
     line = "=" * max(len(title), 20)
     return f"{line}\n{title}\n{line}\n{body}"

@@ -2,8 +2,11 @@
 
 The expensive artifacts (fault-simulation references, optimization runs)
 are computed once per pytest session and reused by every bench that needs
-them, mirroring how the original tool would analyse a circuit once and
-reuse the numbers across tables.
+them.  Since the API redesign this is mostly the engine's own job: each
+evaluation circuit gets one session-scoped
+:class:`~repro.api.AnalysisEngine` whose stage caches persist across
+benches, mirroring how a production service would analyse a circuit once
+and reuse the numbers across tables.
 """
 
 from __future__ import annotations
@@ -17,33 +20,51 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 
 from common import FULL, scale  # noqa: E402
 
+from repro.api import AnalysisEngine  # noqa: E402
 from repro.circuits import comp24, divider, mult, sn74181  # noqa: E402
-from repro.detection import (  # noqa: E402
-    DetectionProbabilityEstimator,
-    exact_detection_probabilities,
-)
-from repro.faults import FaultSimulator, fault_universe  # noqa: E402
+from repro.detection import exact_detection_probabilities  # noqa: E402
+from repro.faults import FaultSimulator  # noqa: E402
 from repro.logicsim import PatternSet  # noqa: E402
 from repro.optimize import optimize_input_probabilities  # noqa: E402
 from repro.probability import EstimatorParams  # noqa: E402
 
 
 @pytest.fixture(scope="session")
-def alu_accuracy():
+def alu_engine():
+    return AnalysisEngine(sn74181())
+
+
+@pytest.fixture(scope="session")
+def mult_engine():
+    return AnalysisEngine(mult())
+
+
+@pytest.fixture(scope="session")
+def div_engine():
+    return AnalysisEngine(divider())
+
+
+@pytest.fixture(scope="session")
+def comp_engine():
+    return AnalysisEngine(comp24())
+
+
+@pytest.fixture(scope="session")
+def alu_accuracy(alu_engine):
     """ALU: faults, PROTEST estimates and exact detection probabilities."""
-    circuit = sn74181()
-    faults = fault_universe(circuit)
-    estimates = DetectionProbabilityEstimator(circuit).run(faults=faults)
+    circuit = alu_engine.circuit
+    faults = alu_engine.faults
+    estimates = alu_engine.raw_detection_probabilities()
     exact = exact_detection_probabilities(circuit, faults, max_inputs=14)
     return circuit, faults, estimates, exact
 
 
 @pytest.fixture(scope="session")
-def mult_accuracy():
+def mult_accuracy(mult_engine):
     """MULT: faults, PROTEST estimates and sampled P_SIM."""
-    circuit = mult()
-    faults = fault_universe(circuit)
-    estimates = DetectionProbabilityEstimator(circuit).run(faults=faults)
+    circuit = mult_engine.circuit
+    faults = mult_engine.faults
+    estimates = mult_engine.raw_detection_probabilities()
     n_patterns = scale(4096, 16384)
     simulator = FaultSimulator(circuit, faults)
     psim = simulator.detection_probabilities(
@@ -54,48 +75,44 @@ def mult_accuracy():
 
 
 @pytest.fixture(scope="session")
-def div_detection():
+def div_detection(div_engine):
     """DIV: estimated detection probabilities at p = 0.5."""
-    circuit = divider()
-    faults = fault_universe(circuit)
-    detection = DetectionProbabilityEstimator(circuit).run(faults=faults)
-    return circuit, faults, detection
+    return (
+        div_engine.circuit,
+        div_engine.faults,
+        div_engine.raw_detection_probabilities(),
+    )
 
 
 @pytest.fixture(scope="session")
-def comp_detection():
+def comp_detection(comp_engine):
     """COMP: estimated detection probabilities at p = 0.5."""
-    circuit = comp24()
-    faults = fault_universe(circuit)
-    detection = DetectionProbabilityEstimator(circuit).run(faults=faults)
-    return circuit, faults, detection
+    return (
+        comp_engine.circuit,
+        comp_engine.faults,
+        comp_engine.raw_detection_probabilities(),
+    )
 
 
 @pytest.fixture(scope="session")
-def comp_optimized(comp_detection):
+def comp_optimized(comp_engine):
     """COMP: hill-climbed input probabilities (Table 4)."""
-    circuit, faults, _detection = comp_detection
-    result = optimize_input_probabilities(
-        circuit,
+    return comp_engine.optimize(
         n_ref=1_000_000,
         grid=16,
         max_rounds=scale(7, 14),
-        faults=faults,
     )
-    return result
 
 
 @pytest.fixture(scope="session")
-def div_optimized(div_detection):
+def div_optimized(div_engine):
     """DIV: hill-climbed input probabilities (cheaper estimator settings)."""
-    circuit, faults, _detection = div_detection
-    result = optimize_input_probabilities(
-        circuit,
+    return optimize_input_probabilities(
+        div_engine.circuit,
         n_ref=1_000_000,
         grid=16,
         max_rounds=scale(2, 5),
         params=EstimatorParams(maxvers=2, maxlist=5),
-        faults=faults,
+        faults=div_engine.faults,
         step_sizes=(4, 1),
     )
-    return result

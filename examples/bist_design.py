@@ -20,7 +20,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import Protest
+from repro.api import AnalysisEngine
 from repro.bist import (
     MISR,
     WeightedGenerator,
@@ -36,22 +36,18 @@ from repro.report import ascii_table, format_count
 
 def main() -> None:
     circuit = divider(10, 10, name="DIV10")
-    tool = Protest(circuit)
+    engine = AnalysisEngine(circuit)
     print(f"circuit under self test: {circuit}")
 
     # 1. Conventional BILBO self test: how long must it run?
-    detection = tool.detection_probabilities()
-    n_conventional = tool.test_length(0.95, fraction=0.98,
-                                      detection_probs=detection)
+    n_conventional = engine.test_length(0.95, 0.98).n_patterns
     print(f"\nconventional (p = 0.5) self test length: "
           f"{format_count(n_conventional)} patterns")
 
     # 2. Optimize the input probabilities.
-    result = tool.optimize(n_ref=max(n_conventional, 1024), max_rounds=4,
-                           step_sizes=(4, 1))
-    optimized = tool.detection_probabilities(result.probabilities)
-    n_weighted = tool.test_length(0.95, fraction=0.98,
-                                  detection_probs=optimized)
+    result = engine.optimize(n_ref=max(n_conventional, 1024), max_rounds=4,
+                             step_sizes=(4, 1))
+    n_weighted = engine.test_length(0.95, 0.98, result.probabilities).n_patterns
     print(f"optimized self test length: {format_count(n_weighted)} patterns "
           f"({n_conventional / max(n_weighted, 1):.0f}x shorter)")
 
@@ -76,8 +72,8 @@ def main() -> None:
     budget = 3000
     plain_stream = lfsr_patterns(circuit.inputs, budget, seed=5)
     weighted_stream = generator.patterns(budget, seed=5)
-    plain_cov = tool.fault_simulate(plain_stream).coverage()
-    weighted_cov = tool.fault_simulate(weighted_stream).coverage()
+    plain_cov = engine.fault_simulate(plain_stream).coverage
+    weighted_cov = engine.fault_simulate(weighted_stream).coverage
     print(f"\nfault simulation with {budget} hardware patterns:"
           f"\n  plain LFSR        coverage = {100 * plain_cov:.1f}%"
           f"\n  weighted stream   coverage = {100 * weighted_cov:.1f}%")

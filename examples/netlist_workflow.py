@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import tempfile
 
-from repro import Protest
+from repro.api import AnalysisEngine
 from repro.circuit import (
     format_sdl,
     load_bench,
@@ -51,8 +51,8 @@ def main() -> None:
         print(f"  {issue}")
 
     # 3. Analyse.
-    tool = Protest(adder)
-    report = tool.analyze()
+    engine = AnalysisEngine(adder)
+    report = engine.analyze()
     print()
     print(report.to_text())
     print(f"  CMOS size: {transistor_count(adder)} transistors")
@@ -67,7 +67,7 @@ def main() -> None:
         save_bench(c17(), path)
         reloaded = load_bench(path)
         print(f"reloaded {reloaded} from {path}")
-        n = Protest(reloaded).test_length(confidence=0.98)
+        n = AnalysisEngine(reloaded).test_length(confidence=0.98).n_patterns
         print(f"c17 needs {n} random patterns for 98% confidence")
 
 

@@ -1,13 +1,14 @@
 """Quickstart: analyse the testability of a small circuit.
 
 Runs the full PROTEST workflow on the SN74181 ALU — the paper's primary
-validation circuit:
+validation circuit — through the :mod:`repro.api` layer:
 
-1. estimate signal probabilities,
-2. estimate fault detection probabilities,
-3. compute the number of random patterns for a target coverage,
-4. generate such a pattern set and
-5. validate it by static fault simulation.
+1. pick a :class:`ProtestConfig` (here: the paper's published settings),
+2. build one :class:`AnalysisEngine` that caches every pipeline stage,
+3. estimate signal and fault-detection probabilities,
+4. compute the number of random patterns for a target coverage,
+5. generate such a pattern set and validate it by static fault simulation,
+6. serialize the report (that is what sweeps archive).
 
 Run with::
 
@@ -16,7 +17,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import Protest
+from repro.api import AnalysisEngine, ProtestConfig
 from repro.circuits import sn74181
 from repro.report import ascii_table
 
@@ -25,40 +26,46 @@ def main() -> None:
     circuit = sn74181()
     print(f"circuit: {circuit}")
 
-    tool = Protest(circuit)
+    config = ProtestConfig.preset("paper")
+    engine = AnalysisEngine(circuit, config)
 
     # 1. Signal probabilities at the conventional p = 0.5 inputs.
-    signal = tool.signal_probabilities()
-    sample = {node: signal[node] for node in list(circuit.outputs)[:4]}
+    signal = engine.signal_probabilities()
     print("\nsignal probabilities of the first outputs:")
-    for node, p in sample.items():
-        print(f"  P({node} = 1) = {p:.4f}")
+    for node in list(circuit.outputs)[:4]:
+        print(f"  P({node} = 1) = {signal[node]:.4f}")
 
     # 2. Detection probabilities of all stuck-at faults.
-    detection = tool.detection_probabilities()
-    hardest = sorted(detection.items(), key=lambda item: item[1])[:5]
+    detection = engine.detection_probabilities()
     print(f"\n{len(detection)} faults analysed; the hardest five:")
-    for fault, p in hardest:
+    for fault, p in detection.hardest(5):
         print(f"  {str(fault):24s} P_f = {p:.5f}")
 
     # 3. Test lengths for a grid of requirements (paper's Table 2 uses
-    #    d = e = 0.98).
+    #    d = e = 0.98).  Every call below is a cache hit on the detection
+    #    probabilities computed once in step 2.
     rows = []
     for fraction in (1.0, 0.98):
         for confidence in (0.95, 0.98, 0.999):
-            n = tool.test_length(confidence, fraction,
-                                 detection_probs=detection)
-            rows.append([f"{fraction:.2f}", f"{confidence:.3f}", str(n)])
+            result = engine.test_length(confidence, fraction)
+            rows.append([f"{fraction:.2f}", f"{confidence:.3f}",
+                         str(result.n_patterns)])
     print()
     print(ascii_table(["d", "e", "N"], rows, title="required test lengths"))
 
     # 4 + 5. Generate the d = e = 0.98 set and fault-simulate it.
-    n = tool.test_length(0.98, 0.98, detection_probs=detection)
-    patterns = tool.generate_patterns(n, seed=7)
-    result = tool.fault_simulate(patterns)
+    n = engine.test_length(0.98, 0.98).n_patterns
+    patterns = engine.generate_patterns(n, seed=7)
+    simulated = engine.fault_simulate(patterns)
     print(f"\nfault simulation of {n} random patterns: "
-          f"coverage = {100 * result.coverage():.2f}% "
-          f"({len(result.undetected())} faults undetected)")
+          f"coverage = {100 * simulated.coverage:.2f}% "
+          f"({simulated.n_faults - simulated.n_detected} faults undetected)")
+
+    # 6. Everything above is one serializable report with provenance.
+    report = engine.analyze()
+    print(f"\ncache counters after the whole chain: {engine.cache_info()}")
+    print("report JSON (first 300 chars):")
+    print(report.to_json(indent=2)[:300] + " ...")
 
 
 if __name__ == "__main__":

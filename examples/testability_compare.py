@@ -17,10 +17,8 @@ from repro.baselines import (
     stafan_detection_probabilities,
 )
 from repro.circuits import sn74181
-from repro.detection import (
-    DetectionProbabilityEstimator,
-    exact_detection_probabilities,
-)
+from repro.api import AnalysisEngine
+from repro.detection import exact_detection_probabilities
 from repro.faults import fault_universe
 from repro.logicsim import PatternSet
 from repro.report import accuracy_stats, ascii_table, scatter_plot
@@ -36,7 +34,7 @@ def main() -> None:
     reference = [exact[f] for f in faults]
 
     # The three contenders.
-    protest = DetectionProbabilityEstimator(circuit).run(faults=faults)
+    protest = AnalysisEngine(circuit).raw_detection_probabilities()
     pscoap = pscoap_detection_probabilities(circuit, faults)
     stafan = stafan_detection_probabilities(
         circuit, PatternSet.random(circuit.inputs, 4096, seed=1), faults

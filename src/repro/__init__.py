@@ -5,18 +5,24 @@ probability estimation, fault detection probability estimation, random test
 length computation and optimization of input signal probabilities, validated
 by fault simulation.
 
-Quick start::
+Quick start — the :mod:`repro.api` layer is the stable public surface::
 
-    from repro import Protest
+    from repro.api import AnalysisEngine, ProtestConfig, run_sweep
     from repro.circuits import sn74181
 
-    tool = Protest(sn74181())
-    probs = tool.signal_probabilities()
-    detect = tool.detection_probabilities()
-    n = tool.test_length(confidence=0.98, fraction=0.98)
+    engine = AnalysisEngine(sn74181(), ProtestConfig.preset("paper"))
+    report = engine.analyze()              # estimates every stage once
+    n = engine.test_length(0.98, 0.98)     # cache hit on the same stages
+    print(report.to_json(indent=2))        # serializable, with provenance
+
+    # Batch workloads: many circuits x many configs in one call.
+    sweep = run_sweep(["alu", "div", "comp8"], ["paper", "fast"], workers=4)
+
+The legacy ``Protest`` facade remains available as a thin shim over the
+engine (same signatures, now cached).
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from repro.errors import (
     CircuitError,
@@ -29,22 +35,35 @@ from repro.errors import (
 )
 
 __all__ = [
+    "AnalysisEngine",
     "CircuitError",
     "EstimationError",
     "OptimizationError",
     "ParseError",
     "Protest",
+    "ProtestConfig",
     "ReproError",
     "SimulationError",
     "ValidationError",
     "__version__",
+    "run_sweep",
 ]
+
+#: Public names resolved lazily to keep ``import repro`` cheap and avoid
+#: import cycles.
+_LAZY_ATTRS = {
+    "Protest": ("repro.protest", "Protest"),
+    "AnalysisEngine": ("repro.api.engine", "AnalysisEngine"),
+    "ProtestConfig": ("repro.api.config", "ProtestConfig"),
+    "run_sweep": ("repro.api.sweep", "run_sweep"),
+}
 
 
 def __getattr__(name):
-    # Lazy import to keep ``import repro`` cheap and avoid import cycles.
-    if name == "Protest":
-        from repro.protest import Protest
+    try:
+        module_name, attr = _LAZY_ATTRS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    import importlib
 
-        return Protest
-    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    return getattr(importlib.import_module(module_name), attr)

@@ -1,0 +1,43 @@
+"""Public analysis API: config → engine → results → sweeps.
+
+This is the stable programmatic surface of the reproduction::
+
+    from repro.api import AnalysisEngine, ProtestConfig, run_sweep
+
+    engine = AnalysisEngine("alu", ProtestConfig.preset("paper"))
+    report = engine.analyze()              # estimates once
+    n = engine.test_length(0.98, 0.98)     # reuses the cached stages
+    print(report.to_json(indent=2))
+
+    sweep = run_sweep(["alu", "div", "comp8"], ["paper", "fast"], workers=4)
+
+The legacy :class:`repro.protest.Protest` facade delegates here.
+"""
+
+from repro.api.config import PRESETS, ProtestConfig, available_presets
+from repro.api.engine import AnalysisEngine
+from repro.api.results import (
+    DetectionResult,
+    Provenance,
+    SignalProbResult,
+    SimulationResult,
+    TestabilityReport,
+    TestLengthResult,
+)
+from repro.api.sweep import SweepResult, SweepRun, run_sweep
+
+__all__ = [
+    "AnalysisEngine",
+    "DetectionResult",
+    "PRESETS",
+    "Provenance",
+    "ProtestConfig",
+    "SignalProbResult",
+    "SimulationResult",
+    "SweepResult",
+    "SweepRun",
+    "TestLengthResult",
+    "TestabilityReport",
+    "available_presets",
+    "run_sweep",
+]

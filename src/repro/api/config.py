@@ -1,0 +1,158 @@
+"""Typed, validated configuration for the analysis engine.
+
+A :class:`ProtestConfig` consolidates every knob that was previously
+scattered across :class:`~repro.probability.estimator.EstimatorParams`,
+the ``stem_model`` / ``pin_model`` strings, the fault-universe options and
+the pattern seed into one frozen object that hashes stably.  Two configs
+with the same knobs produce the same :attr:`ProtestConfig.config_hash`
+regardless of their display name, which is what the engine caches and the
+result provenance record on.
+
+Named presets::
+
+    ProtestConfig.preset("paper")      # the published MAXVERS=3/MAXLIST=8
+    ProtestConfig.preset("fast")      # cheap screening sweeps
+    ProtestConfig.preset("accurate")  # deep conditioning for sign-off
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any, Dict, Mapping
+
+from repro.detection.observability import PIN_MODELS, STEM_MODELS
+from repro.errors import EstimationError
+from repro.probability.estimator import EstimatorParams
+
+__all__ = ["ProtestConfig", "PRESETS", "available_presets"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ProtestConfig:
+    """Frozen configuration of one probabilistic-testability analysis.
+
+    Attributes
+    ----------
+    maxvers / maxlist / candidate_cap:
+        The signal-probability estimator's tuning knobs (paper §2); see
+        :class:`~repro.probability.estimator.EstimatorParams`.
+    stem_model / pin_model:
+        Observability models (paper §3).
+    include_branches / only_fanout_stems:
+        Shape of the default stuck-at fault universe.
+    seed:
+        Default seed for pattern generation and optimizer jitter.
+    name:
+        Display label ("paper", "fast", ...); *not* part of the hash.
+    """
+
+    maxvers: int = 3
+    maxlist: int = 8
+    candidate_cap: int = 10
+    stem_model: str = "chain"
+    pin_model: str = "boolean_difference"
+    include_branches: bool = True
+    only_fanout_stems: bool = False
+    seed: int = 0
+    name: str = "custom"
+
+    def __post_init__(self) -> None:
+        # EstimatorParams carries the numeric-range validation.
+        self.estimator_params()
+        if self.stem_model not in STEM_MODELS:
+            raise EstimationError(
+                f"stem_model must be one of {STEM_MODELS}, "
+                f"got {self.stem_model!r}"
+            )
+        if self.pin_model not in PIN_MODELS:
+            raise EstimationError(
+                f"pin_model must be one of {PIN_MODELS}, "
+                f"got {self.pin_model!r}"
+            )
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise EstimationError(f"seed must be an int, got {self.seed!r}")
+
+    # -- construction ---------------------------------------------------------------
+
+    @classmethod
+    def preset(cls, name: str) -> "ProtestConfig":
+        """One of the named presets (see :func:`available_presets`)."""
+        try:
+            return PRESETS[name]
+        except KeyError:
+            raise EstimationError(
+                f"unknown preset {name!r}; available: {available_presets()}"
+            ) from None
+
+    @classmethod
+    def coerce(cls, value: "ProtestConfig | str | None") -> "ProtestConfig":
+        """Accept a config, a preset name, or ``None`` (the paper preset)."""
+        if value is None:
+            return PRESETS["paper"]
+        if isinstance(value, str):
+            return cls.preset(value)
+        if isinstance(value, ProtestConfig):
+            return value
+        raise EstimationError(
+            f"expected a ProtestConfig or preset name, got {value!r}"
+        )
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ProtestConfig":
+        fields = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - fields
+        if unknown:
+            raise EstimationError(
+                f"unknown ProtestConfig keys: {sorted(unknown)}"
+            )
+        return cls(**dict(data))
+
+    def replace(self, **changes: Any) -> "ProtestConfig":
+        """A copy with some knobs changed (relabelled "custom" by default)."""
+        changes.setdefault("name", "custom")
+        return dataclasses.replace(self, **changes)
+
+    # -- derived views -----------------------------------------------------------------
+
+    def estimator_params(self) -> EstimatorParams:
+        """The §2 estimator's parameter bundle."""
+        return EstimatorParams(
+            maxvers=self.maxvers,
+            maxlist=self.maxlist,
+            candidate_cap=self.candidate_cap,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    def to_json(self, indent: "int | None" = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @property
+    def config_hash(self) -> str:
+        """Stable short hash of the *behavioural* knobs (name excluded)."""
+        payload = self.to_dict()
+        del payload["name"]
+        canonical = json.dumps(payload, sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
+
+
+PRESETS: Dict[str, ProtestConfig] = {
+    # The settings of the published tool (paper §2, last paragraph).
+    "paper": ProtestConfig(name="paper"),
+    # Cheap screening: tree rule plus one conditioning node.
+    "fast": ProtestConfig(
+        maxvers=1, maxlist=4, candidate_cap=6, name="fast"
+    ),
+    # Deep conditioning for sign-off quality estimates.
+    "accurate": ProtestConfig(
+        maxvers=5, maxlist=12, candidate_cap=16, name="accurate"
+    ),
+}
+
+
+def available_presets() -> "list[str]":
+    """The registered preset names, sorted."""
+    return sorted(PRESETS)

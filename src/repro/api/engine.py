@@ -1,0 +1,432 @@
+"""The cached analysis engine — one circuit, one config, memoized stages.
+
+The paper's tool is a pipeline: signal probabilities → detection
+probabilities → test length → optimized input probabilities → pattern
+generation → fault simulation.  The engine owns the circuit and a
+:class:`~repro.api.config.ProtestConfig` and memoizes each intermediate
+artifact (topology, signal probabilities, observabilities, detection
+probabilities) keyed by the normalized input-probability tuple, so a chain
+like ::
+
+    engine.analyze()          # estimates once
+    engine.test_length(0.98)  # cache hit
+    engine.expected_coverage(500)  # cache hit
+
+runs every estimation stage exactly once.  ``cache_info()`` exposes the
+hit/miss counters the tests assert on.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.api.config import ProtestConfig
+from repro.api.results import (
+    DetectionResult,
+    Provenance,
+    SignalProbResult,
+    SimulationResult,
+    TestabilityReport,
+    TestLengthResult,
+)
+from repro.circuit.netlist import Circuit
+from repro.circuit.topology import Topology
+from repro.detection.estimator import DetectionProbabilityEstimator
+from repro.errors import EstimationError
+from repro.faults.model import Fault, fault_universe
+from repro.faults.simulator import FaultSimResult, FaultSimulator
+from repro.logicsim.patterns import PatternSet
+from repro.optimize.hillclimb import (
+    OptimizationResult,
+    optimize_input_probabilities,
+)
+from repro.probability.estimator import (
+    SignalProbabilities,
+    input_probs_key,
+)
+from repro.testlen.length import expected_coverage as _expected_coverage
+from repro.testlen.length import required_test_length
+
+__all__ = ["AnalysisEngine"]
+
+#: Coverage-curve checkpoints recorded by :meth:`AnalysisEngine.fault_simulate`.
+_CURVE_CHECKPOINTS = (10, 100, 1000, 10_000, 100_000)
+
+
+class AnalysisEngine:
+    """Probabilistic testability analysis with memoized pipeline stages.
+
+    Parameters
+    ----------
+    circuit:
+        A :class:`~repro.circuit.netlist.Circuit` or the name of a
+        registered evaluation circuit (``"alu"``, ``"c17"``, ...).
+    config:
+        A :class:`ProtestConfig`, a preset name (``"paper"``, ``"fast"``,
+        ``"accurate"``), or ``None`` for the paper preset.
+    faults:
+        Optional explicit fault list; defaults to the config-shaped
+        uncollapsed stuck-at universe.
+    """
+
+    def __init__(
+        self,
+        circuit: "Circuit | str",
+        config: "ProtestConfig | str | None" = None,
+        faults: "Iterable[Fault] | None" = None,
+    ) -> None:
+        if isinstance(circuit, str):
+            from repro.circuits.library import build
+
+            circuit = build(circuit)
+        self.circuit = circuit
+        self.config = ProtestConfig.coerce(config)
+        self._explicit_faults = list(faults) if faults is not None else None
+        self._topology: "Topology | None" = None
+        self._faults: "List[Fault] | None" = None
+        self._detector: "DetectionProbabilityEstimator | None" = None
+        # Stage caches, keyed by the normalized input-probability tuple.
+        self._signal_cache: Dict[Tuple[float, ...], SignalProbabilities] = {}
+        self._obs_cache: Dict[Tuple[float, ...], object] = {}
+        self._detection_cache: Dict[Tuple[float, ...], Dict[Fault, float]] = {}
+        self._stats: Dict[str, int] = {
+            "signal_runs": 0, "signal_hits": 0,
+            "observability_runs": 0, "observability_hits": 0,
+            "detection_runs": 0, "detection_hits": 0,
+        }
+
+    # -- lazily built structure ---------------------------------------------------
+
+    @property
+    def topology(self) -> Topology:
+        if self._topology is None:
+            self._topology = Topology(self.circuit)
+        return self._topology
+
+    @property
+    def faults(self) -> List[Fault]:
+        if self._faults is None:
+            if self._explicit_faults is not None:
+                self._faults = self._explicit_faults
+            else:
+                self._faults = fault_universe(
+                    self.circuit,
+                    include_branches=self.config.include_branches,
+                    only_fanout_stems=self.config.only_fanout_stems,
+                )
+        return self._faults
+
+    @property
+    def detector(self) -> DetectionProbabilityEstimator:
+        if self._detector is None:
+            self._detector = DetectionProbabilityEstimator(
+                self.circuit,
+                self.config.estimator_params(),
+                self.config.stem_model,
+                self.config.pin_model,
+                self.topology,
+            )
+        return self._detector
+
+    # -- cache plumbing -----------------------------------------------------------
+
+    def cache_info(self) -> Dict[str, int]:
+        """Per-stage run/hit counters plus current cache sizes."""
+        info = dict(self._stats)
+        info["cached_input_tuples"] = len(self._signal_cache)
+        return info
+
+    def clear_cache(self) -> None:
+        self._signal_cache.clear()
+        self._obs_cache.clear()
+        self._detection_cache.clear()
+
+    def _key(
+        self, input_probs: "float | Mapping[str, float] | None"
+    ) -> Tuple[float, ...]:
+        return input_probs_key(self.circuit.inputs, input_probs)
+
+    def _signal_for(
+        self, key: Tuple[float, ...]
+    ) -> "tuple[SignalProbabilities, float, bool]":
+        cached = self._signal_cache.get(key)
+        if cached is not None:
+            self._stats["signal_hits"] += 1
+            return cached, 0.0, True
+        start = time.perf_counter()
+        probs = dict(zip(self.circuit.inputs, key))
+        result = self.detector.signal_estimator.run(probs)
+        elapsed = time.perf_counter() - start
+        self._signal_cache[key] = result
+        self._stats["signal_runs"] += 1
+        return result, elapsed, False
+
+    def _stages_for(self, key: Tuple[float, ...]):
+        """Signal probabilities + observabilities, memoized per key."""
+        timings: Dict[str, float] = {}
+        cached: List[str] = []
+        signal, t_signal, signal_hit = self._signal_for(key)
+        timings["signal"] = t_signal
+        if signal_hit:
+            cached.append("signal")
+        obs = self._obs_cache.get(key)
+        if obs is not None:
+            self._stats["observability_hits"] += 1
+            timings["observability"] = 0.0
+            cached.append("observability")
+        else:
+            start = time.perf_counter()
+            obs = self.detector.observability_analyzer.run(signal)
+            timings["observability"] = time.perf_counter() - start
+            self._obs_cache[key] = obs
+            self._stats["observability_runs"] += 1
+        return signal, obs, timings, cached
+
+    def _detection_for(self, key: Tuple[float, ...]):
+        """Full-universe detection probabilities, memoized per key."""
+        cached_det = self._detection_cache.get(key)
+        if cached_det is not None:
+            self._stats["detection_hits"] += 1
+            return cached_det, {"detection": 0.0}, ["detection"]
+        signal, obs, timings, cached = self._stages_for(key)
+        start = time.perf_counter()
+        detection = self.detector.run_with(signal, obs, self.faults)
+        timings["detection"] = time.perf_counter() - start
+        self._detection_cache[key] = detection
+        self._stats["detection_runs"] += 1
+        return detection, timings, cached
+
+    def _provenance(
+        self, timings: Dict[str, float], cached: Sequence[str]
+    ) -> Provenance:
+        return Provenance(
+            circuit=self.circuit.name,
+            config_hash=self.config.config_hash,
+            config_name=self.config.name,
+            timings=timings,
+            cached=tuple(cached),
+        )
+
+    # -- estimation ---------------------------------------------------------------
+
+    def signal_probabilities(
+        self,
+        input_probs: "float | Mapping[str, float] | None" = None,
+    ) -> SignalProbResult:
+        """Estimated 1-probability of every node (paper §2)."""
+        key = self._key(input_probs)
+        signal, elapsed, hit = self._signal_for(key)
+        provenance = self._provenance(
+            {"signal": elapsed}, ["signal"] if hit else []
+        )
+        return SignalProbResult(
+            provenance=provenance,
+            input_probs=dict(signal.input_probs),
+            probabilities=signal.as_dict(),
+            conditioned_gates=signal.conditioned_gates,
+        )
+
+    def raw_signal_probabilities(
+        self,
+        input_probs: "float | Mapping[str, float] | None" = None,
+    ) -> SignalProbabilities:
+        """The estimator-native mapping (for in-process composition)."""
+        return self._signal_for(self._key(input_probs))[0]
+
+    def detection_probabilities(
+        self,
+        input_probs: "float | Mapping[str, float] | None" = None,
+        faults: "Iterable[Fault] | None" = None,
+    ) -> DetectionResult:
+        """Estimated detection probability of every fault (paper §3)."""
+        key = self._key(input_probs)
+        if faults is None:
+            detection, timings, cached = self._detection_for(key)
+        else:
+            signal, obs, timings, cached = self._stages_for(key)
+            detection = self.detector.run_with(signal, obs, faults)
+        return DetectionResult(
+            provenance=self._provenance(timings, cached),
+            input_probs=dict(zip(self.circuit.inputs, key)),
+            probabilities=dict(detection),
+        )
+
+    def raw_detection_probabilities(
+        self,
+        input_probs: "float | Mapping[str, float] | None" = None,
+        faults: "Iterable[Fault] | None" = None,
+    ) -> Dict[Fault, float]:
+        """Detection probabilities as a plain ``{Fault: p}`` dict."""
+        key = self._key(input_probs)
+        if faults is None:
+            detection, _, _ = self._detection_for(key)
+            return dict(detection)  # copy: the cached dict stays pristine
+        signal, obs, _, _ = self._stages_for(key)
+        return self.detector.run_with(signal, obs, faults)
+
+    # -- test lengths -----------------------------------------------------------------
+
+    def test_length(
+        self,
+        confidence: float = 0.95,
+        fraction: float = 1.0,
+        input_probs: "float | Mapping[str, float] | None" = None,
+    ) -> TestLengthResult:
+        """Patterns for the easiest ``fraction`` at ``confidence`` (formula (3)).
+
+        ``n_patterns`` is ``None`` when the kept fault set contains an
+        undetectable fault (no finite test reaches the confidence) or the
+        length overflows the search bound.
+        """
+        if not 0.0 < confidence < 1.0:
+            raise EstimationError(
+                f"confidence must be in (0, 1), got {confidence}"
+            )
+        if not 0.0 < fraction <= 1.0:
+            raise EstimationError(
+                f"fraction must be in (0, 1], got {fraction}"
+            )
+        detection, timings, cached = self._detection_for(
+            self._key(input_probs)
+        )
+        values = list(detection.values())
+        try:
+            n: "int | None" = required_test_length(values, confidence, fraction)
+        except EstimationError:
+            n = None
+        return TestLengthResult(
+            provenance=self._provenance(timings, cached),
+            confidence=confidence,
+            fraction=fraction,
+            n_patterns=n,
+            n_faults=len(values),
+        )
+
+    def expected_coverage(
+        self,
+        n_patterns: int,
+        input_probs: "float | Mapping[str, float] | None" = None,
+    ) -> float:
+        """Predicted fault coverage after ``n_patterns`` random patterns."""
+        detection, _, _ = self._detection_for(self._key(input_probs))
+        return _expected_coverage(list(detection.values()), n_patterns)
+
+    # -- optimization -----------------------------------------------------------------
+
+    def optimize(
+        self,
+        n_ref: int = 4096,
+        grid: int = 16,
+        max_rounds: int = 10,
+        start: "float | Mapping[str, float] | None" = None,
+        faults: "Iterable[Fault] | None" = None,
+        **kwargs,
+    ) -> OptimizationResult:
+        """Optimize the input probabilities (paper §6, Table 4)."""
+        kwargs.setdefault("seed", self.config.seed)
+        return optimize_input_probabilities(
+            self.circuit,
+            n_ref=n_ref,
+            grid=grid,
+            max_rounds=max_rounds,
+            start=start,
+            params=self.config.estimator_params(),
+            stem_model=self.config.stem_model,
+            pin_model=self.config.pin_model,
+            faults=faults if faults is not None else self.faults,
+            **kwargs,
+        )
+
+    # -- patterns and simulation --------------------------------------------------------
+
+    def generate_patterns(
+        self,
+        n_patterns: int,
+        input_probs: "float | Mapping[str, float] | None" = None,
+        seed: "int | None" = None,
+    ) -> PatternSet:
+        """Random pattern set realizing the given input probabilities."""
+        if seed is None:
+            seed = self.config.seed
+        return PatternSet.random(
+            self.circuit.inputs, n_patterns, input_probs, seed
+        )
+
+    def fault_simulate(
+        self,
+        patterns: PatternSet,
+        faults: "Iterable[Fault] | None" = None,
+        drop_detected: bool = True,
+        block_size: int = 1024,
+    ) -> SimulationResult:
+        """Static fault simulation of a pattern set (paper §7)."""
+        start = time.perf_counter()
+        raw = self.raw_fault_simulate(
+            patterns, faults, drop_detected=drop_detected,
+            block_size=block_size,
+        )
+        elapsed = time.perf_counter() - start
+        n = patterns.n_patterns
+        checkpoints = [c for c in _CURVE_CHECKPOINTS if c < n] + [n]
+        detected = sum(1 for r in raw.records.values() if r.detected)
+        return SimulationResult(
+            provenance=self._provenance({"simulation": elapsed}, []),
+            n_patterns=n,
+            n_faults=len(raw.records),
+            n_detected=detected,
+            coverage=raw.coverage(),
+            curve={c: raw.coverage_at(c) for c in checkpoints},
+            raw=raw,
+        )
+
+    def raw_fault_simulate(
+        self,
+        patterns: PatternSet,
+        faults: "Iterable[Fault] | None" = None,
+        drop_detected: bool = True,
+        block_size: int = 1024,
+    ) -> FaultSimResult:
+        """The simulator-native result (for in-process composition)."""
+        fault_list = list(faults) if faults is not None else self.faults
+        simulator = FaultSimulator(self.circuit, fault_list)
+        return simulator.run(
+            patterns, block_size=block_size, drop_detected=drop_detected
+        )
+
+    # -- reporting --------------------------------------------------------------------
+
+    def analyze(
+        self,
+        input_probs: "float | Mapping[str, float] | None" = None,
+        confidences: Sequence[float] = (0.95, 0.98, 0.999),
+        fractions: Sequence[float] = (1.0, 0.98),
+        hardest: int = 5,
+    ) -> TestabilityReport:
+        """One-shot analysis: detection probabilities plus test lengths.
+
+        Unreachable requirements (undetectable faults in the kept set) are
+        recorded as ``None`` in ``test_lengths``.
+        """
+        key = self._key(input_probs)
+        detection, timings, cached = self._detection_for(key)
+        ranked = sorted(detection.items(), key=lambda item: item[1])
+        values = sorted(detection.values())
+        lengths: Dict[Tuple[float, float], Optional[int]] = {}
+        for fraction in fractions:
+            for confidence in confidences:
+                try:
+                    lengths[(fraction, confidence)] = required_test_length(
+                        values, confidence, fraction
+                    )
+                except EstimationError:
+                    lengths[(fraction, confidence)] = None
+        return TestabilityReport(
+            circuit_name=self.circuit.name,
+            n_faults=len(detection),
+            min_detection=values[0] if values else 0.0,
+            median_detection=values[len(values) // 2] if values else 0.0,
+            hardest_faults=ranked[:hardest],
+            test_lengths=lengths,
+            provenance=self._provenance(timings, cached),
+        )

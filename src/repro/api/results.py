@@ -1,0 +1,333 @@
+"""Serializable result objects of the analysis engine.
+
+Every stage of the pipeline returns a rich result carrying the numbers
+*and* their provenance — circuit name, config hash and per-stage wall-clock
+timings — so sweep outputs can be archived, diffed and recombined without
+re-running the estimators.  All results round-trip through
+``to_dict()`` / ``from_dict()`` and serialize with ``to_json()``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.faults.model import Fault
+from repro.report.tables import ascii_table, format_count
+
+__all__ = [
+    "Provenance",
+    "SignalProbResult",
+    "DetectionResult",
+    "TestLengthResult",
+    "SimulationResult",
+    "TestabilityReport",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class Provenance:
+    """Where a result came from and what it cost.
+
+    ``timings`` maps stage names (``"signal"``, ``"observability"``,
+    ``"detection"``, ...) to seconds; a stage served from the engine cache
+    records ``0.0`` and shows up in ``cached`` instead.
+    """
+
+    circuit: str
+    config_hash: str
+    config_name: str = "custom"
+    timings: Dict[str, float] = dataclasses.field(default_factory=dict)
+    cached: Tuple[str, ...] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "circuit": self.circuit,
+            "config_hash": self.config_hash,
+            "config_name": self.config_name,
+            "timings": dict(self.timings),
+            "cached": list(self.cached),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Provenance":
+        return cls(
+            circuit=data["circuit"],
+            config_hash=data["config_hash"],
+            config_name=data.get("config_name", "custom"),
+            timings=dict(data.get("timings", {})),
+            cached=tuple(data.get("cached", ())),
+        )
+
+
+class _Serializable:
+    """``to_json`` / ``from_json`` on top of the per-class dict codecs."""
+
+    def to_dict(self) -> Dict[str, Any]:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def to_json(self, indent: "int | None" = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, payload: str):
+        return cls.from_dict(json.loads(payload))
+
+
+def _fault_to_dict(fault: Fault) -> Dict[str, Any]:
+    return {"node": fault.node, "pin": fault.pin, "value": fault.value}
+
+
+def _fault_from_dict(data: Mapping[str, Any]) -> Fault:
+    return Fault(data["node"], data["pin"], data["value"])
+
+
+@dataclasses.dataclass
+class SignalProbResult(_Serializable):
+    """Estimated 1-probability of every node (stage 1)."""
+
+    provenance: Provenance
+    input_probs: Dict[str, float]
+    probabilities: Dict[str, float]
+    conditioned_gates: int = 0
+
+    def __getitem__(self, node: str) -> float:
+        return self.probabilities[node]
+
+    def __contains__(self, node: str) -> bool:
+        return node in self.probabilities
+
+    def __len__(self) -> int:
+        return len(self.probabilities)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "signal_probabilities",
+            "provenance": self.provenance.to_dict(),
+            "input_probs": dict(self.input_probs),
+            "probabilities": dict(self.probabilities),
+            "conditioned_gates": self.conditioned_gates,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SignalProbResult":
+        return cls(
+            provenance=Provenance.from_dict(data["provenance"]),
+            input_probs=dict(data["input_probs"]),
+            probabilities=dict(data["probabilities"]),
+            conditioned_gates=data.get("conditioned_gates", 0),
+        )
+
+
+@dataclasses.dataclass
+class DetectionResult(_Serializable):
+    """Estimated detection probability of every fault (stage 2)."""
+
+    provenance: Provenance
+    input_probs: Dict[str, float]
+    probabilities: Dict[Fault, float]
+
+    def __getitem__(self, fault: Fault) -> float:
+        return self.probabilities[fault]
+
+    def __len__(self) -> int:
+        return len(self.probabilities)
+
+    def values(self) -> List[float]:
+        return list(self.probabilities.values())
+
+    def hardest(self, n: int = 5) -> List[Tuple[Fault, float]]:
+        """The ``n`` faults with the lowest detection probability."""
+        ranked = sorted(self.probabilities.items(), key=lambda item: item[1])
+        return ranked[:n]
+
+    def min_detection(self) -> float:
+        values = sorted(self.probabilities.values())
+        return values[0] if values else 0.0
+
+    def median_detection(self) -> float:
+        values = sorted(self.probabilities.values())
+        return values[len(values) // 2] if values else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "detection_probabilities",
+            "provenance": self.provenance.to_dict(),
+            "input_probs": dict(self.input_probs),
+            "faults": [
+                dict(_fault_to_dict(fault), p=p)
+                for fault, p in self.probabilities.items()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DetectionResult":
+        return cls(
+            provenance=Provenance.from_dict(data["provenance"]),
+            input_probs=dict(data["input_probs"]),
+            probabilities={
+                _fault_from_dict(rec): rec["p"] for rec in data["faults"]
+            },
+        )
+
+
+@dataclasses.dataclass
+class TestLengthResult(_Serializable):
+    """Required random test length for one (d, e) requirement (stage 3).
+
+    ``n_patterns is None`` means no finite test reaches the confidence —
+    the fault set contains an undetectable fault (P_f = 0).
+    """
+
+    __test__ = False  # "Test" prefix: keep pytest from collecting this
+
+    provenance: Provenance
+    confidence: float
+    fraction: float
+    n_patterns: Optional[int]
+    n_faults: int
+
+    @property
+    def reachable(self) -> bool:
+        return self.n_patterns is not None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "test_length",
+            "provenance": self.provenance.to_dict(),
+            "confidence": self.confidence,
+            "fraction": self.fraction,
+            "n_patterns": self.n_patterns,
+            "n_faults": self.n_faults,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TestLengthResult":
+        return cls(
+            provenance=Provenance.from_dict(data["provenance"]),
+            confidence=data["confidence"],
+            fraction=data["fraction"],
+            n_patterns=data["n_patterns"],
+            n_faults=data["n_faults"],
+        )
+
+
+@dataclasses.dataclass
+class SimulationResult(_Serializable):
+    """Fault-simulation outcome of one pattern set (stage 5).
+
+    ``raw`` keeps the full :class:`~repro.faults.simulator.FaultSimResult`
+    for in-process callers; it is not serialized.
+    """
+
+    provenance: Provenance
+    n_patterns: int
+    n_faults: int
+    n_detected: int
+    coverage: float
+    curve: Dict[int, float] = dataclasses.field(default_factory=dict)
+    raw: Any = dataclasses.field(default=None, repr=False, compare=False)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "fault_simulation",
+            "provenance": self.provenance.to_dict(),
+            "n_patterns": self.n_patterns,
+            "n_faults": self.n_faults,
+            "n_detected": self.n_detected,
+            "coverage": self.coverage,
+            "curve": {str(n): c for n, c in self.curve.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SimulationResult":
+        return cls(
+            provenance=Provenance.from_dict(data["provenance"]),
+            n_patterns=data["n_patterns"],
+            n_faults=data["n_faults"],
+            n_detected=data["n_detected"],
+            coverage=data["coverage"],
+            curve={int(n): c for n, c in data.get("curve", {}).items()},
+        )
+
+
+@dataclasses.dataclass
+class TestabilityReport(_Serializable):
+    """Summary of one full analysis run (printable and serializable).
+
+    ``test_lengths`` maps ``(fraction, confidence)`` to the required
+    pattern count, or ``None`` when the kept fault set contains an
+    undetectable fault (rendered as ``"inf"`` by :meth:`to_text`).
+    """
+
+    __test__ = False  # "Test" prefix: keep pytest from collecting this
+
+    circuit_name: str
+    n_faults: int
+    min_detection: float
+    median_detection: float
+    hardest_faults: List[Tuple[Fault, float]]
+    test_lengths: Dict[Tuple[float, float], Optional[int]]
+    provenance: Optional[Provenance] = None
+
+    def to_text(self) -> str:
+        lines = [
+            f"PROTEST analysis of {self.circuit_name}",
+            f"  faults analysed: {self.n_faults}",
+            f"  min / median estimated P_f: "
+            f"{self.min_detection:.3e} / {self.median_detection:.3e}",
+            "  hardest faults:",
+        ]
+        for fault, p in self.hardest_faults:
+            lines.append(f"    {str(fault):30s} P_f = {p:.3e}")
+        rows = [
+            [f"{d:.2f}", f"{e:.3f}",
+             format_count(n) if n is not None else "inf"]
+            for (d, e), n in sorted(self.test_lengths.items())
+        ]
+        lines.append(
+            ascii_table(["d", "e", "N"], rows, title="  required test lengths")
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "testability_report",
+            "circuit": self.circuit_name,
+            "provenance": (
+                self.provenance.to_dict() if self.provenance else None
+            ),
+            "n_faults": self.n_faults,
+            "min_detection": self.min_detection,
+            "median_detection": self.median_detection,
+            "hardest_faults": [
+                dict(_fault_to_dict(fault), p=p)
+                for fault, p in self.hardest_faults
+            ],
+            "test_lengths": [
+                {"fraction": d, "confidence": e, "n_patterns": n}
+                for (d, e), n in sorted(self.test_lengths.items())
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TestabilityReport":
+        provenance = data.get("provenance")
+        return cls(
+            circuit_name=data["circuit"],
+            n_faults=data["n_faults"],
+            min_detection=data["min_detection"],
+            median_detection=data["median_detection"],
+            hardest_faults=[
+                (_fault_from_dict(rec), rec["p"])
+                for rec in data["hardest_faults"]
+            ],
+            test_lengths={
+                (rec["fraction"], rec["confidence"]): rec["n_patterns"]
+                for rec in data["test_lengths"]
+            },
+            provenance=(
+                Provenance.from_dict(provenance) if provenance else None
+            ),
+        )

@@ -1,0 +1,193 @@
+"""Batch front-end: analyse many circuits under many configs in one call.
+
+``run_sweep`` is the workload the benchmark tables actually run — every
+``bench_table*.py`` is "a few circuits × a config grid" — packaged as a
+single parallel call returning serializable per-run reports::
+
+    result = run_sweep(["alu", "div", "comp8"], ["paper", "fast"], workers=4)
+    for run in result.runs:
+        print(run.circuit, run.config.name, run.report.test_lengths)
+    open("sweep.json", "w").write(result.to_json(indent=2))
+
+Failures are captured per run (``run.error``) instead of aborting the
+sweep, so one pathological circuit cannot sink a nightly batch.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import time
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.api.config import ProtestConfig
+from repro.api.engine import AnalysisEngine
+from repro.api.results import TestabilityReport, _Serializable
+from repro.circuit.netlist import Circuit
+from repro.errors import ReproError
+from repro.report.tables import ascii_table, format_count
+
+__all__ = ["SweepRun", "SweepResult", "run_sweep"]
+
+
+@dataclasses.dataclass
+class SweepRun:
+    """One (circuit, config) cell of a sweep."""
+
+    circuit: str
+    config: ProtestConfig
+    report: Optional[TestabilityReport]
+    error: Optional[str] = None
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "circuit": self.circuit,
+            "config": self.config.to_dict(),
+            "report": self.report.to_dict() if self.report else None,
+            "error": self.error,
+            "elapsed": self.elapsed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepRun":
+        report = data.get("report")
+        return cls(
+            circuit=data["circuit"],
+            config=ProtestConfig.from_dict(data["config"]),
+            report=TestabilityReport.from_dict(report) if report else None,
+            error=data.get("error"),
+            elapsed=data.get("elapsed", 0.0),
+        )
+
+
+@dataclasses.dataclass
+class SweepResult(_Serializable):
+    """All runs of one sweep, in deterministic circuit-major order."""
+
+    runs: List[SweepRun]
+
+    def __iter__(self):
+        return iter(self.runs)
+
+    def __len__(self) -> int:
+        return len(self.runs)
+
+    @property
+    def ok(self) -> List[SweepRun]:
+        return [run for run in self.runs if run.ok]
+
+    @property
+    def failed(self) -> List[SweepRun]:
+        return [run for run in self.runs if not run.ok]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": "sweep", "runs": [run.to_dict() for run in self.runs]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepResult":
+        return cls(runs=[SweepRun.from_dict(rec) for rec in data["runs"]])
+
+    def to_table(self) -> str:
+        """Compact per-run summary (one row per (circuit, config))."""
+        rows = []
+        for run in self.runs:
+            if not run.ok:
+                rows.append([run.circuit, run.config.name, "-", "-",
+                             f"error: {run.error}"])
+                continue
+            report = run.report
+            key = min(report.test_lengths)  # smallest (d, e) requirement
+            n = report.test_lengths[key]
+            rows.append([
+                run.circuit,
+                run.config.name,
+                str(report.n_faults),
+                f"{report.min_detection:.2e}",
+                format_count(n) if n is not None else "inf",
+            ])
+        return ascii_table(
+            ["circuit", "config", "faults", "min P_f", "N"],
+            rows,
+            title="sweep results",
+        )
+
+
+def _circuit_label(spec: "Circuit | str") -> str:
+    return spec if isinstance(spec, str) else spec.name
+
+
+def _run_one(
+    circuit: "Circuit | str",
+    config: ProtestConfig,
+    input_probs,
+    confidences: Sequence[float],
+    fractions: Sequence[float],
+) -> SweepRun:
+    label = _circuit_label(circuit)
+    start = time.perf_counter()
+    try:
+        engine = AnalysisEngine(circuit, config)
+        report = engine.analyze(
+            input_probs, confidences=confidences, fractions=fractions
+        )
+        return SweepRun(
+            circuit=label, config=config, report=report,
+            elapsed=time.perf_counter() - start,
+        )
+    except ReproError as error:
+        return SweepRun(
+            circuit=label, config=config, report=None, error=str(error),
+            elapsed=time.perf_counter() - start,
+        )
+
+
+def run_sweep(
+    circuits: "Iterable[Circuit | str]",
+    configs: "Iterable[ProtestConfig | str]" = ("paper",),
+    workers: "int | None" = None,
+    input_probs=None,
+    confidences: Sequence[float] = (0.95, 0.98, 0.999),
+    fractions: Sequence[float] = (1.0, 0.98),
+) -> SweepResult:
+    """Analyse every circuit under every config, in parallel.
+
+    Parameters
+    ----------
+    circuits:
+        Circuits or registered circuit names.
+    configs:
+        :class:`ProtestConfig` objects or preset names.
+    workers:
+        Thread-pool size; ``None`` lets :mod:`concurrent.futures` choose,
+        ``workers=1`` (or a single cell) runs inline, deterministically.
+
+    Unparseable circuit names and estimation failures are recorded on the
+    affected :class:`SweepRun` (``error``), never raised.
+    """
+    circuit_list = list(circuits)
+    config_list = [ProtestConfig.coerce(c) for c in configs]
+    cells: List[Tuple["Circuit | str", ProtestConfig]] = [
+        (circuit, config)
+        for circuit in circuit_list
+        for config in config_list
+    ]
+    if (workers is not None and workers <= 1) or len(cells) <= 1:
+        runs = [
+            _run_one(circuit, config, input_probs, confidences, fractions)
+            for circuit, config in cells
+        ]
+        return SweepResult(runs=runs)
+    with concurrent.futures.ThreadPoolExecutor(max_workers=workers) as pool:
+        futures = [
+            pool.submit(
+                _run_one, circuit, config, input_probs, confidences, fractions
+            )
+            for circuit, config in cells
+        ]
+        runs = [future.result() for future in futures]
+    return SweepResult(runs=runs)

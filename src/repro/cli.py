@@ -7,11 +7,15 @@ Subcommands
 ``optimize``   hill-climb the input probabilities (Table 4)
 ``generate``   emit a (weighted) random pattern set
 ``fsim``       fault-simulate a pattern set and print the coverage curve
+``sweep``      analyse many circuits under many configs in one call
 ``circuits``   list the built-in evaluation circuits
 ``convert``    convert between .bench and .sdl netlists
 
 Circuits are referenced either by a built-in name (see ``circuits``) or by
-a ``.bench`` / ``.sdl`` file path.
+a ``.bench`` / ``.sdl`` file path.  ``analyze``, ``testlen``, ``optimize``,
+``fsim`` and ``sweep`` accept ``--json`` to emit the result objects'
+serialized payloads instead of ASCII tables, and ``--preset`` to start
+from a named :class:`~repro.api.ProtestConfig` preset.
 """
 
 from __future__ import annotations
@@ -19,8 +23,11 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Dict, List, Optional
+from typing import Dict, List
 
+from repro.api.config import ProtestConfig, available_presets
+from repro.api.engine import AnalysisEngine
+from repro.api.sweep import run_sweep
 from repro.circuit.bench_parser import load_bench
 from repro.circuit.netlist import Circuit
 from repro.circuit.sdl import load_sdl, save_sdl
@@ -29,9 +36,6 @@ from repro.circuit.writer import save_bench
 from repro.circuits.library import REGISTRY, build, names
 from repro.errors import ReproError
 from repro.faults.coverage import TABLE6_CHECKPOINTS
-from repro.logicsim.patterns import PatternSet
-from repro.probability.estimator import EstimatorParams
-from repro.protest import Protest
 from repro.report.tables import ascii_table, format_count
 
 __all__ = ["main"]
@@ -64,63 +68,103 @@ def _load_probs(spec: "str | None") -> "Dict[str, float] | float | None":
     return {str(k): float(v) for k, v in data.items()}
 
 
-def _tool(args: argparse.Namespace) -> Protest:
-    circuit = _load_circuit(args.circuit)
-    params = EstimatorParams(maxvers=args.maxvers, maxlist=args.maxlist)
-    return Protest(circuit, params, stem_model=args.stem_model,
-                   pin_model=args.pin_model)
+def _config(args: argparse.Namespace) -> ProtestConfig:
+    """Resolve the preset + per-flag overrides into one config."""
+    base = ProtestConfig.preset(args.preset)
+    overrides = {}
+    for knob in ("maxvers", "maxlist", "stem_model", "pin_model"):
+        value = getattr(args, knob, None)
+        if value is not None:
+            overrides[knob] = value
+    return base.replace(**overrides) if overrides else base
+
+
+def _engine(args: argparse.Namespace) -> AnalysisEngine:
+    return AnalysisEngine(_load_circuit(args.circuit), _config(args))
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("circuit", help="built-in name or .bench/.sdl path")
     parser.add_argument("--probs", default=None,
                         help="input 1-probability: scalar or JSON file")
-    parser.add_argument("--maxvers", type=int, default=3,
-                        help="MAXVERS: max conditioning-set size")
-    parser.add_argument("--maxlist", type=int, default=8,
-                        help="MAXLIST: joining-point search depth")
-    parser.add_argument("--stem-model", default="chain",
+    parser.add_argument("--preset", default="paper",
+                        choices=available_presets(),
+                        help="ProtestConfig preset to start from")
+    parser.add_argument("--maxvers", type=int, default=None,
+                        help="MAXVERS: max conditioning-set size (default 3)")
+    parser.add_argument("--maxlist", type=int, default=None,
+                        help="MAXLIST: joining-point search depth (default 8)")
+    parser.add_argument("--stem-model", default=None,
                         choices=("chain", "multi_output"))
-    parser.add_argument("--pin-model", default="boolean_difference",
+    parser.add_argument("--pin-model", default=None,
                         choices=("independent", "boolean_difference"))
+    parser.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON instead of tables")
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    tool = _tool(args)
-    report = tool.analyze(_load_probs(args.probs))
+    engine = _engine(args)
+    report = engine.analyze(_load_probs(args.probs))
+    if args.json:
+        payload = report.to_dict()
+        payload["transistors"] = transistor_count(engine.circuit)
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     print(report.to_text())
-    print(f"  transistors (CMOS): {transistor_count(tool.circuit)}")
+    print(f"  transistors (CMOS): {transistor_count(engine.circuit)}")
     return 0
 
 
 def _cmd_testlen(args: argparse.Namespace) -> int:
-    tool = _tool(args)
-    detection = tool.detection_probabilities(_load_probs(args.probs))
-    rows = []
-    for fraction in args.fraction:
-        for confidence in args.confidence:
-            n = tool.test_length(confidence, fraction,
-                                 detection_probs=detection)
-            rows.append([f"{fraction:.2f}", f"{confidence:.3f}",
-                         format_count(n)])
+    engine = _engine(args)
+    probs = _load_probs(args.probs)
+    results = [
+        engine.test_length(confidence, fraction, probs)
+        for fraction in args.fraction
+        for confidence in args.confidence
+    ]
+    if args.json:
+        payload = {
+            "circuit": engine.circuit.name,
+            "results": [r.to_dict() for r in results],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    rows = [
+        [f"{r.fraction:.2f}", f"{r.confidence:.3f}",
+         format_count(r.n_patterns) if r.n_patterns is not None else "inf"]
+        for r in results
+    ]
     print(ascii_table(["d", "e", "N"], rows,
-                      title=f"required test lengths for {tool.circuit.name}"))
+                      title=f"required test lengths for {engine.circuit.name}"))
     return 0
 
 
 def _cmd_optimize(args: argparse.Namespace) -> int:
-    tool = _tool(args)
-    result = tool.optimize(
+    engine = _engine(args)
+    result = engine.optimize(
         n_ref=args.n_ref, grid=args.grid, max_rounds=args.rounds,
         start=_load_probs(args.probs),
     )
-    print(f"log J_N: {result.initial_score:.2f} -> {result.score:.2f} "
-          f"({result.rounds} rounds, {result.evaluations} evaluations)")
+    if args.json:
+        payload = {
+            "circuit": engine.circuit.name,
+            "initial_score": result.initial_score,
+            "score": result.score,
+            "rounds": result.rounds,
+            "evaluations": result.evaluations,
+            "probabilities": result.probabilities,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(f"log J_N: {result.initial_score:.2f} -> {result.score:.2f} "
+              f"({result.rounds} rounds, {result.evaluations} evaluations)")
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             json.dump(result.probabilities, handle, indent=2, sort_keys=True)
-        print(f"optimized probabilities written to {args.output}")
-    else:
+        if not args.json:
+            print(f"optimized probabilities written to {args.output}")
+    elif not args.json:
         rows = [[name, f"{p:.4f}"] for name, p in
                 sorted(result.probabilities.items())]
         print(ascii_table(["input", "p"], rows))
@@ -128,29 +172,63 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
-    tool = _tool(args)
-    patterns = tool.generate_patterns(args.count, _load_probs(args.probs),
-                                      seed=args.seed)
-    for j in range(patterns.n_patterns):
-        vec = patterns.vector(j)
-        print("".join(str(vec[name]) for name in patterns.inputs))
+    engine = _engine(args)
+    patterns = engine.generate_patterns(args.count, _load_probs(args.probs),
+                                        seed=args.seed)
+
+    def rows():
+        for j in range(patterns.n_patterns):
+            vec = patterns.vector(j)
+            yield "".join(str(vec[name]) for name in patterns.inputs)
+
+    if args.json:
+        payload = {
+            "circuit": engine.circuit.name,
+            "inputs": list(patterns.inputs),
+            "seed": args.seed,
+            "patterns": list(rows()),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    for row in rows():
+        print(row)
     return 0
 
 
 def _cmd_fsim(args: argparse.Namespace) -> int:
-    tool = _tool(args)
-    patterns = tool.generate_patterns(args.count, _load_probs(args.probs),
-                                      seed=args.seed)
-    result = tool.fault_simulate(patterns)
+    engine = _engine(args)
+    patterns = engine.generate_patterns(args.count, _load_probs(args.probs),
+                                        seed=args.seed)
+    result = engine.fault_simulate(patterns)
+    if args.json:
+        print(result.to_json(indent=2))
+        return 0
     checkpoints = [n for n in TABLE6_CHECKPOINTS if n <= args.count]
     if args.count not in checkpoints:
         checkpoints.append(args.count)
-    rows = [[str(n), f"{100.0 * result.coverage_at(n):.1f}"]
+    rows = [[str(n), f"{100.0 * result.raw.coverage_at(n):.1f}"]
             for n in checkpoints]
     print(ascii_table(["patterns", "coverage %"], rows,
-                      title=f"fault simulation of {tool.circuit.name} "
-                            f"({len(tool.faults)} faults)"))
+                      title=f"fault simulation of {engine.circuit.name} "
+                            f"({result.n_faults} faults)"))
     return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    configs = [ProtestConfig.preset(name) for name in args.presets or ["paper"]]
+    result = run_sweep(
+        [_load_circuit(spec) for spec in args.circuits],
+        configs,
+        workers=args.workers,
+        input_probs=_load_probs(args.probs),
+        confidences=tuple(args.confidence),
+        fractions=tuple(args.fraction),
+    )
+    if args.json:
+        print(result.to_json(indent=2))
+    else:
+        print(result.to_table())
+    return 1 if result.failed else 0
 
 
 def _cmd_circuits(_args: argparse.Namespace) -> int:
@@ -217,6 +295,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--count", "-n", type=int, default=1000)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_fsim)
+
+    p = sub.add_parser(
+        "sweep", help="analyse many circuits under many configs"
+    )
+    p.add_argument("circuits", nargs="+",
+                   help="built-in names or .bench/.sdl paths")
+    p.add_argument("--preset", dest="presets", action="append",
+                   choices=available_presets(), default=None,
+                   help="config preset; repeat for a config grid")
+    p.add_argument("--workers", "-w", type=int, default=None)
+    p.add_argument("--probs", default=None,
+                   help="input 1-probability: scalar or JSON file")
+    p.add_argument("--confidence", "-e", type=float, nargs="+",
+                   default=[0.95, 0.98, 0.999])
+    p.add_argument("--fraction", "-d", type=float, nargs="+",
+                   default=[1.0, 0.98])
+    p.add_argument("--json", action="store_true",
+                   help="emit machine-readable JSON instead of tables")
+    p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("circuits", help="list built-in circuits")
     p.set_defaults(func=_cmd_circuits)

@@ -86,9 +86,21 @@ class DetectionProbabilityEstimator:
         pre-computed ``signal_probs`` (e.g. from an incremental update)
         short-circuits the signal-probability stage.
         """
-        fault_list: List[Fault] = (
-            list(faults) if faults is not None else fault_universe(self.circuit)
-        )
+        signal_probs, observabilities = self.stages(input_probs, signal_probs)
+        return self.run_with(signal_probs, observabilities, faults)
+
+    def stages(
+        self,
+        input_probs: "float | Mapping[str, float] | None" = None,
+        signal_probs: "SignalProbabilities | None" = None,
+    ) -> "tuple[SignalProbabilities, Observabilities]":
+        """The two expensive intermediate artifacts, separately reusable.
+
+        Callers that sweep many fault subsets or (d, e) requirements at one
+        input tuple compute the stages once and feed them to
+        :meth:`run_with` — the cache-friendly split the
+        :class:`repro.api.AnalysisEngine` memoizes around.
+        """
         if signal_probs is None:
             signal_probs = self.signal_estimator.run(input_probs)
         elif input_probs is not None:
@@ -96,6 +108,18 @@ class DetectionProbabilityEstimator:
                 "pass either input_probs or signal_probs, not both"
             )
         observabilities = self.observability_analyzer.run(signal_probs)
+        return signal_probs, observabilities
+
+    def run_with(
+        self,
+        signal_probs: "SignalProbabilities | Mapping[str, float]",
+        observabilities: Observabilities,
+        faults: "Iterable[Fault] | None" = None,
+    ) -> Dict[Fault, float]:
+        """Per-fault detection probabilities from precomputed stages."""
+        fault_list: List[Fault] = (
+            list(faults) if faults is not None else fault_universe(self.circuit)
+        )
         return {
             fault: detection_probability(
                 fault, self.circuit, signal_probs, observabilities

@@ -33,7 +33,26 @@ from repro.errors import EstimationError
 from repro.logicsim.patterns import resolve_input_probs
 from repro.probability.conditional import ConditionalEvaluator
 
-__all__ = ["EstimatorParams", "SignalProbabilities", "SignalProbabilityEstimator"]
+__all__ = [
+    "EstimatorParams",
+    "SignalProbabilities",
+    "SignalProbabilityEstimator",
+    "input_probs_key",
+]
+
+
+def input_probs_key(
+    inputs: Sequence[str],
+    probs: "float | Mapping[str, float] | None",
+) -> Tuple[float, ...]:
+    """Hashable cache key for an input-probability specification.
+
+    Scalar, mapping and ``None`` specifications that resolve to the same
+    per-input tuple produce the same key, so callers can memoize whole
+    estimation runs by it (the :class:`repro.api.AnalysisEngine` does).
+    """
+    resolved = resolve_input_probs(inputs, probs)
+    return tuple(resolved[name] for name in inputs)
 
 
 @dataclasses.dataclass(frozen=True)

@@ -1,5 +1,14 @@
 """The :class:`Protest` facade — the tool's workflow in one object.
 
+.. deprecated::
+    ``Protest`` is now a thin backward-compatible shim over
+    :class:`repro.api.AnalysisEngine`; new code should use the
+    :mod:`repro.api` layer directly (typed :class:`~repro.api.ProtestConfig`,
+    memoized stages, serializable results, ``run_sweep`` batching).  Every
+    old signature keeps working and now benefits from the engine's stage
+    caching: ``analyze()`` → ``test_length()`` → ``expected_coverage()``
+    chains estimate each stage exactly once.
+
 Mirrors the input/output contract of the original tool (paper §1):
 
 * estimated signal probability at each node for a given input tuple;
@@ -13,64 +22,30 @@ Mirrors the input/output contract of the original tool (paper §1):
 
 from __future__ import annotations
 
-import dataclasses
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Sequence
 
+from repro.api.config import ProtestConfig
+from repro.api.engine import AnalysisEngine
+from repro.api.results import TestabilityReport
 from repro.circuit.netlist import Circuit
 from repro.circuit.topology import Topology
-from repro.detection.estimator import DetectionProbabilityEstimator
-from repro.errors import EstimationError
-from repro.faults.model import Fault, fault_universe
-from repro.faults.simulator import FaultSimResult, FaultSimulator
+from repro.faults.model import Fault
+from repro.faults.simulator import FaultSimResult
 from repro.logicsim.patterns import PatternSet
-from repro.optimize.hillclimb import (
-    OptimizationResult,
-    optimize_input_probabilities,
-)
-from repro.probability.estimator import (
-    EstimatorParams,
-    SignalProbabilities,
-    SignalProbabilityEstimator,
-)
-from repro.report.tables import ascii_table, format_count
-from repro.testlen.length import expected_coverage, required_test_length
+from repro.optimize.hillclimb import OptimizationResult
+from repro.probability.estimator import EstimatorParams, SignalProbabilities
 
 __all__ = ["Protest", "TestabilityReport"]
 
 
-@dataclasses.dataclass
-class TestabilityReport:
-    """Summary of one analysis run (printable)."""
-
-    circuit_name: str
-    n_faults: int
-    min_detection: float
-    median_detection: float
-    hardest_faults: List[Tuple[Fault, float]]
-    test_lengths: Dict[Tuple[float, float], int]
-
-    def to_text(self) -> str:
-        lines = [
-            f"PROTEST analysis of {self.circuit_name}",
-            f"  faults analysed: {self.n_faults}",
-            f"  min / median estimated P_f: "
-            f"{self.min_detection:.3e} / {self.median_detection:.3e}",
-            "  hardest faults:",
-        ]
-        for fault, p in self.hardest_faults:
-            lines.append(f"    {str(fault):30s} P_f = {p:.3e}")
-        rows = [
-            [f"{d:.2f}", f"{e:.3f}", format_count(n)]
-            for (d, e), n in sorted(self.test_lengths.items())
-        ]
-        lines.append(
-            ascii_table(["d", "e", "N"], rows, title="  required test lengths")
-        )
-        return "\n".join(lines)
-
-
 class Protest:
-    """Probabilistic testability analysis of one combinational circuit."""
+    """Probabilistic testability analysis of one combinational circuit.
+
+    .. deprecated::
+        Thin shim over :class:`repro.api.AnalysisEngine`; prefer the
+        engine for new code.  The ``engine`` attribute exposes the
+        underlying instance (and its ``cache_info()``).
+    """
 
     def __init__(
         self,
@@ -80,16 +55,25 @@ class Protest:
         pin_model: str = "boolean_difference",
         faults: "Iterable[Fault] | None" = None,
     ) -> None:
+        params = params or EstimatorParams()
+        config = ProtestConfig(
+            maxvers=params.maxvers,
+            maxlist=params.maxlist,
+            candidate_cap=params.candidate_cap,
+            stem_model=stem_model,
+            pin_model=pin_model,
+        )
+        self.engine = AnalysisEngine(circuit, config, faults=faults)
         self.circuit = circuit
-        self.params = params or EstimatorParams()
-        self.topology = Topology(circuit)
-        self.faults: List[Fault] = (
-            list(faults) if faults is not None else fault_universe(circuit)
-        )
-        self._detector = DetectionProbabilityEstimator(
-            circuit, self.params, stem_model, pin_model, self.topology
-        )
-        self._fsim: "FaultSimulator | None" = None
+        self.params = params
+
+    @property
+    def topology(self) -> Topology:
+        return self.engine.topology
+
+    @property
+    def faults(self) -> List[Fault]:
+        return self.engine.faults
 
     # -- estimation ---------------------------------------------------------------
 
@@ -97,19 +81,23 @@ class Protest:
         self,
         input_probs: "float | Mapping[str, float] | None" = None,
     ) -> SignalProbabilities:
-        """Estimated 1-probability of every node."""
-        return self._detector.signal_estimator.run(input_probs)
+        """Estimated 1-probability of every node.
+
+        .. deprecated:: use :meth:`AnalysisEngine.signal_probabilities`
+            for a serializable result with provenance.
+        """
+        return self.engine.raw_signal_probabilities(input_probs)
 
     def detection_probabilities(
         self,
         input_probs: "float | Mapping[str, float] | None" = None,
         faults: "Iterable[Fault] | None" = None,
     ) -> Dict[Fault, float]:
-        """Estimated detection probability of every fault."""
-        return self._detector.run(
-            input_probs=input_probs,
-            faults=faults if faults is not None else self.faults,
-        )
+        """Estimated detection probability of every fault.
+
+        .. deprecated:: use :meth:`AnalysisEngine.detection_probabilities`.
+        """
+        return self.engine.raw_detection_probabilities(input_probs, faults)
 
     # -- test lengths ----------------------------------------------------------------
 
@@ -121,12 +109,27 @@ class Protest:
         detection_probs: "Mapping[Fault, float] | None" = None,
     ) -> int:
         """Patterns needed so the easiest ``fraction`` of faults is covered
-        with probability ``confidence`` (formula (3), Tables 2/3/5)."""
-        if detection_probs is None:
-            detection_probs = self.detection_probabilities(input_probs)
-        return required_test_length(
-            list(detection_probs.values()), confidence, fraction
-        )
+        with probability ``confidence`` (formula (3), Tables 2/3/5).
+
+        .. deprecated:: use :meth:`AnalysisEngine.test_length`; passing
+            ``detection_probs`` is unnecessary there — the engine caches
+            the estimation stages itself.
+        """
+        from repro.testlen.length import required_test_length
+
+        if detection_probs is not None:
+            return required_test_length(
+                list(detection_probs.values()), confidence, fraction
+            )
+        result = self.engine.test_length(confidence, fraction, input_probs)
+        if result.n_patterns is None:
+            # Preserve the historical contract: raise, don't return None.
+            required_test_length(
+                list(self.detection_probabilities(input_probs).values()),
+                confidence,
+                fraction,
+            )
+        return result.n_patterns  # type: ignore[return-value]
 
     def expected_coverage(
         self,
@@ -134,10 +137,17 @@ class Protest:
         input_probs: "float | Mapping[str, float] | None" = None,
         detection_probs: "Mapping[Fault, float] | None" = None,
     ) -> float:
-        """Predicted fault coverage after ``n_patterns`` random patterns."""
-        if detection_probs is None:
-            detection_probs = self.detection_probabilities(input_probs)
-        return expected_coverage(list(detection_probs.values()), n_patterns)
+        """Predicted fault coverage after ``n_patterns`` random patterns.
+
+        .. deprecated:: use :meth:`AnalysisEngine.expected_coverage`.
+        """
+        from repro.testlen.length import expected_coverage
+
+        if detection_probs is not None:
+            return expected_coverage(
+                list(detection_probs.values()), n_patterns
+            )
+        return self.engine.expected_coverage(n_patterns, input_probs)
 
     # -- optimization ----------------------------------------------------------------
 
@@ -156,16 +166,12 @@ class Protest:
         ``inputs``) pass through to
         :func:`repro.optimize.optimize_input_probabilities`.
         """
-        return optimize_input_probabilities(
-            self.circuit,
+        return self.engine.optimize(
             n_ref=n_ref,
             grid=grid,
             max_rounds=max_rounds,
             start=start,
-            params=self.params,
-            stem_model=self._detector.observability_analyzer.stem_model,
-            pin_model=self._detector.observability_analyzer.pin_model,
-            faults=faults if faults is not None else self.faults,
+            faults=faults,
             **kwargs,
         )
 
@@ -177,7 +183,12 @@ class Protest:
         input_probs: "float | Mapping[str, float] | None" = None,
         seed: "int | None" = None,
     ) -> PatternSet:
-        """Random pattern set realizing the given input probabilities."""
+        """Random pattern set realizing the given input probabilities.
+
+        Unlike :meth:`AnalysisEngine.generate_patterns` (which defaults to
+        the config seed), ``seed=None`` keeps the historical behaviour of
+        drawing fresh OS entropy on every call.
+        """
         return PatternSet.random(
             self.circuit.inputs, n_patterns, input_probs, seed
         )
@@ -189,11 +200,14 @@ class Protest:
         drop_detected: bool = True,
         block_size: int = 1024,
     ) -> FaultSimResult:
-        """Static fault simulation of a pattern set."""
-        fault_list = list(faults) if faults is not None else self.faults
-        simulator = FaultSimulator(self.circuit, fault_list)
-        return simulator.run(
-            patterns, block_size=block_size, drop_detected=drop_detected
+        """Static fault simulation of a pattern set.
+
+        .. deprecated:: use :meth:`AnalysisEngine.fault_simulate` for a
+            serializable :class:`~repro.api.SimulationResult`.
+        """
+        return self.engine.raw_fault_simulate(
+            patterns, faults, drop_detected=drop_detected,
+            block_size=block_size,
         )
 
     # -- reporting --------------------------------------------------------------------
@@ -205,24 +219,15 @@ class Protest:
         fractions: Sequence[float] = (1.0, 0.98),
         hardest: int = 5,
     ) -> TestabilityReport:
-        """One-shot analysis: detection probabilities plus test lengths."""
-        detection = self.detection_probabilities(input_probs)
-        ranked = sorted(detection.items(), key=lambda item: item[1])
-        values = sorted(detection.values())
-        lengths: Dict[Tuple[float, float], int] = {}
-        for fraction in fractions:
-            for confidence in confidences:
-                try:
-                    lengths[(fraction, confidence)] = required_test_length(
-                        values, confidence, fraction
-                    )
-                except EstimationError:
-                    lengths[(fraction, confidence)] = -1
-        return TestabilityReport(
-            circuit_name=self.circuit.name,
-            n_faults=len(detection),
-            min_detection=values[0] if values else 0.0,
-            median_detection=values[len(values) // 2] if values else 0.0,
-            hardest_faults=ranked[:hardest],
-            test_lengths=lengths,
+        """One-shot analysis: detection probabilities plus test lengths.
+
+        Requirements no finite test can reach (undetectable faults in the
+        kept set) are reported as ``None`` in ``test_lengths`` and render
+        as ``"inf"`` in ``to_text()``.
+        """
+        return self.engine.analyze(
+            input_probs,
+            confidences=confidences,
+            fractions=fractions,
+            hardest=hardest,
         )

@@ -1,0 +1,82 @@
+"""Tests for repro.api.config: validation, presets, hashing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import PRESETS, ProtestConfig, available_presets
+from repro.errors import EstimationError
+from repro.probability.estimator import EstimatorParams
+
+
+def test_defaults_match_estimator_params():
+    config = ProtestConfig()
+    params = config.estimator_params()
+    assert params == EstimatorParams()
+    assert config.stem_model == "chain"
+    assert config.pin_model == "boolean_difference"
+
+
+@pytest.mark.parametrize("name", ["paper", "fast", "accurate"])
+def test_presets_exist_and_are_labelled(name):
+    config = ProtestConfig.preset(name)
+    assert config.name == name
+    assert PRESETS[name] is config
+
+
+def test_available_presets_sorted():
+    assert available_presets() == sorted(available_presets())
+    assert {"paper", "fast", "accurate"} <= set(available_presets())
+
+
+def test_unknown_preset_raises():
+    with pytest.raises(EstimationError, match="unknown preset"):
+        ProtestConfig.preset("turbo")
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"maxvers": -1},
+    {"maxlist": 0},
+    {"candidate_cap": 0},
+    {"stem_model": "nope"},
+    {"pin_model": "nope"},
+    {"seed": "zero"},
+])
+def test_validation_rejects_bad_knobs(kwargs):
+    with pytest.raises(EstimationError):
+        ProtestConfig(**kwargs)
+
+
+def test_coerce_accepts_config_name_and_none():
+    assert ProtestConfig.coerce(None).name == "paper"
+    assert ProtestConfig.coerce("fast").name == "fast"
+    config = ProtestConfig(maxvers=2)
+    assert ProtestConfig.coerce(config) is config
+    with pytest.raises(EstimationError):
+        ProtestConfig.coerce(42)
+
+
+def test_replace_relabels_custom():
+    fast = ProtestConfig.preset("fast")
+    tweaked = fast.replace(maxvers=2)
+    assert tweaked.maxvers == 2
+    assert tweaked.maxlist == fast.maxlist
+    assert tweaked.name == "custom"
+
+
+def test_hash_ignores_name_but_tracks_knobs():
+    a = ProtestConfig(name="a")
+    b = ProtestConfig(name="b")
+    assert a.config_hash == b.config_hash
+    assert a.config_hash != ProtestConfig(maxvers=4).config_hash
+
+
+def test_dict_round_trip():
+    config = ProtestConfig(maxvers=2, seed=7, name="mine")
+    again = ProtestConfig.from_dict(config.to_dict())
+    assert again == config
+
+
+def test_from_dict_rejects_unknown_keys():
+    with pytest.raises(EstimationError, match="unknown ProtestConfig keys"):
+        ProtestConfig.from_dict({"maxvers": 2, "speed": "ludicrous"})

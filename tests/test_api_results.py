@@ -1,0 +1,93 @@
+"""Tests for repro.api.results: serialization round-trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import (
+    AnalysisEngine,
+    DetectionResult,
+    Provenance,
+    SignalProbResult,
+    SimulationResult,
+    TestabilityReport,
+    TestLengthResult,
+)
+from repro.circuits import c17
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return AnalysisEngine(c17())
+
+
+def test_signal_result_round_trip(engine):
+    result = engine.signal_probabilities()
+    again = SignalProbResult.from_json(result.to_json())
+    assert again.probabilities == result.probabilities
+    assert again.input_probs == result.input_probs
+    assert again.conditioned_gates == result.conditioned_gates
+    assert again.provenance.circuit == "c17"
+    assert again["G10"] == result["G10"]
+
+
+def test_detection_result_round_trip(engine):
+    result = engine.detection_probabilities()
+    again = DetectionResult.from_json(result.to_json())
+    assert again.probabilities == result.probabilities
+    assert again.hardest(3) == result.hardest(3)
+    assert again.min_detection() == result.min_detection()
+    assert again.median_detection() == result.median_detection()
+
+
+def test_test_length_round_trip_preserves_none(engine):
+    result = engine.test_length(0.98, 0.98)
+    again = TestLengthResult.from_json(result.to_json())
+    assert again.n_patterns == result.n_patterns
+    unreachable = TestLengthResult(
+        provenance=result.provenance, confidence=0.95, fraction=1.0,
+        n_patterns=None, n_faults=10,
+    )
+    payload = json.loads(unreachable.to_json())
+    assert payload["n_patterns"] is None
+    assert not TestLengthResult.from_dict(payload).reachable
+
+
+def test_simulation_result_round_trip(engine):
+    patterns = engine.generate_patterns(128, seed=5)
+    result = engine.fault_simulate(patterns)
+    again = SimulationResult.from_json(result.to_json())
+    assert again.coverage == result.coverage
+    assert again.curve == result.curve
+    assert again.raw is None  # the raw simulator result is not serialized
+
+
+def test_report_round_trip(engine):
+    report = engine.analyze()
+    again = TestabilityReport.from_json(report.to_json())
+    assert again.test_lengths == report.test_lengths
+    assert again.hardest_faults == report.hardest_faults
+    assert again.n_faults == report.n_faults
+    assert again.provenance.config_hash == report.provenance.config_hash
+    assert again.to_text() == report.to_text()
+
+
+def test_report_without_provenance_round_trips():
+    report = TestabilityReport(
+        circuit_name="tiny", n_faults=0, min_detection=0.0,
+        median_detection=0.0, hardest_faults=[], test_lengths={},
+    )
+    again = TestabilityReport.from_json(report.to_json())
+    assert again.provenance is None
+    assert again.circuit_name == "tiny"
+
+
+def test_provenance_round_trip():
+    provenance = Provenance(
+        circuit="alu", config_hash="abc", config_name="paper",
+        timings={"signal": 0.5}, cached=("signal",),
+    )
+    again = Provenance.from_dict(provenance.to_dict())
+    assert again == provenance

@@ -1,0 +1,83 @@
+"""Tests for repro.api.sweep: batch analysis over circuits × configs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import ProtestConfig, SweepResult, run_sweep
+from repro.circuits import c17
+
+
+def test_sweep_three_circuits_two_configs_one_call():
+    """The acceptance-criterion workload: 3 circuits x 2 configs."""
+    result = run_sweep(
+        ["c17", "maj5", "comp8"],
+        ["paper", "fast"],
+        workers=2,
+        confidences=(0.95,),
+        fractions=(0.98,),
+    )
+    assert len(result.runs) == 6
+    assert all(run.ok for run in result.runs)
+    # Deterministic circuit-major ordering.
+    assert [run.circuit for run in result.runs] == [
+        "c17", "c17", "maj5", "maj5", "comp8", "comp8",
+    ]
+    assert [run.config.name for run in result.runs] == [
+        "paper", "fast"] * 3
+    # Every run carries a serializable report with provenance.
+    for run in result.runs:
+        assert run.report.test_lengths[(0.98, 0.95)] > 0
+        assert run.report.provenance.config_name == run.config.name
+        assert run.elapsed > 0
+
+
+def test_sweep_round_trip_and_table():
+    result = run_sweep(["c17"], ["paper", "fast"], workers=1,
+                       confidences=(0.95,), fractions=(1.0,))
+    again = SweepResult.from_json(result.to_json())
+    assert len(again) == 2
+    assert again.runs[0].report.test_lengths == \
+        result.runs[0].report.test_lengths
+    table = result.to_table()
+    assert "c17" in table and "paper" in table and "fast" in table
+
+
+def test_sweep_accepts_circuit_objects_and_config_objects():
+    config = ProtestConfig(maxvers=1, name="cheap")
+    result = run_sweep([c17()], [config], workers=1,
+                       confidences=(0.95,), fractions=(1.0,))
+    run = result.runs[0]
+    assert run.circuit == "c17"
+    assert run.config.name == "cheap"
+    assert run.ok
+
+
+def test_sweep_captures_per_run_failures():
+    result = run_sweep(["c17", "nonesuch-circuit"], ["paper"], workers=1,
+                       confidences=(0.95,), fractions=(1.0,))
+    ok, bad = result.runs
+    assert ok.ok and not bad.ok
+    assert "nonesuch" in bad.error
+    assert bad.report is None
+    assert len(result.ok) == 1 and len(result.failed) == 1
+    # Failed runs serialize too (nightly sweeps archive everything).
+    again = SweepResult.from_json(result.to_json())
+    assert again.runs[1].error == bad.error
+
+
+def test_sweep_workers_zero_runs_inline():
+    result = run_sweep(["c17", "maj5"], ["paper"], workers=0,
+                       confidences=(0.95,), fractions=(1.0,))
+    assert len(result.runs) == 2
+    assert all(run.ok for run in result.runs)
+
+
+def test_sweep_parallel_matches_serial():
+    serial = run_sweep(["c17", "maj5"], ["paper"], workers=1,
+                       confidences=(0.95,), fractions=(1.0,))
+    parallel = run_sweep(["c17", "maj5"], ["paper"], workers=4,
+                         confidences=(0.95,), fractions=(1.0,))
+    for a, b in zip(serial.runs, parallel.runs):
+        assert a.circuit == b.circuit
+        assert a.report.test_lengths == b.report.test_lengths

@@ -86,3 +86,69 @@ def test_model_flags(capsys):
         "analyze", "c17", "--stem-model", "multi_output",
         "--pin-model", "independent", "--maxvers", "1", "--maxlist", "4",
     ]) == 0
+
+
+def test_preset_flag(capsys):
+    assert main(["analyze", "c17", "--preset", "fast"]) == 0
+    assert "PROTEST analysis of c17" in capsys.readouterr().out
+
+
+def test_analyze_json(capsys):
+    assert main(["analyze", "c17", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["kind"] == "testability_report"
+    assert payload["circuit"] == "c17"
+    assert payload["transistors"] > 0
+    assert payload["provenance"]["config_name"] == "paper"
+    assert all(rec["n_patterns"] > 0 for rec in payload["test_lengths"])
+
+
+def test_testlen_json(capsys):
+    assert main(["testlen", "c17", "-e", "0.95", "-d", "1.0", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["circuit"] == "c17"
+    assert len(payload["results"]) == 1
+    assert payload["results"][0]["kind"] == "test_length"
+    assert payload["results"][0]["n_patterns"] > 0
+
+
+def test_optimize_json(capsys):
+    assert main([
+        "optimize", "c17", "--rounds", "1", "--n-ref", "128", "--json",
+    ]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["circuit"] == "c17"
+    assert set(payload["probabilities"]) == {"G1", "G2", "G3", "G6", "G7"}
+    assert payload["score"] >= payload["initial_score"]
+
+
+def test_fsim_json(capsys):
+    assert main(["fsim", "c17", "-n", "100", "--seed", "1", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["kind"] == "fault_simulation"
+    assert payload["n_patterns"] == 100
+    assert payload["coverage"] > 0.8
+    assert payload["curve"]["100"] == payload["coverage"]
+
+
+def test_sweep_table(capsys):
+    assert main([
+        "sweep", "c17", "maj5", "--preset", "fast", "-e", "0.95",
+        "-d", "1.0", "--workers", "1",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "sweep results" in out
+    assert "c17" in out and "maj5" in out
+
+
+def test_sweep_json(capsys):
+    assert main([
+        "sweep", "c17", "--preset", "fast", "--preset", "paper",
+        "-e", "0.95", "-d", "1.0", "--json",
+    ]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["kind"] == "sweep"
+    assert len(payload["runs"]) == 2
+    names = {run["config"]["name"] for run in payload["runs"]}
+    assert names == {"fast", "paper"}
+    assert all(run["error"] is None for run in payload["runs"])

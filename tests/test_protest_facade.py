@@ -81,7 +81,7 @@ def test_restricted_fault_list():
 
 
 def test_analyze_handles_undetectable_faults():
-    """A comparator with an undetectable fault reports N = -1 gracefully."""
+    """A circuit with an undetectable fault reports N = None, not -1."""
     from repro.circuit import CircuitBuilder
 
     b = CircuitBuilder("redundant")
@@ -90,7 +90,31 @@ def test_analyze_handles_undetectable_faults():
     b.output(b.and_("y", a, one))
     tool = Protest(b.build())
     report = tool.analyze(fractions=(1.0,))
-    assert report.test_lengths[(1.0, 0.95)] == -1
+    assert report.test_lengths[(1.0, 0.95)] is None
+    # Unreachable requirements render as "inf", never as a magic number.
+    text = report.to_text()
+    n_cell = [line for line in text.splitlines() if "0.950" in line][0]
+    assert "inf" in n_cell
+    assert "-1" not in n_cell
+
+
+def test_generate_patterns_without_seed_draws_fresh_entropy(tool):
+    """seed=None keeps the historical contract: new patterns every call."""
+    a = tool.generate_patterns(256)
+    b = tool.generate_patterns(256)
+    assert a.words != b.words
+
+
+def test_shim_reuses_engine_caches(tool):
+    """The legacy facade rides the engine: one detection run per tuple."""
+    tool.analyze()
+    tool.test_length(0.95)
+    tool.expected_coverage(100)
+    info = tool.engine.cache_info()
+    assert info["signal_runs"] == 1
+    assert info["observability_runs"] == 1
+    assert info["detection_runs"] == 1
+    assert info["detection_hits"] >= 2
 
 
 def test_comp_scale_analysis_smoke():
