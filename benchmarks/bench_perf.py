@@ -1,0 +1,176 @@
+"""Tracked performance benchmark: compiled kernel vs. legacy interpreters.
+
+Measures, per circuit and for both execution paths (``use_kernel=True``
+vs. the pre-kernel legacy interpreters kept for parity):
+
+* **logic sim** — true-value patterns/sec (:func:`repro.logicsim.simulate`);
+* **fault sim** — faults x patterns/sec (``FaultSimulator.run`` without
+  fault dropping, the paper's ``P_SIM`` workload);
+* **analyze** — end-to-end ``AnalysisEngine.analyze()`` wall time.
+
+The full run writes machine-readable ``BENCH_perf.json`` at the repo root
+so the perf trajectory is tracked across PRs; ``--smoke`` runs a
+seconds-scale subset for CI and writes under ``benchmarks/results/``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_perf.py          # full, tracked
+    PYTHONPATH=src python benchmarks/bench_perf.py --smoke  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.api import AnalysisEngine  # noqa: E402
+from repro.circuits.library import build  # noqa: E402
+from repro.faults.simulator import FaultSimulator  # noqa: E402
+from repro.logicsim.patterns import PatternSet  # noqa: E402
+from repro.logicsim.simulator import simulate  # noqa: E402
+
+#: The paper's evaluation circuits plus the largest bundled circuit; the
+#: last entry is the "largest" the acceptance numbers are recorded for.
+FULL_CIRCUITS = ("alu", "mult", "comp", "div", "mul24")
+SMOKE_CIRCUITS = ("alu", "mult")
+
+
+def _best_of(repeats, fn):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_logic_sim(circuit, n_patterns, repeats):
+    patterns = PatternSet.random(circuit.inputs, n_patterns, seed=7)
+    out = {}
+    for label, use_kernel in (("kernel", True), ("legacy", False)):
+        simulate(circuit, patterns, use_kernel=use_kernel)  # warm caches
+        elapsed = _best_of(
+            repeats, lambda: simulate(circuit, patterns, use_kernel=use_kernel)
+        )
+        out[f"{label}_s"] = elapsed
+        out[f"{label}_patterns_per_s"] = n_patterns / elapsed
+    out["n_patterns"] = n_patterns
+    out["speedup"] = out["legacy_s"] / out["kernel_s"]
+    return out
+
+
+def bench_fault_sim(circuit, n_patterns):
+    patterns = PatternSet.random(circuit.inputs, n_patterns, seed=7)
+    out = {}
+    n_faults = None
+    for label, use_kernel in (("kernel", True), ("legacy", False)):
+        simulator = FaultSimulator(circuit, use_kernel=use_kernel)
+        n_faults = len(simulator.faults)
+        start = time.perf_counter()
+        simulator.run(patterns, block_size=n_patterns, drop_detected=False)
+        elapsed = time.perf_counter() - start
+        out[f"{label}_s"] = elapsed
+        out[f"{label}_faults_x_patterns_per_s"] = (
+            n_faults * n_patterns / elapsed
+        )
+    out["n_patterns"] = n_patterns
+    out["n_faults"] = n_faults
+    out["speedup"] = out["legacy_s"] / out["kernel_s"]
+    return out
+
+
+def bench_analyze(name):
+    out = {}
+    for label, use_kernel in (("kernel", True), ("legacy", False)):
+        # A fresh circuit object per path: nothing precompiled is reused,
+        # so the kernel side pays its own compile time.
+        engine = AnalysisEngine(build(name), "paper", use_kernel=use_kernel)
+        start = time.perf_counter()
+        engine.analyze()
+        out[f"{label}_s"] = time.perf_counter() - start
+    out["speedup"] = out["legacy_s"] / out["kernel_s"]
+    return out
+
+
+def run(circuits, sim_patterns, fsim_patterns, repeats, mode):
+    results = {}
+    for name in circuits:
+        circuit = build(name)
+        print(f"[{name}] {circuit.n_gates} gates", flush=True)
+        logic = bench_logic_sim(circuit, sim_patterns, repeats)
+        print(
+            f"  logic sim  : {logic['kernel_patterns_per_s']:.3e} pat/s "
+            f"(x{logic['speedup']:.1f} vs legacy)", flush=True,
+        )
+        fsim = bench_fault_sim(circuit, fsim_patterns)
+        print(
+            f"  fault sim  : {fsim['kernel_faults_x_patterns_per_s']:.3e} "
+            f"f*p/s (x{fsim['speedup']:.1f} vs legacy)", flush=True,
+        )
+        analyze = bench_analyze(name)
+        print(
+            f"  analyze    : {analyze['kernel_s']:.2f}s "
+            f"(x{analyze['speedup']:.1f} vs legacy)", flush=True,
+        )
+        results[name] = {
+            "n_gates": circuit.n_gates,
+            "logic_sim": logic,
+            "fault_sim": fsim,
+            "analyze": analyze,
+        }
+    largest = max(circuits, key=lambda n: results[n]["n_gates"])
+    return {
+        "bench": "bench_perf",
+        "mode": mode,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "circuits": results,
+        "largest_circuit": largest,
+        "acceptance": {
+            "fault_sim_speedup_largest": results[largest]["fault_sim"]["speedup"],
+            "analyze_speedup_largest": results[largest]["analyze"]["speedup"],
+        },
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="seconds-scale subset for CI; writes under benchmarks/results/",
+    )
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help="output JSON path (default: BENCH_perf.json at the repo root, "
+        "or benchmarks/results/bench_perf_smoke.json with --smoke)",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        payload = run(SMOKE_CIRCUITS, sim_patterns=1024, fsim_patterns=64,
+                      repeats=1, mode="smoke")
+        out = args.out or ROOT / "benchmarks" / "results" / "bench_perf_smoke.json"
+    else:
+        payload = run(FULL_CIRCUITS, sim_patterns=4096, fsim_patterns=256,
+                      repeats=3, mode="full")
+        out = args.out or ROOT / "BENCH_perf.json"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    acceptance = payload["acceptance"]
+    print(
+        f"\nlargest circuit {payload['largest_circuit']}: "
+        f"fault sim x{acceptance['fault_sim_speedup_largest']:.1f}, "
+        f"analyze x{acceptance['analyze_speedup_largest']:.1f}\n"
+        f"wrote {out}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,6 +36,7 @@ from repro.detection.estimator import DetectionProbabilityEstimator
 from repro.errors import EstimationError
 from repro.faults.model import Fault, fault_universe
 from repro.faults.simulator import FaultSimResult, FaultSimulator
+from repro.kernel import CompiledCircuit, compile_circuit
 from repro.logicsim.patterns import PatternSet
 from repro.optimize.hillclimb import (
     OptimizationResult,
@@ -68,6 +69,12 @@ class AnalysisEngine:
     faults:
         Optional explicit fault list; defaults to the config-shaped
         uncollapsed stuck-at universe.
+    use_kernel:
+        When true (the default) every stage runs on the shared compiled
+        flat-array kernel (:mod:`repro.kernel`), compiled once per
+        circuit.  ``False`` selects the legacy interpreters throughout —
+        the numerically identical parity reference the perf bench
+        measures against.
     """
 
     def __init__(
@@ -75,12 +82,14 @@ class AnalysisEngine:
         circuit: "Circuit | str",
         config: "ProtestConfig | str | None" = None,
         faults: "Iterable[Fault] | None" = None,
+        use_kernel: bool = True,
     ) -> None:
         if isinstance(circuit, str):
             from repro.circuits.library import build
 
             circuit = build(circuit)
         self.circuit = circuit
+        self.use_kernel = use_kernel
         self.config = ProtestConfig.coerce(config)
         self._explicit_faults = list(faults) if faults is not None else None
         self._topology: "Topology | None" = None
@@ -101,8 +110,18 @@ class AnalysisEngine:
     @property
     def topology(self) -> Topology:
         if self._topology is None:
-            self._topology = Topology(self.circuit)
+            self._topology = Topology(self.circuit, cache=self.use_kernel)
         return self._topology
+
+    @property
+    def compiled(self) -> CompiledCircuit:
+        """The circuit's compiled flat-array form (one per circuit).
+
+        All stages — simulation, fault simulation, the estimator's
+        conditional cones — share this artifact via the module-level
+        compile cache, so it is built exactly once per circuit object.
+        """
+        return compile_circuit(self.circuit)
 
     @property
     def faults(self) -> List[Fault]:
@@ -126,6 +145,7 @@ class AnalysisEngine:
                 self.config.stem_model,
                 self.config.pin_model,
                 self.topology,
+                use_kernel=self.use_kernel,
             )
         return self._detector
 
@@ -389,7 +409,12 @@ class AnalysisEngine:
     ) -> FaultSimResult:
         """The simulator-native result (for in-process composition)."""
         fault_list = list(faults) if faults is not None else self.faults
-        simulator = FaultSimulator(self.circuit, fault_list)
+        simulator = FaultSimulator(
+            self.circuit,
+            fault_list,
+            use_kernel=self.use_kernel,
+            topology=self._topology,
+        )
         return simulator.run(
             patterns, block_size=block_size, drop_detected=drop_detected
         )

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import concurrent.futures
 import dataclasses
+import pickle
 import time
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -146,6 +147,10 @@ def _run_one(
         )
 
 
+#: Recognized values of the ``executor`` knob.
+EXECUTORS = ("process", "thread", "inline")
+
+
 def run_sweep(
     circuits: "Iterable[Circuit | str]",
     configs: "Iterable[ProtestConfig | str]" = ("paper",),
@@ -153,6 +158,7 @@ def run_sweep(
     input_probs=None,
     confidences: Sequence[float] = (0.95, 0.98, 0.999),
     fractions: Sequence[float] = (1.0, 0.98),
+    executor: "str | None" = None,
 ) -> SweepResult:
     """Analyse every circuit under every config, in parallel.
 
@@ -163,12 +169,23 @@ def run_sweep(
     configs:
         :class:`ProtestConfig` objects or preset names.
     workers:
-        Thread-pool size; ``None`` lets :mod:`concurrent.futures` choose,
+        Pool size; ``None`` lets :mod:`concurrent.futures` choose,
         ``workers=1`` (or a single cell) runs inline, deterministically.
+    executor:
+        ``"process"`` (the default for multi-cell sweeps — the analysis
+        is CPU-bound pure Python, so processes actually use the cores),
+        ``"thread"``, or ``"inline"`` for the deterministic serial path.
+        ``None`` picks processes when there is more than one cell.  When
+        a process pool cannot be spawned (restricted environments), the
+        sweep silently degrades to threads.
 
     Unparseable circuit names and estimation failures are recorded on the
     affected :class:`SweepRun` (``error``), never raised.
     """
+    if executor is not None and executor not in EXECUTORS:
+        raise ReproError(
+            f"executor must be one of {EXECUTORS}, got {executor!r}"
+        )
     circuit_list = list(circuits)
     config_list = [ProtestConfig.coerce(c) for c in configs]
     cells: List[Tuple["Circuit | str", ProtestConfig]] = [
@@ -176,18 +193,53 @@ def run_sweep(
         for circuit in circuit_list
         for config in config_list
     ]
-    if (workers is not None and workers <= 1) or len(cells) <= 1:
+    if (
+        executor == "inline"
+        or (workers is not None and workers <= 1)
+        or len(cells) <= 1
+    ):
         runs = [
             _run_one(circuit, config, input_probs, confidences, fractions)
             for circuit, config in cells
         ]
         return SweepResult(runs=runs)
-    with concurrent.futures.ThreadPoolExecutor(max_workers=workers) as pool:
+    mode = executor or "process"
+    if mode == "process":
+        try:
+            return SweepResult(
+                runs=_pooled_runs(
+                    concurrent.futures.ProcessPoolExecutor, workers, cells,
+                    input_probs, confidences, fractions,
+                )
+            )
+        except (OSError, PermissionError, ImportError, NotImplementedError,
+                pickle.PicklingError,
+                concurrent.futures.process.BrokenProcessPool):
+            # No usable process pool (sandboxes, missing /dev/shm or
+            # sem_open, unpicklable inputs defined in __main__, ...):
+            # threads still give overlap on the C-level big-int work.
+            pass
+    return SweepResult(
+        runs=_pooled_runs(
+            concurrent.futures.ThreadPoolExecutor, workers, cells,
+            input_probs, confidences, fractions,
+        )
+    )
+
+
+def _pooled_runs(
+    pool_cls,
+    workers: "int | None",
+    cells: List[Tuple["Circuit | str", ProtestConfig]],
+    input_probs,
+    confidences: Sequence[float],
+    fractions: Sequence[float],
+) -> List[SweepRun]:
+    with pool_cls(max_workers=workers) as pool:
         futures = [
             pool.submit(
                 _run_one, circuit, config, input_probs, confidences, fractions
             )
             for circuit, config in cells
         ]
-        runs = [future.result() for future in futures]
-    return SweepResult(runs=runs)
+        return [future.result() for future in futures]

@@ -20,10 +20,13 @@ class Topology:
     """Derived structural views over a :class:`Circuit`.
 
     The object is cheap to construct (one pass over the gates); expensive
-    cone queries are computed lazily and cached.
+    cone queries are computed lazily and cached.  ``cache=False`` disables
+    the ``bounded_tfi`` memoization (the estimator's hot query), restoring
+    the recompute-every-call behaviour — the legacy baseline the perf
+    bench and the kernel parity tests measure against.
     """
 
-    def __init__(self, circuit: Circuit) -> None:
+    def __init__(self, circuit: Circuit, cache: bool = True) -> None:
         self.circuit = circuit
         #: Consumers of each node as ``(gate_name, pin_index)`` pairs.
         self.branches: Dict[str, Tuple[Pin, ...]] = {}
@@ -39,6 +42,10 @@ class Topology:
         self.level: Dict[str, int] = self._compute_levels()
         self._tfo_cache: Dict[str, Tuple[str, ...]] = {}
         self._tfi_cache: Dict[str, FrozenSet[str]] = {}
+        self._cache_bounded = cache
+        self._bounded_tfi_cache: Dict[
+            "tuple[str, int | None]", FrozenSet[str]
+        ] = {}
 
     # -- elementary views -------------------------------------------------------
 
@@ -112,7 +119,21 @@ class Topology:
         """Transitive fan-in of ``node`` up to ``max_depth`` edges back.
 
         Includes ``node`` itself.  ``max_depth=None`` means unbounded.
+        Results are memoized per ``(node, max_depth)`` (as frozensets —
+        treat them as read-only); the estimator issues this query once per
+        conditional-probability evaluation on a small recurring node set.
         """
+        if self._cache_bounded:
+            key = (node, max_depth)
+            cached = self._bounded_tfi_cache.get(key)
+            if cached is None:
+                cached = frozenset(self._bounded_tfi(node, max_depth))
+                self._bounded_tfi_cache[key] = cached
+            return cached
+        return self._bounded_tfi(node, max_depth)
+
+    def _bounded_tfi(self, node: str, max_depth: "int | None") -> Set[str]:
+        """Uncached depth-bounded fan-in walk (see :meth:`bounded_tfi`)."""
         if max_depth is None:
             return set(self.tfi(node))
         circuit = self.circuit

@@ -27,6 +27,7 @@ __all__ = [
     "GateType",
     "LUT_TYPES",
     "arity_range",
+    "PACKED_DISPATCH",
     "eval_packed",
     "eval_bool",
     "gate_probability",
@@ -118,6 +119,84 @@ def lut_table(gtype: GateType, n_inputs: int, table: "int | None") -> int:
 # ---------------------------------------------------------------------------
 
 
+def _packed_and(operands: Sequence[int], mask: int, table: int) -> int:
+    acc = mask
+    for op in operands:
+        acc &= op
+    return acc
+
+
+def _packed_or(operands: Sequence[int], mask: int, table: int) -> int:
+    acc = 0
+    for op in operands:
+        acc |= op
+    return acc
+
+
+def _packed_nand(operands: Sequence[int], mask: int, table: int) -> int:
+    acc = mask
+    for op in operands:
+        acc &= op
+    return acc ^ mask
+
+
+def _packed_nor(operands: Sequence[int], mask: int, table: int) -> int:
+    acc = 0
+    for op in operands:
+        acc |= op
+    return (acc ^ mask) & mask
+
+
+def _packed_xor(operands: Sequence[int], mask: int, table: int) -> int:
+    acc = 0
+    for op in operands:
+        acc ^= op
+    return acc & mask
+
+
+def _packed_xnor(operands: Sequence[int], mask: int, table: int) -> int:
+    acc = 0
+    for op in operands:
+        acc ^= op
+    return (acc ^ mask) & mask
+
+
+def _packed_not(operands: Sequence[int], mask: int, table: int) -> int:
+    return (operands[0] ^ mask) & mask
+
+
+def _packed_buf(operands: Sequence[int], mask: int, table: int) -> int:
+    return operands[0] & mask
+
+
+def _packed_const0(operands: Sequence[int], mask: int, table: int) -> int:
+    return 0
+
+
+def _packed_const1(operands: Sequence[int], mask: int, table: int) -> int:
+    return mask
+
+
+#: Module-level packed-evaluation dispatch table, one entry per gate type.
+#: The compiled kernel indexes this at compile time; :func:`eval_packed`
+#: stays as a thin compat shim over it.
+PACKED_DISPATCH = {
+    GateType.AND: _packed_and,
+    GateType.OR: _packed_or,
+    GateType.NAND: _packed_nand,
+    GateType.NOR: _packed_nor,
+    GateType.XOR: _packed_xor,
+    GateType.XNOR: _packed_xnor,
+    GateType.NOT: _packed_not,
+    GateType.BUF: _packed_buf,
+    GateType.CONST0: _packed_const0,
+    GateType.CONST1: _packed_const1,
+    GateType.LUT: lambda operands, mask, table: _eval_lut_packed(
+        operands, mask, table
+    ),
+}
+
+
 def eval_packed(
     gtype: GateType,
     operands: Sequence[int],
@@ -128,49 +207,13 @@ def eval_packed(
 
     ``operands`` are integers whose bit *j* is the value of that input in
     pattern *j*; ``mask`` has one bit set per valid pattern.  The result is
-    masked to the pattern width.
+    masked to the pattern width.  Thin shim over :data:`PACKED_DISPATCH`.
     """
-    if gtype is GateType.AND:
-        acc = mask
-        for op in operands:
-            acc &= op
-        return acc
-    if gtype is GateType.OR:
-        acc = 0
-        for op in operands:
-            acc |= op
-        return acc
-    if gtype is GateType.NAND:
-        acc = mask
-        for op in operands:
-            acc &= op
-        return acc ^ mask
-    if gtype is GateType.NOR:
-        acc = 0
-        for op in operands:
-            acc |= op
-        return (acc ^ mask) & mask
-    if gtype is GateType.XOR:
-        acc = 0
-        for op in operands:
-            acc ^= op
-        return acc & mask
-    if gtype is GateType.XNOR:
-        acc = 0
-        for op in operands:
-            acc ^= op
-        return (acc ^ mask) & mask
-    if gtype is GateType.NOT:
-        return (operands[0] ^ mask) & mask
-    if gtype is GateType.BUF:
-        return operands[0] & mask
-    if gtype is GateType.CONST0:
-        return 0
-    if gtype is GateType.CONST1:
-        return mask
-    if gtype is GateType.LUT:
-        return _eval_lut_packed(operands, mask, table)
-    raise CircuitError(f"unknown gate type {gtype!r}")
+    try:
+        fn = PACKED_DISPATCH[gtype]
+    except (KeyError, TypeError):
+        raise CircuitError(f"unknown gate type {gtype!r}") from None
+    return fn(operands, mask, table)
 
 
 def _eval_lut_packed(operands: Sequence[int], mask: int, table: int) -> int:

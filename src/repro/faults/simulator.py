@@ -1,8 +1,8 @@
 """Parallel-pattern single-fault simulation.
 
 For every fault the simulator injects the stuck value and propagates the
-*difference* region event-driven through the fan-out cone, over a whole
-block of packed patterns at once.  Per fault it records
+*difference* region through the fan-out cone, over a whole block of
+packed patterns at once.  Per fault it records
 
 * the number of detecting patterns (``P_SIM = count / N``, the paper's
   simulation reference of §4), and
@@ -12,19 +12,28 @@ block of packed patterns at once.  Per fault it records
 ``drop_detected=True`` skips already-detected faults in later blocks (the
 classical fault dropping), which leaves first-detection indices exact but
 makes detection *counts* lower bounds.
+
+Propagation runs on the compiled kernel (:mod:`repro.kernel`): fault
+sites map to precomputed, topologically sorted fan-out-cone slices of
+the flat evaluation plan, so injecting a fault is "re-evaluate this
+slice with one override" over version-stamped overlay arrays — no
+per-fault heap scheduling, no dict overlays.  ``use_kernel=False``
+selects the legacy event-driven interpreter (parity reference and perf
+baseline); both produce bit-identical detection words.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import heapq
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.circuit.netlist import Circuit
 from repro.circuit.topology import Topology
 from repro.circuit.types import eval_packed
 from repro.errors import SimulationError
 from repro.faults.model import Fault, fault_universe
+from repro.kernel import compile_circuit
 from repro.logicsim.patterns import PatternSet
 from repro.logicsim.simulator import simulate
 
@@ -108,23 +117,51 @@ class FaultSimResult:
 
 
 class FaultSimulator:
-    """Stuck-at fault simulator for one circuit."""
+    """Stuck-at fault simulator for one circuit.
+
+    ``topology`` lets callers (the :class:`repro.api.AnalysisEngine`)
+    share an already-built structural view; it is only materialized when
+    the legacy path needs it.
+    """
 
     def __init__(
         self,
         circuit: Circuit,
         faults: "Iterable[Fault] | None" = None,
+        use_kernel: bool = True,
+        topology: "Topology | None" = None,
     ) -> None:
         self.circuit = circuit
-        self.topology = Topology(circuit)
+        self._topology = topology
         self._gates = circuit.gates
-        self._topo_index = self.topology.topo_index
         self._output_set = frozenset(circuit.outputs)
+        self._use_kernel = use_kernel
         self.faults: List[Fault] = (
             list(faults) if faults is not None else fault_universe(circuit)
         )
         for fault in self.faults:
             self._check_fault(fault)
+        self._compiled = compile_circuit(circuit) if use_kernel else None
+        if self._compiled is not None:
+            n = self._compiled.n_nodes
+            # Version-stamped overlay scratch (owned per simulator so one
+            # compiled artifact can serve concurrent simulators).
+            self._faulty = [0] * n
+            self._stamp = [0] * n
+            self._version = 0
+            self._spec_cache: Dict[Fault, tuple] = {}
+            self._last_good: "Mapping[str, int] | None" = None
+            self._last_good_arr: "List[int] | None" = None
+
+    @property
+    def topology(self) -> Topology:
+        if self._topology is None:
+            self._topology = Topology(self.circuit)
+        return self._topology
+
+    @property
+    def _topo_index(self) -> Dict[str, int]:
+        return self.topology.topo_index
 
     def _check_fault(self, fault: Fault) -> None:
         if fault.pin is None:
@@ -164,21 +201,167 @@ class FaultSimulator:
         while offset < patterns.n_patterns:
             stop = min(offset + block_size, patterns.n_patterns)
             block = patterns.slice(offset, stop)
-            good = simulate(self.circuit, block)
             mask = block.mask
-            for fault in self.faults:
+            if self._compiled is not None:
+                self._run_block_kernel(
+                    records, block, mask, offset, drop_detected
+                )
+            else:
+                good_map = simulate(self.circuit, block, use_kernel=False)
+                for fault in self.faults:
+                    record = records[fault]
+                    if drop_detected and record.detected:
+                        continue
+                    detect = self._legacy_detection_word(fault, good_map, mask)
+                    record.simulated_patterns += block.n_patterns
+                    if detect:
+                        record.detect_count += detect.bit_count()
+                        if record.first_detect is None:
+                            first = (detect & -detect).bit_length() - 1
+                            record.first_detect = offset + first
+            offset = stop
+        return FaultSimResult(records, patterns.n_patterns, drop_detected)
+
+    #: Target width of one fault-parallel word: lanes per group shrink as
+    #: the pattern block grows, keeping big-int operands around this size.
+    _GROUP_BITS = 4096
+
+    def _run_block_kernel(
+        self,
+        records: Dict[Fault, FaultRecord],
+        block: PatternSet,
+        mask: int,
+        offset: int,
+        drop_detected: bool,
+    ) -> None:
+        """Fault-parallel pattern-parallel simulation of one block.
+
+        Faults are packed ``group_size`` per big-int word, one *lane* of
+        ``block.n_patterns`` bits each; lane ``j`` simulates fault ``j``'s
+        faulty machine.  Good values are lane-replicated with one multiply
+        (``word * K`` with ``K = Σ 2^(j·P)``), the merged difference
+        region is propagated once per group over the compiled arrays, and
+        per-fault detection words are sliced back out of the lanes.
+        Bitwise gate ops never mix lanes, so every fault's detection word
+        is bit-identical to a single-fault run.
+        """
+        compiled = self._compiled
+        n_patterns = block.n_patterns
+        good = compiled.eval_packed_words(block.words, mask)
+        alive = [
+            fault
+            for fault in self.faults
+            if not (drop_detected and records[fault].detected)
+        ]
+        if not alive:
+            return
+        # Group topological neighbours: overlapping fan-out cones make the
+        # merged difference region barely larger than a single fault's.
+        index = compiled.index
+        alive.sort(key=lambda fault: index[fault.node])
+        group_size = max(1, self._GROUP_BITS // max(n_patterns, 1))
+        rep_good: "List[int] | None" = None
+        for start in range(0, len(alive), group_size):
+            group = alive[start : start + group_size]
+            if len(group) == group_size and rep_good is not None:
+                group_rep = rep_good
+            else:
+                repl = sum(1 << (j * n_patterns) for j in range(len(group)))
+                group_rep = [w * repl for w in good]
+                if len(group) == group_size:
+                    rep_good = group_rep
+            detect_rep = self._propagate_group(group, group_rep, mask, n_patterns)
+            for j, fault in enumerate(group):
                 record = records[fault]
-                if drop_detected and record.detected:
-                    continue
-                detect = self.detection_word(fault, good, mask)
-                record.simulated_patterns += block.n_patterns
+                record.simulated_patterns += n_patterns
+                detect = (detect_rep >> (j * n_patterns)) & mask
                 if detect:
                     record.detect_count += detect.bit_count()
                     if record.first_detect is None:
                         first = (detect & -detect).bit_length() - 1
                         record.first_detect = offset + first
-            offset = stop
-        return FaultSimResult(records, patterns.n_patterns, drop_detected)
+
+    def _propagate_group(
+        self,
+        group: Sequence[Fault],
+        rep_good: List[int],
+        mask: int,
+        n_patterns: int,
+    ) -> int:
+        """Propagate one fault group; returns the lane-packed detect word."""
+        compiled = self._compiled
+        index = compiled.index
+        repl = sum(1 << (j * n_patterns) for j in range(len(group)))
+        full_mask = mask * repl
+        is_output = compiled.is_output
+        consumer_bits = compiled.consumer_bits
+        node_bit = compiled.node_bit
+        entries = compiled.overlay_entry
+        faulty = self._faulty
+        stamp = self._stamp
+        self._version = version = self._version + 1
+        # Compose per-site output forcings (stem faults) and per-gate pin
+        # forcings (branch faults) across the group's lanes.
+        out_clear: Dict[int, int] = {}
+        out_set: Dict[int, int] = {}
+        pin_over: Dict[int, List[Tuple[int, int, int]]] = {}
+        pending = 0
+        detect_rep = 0
+        for j, fault in enumerate(group):
+            shift = j * n_patterns
+            lane_mask = mask << shift
+            lane_forced = lane_mask if fault.value else 0
+            site = index[fault.node]
+            if fault.pin is None:
+                out_clear[site] = out_clear.get(site, 0) | lane_mask
+                out_set[site] = out_set.get(site, 0) | lane_forced
+            else:
+                pin_over.setdefault(site, []).append(
+                    (fault.pin, lane_mask, lane_forced)
+                )
+                pending |= node_bit[site]
+        for site, clear in out_clear.items():
+            word = (rep_good[site] & ~clear) | out_set[site]
+            if word == rep_good[site]:
+                continue
+            faulty[site] = word
+            stamp[site] = version
+            if is_output[site]:
+                detect_rep |= word ^ rep_good[site]
+            pending |= consumer_bits[site]
+        direct_fn = compiled.direct_fn
+        tables = compiled.tables
+        args_of = compiled.args_of
+        while pending:
+            low = pending & -pending
+            pending ^= low
+            i = low.bit_length() - 1
+            entry = entries[i]
+            over = pin_over.get(i)
+            if over is None:
+                word = entry[1](
+                    faulty, stamp, version, rep_good, entry[2],
+                    full_mask, entry[3],
+                )
+            else:
+                vals = [
+                    faulty[a] if stamp[a] == version else rep_good[a]
+                    for a in args_of[i]
+                ]
+                for pin, lane_mask, lane_forced in over:
+                    vals[pin] = (vals[pin] & ~lane_mask) | lane_forced
+                word = direct_fn[i](vals, full_mask, tables[i])
+            clear = out_clear.get(i)
+            if clear is not None:
+                word = (word & ~clear) | out_set[i]
+            if word == rep_good[i]:
+                continue
+            faulty[i] = word
+            stamp[i] = version
+            if is_output[i]:
+                detect_rep |= word ^ rep_good[i]
+            pending |= consumer_bits[i]
+        return detect_rep
 
     def detection_probabilities(
         self, patterns: PatternSet, block_size: int = 4096
@@ -201,19 +384,111 @@ class FaultSimulator:
         :func:`repro.logicsim.simulate`); bit *j* of the result is set when
         pattern *j* detects the fault at some primary output.
         """
+        if self._compiled is not None:
+            # Callers (ATPG, the exact enumerator) loop many faults over
+            # one good mapping: convert it to a flat array once.  The
+            # strong reference keeps the id stable while memoized.
+            if self._last_good is not good:
+                self._last_good_arr = self._compiled.values_from_dict(good)
+                self._last_good = good
+            return self._kernel_detection_word(
+                self._fault_spec(fault), self._last_good_arr, mask
+            )
+        return self._legacy_detection_word(fault, good, mask)
+
+    # -- compiled-kernel propagation ------------------------------------------------
+
+    def _fault_spec(self, fault: Fault) -> tuple:
+        """Precompiled per-fault injection data.
+
+        ``(site index, pin, stuck-at-one?, site is output?, cone plan
+        entries, site operand indices or None)`` — everything the inner
+        loop needs, resolved once per fault site.
+        """
+        spec = self._spec_cache.get(fault)
+        if spec is None:
+            compiled = self._compiled
+            site = compiled.index[fault.node]
+            args = compiled.args_of[site] if fault.pin is not None else None
+            spec = (
+                site,
+                fault.pin,
+                bool(fault.value),
+                compiled.is_output[site],
+                compiled.cone_entries(site),
+                args,
+            )
+            self._spec_cache[fault] = spec
+        return spec
+
+    def _kernel_detection_word(
+        self, spec: tuple, good: List[int], mask: int
+    ) -> int:
+        """Re-evaluate one fault's precompiled cone slice with one override."""
+        site, pin, stuck_one, site_is_out, cone, site_args = spec
+        forced = mask if stuck_one else 0
+        compiled = self._compiled
+        faulty = self._faulty
+        stamp = self._stamp
+        self._version = version = self._version + 1
+        if pin is None:
+            diff = good[site] ^ forced
+            if not diff:
+                return 0
+            word = forced
+        else:
+            # Branch fault: the gate is re-evaluated with one input forced;
+            # its own stem keeps the good value upstream.
+            operands = [good[a] for a in site_args]
+            operands[pin] = forced
+            word = compiled.direct_fn[site](
+                operands, mask, compiled.tables[site]
+            )
+            diff = word ^ good[site]
+            if not diff:
+                return 0
+        faulty[site] = word
+        stamp[site] = version
+        detect = diff if site_is_out else 0
+        for i, fn, args, table, is_out in cone:
+            changed = False
+            for a in args:
+                if stamp[a] == version:
+                    changed = True
+                    break
+            if not changed:
+                continue
+            word = fn(faulty, stamp, version, good, args, mask, table)
+            if word == good[i]:
+                continue
+            faulty[i] = word
+            stamp[i] = version
+            if is_out:
+                detect |= word ^ good[i]
+        return detect & mask
+
+    # -- legacy event-driven propagation --------------------------------------------
+
+    def _legacy_detection_word(
+        self,
+        fault: Fault,
+        good: Mapping[str, int],
+        mask: int,
+    ) -> int:
+        """Heap-scheduled difference propagation (pre-kernel behaviour)."""
         forced = mask if fault.value else 0
         overlay: Dict[str, int] = {}
         detect = 0
         heap: List[tuple] = []
         queued = set()
+        topo_index = self._topo_index
+        branches = self.topology.branches
 
         def schedule(node: str) -> None:
-            for consumer, _pin in self.topology.branches[node]:
+            for consumer, _pin in branches[node]:
                 if consumer not in queued:
                     queued.add(consumer)
-                    heapq.heappush(
-                        heap, (self._topo_index[consumer], consumer)
-                    )
+                    heapq.heappush(heap, (topo_index[consumer], consumer))
 
         first_gate: Optional[str] = None
         if fault.pin is None:
@@ -227,7 +502,7 @@ class FaultSimulator:
         else:
             first_gate = fault.node
             queued.add(first_gate)
-            heapq.heappush(heap, (self._topo_index[first_gate], first_gate))
+            heapq.heappush(heap, (topo_index[first_gate], first_gate))
 
         while heap:
             _, name = heapq.heappop(heap)

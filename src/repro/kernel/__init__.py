@@ -1,0 +1,14 @@
+"""Compiled levelized circuit kernel.
+
+Lowers a :class:`~repro.circuit.netlist.Circuit` once into flat integer
+arrays and evaluates packed-pattern words (and tree-rule floats) over
+them with compile-time-selected dispatch functions — the shared inner
+evaluation engine behind ``logicsim.simulate``, the ``FaultSimulator``
+and the estimator's ``ConditionalEvaluator``.  See
+:mod:`repro.kernel.compiled` for the compile-once contract.
+"""
+
+from repro.kernel.compiled import CompiledCircuit, compile_circuit
+from repro.kernel.ops import OP_CODES, OP_INPUT
+
+__all__ = ["CompiledCircuit", "compile_circuit", "OP_CODES", "OP_INPUT"]

@@ -1,0 +1,256 @@
+"""The levelized flat-array circuit kernel.
+
+:class:`CompiledCircuit` lowers a :class:`~repro.circuit.netlist.Circuit`
+once into flat integer arrays — a topologically ordered node table,
+an opcode array, CSR-style operand index arrays, input/output index maps
+— plus per-gate evaluation plans whose functions were selected from the
+dispatch tables of :mod:`repro.kernel.ops` at compile time.  The hot
+loops of the library (true-value simulation, fault-cone re-evaluation,
+conditional tree-rule evaluation) then run over dense lists indexed by
+small integers instead of walking the netlist through per-gate dict
+lookups and ``GateType`` if-chains.
+
+**Compile-once contract.**  A :class:`Circuit` is immutable, so its
+compiled form is too: :func:`compile_circuit` memoizes one
+``CompiledCircuit`` per circuit *object* (weakly, so circuits can still
+be garbage collected) and every subsystem — ``logicsim.simulate``, the
+``FaultSimulator``, the estimator's ``ConditionalEvaluator`` and the
+``AnalysisEngine`` — shares that single artifact.  The artifact itself
+only ever grows caches (fan-out cone slices, computed lazily per node);
+evaluation never mutates it, so one compiled circuit can be shared by
+concurrent threads as long as each evaluator owns its scratch arrays.
+
+Fan-out cones are the fault-simulation primitive: for a fault site the
+compiled circuit hands out the topologically sorted slice of evaluation
+plan entries covering the site's transitive fan-out, so injecting a
+fault becomes "re-evaluate this precomputed slice with one override"
+instead of per-fault heap-driven scheduling.
+"""
+
+from __future__ import annotations
+
+import weakref
+from array import array
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.types import PACKED_DISPATCH
+from repro.kernel.ops import OP_CODES, OP_INPUT, float_op, overlay_op, packed_op
+
+__all__ = ["CompiledCircuit", "compile_circuit"]
+
+
+class CompiledCircuit:
+    """Flat-array form of one circuit (see the module docstring).
+
+    Attributes
+    ----------
+    names:
+        All node names in topological order (primary inputs first) —
+        the compiled node index of a node is its position here.
+    index:
+        Inverse map ``name -> compiled index``.
+    opcodes:
+        One small-int opcode per node (``ops.OP_INPUT`` for inputs,
+        ``ops.OP_CODES[gtype]`` for gates), as a flat ``array('i')``.
+    arg_start / arg_flat:
+        CSR-style operand arrays: the operand indices of node ``i`` are
+        ``arg_flat[arg_start[i]:arg_start[i + 1]]``.
+    tables:
+        Per-node LUT truth table (0 for non-LUT nodes).
+    input_index / output_index:
+        Compiled indices of the primary inputs / outputs, in declaration
+        order.
+    """
+
+    def __init__(self, circuit: Circuit) -> None:
+        self.circuit = circuit
+        names: Tuple[str, ...] = circuit.nodes
+        self.names = names
+        self.index: Dict[str, int] = {n: i for i, n in enumerate(names)}
+        self.n_nodes = len(names)
+        self.n_inputs = len(circuit.inputs)
+        self.n_gates = circuit.n_gates
+        self.input_index: Tuple[int, ...] = tuple(
+            self.index[n] for n in circuit.inputs
+        )
+        self.output_index: Tuple[int, ...] = tuple(
+            self.index[n] for n in circuit.outputs
+        )
+        out_set = frozenset(circuit.outputs)
+        self.is_output: Tuple[bool, ...] = tuple(n in out_set for n in names)
+
+        gates = circuit.gates
+        opcodes = array("i")
+        arg_start = array("i", [0])
+        arg_flat = array("i")
+        tables: List[int] = []
+        args_of: List[Tuple[int, ...]] = []
+        # Per-gate plan entries, topo order.  ``plan`` drives full
+        # evaluation; ``overlay`` / ``float`` entries are referenced by the
+        # cone slices.
+        plan: List[tuple] = []
+        overlay_entry: List[Optional[tuple]] = [None] * self.n_nodes
+        float_entry: List[Optional[tuple]] = [None] * self.n_nodes
+        direct_fn: List[Optional[object]] = [None] * self.n_nodes
+        consumers: List[List[int]] = [[] for _ in names]
+        for i, name in enumerate(names):
+            gate = gates.get(name)
+            if gate is None:
+                opcodes.append(OP_INPUT)
+                tables.append(0)
+                args_of.append(())
+                arg_start.append(len(arg_flat))
+                continue
+            args = tuple(self.index[src] for src in gate.inputs)
+            opcodes.append(OP_CODES[gate.gtype])
+            tables.append(gate.table)
+            args_of.append(args)
+            arg_flat.extend(args)
+            arg_start.append(len(arg_flat))
+            for a in args:
+                consumers[a].append(i)
+            arity = len(args)
+            plan.append((i, packed_op(gate.gtype, arity), args, gate.table))
+            overlay_entry[i] = (
+                i,
+                overlay_op(gate.gtype, arity),
+                args,
+                gate.table,
+                self.is_output[i],
+            )
+            float_entry[i] = (i, float_op(gate.gtype, arity), args, gate.table)
+            direct_fn[i] = PACKED_DISPATCH[gate.gtype]
+        self.opcodes = opcodes
+        self.arg_start = arg_start
+        self.arg_flat = arg_flat
+        self.tables = tables
+        self.args_of = args_of
+        self.plan: Tuple[tuple, ...] = tuple(plan)
+        self.overlay_entry = overlay_entry
+        self.float_entry = float_entry
+        self.direct_fn = direct_fn
+        self.consumers: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(c) for c in consumers
+        )
+        self._cone_cache: Dict[int, Tuple[int, ...]] = {}
+        self._cone_entry_cache: Dict[int, Tuple[tuple, ...]] = {}
+        self._node_bit: Optional[List[int]] = None
+        self._consumer_bits: Optional[List[int]] = None
+
+    # -- evaluation ---------------------------------------------------------------
+
+    def eval_packed_words(
+        self,
+        words: Mapping[str, int],
+        mask: int,
+        overrides: "Mapping[str, int] | None" = None,
+    ) -> List[int]:
+        """Evaluate every node over packed pattern words.
+
+        ``words`` maps primary input names to packed words; the result is
+        the flat value array (index = compiled node index).  ``overrides``
+        pin nodes to fixed packed words; overridden gates are not
+        evaluated (stem fault injection semantics).
+        """
+        values = [0] * self.n_nodes
+        names = self.names
+        for i in self.input_index:
+            values[i] = words[names[i]] & mask
+        if not overrides:
+            for i, fn, args, table in self.plan:
+                values[i] = fn(values, args, mask, table)
+            return values
+        forced = {self.index[node]: word & mask
+                  for node, word in overrides.items()}
+        for i, word in forced.items():
+            values[i] = word
+        for entry in self.plan:
+            i = entry[0]
+            if i in forced:
+                continue
+            values[i] = entry[1](values, entry[2], mask, entry[3])
+        return values
+
+    def values_as_dict(self, values: Sequence[int]) -> Dict[str, int]:
+        """Flat value array -> ``{node name: value}`` mapping."""
+        return dict(zip(self.names, values))
+
+    def values_from_dict(self, mapping: Mapping[str, int]) -> List[int]:
+        """``{node name: value}`` mapping -> flat value array."""
+        return [mapping[name] for name in self.names]
+
+    # -- fan-out cone slices --------------------------------------------------------
+
+    def cone(self, idx: int) -> Tuple[int, ...]:
+        """Gate indices in the transitive fan-out of node ``idx``.
+
+        Excludes ``idx`` itself; sorted ascending, which *is* topological
+        order because compiled indices follow the levelized node table.
+        Computed once per node and cached on the compiled artifact.
+        """
+        cached = self._cone_cache.get(idx)
+        if cached is not None:
+            return cached
+        seen = set()
+        stack = list(self.consumers[idx])
+        while stack:
+            i = stack.pop()
+            if i in seen:
+                continue
+            seen.add(i)
+            stack.extend(self.consumers[i])
+        cone = tuple(sorted(seen))
+        self._cone_cache[idx] = cone
+        return cone
+
+    def cone_entries(self, idx: int) -> Tuple[tuple, ...]:
+        """Overlay plan entries of :meth:`cone`, ready to interpret."""
+        cached = self._cone_entry_cache.get(idx)
+        if cached is not None:
+            return cached
+        overlay = self.overlay_entry
+        entries = tuple(overlay[i] for i in self.cone(idx))
+        self._cone_entry_cache[idx] = entries
+        return entries
+
+    # -- node/consumer bitsets -------------------------------------------------------
+
+    @property
+    def node_bit(self) -> List[int]:
+        """``1 << i`` per node — the bitset alphabet of the pending queue."""
+        if self._node_bit is None:
+            self._node_bit = [1 << i for i in range(self.n_nodes)]
+        return self._node_bit
+
+    @property
+    def consumer_bits(self) -> List[int]:
+        """Per node, the bitset of its consumer gate indices.
+
+        ``pending |= consumer_bits[i]`` schedules every consumer of a
+        changed node in one big-int OR; popping the lowest set bit of
+        ``pending`` yields the next gate in topological order (compiled
+        indices are levelized), so a difference region is propagated
+        without a heap and without revisiting nodes.
+        """
+        if self._consumer_bits is None:
+            bits = [0] * self.n_nodes
+            for i, args in enumerate(self.args_of):
+                for a in args:
+                    bits[a] |= 1 << i
+            self._consumer_bits = bits
+        return self._consumer_bits
+
+
+_COMPILE_CACHE: "weakref.WeakKeyDictionary[Circuit, CompiledCircuit]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def compile_circuit(circuit: Circuit) -> CompiledCircuit:
+    """The memoized compiled form of ``circuit`` (compile-once contract)."""
+    compiled = _COMPILE_CACHE.get(circuit)
+    if compiled is None:
+        compiled = CompiledCircuit(circuit)
+        _COMPILE_CACHE[circuit] = compiled
+    return compiled

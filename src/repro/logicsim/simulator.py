@@ -3,6 +3,11 @@
 Evaluates every node of a combinational circuit over a whole
 :class:`~repro.logicsim.patterns.PatternSet` at once; node values are packed
 words (bit *j* = value under pattern *j*).
+
+Evaluation runs on the compiled flat-array kernel
+(:mod:`repro.kernel`), compiled once per circuit and shared with the
+fault simulator and the estimator; ``use_kernel=False`` selects the
+legacy per-gate dict interpreter (parity reference and perf baseline).
 """
 
 from __future__ import annotations
@@ -12,6 +17,7 @@ from typing import Dict, Iterable, Mapping, Optional
 from repro.circuit.netlist import Circuit
 from repro.circuit.types import eval_packed
 from repro.errors import SimulationError
+from repro.kernel import compile_circuit
 from repro.logicsim.patterns import PatternSet
 
 __all__ = ["simulate", "simulate_outputs", "node_probabilities"]
@@ -21,6 +27,7 @@ def simulate(
     circuit: Circuit,
     patterns: PatternSet,
     overrides: "Mapping[str, int] | None" = None,
+    use_kernel: bool = True,
 ) -> Dict[str, int]:
     """Simulate and return the packed value of every node.
 
@@ -29,13 +36,29 @@ def simulate(
     """
     _check_inputs(circuit, patterns)
     mask = patterns.mask
+    if overrides:
+        for node in overrides:
+            if not circuit.has_node(node):
+                raise SimulationError(f"override on unknown node {node!r}")
+    if use_kernel:
+        compiled = compile_circuit(circuit)
+        values = compiled.eval_packed_words(patterns.words, mask, overrides)
+        return compiled.values_as_dict(values)
+    return _simulate_legacy(circuit, patterns, overrides, mask)
+
+
+def _simulate_legacy(
+    circuit: Circuit,
+    patterns: PatternSet,
+    overrides: "Mapping[str, int] | None",
+    mask: int,
+) -> Dict[str, int]:
+    """The per-gate dict-walking interpreter (pre-kernel behaviour)."""
     values: Dict[str, int] = {}
     for name in circuit.inputs:
         values[name] = patterns.words[name]
     if overrides:
         for node, word in overrides.items():
-            if not circuit.has_node(node):
-                raise SimulationError(f"override on unknown node {node!r}")
             values[node] = word & mask
     for node in circuit.nodes:
         if node in values:

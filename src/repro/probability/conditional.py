@@ -14,6 +14,13 @@ treating every node outside the cone as carrying its unconditional
 estimate.  This bounded recursion is what keeps the tool's effort "nearly
 linear" (paper §1); deeper nesting would re-introduce the exponential
 blow-up the estimator is designed to avoid.
+
+The re-evaluation runs on the compiled kernel (:mod:`repro.kernel`) when
+one is supplied: cone schedules are resolved once per ``(target,
+conditioning set)`` into slices of the compiled float plan and replayed
+over version-stamped scratch arrays — the same gates, in the same order,
+with the same arithmetic as the legacy dict-walking path (``compiled=
+None``), which is kept as the parity reference and perf baseline.
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ from typing import Dict, Mapping
 
 from repro.circuit.topology import Topology
 from repro.circuit.types import gate_probability
+from repro.kernel import CompiledCircuit
 
 __all__ = ["ConditionalEvaluator"]
 
@@ -29,11 +37,26 @@ __all__ = ["ConditionalEvaluator"]
 class ConditionalEvaluator:
     """Evaluates conditional node probabilities over a base estimate."""
 
-    def __init__(self, topology: Topology, depth: "int | None") -> None:
+    def __init__(
+        self,
+        topology: Topology,
+        depth: "int | None",
+        compiled: "CompiledCircuit | None" = None,
+    ) -> None:
         self.topology = topology
         self.circuit = topology.circuit
         #: Path-length bound for the re-evaluated region (MAXLIST).
         self.depth = depth
+        self.compiled = compiled
+        if compiled is not None:
+            n = compiled.n_nodes
+            self._scratch = [0.0] * n
+            self._stamp = [0] * n
+            self._version = 0
+            # Cone schedules keyed by (target, frozenset of relevant
+            # conditioning nodes) — the estimator replays the same few
+            # shapes for every assignment of a conditioning set.
+            self._cone_cache: Dict[tuple, tuple] = {}
 
     def probability(
         self,
@@ -49,6 +72,49 @@ class ConditionalEvaluator:
         """
         if target in conditions:
             return float(conditions[target])
+        if self.compiled is None:
+            return self._probability_legacy(target, conditions, base)
+        allowed = self.topology.bounded_tfi(target, self.depth)
+        relevant = [node for node in conditions if node in allowed]
+        if not relevant:
+            return base[target]
+        compiled = self.compiled
+        key = (target, frozenset(relevant))
+        entries = self._cone_cache.get(key)
+        if entries is None:
+            cone = self.topology.forward_cone_within(relevant, allowed)
+            pinned = set(relevant)
+            index = compiled.index
+            float_entry = compiled.float_entry
+            # Conditioned nodes stay pinned: they can only reappear in the
+            # cone via the relevant set (cone ⊆ allowed and conditions ∩
+            # allowed = relevant), so excluding them here is exact.
+            entries = tuple(
+                float_entry[index[name]] for name in cone if name not in pinned
+            )
+            self._cone_cache[key] = entries
+        scratch = self._scratch
+        stamp = self._stamp
+        self._version = version = self._version + 1
+        index = compiled.index
+        names = compiled.names
+        for node, value in conditions.items():
+            i = index[node]
+            scratch[i] = float(value)
+            stamp[i] = version
+        for i, fn, args, table in entries:
+            scratch[i] = fn(scratch, stamp, version, base, names, args, table)
+            stamp[i] = version
+        t = index[target]
+        return scratch[t] if stamp[t] == version else base[target]
+
+    def _probability_legacy(
+        self,
+        target: str,
+        conditions: Mapping[str, int],
+        base: Mapping[str, float],
+    ) -> float:
+        """The dict-walking cone re-evaluation (pre-kernel behaviour)."""
         allowed = self.topology.bounded_tfi(target, self.depth)
         relevant = [node for node in conditions if node in allowed]
         if not relevant:

@@ -30,6 +30,7 @@ from repro.circuit.netlist import Circuit, Gate
 from repro.circuit.topology import Topology
 from repro.circuit.types import gate_probability
 from repro.errors import EstimationError
+from repro.kernel import compile_circuit
 from repro.logicsim.patterns import resolve_input_probs
 from repro.probability.conditional import ConditionalEvaluator
 
@@ -121,12 +122,15 @@ class SignalProbabilityEstimator:
         circuit: Circuit,
         params: "EstimatorParams | None" = None,
         topology: "Topology | None" = None,
+        use_kernel: bool = True,
     ) -> None:
         self.circuit = circuit
         self.params = params or EstimatorParams()
-        self.topology = topology or Topology(circuit)
+        self.topology = topology or Topology(circuit, cache=use_kernel)
         self._conditional = ConditionalEvaluator(
-            self.topology, self.params.maxlist
+            self.topology,
+            self.params.maxlist,
+            compiled=compile_circuit(circuit) if use_kernel else None,
         )
         # Joining points per gate are purely structural: cache them.
         self._joining_cache: Dict[str, List[str]] = {}

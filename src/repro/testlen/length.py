@@ -104,9 +104,21 @@ def required_test_length(
             "use fraction < 1 to exclude them"
         )
     target = math.log(confidence)
+    # Precompute log(1-p) once: every binary-search probe then costs one
+    # multiply + expm1 + log per fault instead of re-deriving the miss
+    # logs.  Numerically identical to log_all_detected_probability.
+    log_miss_per_pattern = [math.log1p(-p) for p in kept]
+    log = math.log
+    expm1 = math.expm1
 
     def enough(n: int) -> bool:
-        return log_all_detected_probability(kept, n) >= target
+        total = 0.0
+        for lm in log_miss_per_pattern:
+            miss = -expm1(n * lm)
+            if miss <= 0.0:
+                return False
+            total += log(miss)
+        return total >= target
 
     low, high = 0, 1
     while not enough(high):

@@ -81,3 +81,23 @@ def test_sweep_parallel_matches_serial():
     for a, b in zip(serial.runs, parallel.runs):
         assert a.circuit == b.circuit
         assert a.report.test_lengths == b.report.test_lengths
+
+
+def test_sweep_executor_knob_modes_agree():
+    inline = run_sweep(["c17", "maj5"], ["paper"], executor="inline",
+                       confidences=(0.95,), fractions=(1.0,))
+    threads = run_sweep(["c17", "maj5"], ["paper"], executor="thread",
+                        workers=2, confidences=(0.95,), fractions=(1.0,))
+    procs = run_sweep(["c17", "maj5"], ["paper"], executor="process",
+                      workers=2, confidences=(0.95,), fractions=(1.0,))
+    for variant in (threads, procs):
+        for a, b in zip(inline.runs, variant.runs):
+            assert a.circuit == b.circuit
+            assert a.report.test_lengths == b.report.test_lengths
+
+
+def test_sweep_rejects_unknown_executor():
+    from repro.errors import ReproError
+
+    with pytest.raises(ReproError):
+        run_sweep(["c17"], ["paper"], executor="fiber")

@@ -1,0 +1,270 @@
+"""Parity suite: compiled kernel vs. legacy interpreters.
+
+The compiled flat-array kernel (:mod:`repro.kernel`) must be *bit-identical*
+to the legacy per-gate interpreters for packed simulation and fault
+simulation, and numerically identical (well below 1e-12) for the
+estimator pipeline.  Every test here runs both paths on the same inputs —
+randomized DAGs (with LUTs) plus the paper's bundled circuits — and
+compares exhaustively.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import AnalysisEngine
+from repro.circuit.types import (
+    GateType,
+    PACKED_DISPATCH,
+    eval_bool,
+    eval_packed,
+)
+from repro.circuits.generators import random_dag
+from repro.circuits.library import build
+from repro.errors import CircuitError
+from repro.faults.simulator import FaultSimulator
+from repro.kernel import CompiledCircuit, compile_circuit
+from repro.logicsim.patterns import PatternSet
+from repro.logicsim.simulator import simulate
+
+BUNDLED = ("alu", "mult", "comp")
+
+RANDOM_SEEDS = (1, 7, 42)
+
+
+def _random_circuits():
+    for seed in RANDOM_SEEDS:
+        yield random_dag(6, 40, seed=seed, lut_fraction=0.2)
+
+
+# -- compiled artifact ---------------------------------------------------------
+
+
+def test_compile_cache_returns_same_artifact():
+    circuit = build("alu")
+    first = compile_circuit(circuit)
+    assert compile_circuit(circuit) is first
+    assert isinstance(first, CompiledCircuit)
+    # Flat arrays are structurally consistent.
+    assert len(first.names) == first.n_nodes == len(first.opcodes)
+    assert len(first.arg_start) == first.n_nodes + 1
+    assert first.arg_start[-1] == len(first.arg_flat)
+    assert len(first.plan) == circuit.n_gates
+
+
+def test_engine_shares_one_compiled_artifact():
+    engine = AnalysisEngine("alu", "fast")
+    assert engine.compiled is compile_circuit(engine.circuit)
+
+
+# -- eval_packed dispatch table (all gate types, incl. table-driven) -----------
+
+
+@pytest.mark.parametrize("gtype", list(GateType))
+def test_dispatch_table_matches_truth_semantics(gtype):
+    arities = {
+        GateType.NOT: [1], GateType.BUF: [1],
+        GateType.CONST0: [0], GateType.CONST1: [0],
+        GateType.LUT: [1, 2, 3],
+    }.get(gtype, [2, 3])
+    assert gtype in PACKED_DISPATCH
+    for arity in arities:
+        tables = range(1 << (1 << arity)) if gtype is GateType.LUT else (0,)
+        for table in tables:
+            for minterm in range(1 << arity):
+                operands = [(minterm >> i) & 1 for i in range(arity)]
+                got = eval_bool(gtype, operands, table)
+                # Packed evaluation over a 2-pattern word must agree
+                # per-bit with the scalar result.
+                packed = eval_packed(
+                    gtype, [op * 0b11 for op in operands], 0b11, table
+                )
+                assert packed in (0, 0b11)
+                assert (packed & 1) == got
+
+
+def test_eval_packed_rejects_unknown_gate_type():
+    with pytest.raises(CircuitError):
+        eval_packed("NOPE", [1], 1)
+
+
+# -- true-value simulation -----------------------------------------------------
+
+
+@pytest.mark.parametrize("name", BUNDLED)
+def test_simulate_parity_bundled(name):
+    circuit = build(name)
+    patterns = PatternSet.random(circuit.inputs, 257, seed=11)
+    kernel = simulate(circuit, patterns, use_kernel=True)
+    legacy = simulate(circuit, patterns, use_kernel=False)
+    assert kernel == legacy
+
+
+@pytest.mark.parametrize("seed", RANDOM_SEEDS)
+def test_simulate_parity_random_dags(seed):
+    circuit = random_dag(6, 40, seed=seed, lut_fraction=0.2)
+    patterns = PatternSet.exhaustive(circuit.inputs)
+    kernel = simulate(circuit, patterns, use_kernel=True)
+    legacy = simulate(circuit, patterns, use_kernel=False)
+    assert kernel == legacy
+
+
+def test_simulate_parity_with_overrides():
+    circuit = build("alu")
+    patterns = PatternSet.random(circuit.inputs, 64, seed=5)
+    gate = next(iter(circuit.gates))
+    overrides = {gate: 0x5A5A, circuit.inputs[0]: 0}
+    kernel = simulate(circuit, patterns, overrides, use_kernel=True)
+    legacy = simulate(circuit, patterns, overrides, use_kernel=False)
+    assert kernel == legacy
+
+
+# -- fault simulation ----------------------------------------------------------
+
+
+def _assert_fault_parity(circuit, patterns, block_size, drop):
+    kernel = FaultSimulator(circuit, use_kernel=True).run(
+        patterns, block_size=block_size, drop_detected=drop
+    )
+    legacy = FaultSimulator(circuit, use_kernel=False).run(
+        patterns, block_size=block_size, drop_detected=drop
+    )
+    assert kernel.records.keys() == legacy.records.keys()
+    for fault, krec in kernel.records.items():
+        lrec = legacy.records[fault]
+        assert krec.detect_count == lrec.detect_count, fault
+        assert krec.first_detect == lrec.first_detect, fault
+        assert krec.simulated_patterns == lrec.simulated_patterns, fault
+
+
+@pytest.mark.parametrize("name", BUNDLED)
+@pytest.mark.parametrize("drop", [False, True])
+def test_fault_sim_parity_bundled(name, drop):
+    circuit = build(name)
+    patterns = PatternSet.random(circuit.inputs, 96, seed=23)
+    # Odd block size exercises partial lane groups in the last block.
+    _assert_fault_parity(circuit, patterns, block_size=40, drop=drop)
+
+
+@pytest.mark.parametrize("seed", RANDOM_SEEDS)
+@pytest.mark.parametrize("drop", [False, True])
+def test_fault_sim_parity_random_dags(seed, drop):
+    circuit = random_dag(6, 40, seed=seed, lut_fraction=0.2)
+    patterns = PatternSet.exhaustive(circuit.inputs)
+    _assert_fault_parity(circuit, patterns, block_size=17, drop=drop)
+
+
+def test_detection_word_parity_single_faults():
+    circuit = build("alu")
+    patterns = PatternSet.random(circuit.inputs, 48, seed=3)
+    good = simulate(circuit, patterns)
+    kernel_sim = FaultSimulator(circuit, use_kernel=True)
+    legacy_sim = FaultSimulator(circuit, use_kernel=False)
+    for fault in kernel_sim.faults:
+        assert kernel_sim.detection_word(fault, good, patterns.mask) == \
+            legacy_sim.detection_word(fault, good, patterns.mask), fault
+
+
+# -- estimator / analyze() end-to-end ------------------------------------------
+
+
+@pytest.mark.parametrize("name", BUNDLED)
+def test_analyze_parity_bundled(name):
+    kernel_engine = AnalysisEngine(name, "paper", use_kernel=True)
+    legacy_engine = AnalysisEngine(name, "paper", use_kernel=False)
+    kernel_report = kernel_engine.analyze()
+    legacy_report = legacy_engine.analyze()
+    # Signal probabilities: identical within 1e-12.
+    kernel_signal = kernel_engine.raw_signal_probabilities()
+    legacy_signal = legacy_engine.raw_signal_probabilities()
+    for node in kernel_signal:
+        assert kernel_signal[node] == pytest.approx(
+            legacy_signal[node], abs=1e-12
+        ), node
+    # Detection probabilities: identical within 1e-12.
+    kernel_det = kernel_engine.raw_detection_probabilities()
+    legacy_det = legacy_engine.raw_detection_probabilities()
+    assert kernel_det.keys() == legacy_det.keys()
+    for fault in kernel_det:
+        assert kernel_det[fault] == pytest.approx(
+            legacy_det[fault], abs=1e-12
+        ), fault
+    # And the derived report quantities agree exactly.
+    assert kernel_report.test_lengths == legacy_report.test_lengths
+    assert kernel_report.n_faults == legacy_report.n_faults
+    assert kernel_report.min_detection == pytest.approx(
+        legacy_report.min_detection, abs=1e-12
+    )
+
+
+@pytest.mark.parametrize("seed", RANDOM_SEEDS)
+def test_signal_probability_parity_random_dags(seed):
+    circuit = random_dag(6, 40, seed=seed, lut_fraction=0.2)
+    kernel_engine = AnalysisEngine(circuit, "paper", use_kernel=True)
+    legacy_engine = AnalysisEngine(circuit, "paper", use_kernel=False)
+    kernel_signal = kernel_engine.raw_signal_probabilities()
+    legacy_signal = legacy_engine.raw_signal_probabilities()
+    for node in kernel_signal:
+        assert kernel_signal[node] == pytest.approx(
+            legacy_signal[node], abs=1e-12
+        ), node
+
+
+def test_kernel_engine_cache_contract_still_holds():
+    engine = AnalysisEngine("alu", "paper")
+    engine.analyze()
+    engine.test_length(0.98)
+    engine.expected_coverage(500)
+    info = engine.cache_info()
+    assert info["signal_runs"] == 1
+    assert info["observability_runs"] == 1
+    assert info["detection_runs"] == 1
+
+
+# -- dispatch-family drift guard -----------------------------------------------
+#
+# The kernel re-implements the packed/tree-rule gate semantics over flat
+# arrays (kernel/ops.py) next to the value-sequence family in
+# circuit/types.py.  Compare the families directly, per gate type, arity,
+# table and minterm, so a semantics fix in one cannot silently diverge
+# the other.
+
+
+@pytest.mark.parametrize("gtype", list(GateType))
+def test_kernel_ops_match_types_dispatch(gtype):
+    from repro.circuit.types import gate_probability
+    from repro.kernel.ops import float_op, overlay_op, packed_op
+
+    arities = {
+        GateType.NOT: [1], GateType.BUF: [1],
+        GateType.CONST0: [0], GateType.CONST1: [0],
+        GateType.LUT: [1, 2],
+    }.get(gtype, [2, 3])
+    mask = 0b11
+    for arity in arities:
+        tables = range(1 << (1 << arity)) if gtype is GateType.LUT else (0,)
+        args = tuple(range(arity))
+        for table in tables:
+            for minterm in range(1 << arity):
+                bits = [(minterm >> i) & 1 for i in range(arity)]
+                values = [b * mask for b in bits]
+                want = PACKED_DISPATCH[gtype](values, mask, table)
+                assert packed_op(gtype, arity)(values, args, mask, table) \
+                    == want
+                # Overlay gather: all operands stamped -> read the overlay.
+                stamp = [1] * arity
+                assert overlay_op(gtype, arity)(
+                    values, stamp, 1, [0] * arity, args, mask, table
+                ) == want
+                # Overlay gather: nothing stamped -> read the good array.
+                assert overlay_op(gtype, arity)(
+                    [0] * arity, stamp, 2, values, args, mask, table
+                ) == want
+                # Float family vs. the tree rule on 0/1 probabilities.
+                probs = [float(b) for b in bits]
+                got = float_op(gtype, arity)(
+                    probs, stamp, 1, {}, (), args, table
+                )
+                assert got == pytest.approx(
+                    gate_probability(gtype, probs, table), abs=0.0
+                )

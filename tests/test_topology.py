@@ -110,3 +110,29 @@ def test_forward_cone_within():
     cone = topo.forward_cone_within(["x"], {"x", "a"})
     assert cone == ["a"]
     assert topo.forward_cone_within(["k"], allowed) == []
+
+
+def test_bounded_tfi_is_cached_per_node_and_depth():
+    circuit = c17()
+    topo = Topology(circuit)
+    first = topo.bounded_tfi("G22", 2)
+    assert topo.bounded_tfi("G22", 2) is first  # memoized
+    assert isinstance(first, frozenset)
+    assert topo.bounded_tfi("G22", 1) is not first  # distinct depth key
+    # Unbounded queries are cached under the None key too.
+    assert topo.bounded_tfi("G22", None) is topo.bounded_tfi("G22", None)
+    assert topo.bounded_tfi("G22", None) == topo.tfi("G22")
+
+
+def test_bounded_tfi_cache_flag_preserves_legacy_behaviour():
+    circuit = c17()
+    cached = Topology(circuit)
+    uncached = Topology(circuit, cache=False)
+    for depth in (1, 2, None):
+        assert set(cached.bounded_tfi("G22", depth)) == \
+            set(uncached.bounded_tfi("G22", depth))
+    # The uncached variant returns a fresh mutable set every call.
+    first = uncached.bounded_tfi("G22", 2)
+    assert first is not uncached.bounded_tfi("G22", 2)
+    first.add("sentinel")  # mutating a copy must not poison later calls
+    assert "sentinel" not in uncached.bounded_tfi("G22", 2)
