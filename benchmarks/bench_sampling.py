@@ -1,0 +1,208 @@
+"""Tracked sampling benchmark: Monte-Carlo grading on the compiled kernel.
+
+For every bundled library circuit, grade the full stuck-at fault
+universe with the :mod:`repro.sampling` Monte-Carlo estimator
+(sequential stopping at ``target_halfwidth=0.02``, 99% Wilson
+intervals) and record
+
+* **throughput** — graded faults x patterns per second (the sampled
+  counterpart of the fault-sim perf number in ``bench_perf.py``);
+* **interval convergence** — the per-block ``(n_patterns,
+  max_halfwidth)`` trajectory of the stopping rule;
+* **cross-validation** — how the analytic estimates sit inside the
+  sampled intervals: strict agreement fraction, max excess, and the
+  flag count at the default tolerance (the estimator's documented
+  error envelope — zero flags is the permanent backend oracle);
+* **stratified sampling** — the same grading over a stratified fault
+  subsample on the largest circuit, showing the bounded-cost path for
+  large fault lists.
+
+The full run merges a ``"sampling"`` section into ``BENCH_perf.json``
+at the repo root so the trajectory is tracked across PRs; ``--smoke``
+runs a seconds-scale subset for CI, writes under a temp/results path
+and **asserts** that on the tree-exact circuit (``parity8``, where the
+paper's estimator has no reconvergent-fanout error to hide) every
+analytic detection probability lies inside its sampled 99% interval,
+up to a quarter-halfwidth seed margin.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sampling.py          # full, tracked
+    PYTHONPATH=src python benchmarks/bench_sampling.py --smoke  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.api import AnalysisEngine, ProtestConfig  # noqa: E402
+from repro.circuits.library import build, names  # noqa: E402
+
+SMOKE_CIRCUITS = ("c17", "parity8")
+#: The circuit whose strict interval-containment the smoke run asserts
+#: (tree rule is exact on XOR trees, so analytic == truth up to the
+#: observability model's ~0.014).
+STRICT_CIRCUIT = "parity8"
+#: Tolerance of the near-strict smoke assert: a quarter of the 0.02
+#: halfwidth target.  Strict (zero-tolerance) containment on parity8
+#: holds for most seeds but with ~zero margin — the analytic
+#: observability bias (~0.014) is the same size as the halfwidth at the
+#: stopping point — so an innocuous re-roll of the pattern stream could
+#: flip it; a backend bug still overshoots this by orders of magnitude.
+STRICT_TOLERANCE = 0.005
+SEED = 20260729
+#: Per-circuit ceiling on the mean analytic-vs-interval excess; the
+#: measured worst (mul16/mult, where the paper reports its largest
+#: errors) sits around 0.16, so drift past this means backend breakage.
+MEAN_EXCESS_CEILING = 0.25
+
+
+def sampled_config(seed: int = SEED, fault_sample: "int | None" = None):
+    return ProtestConfig.preset("sampled").replace(
+        target_halfwidth=0.02,
+        confidence_level=0.99,
+        max_patterns=8192,
+        seed=seed,
+        fault_sample=fault_sample,
+        name="bench-sampled",
+    )
+
+
+def grade_circuit(name: str, fault_sample: "int | None" = None):
+    engine = AnalysisEngine(build(name), sampled_config(fault_sample=fault_sample))
+    start = time.perf_counter()
+    report = engine.sampled_detection_probabilities()
+    elapsed = time.perf_counter() - start
+    validation = engine.cross_validate()  # cache hit on the sampled side
+    throughput = report.n_faults * report.n_patterns / elapsed
+    return {
+        "n_gates": engine.circuit.n_gates,
+        "n_faults": report.n_faults,
+        "n_universe": report.n_universe,
+        "n_patterns": report.n_patterns,
+        "converged": report.converged,
+        "max_halfwidth": report.max_halfwidth,
+        "elapsed_s": elapsed,
+        "faults_x_patterns_per_s": throughput,
+        "coverage": report.coverage.to_dict(),
+        "convergence": [
+            {"n_patterns": n, "max_halfwidth": h}
+            for n, h in report.convergence
+        ],
+        "cross_validation": {
+            "strict_agreement": validation.strict_agreement,
+            "max_excess": validation.max_excess,
+            "mean_excess": validation.mean_excess,
+            "tolerance": validation.tolerance,
+            "n_flagged": len(validation.flagged),
+        },
+    }
+
+
+def run(circuits):
+    results = {}
+    for name in circuits:
+        entry = grade_circuit(name)
+        results[name] = entry
+        cv = entry["cross_validation"]
+        print(
+            f"[{name}] {entry['n_faults']} faults x "
+            f"{entry['n_patterns']} patterns: "
+            f"{entry['faults_x_patterns_per_s']:.3e} f*p/s, "
+            f"converged={entry['converged']}, "
+            f"strict agreement {100.0 * cv['strict_agreement']:.1f}%, "
+            f"flags {cv['n_flagged']}",
+            flush=True,
+        )
+    return results
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="seconds-scale subset for CI with the parity8 strict assert",
+    )
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help="output JSON path (default: merge into BENCH_perf.json at the "
+        "repo root, or benchmarks/results/bench_sampling_smoke.json "
+        "with --smoke)",
+    )
+    args = parser.parse_args(argv)
+    circuits = SMOKE_CIRCUITS if args.smoke else names()
+    results = run(circuits)
+
+    flagged = {n: r["cross_validation"]["n_flagged"]
+               for n, r in results.items()
+               if r["cross_validation"]["n_flagged"]}
+    if flagged:
+        print(f"cross-validation FLAGS at the default tolerance: {flagged}")
+    if args.smoke:
+        # The CI oracle: on the tree-exact circuit the analytic
+        # estimates must sit inside the sampled 99% intervals (up to a
+        # quarter-halfwidth seed margin, see STRICT_TOLERANCE).
+        engine = AnalysisEngine(build(STRICT_CIRCUIT), sampled_config())
+        strict = engine.cross_validate(tolerance=STRICT_TOLERANCE)
+        print(
+            f"[{STRICT_CIRCUIT}] containment: "
+            f"{100.0 * strict.strict_agreement:.1f}% strictly inside, "
+            f"max excess {strict.max_excess:.4f} "
+            f"(allowed {STRICT_TOLERANCE})"
+        )
+        assert strict.ok, (
+            f"analytic estimates left the sampled 99% intervals on "
+            f"{STRICT_CIRCUIT}: {strict.to_text()}"
+        )
+    assert not flagged, (
+        "analytic estimates fell outside the tolerance-widened sampled "
+        f"intervals: {flagged}"
+    )
+    # Distribution-level oracle: the per-fault flag is structurally blind
+    # to mid-range faults (excess over [0,1] <= max(low, 1-high)), but a
+    # broken backend moves the *average* analytic-vs-interval excess far
+    # beyond the estimator's measured envelope (worst circuit ~0.16).
+    drifted = {n: round(r["cross_validation"]["mean_excess"], 4)
+               for n, r in results.items()
+               if r["cross_validation"]["mean_excess"] > MEAN_EXCESS_CEILING}
+    assert not drifted, (
+        f"mean analytic-vs-interval excess beyond {MEAN_EXCESS_CEILING}: "
+        f"{drifted}"
+    )
+
+    payload = {
+        "mode": "smoke" if args.smoke else "full",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "seed": SEED,
+        "target_halfwidth": 0.02,
+        "confidence_level": 0.99,
+        "circuits": results,
+    }
+    if not args.smoke:
+        # Stratified-subsample path, shown on the largest circuit.
+        largest = max(results, key=lambda n: results[n]["n_universe"])
+        payload["stratified"] = {largest: grade_circuit(largest, fault_sample=2000)}
+        out = args.out or ROOT / "BENCH_perf.json"
+        out.parent.mkdir(parents=True, exist_ok=True)
+        tracked = json.loads(out.read_text()) if out.exists() else {}
+        tracked["sampling"] = payload
+        out.write_text(json.dumps(tracked, indent=2) + "\n", encoding="utf-8")
+    else:
+        out = args.out or ROOT / "benchmarks" / "results" / "bench_sampling_smoke.json"
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,23 +15,34 @@ The legacy :class:`repro.protest.Protest` facade delegates here.
 """
 
 from repro.api.config import PRESETS, ProtestConfig, available_presets
-from repro.api.engine import AnalysisEngine
+from repro.api.engine import (
+    DEFAULT_CROSS_VALIDATION_TOLERANCE,
+    AnalysisEngine,
+)
 from repro.api.results import (
+    CrossValidationResult,
     DetectionResult,
+    IntervalEstimate,
     Provenance,
+    SampledReport,
     SignalProbResult,
     SimulationResult,
     TestabilityReport,
     TestLengthResult,
+    canonical_payload,
 )
 from repro.api.sweep import SweepResult, SweepRun, run_sweep
 
 __all__ = [
     "AnalysisEngine",
+    "CrossValidationResult",
+    "DEFAULT_CROSS_VALIDATION_TOLERANCE",
     "DetectionResult",
+    "IntervalEstimate",
     "PRESETS",
     "Provenance",
     "ProtestConfig",
+    "SampledReport",
     "SignalProbResult",
     "SimulationResult",
     "SweepResult",
@@ -39,5 +50,6 @@ __all__ = [
     "TestLengthResult",
     "TestabilityReport",
     "available_presets",
+    "canonical_payload",
     "run_sweep",
 ]

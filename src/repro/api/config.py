@@ -20,13 +20,20 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-from typing import Any, Dict, Mapping
+from typing import Any, Dict, Mapping, Optional
 
 from repro.detection.observability import PIN_MODELS, STEM_MODELS
 from repro.errors import EstimationError
 from repro.probability.estimator import EstimatorParams
+from repro.sampling.montecarlo import SamplingPlan
 
-__all__ = ["ProtestConfig", "PRESETS", "available_presets"]
+__all__ = ["ProtestConfig", "PRESETS", "METHODS", "available_presets"]
+
+#: Recognized values of the ``method`` knob.
+METHODS = ("analytic", "sampled")
+
+#: The sampling knobs' single source of truth for default values.
+_PLAN_DEFAULTS = SamplingPlan()
 
 
 @dataclasses.dataclass(frozen=True)
@@ -43,7 +50,16 @@ class ProtestConfig:
     include_branches / only_fanout_stems:
         Shape of the default stuck-at fault universe.
     seed:
-        Default seed for pattern generation and optimizer jitter.
+        Default seed for pattern generation, Monte-Carlo sampling and
+        optimizer jitter.
+    method:
+        ``"analytic"`` (the paper's estimator pipeline) or ``"sampled"``
+        (Monte-Carlo grading, :mod:`repro.sampling`); selects what
+        ``run_sweep`` and the sampled engine entry points run.
+    target_halfwidth / confidence_level / max_patterns / interval_method /
+    fault_sample:
+        The Monte-Carlo sequential stopping rule; see
+        :class:`~repro.sampling.montecarlo.SamplingPlan`.
     name:
         Display label ("paper", "fast", ...); *not* part of the hash.
     """
@@ -56,6 +72,13 @@ class ProtestConfig:
     include_branches: bool = True
     only_fanout_stems: bool = False
     seed: int = 0
+    method: str = "analytic"
+    # Sampling defaults come from SamplingPlan — one source of truth.
+    target_halfwidth: float = _PLAN_DEFAULTS.target_halfwidth
+    confidence_level: float = _PLAN_DEFAULTS.confidence_level
+    max_patterns: int = _PLAN_DEFAULTS.max_patterns
+    interval_method: str = _PLAN_DEFAULTS.interval_method
+    fault_sample: Optional[int] = _PLAN_DEFAULTS.fault_sample
     name: str = "custom"
 
     def __post_init__(self) -> None:
@@ -73,6 +96,12 @@ class ProtestConfig:
             )
         if not isinstance(self.seed, int) or isinstance(self.seed, bool):
             raise EstimationError(f"seed must be an int, got {self.seed!r}")
+        if self.method not in METHODS:
+            raise EstimationError(
+                f"method must be one of {METHODS}, got {self.method!r}"
+            )
+        # SamplingPlan carries the sampling-knob validation.
+        self.sampling_plan()
 
     # -- construction ---------------------------------------------------------------
 
@@ -124,6 +153,17 @@ class ProtestConfig:
             candidate_cap=self.candidate_cap,
         )
 
+    def sampling_plan(self) -> SamplingPlan:
+        """The Monte-Carlo grading knobs as a sampling plan."""
+        return SamplingPlan(
+            target_halfwidth=self.target_halfwidth,
+            confidence_level=self.confidence_level,
+            max_patterns=self.max_patterns,
+            interval_method=self.interval_method,
+            seed=self.seed,
+            fault_sample=self.fault_sample,
+        )
+
     def to_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)
 
@@ -150,6 +190,8 @@ PRESETS: Dict[str, ProtestConfig] = {
     "accurate": ProtestConfig(
         maxvers=5, maxlist=12, candidate_cap=16, name="accurate"
     ),
+    # Monte-Carlo grading with 99% Wilson intervals (repro.sampling).
+    "sampled": ProtestConfig(method="sampled", name="sampled"),
 }
 
 

@@ -23,7 +23,7 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.api.config import ProtestConfig
 from repro.api.engine import AnalysisEngine
-from repro.api.results import TestabilityReport, _Serializable
+from repro.api.results import SampledReport, TestabilityReport, _Serializable
 from repro.circuit.netlist import Circuit
 from repro.errors import ReproError
 from repro.report.tables import ascii_table, format_count
@@ -33,11 +33,16 @@ __all__ = ["SweepRun", "SweepResult", "run_sweep"]
 
 @dataclasses.dataclass
 class SweepRun:
-    """One (circuit, config) cell of a sweep."""
+    """One (circuit, config) cell of a sweep.
+
+    ``report`` is a :class:`TestabilityReport` for analytic configs and
+    a :class:`SampledReport` for ``method="sampled"`` configs; both
+    serialize with a ``kind`` tag that round-trips the right class.
+    """
 
     circuit: str
     config: ProtestConfig
-    report: Optional[TestabilityReport]
+    report: "TestabilityReport | SampledReport | None"
     error: Optional[str] = None
     elapsed: float = 0.0
 
@@ -57,10 +62,16 @@ class SweepRun:
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SweepRun":
         report = data.get("report")
+        if report is None:
+            decoded = None
+        elif report.get("kind") == "sampled_report":
+            decoded = SampledReport.from_dict(report)
+        else:
+            decoded = TestabilityReport.from_dict(report)
         return cls(
             circuit=data["circuit"],
             config=ProtestConfig.from_dict(data["config"]),
-            report=TestabilityReport.from_dict(report) if report else None,
+            report=decoded,
             error=data.get("error"),
             elapsed=data.get("elapsed", 0.0),
         )
@@ -102,14 +113,18 @@ class SweepResult(_Serializable):
                              f"error: {run.error}"])
                 continue
             report = run.report
-            key = min(report.test_lengths)  # smallest (d, e) requirement
-            n = report.test_lengths[key]
+            if report.test_lengths:
+                key = min(report.test_lengths)  # smallest (d, e) requirement
+                n = report.test_lengths[key]
+                n_text = format_count(n) if n is not None else "inf"
+            else:
+                n_text = "-"
             rows.append([
                 run.circuit,
                 run.config.name,
                 str(report.n_faults),
                 f"{report.min_detection:.2e}",
-                format_count(n) if n is not None else "inf",
+                n_text,
             ])
         return ascii_table(
             ["circuit", "config", "faults", "min P_f", "N"],
@@ -133,9 +148,14 @@ def _run_one(
     start = time.perf_counter()
     try:
         engine = AnalysisEngine(circuit, config)
-        report = engine.analyze(
-            input_probs, confidences=confidences, fractions=fractions
-        )
+        if config.method == "sampled":
+            report = engine.sampled_analyze(
+                input_probs, confidences=confidences, fractions=fractions
+            )
+        else:
+            report = engine.analyze(
+                input_probs, confidences=confidences, fractions=fractions
+            )
         return SweepRun(
             circuit=label, config=config, report=report,
             elapsed=time.perf_counter() - start,

@@ -7,15 +7,18 @@ Subcommands
 ``optimize``   hill-climb the input probabilities (Table 4)
 ``generate``   emit a (weighted) random pattern set
 ``fsim``       fault-simulate a pattern set and print the coverage curve
+``sample``     Monte-Carlo grading with confidence intervals
 ``sweep``      analyse many circuits under many configs in one call
 ``circuits``   list the built-in evaluation circuits
 ``convert``    convert between .bench and .sdl netlists
 
 Circuits are referenced either by a built-in name (see ``circuits``) or by
 a ``.bench`` / ``.sdl`` file path.  ``analyze``, ``testlen``, ``optimize``,
-``fsim`` and ``sweep`` accept ``--json`` to emit the result objects'
-serialized payloads instead of ASCII tables, and ``--preset`` to start
-from a named :class:`~repro.api.ProtestConfig` preset.
+``fsim``, ``sample`` and ``sweep`` accept ``--json`` to emit the result
+objects' serialized payloads instead of ASCII tables, and ``--preset`` to
+start from a named :class:`~repro.api.ProtestConfig` preset.  ``sweep``
+accepts ``--executor {process,thread,inline}`` to pick the pool type and
+``--method sampled`` to Monte-Carlo grade every cell.
 """
 
 from __future__ import annotations
@@ -25,9 +28,9 @@ import json
 import sys
 from typing import Dict, List
 
-from repro.api.config import ProtestConfig, available_presets
+from repro.api.config import METHODS, ProtestConfig, available_presets
 from repro.api.engine import AnalysisEngine
-from repro.api.sweep import run_sweep
+from repro.api.sweep import EXECUTORS, run_sweep
 from repro.circuit.bench_parser import load_bench
 from repro.circuit.netlist import Circuit
 from repro.circuit.sdl import load_sdl, save_sdl
@@ -37,6 +40,11 @@ from repro.circuits.library import REGISTRY, build, names
 from repro.errors import ReproError
 from repro.faults.coverage import TABLE6_CHECKPOINTS
 from repro.report.tables import ascii_table, format_count
+from repro.sampling.intervals import INTERVAL_METHODS
+from repro.sampling.montecarlo import SamplingPlan
+
+#: Defaults quoted in the ``sample`` subcommand's help text.
+_PLAN = SamplingPlan()
 
 __all__ = ["main"]
 
@@ -214,8 +222,37 @@ def _cmd_fsim(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sample(args: argparse.Namespace) -> int:
+    overrides = {"method": "sampled"}
+    for knob in ("target_halfwidth", "confidence_level", "max_patterns",
+                 "interval_method", "fault_sample", "seed"):
+        value = getattr(args, knob, None)
+        if value is not None:
+            overrides[knob] = value
+    engine = AnalysisEngine(
+        _load_circuit(args.circuit), _config(args).replace(**overrides)
+    )
+    probs = _load_probs(args.probs)
+    report = engine.sampled_analyze(probs)
+    validation = engine.cross_validate(probs) if args.cross_validate else None
+    if args.json:
+        payload = report.to_dict()
+        if validation is not None:
+            payload["cross_validation"] = validation.to_dict()
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(report.to_text())
+        if validation is not None:
+            print(validation.to_text())
+    if validation is not None and not validation.ok:
+        return 1
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     configs = [ProtestConfig.preset(name) for name in args.presets or ["paper"]]
+    if args.method is not None:
+        configs = [c.replace(method=args.method, name=c.name) for c in configs]
     result = run_sweep(
         [_load_circuit(spec) for spec in args.circuits],
         configs,
@@ -223,6 +260,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         input_probs=_load_probs(args.probs),
         confidences=tuple(args.confidence),
         fractions=tuple(args.fraction),
+        executor=args.executor,
     )
     if args.json:
         print(result.to_json(indent=2))
@@ -297,6 +335,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_fsim)
 
     p = sub.add_parser(
+        "sample",
+        help="Monte-Carlo grading with confidence intervals",
+    )
+    _add_common(p)
+    p.add_argument("--target-halfwidth", type=float, default=None,
+                   help="stop sampling once the widest interval halfwidth "
+                        f"is at most this (default {_PLAN.target_halfwidth})")
+    p.add_argument("--confidence-level", type=float, default=None,
+                   help="two-sided interval confidence "
+                        f"(default {_PLAN.confidence_level})")
+    p.add_argument("--max-patterns", type=int, default=None,
+                   help="hard cap on simulated patterns "
+                        f"(default {_PLAN.max_patterns})")
+    p.add_argument("--interval-method", default=None,
+                   choices=INTERVAL_METHODS)
+    p.add_argument("--fault-sample", type=int, default=None,
+                   help="grade only a stratified subsample of this many faults")
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--cross-validate", action="store_true",
+                   help="also check the analytic estimates against the "
+                        "sampled intervals (exit 1 on flags)")
+    p.set_defaults(func=_cmd_sample)
+
+    p = sub.add_parser(
         "sweep", help="analyse many circuits under many configs"
     )
     p.add_argument("circuits", nargs="+",
@@ -305,6 +367,13 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=available_presets(), default=None,
                    help="config preset; repeat for a config grid")
     p.add_argument("--workers", "-w", type=int, default=None)
+    p.add_argument("--executor", choices=EXECUTORS, default=None,
+                   help="pool type: process (default for multi-cell "
+                        "sweeps), thread, or inline for the "
+                        "deterministic serial path")
+    p.add_argument("--method", choices=METHODS, default=None,
+                   help="override every preset's method (sampled = "
+                        "Monte-Carlo grading with intervals)")
     p.add_argument("--probs", default=None,
                    help="input 1-probability: scalar or JSON file")
     p.add_argument("--confidence", "-e", type=float, nargs="+",

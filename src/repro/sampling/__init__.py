@@ -1,0 +1,44 @@
+"""Monte-Carlo testability grading with confidence intervals.
+
+The statistical counterpart of the analytic pipeline: sample random
+pattern blocks on the compiled kernel, grade signal probabilities,
+detection probabilities and fault coverage, and report every quantity
+with a Wilson or Clopper-Pearson confidence interval plus a sequential
+stopping rule.  The :class:`~repro.api.engine.AnalysisEngine` front-end
+(``sampled_analyze`` / ``cross_validate``) lives one layer up in
+:mod:`repro.api`.
+"""
+
+from repro.sampling.intervals import (
+    INTERVAL_METHODS,
+    IntervalEstimate,
+    clopper_pearson_interval,
+    patterns_for_halfwidth,
+    proportion_interval,
+    wilson_halfwidth,
+    wilson_interval,
+    z_quantile,
+)
+from repro.sampling.montecarlo import (
+    DetectionSample,
+    MonteCarloEstimator,
+    SamplingPlan,
+    SignalSample,
+    stratified_fault_sample,
+)
+
+__all__ = [
+    "DetectionSample",
+    "INTERVAL_METHODS",
+    "IntervalEstimate",
+    "MonteCarloEstimator",
+    "SamplingPlan",
+    "SignalSample",
+    "clopper_pearson_interval",
+    "patterns_for_halfwidth",
+    "proportion_interval",
+    "stratified_fault_sample",
+    "wilson_halfwidth",
+    "wilson_interval",
+    "z_quantile",
+]

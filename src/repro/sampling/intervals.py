@@ -1,0 +1,291 @@
+"""Binomial proportion confidence intervals for Monte-Carlo grading.
+
+Every sampled quantity in :mod:`repro.sampling` is a binomial proportion
+(a fault detected ``k`` times in ``n`` patterns, a node at one ``k``
+times in ``n`` patterns), so the interval machinery lives here once:
+
+* :func:`wilson_interval` — the Wilson score interval.  Good coverage
+  at every ``p`` including the extremes, cheap enough to evaluate per
+  fault per block inside the sequential stopping rule.
+* :func:`clopper_pearson_interval` — the "exact" interval from the beta
+  quantiles.  Conservative (never under-covers) and the right choice
+  when an interval endpoint feeds a guarantee; costs a few bisection
+  steps of the regularized incomplete beta function, all in pure
+  ``math`` (no scipy in the container).
+
+:class:`IntervalEstimate` packages one proportion with its bounds; it is
+re-exported by :mod:`repro.api.results` and serialized inside
+``SampledReport`` payloads.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from statistics import NormalDist
+from typing import Any, Dict, Mapping, Tuple
+
+from repro.errors import EstimationError
+
+__all__ = [
+    "INTERVAL_METHODS",
+    "IntervalEstimate",
+    "clopper_pearson_interval",
+    "patterns_for_halfwidth",
+    "proportion_interval",
+    "regularized_incomplete_beta",
+    "wilson_halfwidth",
+    "wilson_interval",
+    "z_quantile",
+]
+
+#: Recognized values of the ``interval_method`` knob.
+INTERVAL_METHODS = ("wilson", "clopper_pearson")
+
+
+def _check_counts(successes: int, n: int) -> None:
+    if n <= 0:
+        raise EstimationError(f"sample size must be positive, got {n}")
+    if not 0 <= successes <= n:
+        raise EstimationError(
+            f"successes must be in [0, {n}], got {successes}"
+        )
+
+
+def _check_confidence(confidence: float) -> None:
+    if not 0.0 < confidence < 1.0:
+        raise EstimationError(
+            f"confidence must be in (0, 1), got {confidence}"
+        )
+
+
+def z_quantile(confidence: float) -> float:
+    """Two-sided normal critical value: ``P(|Z| <= z) = confidence``."""
+    _check_confidence(confidence)
+    return NormalDist().inv_cdf(0.5 + confidence / 2.0)
+
+
+def wilson_interval(
+    successes: int, n: int, confidence: float = 0.99
+) -> Tuple[float, float]:
+    """Wilson score interval for ``successes`` out of ``n`` trials."""
+    _check_counts(successes, n)
+    z = z_quantile(confidence)
+    p_hat = successes / n
+    z2 = z * z
+    denom = 1.0 + z2 / n
+    center = (p_hat + z2 / (2.0 * n)) / denom
+    half = (z / denom) * math.sqrt(
+        p_hat * (1.0 - p_hat) / n + z2 / (4.0 * n * n)
+    )
+    return max(0.0, center - half), min(1.0, center + half)
+
+
+def wilson_halfwidth(
+    successes: int, n: int, confidence: float = 0.99
+) -> float:
+    """Half the width of :func:`wilson_interval` (stopping-rule metric)."""
+    low, high = wilson_interval(successes, n, confidence)
+    return (high - low) / 2.0
+
+
+def patterns_for_halfwidth(
+    halfwidth: float, confidence: float = 0.99
+) -> int:
+    """Smallest ``n`` whose *worst-case* Wilson halfwidth is ``<= halfwidth``.
+
+    Worst case is ``p_hat = 0.5``; the sequential stopping rule can never
+    need more patterns than this, so it doubles as a planning bound.
+    """
+    if not 0.0 < halfwidth < 0.5:
+        raise EstimationError(
+            f"target halfwidth must be in (0, 0.5), got {halfwidth}"
+        )
+    z = z_quantile(confidence)
+    # Normal-approximation seed, then walk to the exact boundary.
+    n = max(1, int(z * z * 0.25 / (halfwidth * halfwidth)))
+    while wilson_halfwidth(n // 2, n, confidence) > halfwidth:
+        n += max(1, n // 64)
+    while n > 1 and wilson_halfwidth((n - 1) // 2, n - 1, confidence) <= halfwidth:
+        n -= 1
+    return n
+
+
+# -- Clopper-Pearson via the regularized incomplete beta function ---------------
+
+
+def _log_beta(a: float, b: float) -> float:
+    return math.lgamma(a) + math.lgamma(b) - math.lgamma(a + b)
+
+
+def _beta_continued_fraction(a: float, b: float, x: float) -> float:
+    """Lentz evaluation of the continued fraction for ``I_x(a, b)``."""
+    tiny = 1e-300
+    qab, qap, qam = a + b, a + 1.0, a - 1.0
+    c = 1.0
+    d = 1.0 - qab * x / qap
+    if abs(d) < tiny:
+        d = tiny
+    d = 1.0 / d
+    h = d
+    for m in range(1, 300):
+        m2 = 2 * m
+        aa = m * (b - m) * x / ((qam + m2) * (a + m2))
+        d = 1.0 + aa * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + aa / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        h *= d * c
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2))
+        d = 1.0 + aa * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + aa / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < 1e-14:
+            break
+    return h
+
+
+def regularized_incomplete_beta(a: float, b: float, x: float) -> float:
+    """``I_x(a, b)``, the CDF of the Beta(a, b) distribution at ``x``."""
+    if a <= 0.0 or b <= 0.0:
+        raise EstimationError("beta parameters must be positive")
+    if x <= 0.0:
+        return 0.0
+    if x >= 1.0:
+        return 1.0
+    log_front = (
+        a * math.log(x) + b * math.log1p(-x) - _log_beta(a, b)
+    )
+    front = math.exp(log_front)
+    # The continued fraction converges fast on one side of the mean.
+    if x < (a + 1.0) / (a + b + 2.0):
+        return front * _beta_continued_fraction(a, b, x) / a
+    return 1.0 - front * _beta_continued_fraction(b, a, 1.0 - x) / b
+
+
+def _beta_quantile(p: float, a: float, b: float) -> float:
+    """Inverse of :func:`regularized_incomplete_beta` by bisection."""
+    low, high = 0.0, 1.0
+    for _ in range(80):
+        mid = 0.5 * (low + high)
+        if regularized_incomplete_beta(a, b, mid) < p:
+            low = mid
+        else:
+            high = mid
+    return 0.5 * (low + high)
+
+
+def clopper_pearson_interval(
+    successes: int, n: int, confidence: float = 0.99
+) -> Tuple[float, float]:
+    """Exact (conservative) Clopper-Pearson interval from beta quantiles."""
+    _check_counts(successes, n)
+    _check_confidence(confidence)
+    alpha = 1.0 - confidence
+    if successes == 0:
+        low = 0.0
+    else:
+        low = _beta_quantile(alpha / 2.0, successes, n - successes + 1)
+    if successes == n:
+        high = 1.0
+    else:
+        high = _beta_quantile(1.0 - alpha / 2.0, successes + 1, n - successes)
+    return low, high
+
+
+def proportion_interval(
+    successes: int, n: int, confidence: float, method: str
+) -> Tuple[float, float]:
+    """Dispatch on ``method`` (one of :data:`INTERVAL_METHODS`)."""
+    if method == "wilson":
+        return wilson_interval(successes, n, confidence)
+    if method == "clopper_pearson":
+        return clopper_pearson_interval(successes, n, confidence)
+    raise EstimationError(
+        f"interval method must be one of {INTERVAL_METHODS}, got {method!r}"
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class IntervalEstimate:
+    """One sampled proportion with its confidence interval.
+
+    ``estimate`` is the plain ``successes / n_samples`` point estimate;
+    ``low`` / ``high`` bound the true proportion at ``confidence`` under
+    ``method``.  Frozen and hashable so result objects can share them.
+    """
+
+    estimate: float
+    low: float
+    high: float
+    n_samples: int
+    successes: int
+    confidence: float
+    method: str = "wilson"
+
+    @classmethod
+    def from_counts(
+        cls,
+        successes: int,
+        n: int,
+        confidence: float = 0.99,
+        method: str = "wilson",
+    ) -> "IntervalEstimate":
+        low, high = proportion_interval(successes, n, confidence, method)
+        return cls(
+            estimate=successes / n,
+            low=low,
+            high=high,
+            n_samples=n,
+            successes=successes,
+            confidence=confidence,
+            method=method,
+        )
+
+    @property
+    def halfwidth(self) -> float:
+        return (self.high - self.low) / 2.0
+
+    def contains(self, value: float, tolerance: float = 0.0) -> bool:
+        """Whether ``value`` lies inside the (tolerance-widened) interval."""
+        return self.low - tolerance <= value <= self.high + tolerance
+
+    def excess(self, value: float) -> float:
+        """How far ``value`` falls outside the interval (0 when inside)."""
+        if value < self.low:
+            return self.low - value
+        if value > self.high:
+            return value - self.high
+        return 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "estimate": self.estimate,
+            "low": self.low,
+            "high": self.high,
+            "n_samples": self.n_samples,
+            "successes": self.successes,
+            "confidence": self.confidence,
+            "method": self.method,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "IntervalEstimate":
+        return cls(
+            estimate=data["estimate"],
+            low=data["low"],
+            high=data["high"],
+            n_samples=data["n_samples"],
+            successes=data["successes"],
+            confidence=data["confidence"],
+            method=data.get("method", "wilson"),
+        )

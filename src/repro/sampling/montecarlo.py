@@ -1,0 +1,392 @@
+"""Monte-Carlo testability grading on the compiled circuit kernel.
+
+The analytic estimator (cutting + conditional probabilities, paper §2-3)
+is a heuristic with a documented error envelope (Table 1 reports max
+errors of 0.15-0.48 on the evaluation circuits).  This module is its
+independent statistical check: grade the same quantities by simulating
+random pattern blocks on the :class:`~repro.kernel.CompiledCircuit` —
+reusing the fault-parallel lane packing of the
+:class:`~repro.faults.simulator.FaultSimulator` — and report every
+number as an :class:`~repro.sampling.intervals.IntervalEstimate` whose
+bounds hold at a requested confidence.
+
+Sampling is *sequential*: pattern blocks are simulated until the widest
+per-fault (or per-node) interval is narrower than ``target_halfwidth``,
+or ``max_patterns`` is reached.  Because the interval halfwidth depends
+on the counts only through ``successes`` at a given ``n``, the stopping
+rule costs one interval evaluation per block (at the success count
+closest to ``n/2``), not one per fault.
+
+For very large fault lists :func:`stratified_fault_sample` grades a
+proportional stratified subsample (stems/branches x stuck-at-0/1), which
+keeps the per-block cost bounded while the coverage estimate stays an
+unbiased proportion over the sampled faults.
+
+Everything is seeded: the block seed stream is derived from one integer
+seed via :class:`random.Random` over a string key (SHA-512 based, stable
+across processes), so a run is byte-reproducible regardless of the
+executor it runs under.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.circuit.netlist import Circuit
+from repro.errors import EstimationError, SimulationError
+from repro.faults.model import Fault, fault_universe
+from repro.faults.simulator import FaultSimulator
+from repro.logicsim.patterns import PatternSet
+from repro.logicsim.simulator import simulate
+from repro.sampling.intervals import (
+    INTERVAL_METHODS,
+    IntervalEstimate,
+    proportion_interval,
+    wilson_halfwidth,
+)
+
+__all__ = [
+    "DetectionSample",
+    "MonteCarloEstimator",
+    "SamplingPlan",
+    "SignalSample",
+    "stratified_fault_sample",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class SamplingPlan:
+    """All knobs of one Monte-Carlo grading run.
+
+    Attributes
+    ----------
+    target_halfwidth:
+        Sequential stopping target: sampling stops once the *widest*
+        interval is at most this wide on each side.
+    confidence_level:
+        Two-sided confidence of every reported interval.
+    max_patterns:
+        Hard cap on the number of simulated patterns; a run that hits it
+        before reaching the target reports ``converged=False``.
+    block_size:
+        Patterns per sampling block (one stopping-rule evaluation per
+        block).
+    interval_method:
+        ``"wilson"`` (default) or ``"clopper_pearson"``.
+    seed:
+        Root seed of the per-block pattern seed stream.
+    fault_sample:
+        When set and smaller than the fault universe, grade only a
+        stratified subsample of this many faults.
+    """
+
+    target_halfwidth: float = 0.02
+    confidence_level: float = 0.99
+    max_patterns: int = 1 << 16
+    block_size: int = 1024
+    interval_method: str = "wilson"
+    seed: int = 0
+    fault_sample: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target_halfwidth < 0.5:
+            raise EstimationError(
+                f"target_halfwidth must be in (0, 0.5), "
+                f"got {self.target_halfwidth}"
+            )
+        if not 0.0 < self.confidence_level < 1.0:
+            raise EstimationError(
+                f"confidence_level must be in (0, 1), "
+                f"got {self.confidence_level}"
+            )
+        if self.max_patterns < 1:
+            raise EstimationError(
+                f"max_patterns must be positive, got {self.max_patterns}"
+            )
+        if self.block_size < 1:
+            raise EstimationError(
+                f"block_size must be positive, got {self.block_size}"
+            )
+        if self.interval_method not in INTERVAL_METHODS:
+            raise EstimationError(
+                f"interval_method must be one of {INTERVAL_METHODS}, "
+                f"got {self.interval_method!r}"
+            )
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise EstimationError(f"seed must be an int, got {self.seed!r}")
+        if self.fault_sample is not None and self.fault_sample < 1:
+            raise EstimationError(
+                f"fault_sample must be positive or None, "
+                f"got {self.fault_sample}"
+            )
+
+
+def stratified_fault_sample(
+    faults: Sequence[Fault], k: "int | None", seed: int = 0
+) -> List[Fault]:
+    """A proportional stratified subsample of ``k`` faults.
+
+    Strata are (stem/branch) x (stuck-at value); allocation is
+    proportional with largest-remainder rounding, and selection inside a
+    stratum is a seeded ``random.sample`` over the stratum sorted by the
+    fault's stable sort key — deterministic for a given seed.  With
+    ``k`` ``None`` or not smaller than the universe, the input order is
+    returned unchanged.
+    """
+    fault_list = list(faults)
+    if k is None or k >= len(fault_list):
+        return fault_list
+    if k < 1:
+        raise EstimationError(f"fault sample size must be positive, got {k}")
+    strata: Dict[Tuple[bool, int], List[Fault]] = {}
+    for fault in fault_list:
+        strata.setdefault((fault.is_stem, fault.value), []).append(fault)
+    keys = sorted(strata)
+    total = len(fault_list)
+    quotas = {key: k * len(strata[key]) / total for key in keys}
+    counts = {key: int(quotas[key]) for key in keys}
+    remainder = k - sum(counts.values())
+    by_fraction = sorted(
+        keys, key=lambda key: (quotas[key] - counts[key], key), reverse=True
+    )
+    for key in by_fraction[:remainder]:
+        counts[key] += 1
+    rng = random.Random(f"protest-fault-sample:{seed}")
+    chosen: List[Fault] = []
+    for key in keys:
+        # Every allocation fits its stratum: the quota is < the stratum
+        # size (k < total), so int(quota) + 1 never exceeds it, and
+        # largest-remainder rounding makes the counts sum to exactly k.
+        members = sorted(strata[key], key=lambda f: f.sort_key)
+        chosen.extend(rng.sample(members, counts[key]))
+    chosen.sort(key=lambda f: f.sort_key)
+    return chosen
+
+
+@dataclasses.dataclass
+class SignalSample:
+    """Sampled signal probabilities: one interval per node."""
+
+    intervals: Dict[str, IntervalEstimate]
+    n_patterns: int
+    converged: bool
+    max_halfwidth: float
+    history: List[Tuple[int, float]]
+
+    def __getitem__(self, node: str) -> IntervalEstimate:
+        return self.intervals[node]
+
+
+@dataclasses.dataclass
+class DetectionSample:
+    """Sampled detection probabilities plus the fault-coverage proportion.
+
+    ``intervals`` has one entry per *graded* fault (the stratified
+    subsample when one was requested); ``coverage`` is the proportion of
+    graded faults detected at least once by the sampled patterns.  When
+    the graded faults are a random subsample its interval bounds the
+    universe-wide proportion over the fault-sampling randomness; when
+    the full universe was graded there is no fault-sampling randomness
+    and the interval is degenerate (``low == high == estimate``).
+    ``history`` records the stopping-rule trajectory as ``(n_patterns,
+    max_halfwidth)`` pairs per block.
+    """
+
+    intervals: Dict[Fault, IntervalEstimate]
+    coverage: IntervalEstimate
+    n_patterns: int
+    converged: bool
+    max_halfwidth: float
+    n_universe: int
+    history: List[Tuple[int, float]]
+    first_detect: Dict[Fault, Optional[int]]
+
+    def __getitem__(self, fault: Fault) -> IntervalEstimate:
+        return self.intervals[fault]
+
+
+def _block_seeds(seed: int, salt: str):
+    """Deterministic, process-independent stream of per-block seeds."""
+    rng = random.Random(f"protest-sampling:{salt}:{seed}")
+    while True:
+        yield rng.getrandbits(64)
+
+
+class MonteCarloEstimator:
+    """Statistical grading of one circuit under one sampling plan.
+
+    Parameters mirror the analytic estimator's: a circuit, a fault list
+    (defaulting to the full uncollapsed universe) and the plan.  All
+    simulation runs on the shared compiled kernel unless
+    ``use_kernel=False`` selects the legacy interpreters (the parity
+    reference — both paths produce bit-identical detection words, hence
+    identical samples).
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        faults: "Iterable[Fault] | None" = None,
+        plan: "SamplingPlan | None" = None,
+        use_kernel: bool = True,
+    ) -> None:
+        self.circuit = circuit
+        self.plan = plan if plan is not None else SamplingPlan()
+        self.use_kernel = use_kernel
+        universe = list(faults) if faults is not None else fault_universe(circuit)
+        self.fault_universe = universe
+        self.faults = stratified_fault_sample(
+            universe, self.plan.fault_sample, self.plan.seed
+        )
+        self._simulator: "FaultSimulator | None" = None
+
+    @property
+    def simulator(self) -> FaultSimulator:
+        if self._simulator is None:
+            self._simulator = FaultSimulator(
+                self.circuit, self.faults, use_kernel=self.use_kernel
+            )
+        return self._simulator
+
+    # -- block scheduling -----------------------------------------------------------
+
+    def _blocks(self):
+        """Block sizes covering ``max_patterns`` exactly, lazily."""
+        plan = self.plan
+        remaining = plan.max_patterns
+        while remaining > 0:
+            size = min(plan.block_size, remaining)
+            yield size
+            remaining -= size
+
+    def _interval(self, successes: int, n: int) -> IntervalEstimate:
+        return IntervalEstimate.from_counts(
+            successes, n, self.plan.confidence_level, self.plan.interval_method
+        )
+
+    def _worst_halfwidth(self, counts: "Iterable[int]", n: int) -> float:
+        """Max interval halfwidth over all counts, in O(1) intervals.
+
+        At fixed ``n`` the halfwidth is maximal for the success count
+        closest to ``n/2`` (both Wilson and Clopper-Pearson widths are
+        unimodal in the count), so only that one interval is evaluated.
+        """
+        worst = min(counts, key=lambda c: abs(2 * c - n))
+        if self.plan.interval_method == "wilson":
+            return wilson_halfwidth(worst, n, self.plan.confidence_level)
+        low, high = proportion_interval(
+            worst, n, self.plan.confidence_level, self.plan.interval_method
+        )
+        return (high - low) / 2.0
+
+    # -- signal probabilities ---------------------------------------------------------
+
+    def sample_signal_probabilities(
+        self,
+        input_probs: "float | Mapping[str, float] | None" = None,
+    ) -> SignalSample:
+        """Empirical 1-probability of every node, with intervals."""
+        plan = self.plan
+        inputs = self.circuit.inputs
+        counts = {node: 0 for node in self.circuit.nodes}
+        seeds = _block_seeds(plan.seed, "signal")
+        n_total = 0
+        history: List[Tuple[int, float]] = []
+        max_halfwidth = 1.0
+        for size in self._blocks():
+            patterns = PatternSet.random(
+                inputs, size, input_probs, next(seeds)
+            )
+            values = simulate(
+                self.circuit, patterns, use_kernel=self.use_kernel
+            )
+            for node, word in values.items():
+                counts[node] += word.bit_count()
+            n_total += size
+            max_halfwidth = self._worst_halfwidth(counts.values(), n_total)
+            history.append((n_total, max_halfwidth))
+            if max_halfwidth <= plan.target_halfwidth:
+                break
+        return SignalSample(
+            intervals={
+                node: self._interval(count, n_total)
+                for node, count in counts.items()
+            },
+            n_patterns=n_total,
+            converged=max_halfwidth <= plan.target_halfwidth,
+            max_halfwidth=max_halfwidth,
+            history=history,
+        )
+
+    # -- detection probabilities ------------------------------------------------------
+
+    def sample_detection_probabilities(
+        self,
+        input_probs: "float | Mapping[str, float] | None" = None,
+    ) -> DetectionSample:
+        """Empirical detection probability of every graded fault.
+
+        Each block is fault-simulated without dropping (counts stay
+        exact); detection counts accumulate across blocks and the
+        stopping rule checks the widest interval after every block.
+        """
+        if not self.faults:
+            raise SimulationError("no faults to grade")
+        plan = self.plan
+        inputs = self.circuit.inputs
+        simulator = self.simulator
+        counts: Dict[Fault, int] = {fault: 0 for fault in self.faults}
+        first: Dict[Fault, Optional[int]] = {fault: None for fault in self.faults}
+        seeds = _block_seeds(plan.seed, "detection")
+        n_total = 0
+        history: List[Tuple[int, float]] = []
+        max_halfwidth = 1.0
+        for size in self._blocks():
+            patterns = PatternSet.random(
+                inputs, size, input_probs, next(seeds)
+            )
+            result = simulator.run(
+                patterns, block_size=size, drop_detected=False
+            )
+            for fault, record in result.records.items():
+                counts[fault] += record.detect_count
+                if first[fault] is None and record.first_detect is not None:
+                    first[fault] = n_total + record.first_detect
+            n_total += size
+            max_halfwidth = self._worst_halfwidth(counts.values(), n_total)
+            history.append((n_total, max_halfwidth))
+            if max_halfwidth <= plan.target_halfwidth:
+                break
+        detected = sum(1 for f in self.faults if first[f] is not None)
+        n_graded = len(self.faults)
+        if n_graded < len(self.fault_universe):
+            # Subsample: the interval bounds the universe-wide coverage
+            # over the fault-sampling randomness.
+            coverage = self._interval(detected, n_graded)
+        else:
+            # Full universe: the proportion is exact for this pattern
+            # set — no fault-sampling randomness to bound.
+            coverage = IntervalEstimate(
+                estimate=detected / n_graded,
+                low=detected / n_graded,
+                high=detected / n_graded,
+                n_samples=n_graded,
+                successes=detected,
+                confidence=self.plan.confidence_level,
+                method="exact",
+            )
+        return DetectionSample(
+            intervals={
+                fault: self._interval(count, n_total)
+                for fault, count in counts.items()
+            },
+            coverage=coverage,
+            n_patterns=n_total,
+            converged=max_halfwidth <= plan.target_halfwidth,
+            max_halfwidth=max_halfwidth,
+            n_universe=len(self.fault_universe),
+            history=history,
+            first_detect=first,
+        )
