@@ -1,0 +1,219 @@
+"""Tracked backend benchmark: python packed-int vs numpy word engine.
+
+For each circuit and each available backend (:mod:`repro.backends`):
+
+* **logic sim** — true-value patterns/sec (``logicsim.simulate``);
+* **fault sim** — faults x patterns/sec over the full stuck-at
+  universe, both *cold* (first block: the numpy backend builds its
+  register-allocated cone programs) and *warm* (steady state, the
+  number that matters for multi-block workloads like the Monte-Carlo
+  estimator).
+
+The fault-sim workload uses large pattern blocks (the numpy engine's
+home turf — wide word matrices amortize the per-ufunc call overhead
+while register allocation keeps the live set cache-resident; the
+python backend's throughput is block-size invariant because it packs
+fixed-width big-int lanes).  The full run appends a ``"backends"``
+section to ``BENCH_perf.json`` at the repo root so the per-backend
+trajectory is tracked across PRs; ``--smoke`` runs a seconds-scale
+subset for CI and **asserts** that the numpy backend beats the python
+backend on mul24 fault simulation (the ROADMAP acceptance workload,
+PR 2 baseline ~8.9e6 f*p/s).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_backends.py          # full, tracked
+    PYTHONPATH=src python benchmarks/bench_backends.py --smoke  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.backends import available_backends, get_backend  # noqa: E402
+from repro.circuits.library import build  # noqa: E402
+from repro.faults.simulator import FaultSimulator  # noqa: E402
+from repro.logicsim.patterns import PatternSet  # noqa: E402
+from repro.logicsim.simulator import simulate  # noqa: E402
+
+FULL_CIRCUITS = ("alu", "mult", "comp", "div", "mul16", "mul24")
+#: The acceptance workload: the ROADMAP's tracked fault-sim target.
+ACCEPTANCE_CIRCUIT = "mul24"
+#: The ROADMAP's PR 2 kernel baseline on that workload (mul24 fault sim
+#: at 256-pattern blocks) — the trajectory the word backend moves.
+PR2_BASELINE_FPS = 8.9e6
+
+
+def bench_logic_sim(circuit, backends, n_patterns, repeats):
+    patterns = PatternSet.random(circuit.inputs, n_patterns, seed=7)
+    out = {}
+    for name in backends:
+        simulate(circuit, patterns, backend=name)  # warm plan caches
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            simulate(circuit, patterns, backend=name)
+            best = min(best, time.perf_counter() - start)
+        out[name] = {
+            "seconds": best,
+            "patterns_per_s": n_patterns / best,
+        }
+    out["n_patterns"] = n_patterns
+    return out
+
+
+def bench_fault_sim(circuit, backends, faults, n_patterns):
+    patterns = PatternSet.random(circuit.inputs, n_patterns, seed=7)
+    out = {}
+    for name in backends:
+        simulator = FaultSimulator(circuit, faults, backend=name)
+        n_faults = len(simulator.faults)
+        start = time.perf_counter()
+        simulator.run(patterns, block_size=n_patterns, drop_detected=False)
+        cold = time.perf_counter() - start
+        start = time.perf_counter()
+        simulator.run(patterns, block_size=n_patterns, drop_detected=False)
+        warm = time.perf_counter() - start
+        out[name] = {
+            "cold_s": cold,
+            "warm_s": warm,
+            "cold_faults_x_patterns_per_s": n_faults * n_patterns / cold,
+            "warm_faults_x_patterns_per_s": n_faults * n_patterns / warm,
+        }
+        out["n_faults"] = n_faults
+    out["n_patterns"] = n_patterns
+    return out
+
+
+def _site_slice(faults, stride):
+    """Every ``stride``-th fault *site*, keeping all of its faults.
+
+    A per-fault stride would leave one lane per site and starve the
+    numpy backend's lane packing; slicing whole sites preserves each
+    backend's real per-site workload shape.
+    """
+    sites = []
+    by_site = {}
+    for fault in faults:
+        if fault.node not in by_site:
+            by_site[fault.node] = []
+            sites.append(fault.node)
+        by_site[fault.node].append(fault)
+    return [fault for node in sites[::stride] for fault in by_site[node]]
+
+
+def run(circuits, backends, fsim_patterns, sim_patterns, repeats,
+        site_stride=1):
+    results = {}
+    for name in circuits:
+        circuit = build(name)
+        faults = FaultSimulator(circuit).faults
+        if site_stride > 1:
+            faults = _site_slice(faults, site_stride)
+        print(f"[{name}] {circuit.n_gates} gates, {len(faults)} faults",
+              flush=True)
+        logic = bench_logic_sim(circuit, backends, sim_patterns, repeats)
+        fsim = bench_fault_sim(circuit, backends, faults, fsim_patterns)
+        for backend in backends:
+            print(
+                f"  {backend:7s}: logic "
+                f"{logic[backend]['patterns_per_s']:.3e} pat/s, fault sim "
+                f"{fsim[backend]['warm_faults_x_patterns_per_s']:.3e} f*p/s "
+                f"warm ({fsim[backend]['cold_faults_x_patterns_per_s']:.3e} "
+                f"cold)",
+                flush=True,
+            )
+        results[name] = {
+            "n_gates": circuit.n_gates,
+            "logic_sim": logic,
+            "fault_sim": fsim,
+        }
+    return results
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="seconds-scale subset for CI; asserts numpy beats python on "
+             "mul24 fault sim",
+    )
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help="output JSON path (default: merge a 'backends' section into "
+             "BENCH_perf.json, or benchmarks/results/bench_backends_smoke"
+             ".json with --smoke)",
+    )
+    args = parser.parse_args(argv)
+    backends = available_backends()
+    has_numpy = get_backend("numpy").is_available()
+    if not has_numpy:
+        print("numpy not installed: benchmarking the python backend only")
+    if args.smoke:
+        # mul24 with a deterministic site slice keeps the smoke run in
+        # seconds while exercising the acceptance workload's cones.
+        results = run((ACCEPTANCE_CIRCUIT,), backends, fsim_patterns=4096,
+                      sim_patterns=2048, repeats=1, site_stride=16)
+    else:
+        results = run(FULL_CIRCUITS, backends, fsim_patterns=16384,
+                      sim_patterns=16384, repeats=3)
+
+    payload = {
+        "mode": "smoke" if args.smoke else "full",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "backends": backends,
+        "circuits": results,
+    }
+    if has_numpy:
+        fsim = results[ACCEPTANCE_CIRCUIT]["fault_sim"]
+        gain = (
+            fsim["numpy"]["warm_faults_x_patterns_per_s"]
+            / fsim["python"]["warm_faults_x_patterns_per_s"]
+        )
+        numpy_warm = fsim["numpy"]["warm_faults_x_patterns_per_s"]
+        payload["acceptance"] = {
+            "circuit": ACCEPTANCE_CIRCUIT,
+            "numpy_vs_python_fault_sim_warm": gain,
+            "numpy_vs_pr2_baseline": numpy_warm / PR2_BASELINE_FPS,
+            "numpy_warm_faults_x_patterns_per_s": numpy_warm,
+            "python_warm_faults_x_patterns_per_s":
+                fsim["python"]["warm_faults_x_patterns_per_s"],
+        }
+        print(
+            f"\n{ACCEPTANCE_CIRCUIT} fault sim: numpy is x{gain:.1f} the "
+            f"python backend at the same blocks and "
+            f"x{numpy_warm / PR2_BASELINE_FPS:.1f} the tracked PR 2 "
+            f"baseline ({PR2_BASELINE_FPS:.1e} f*p/s)"
+        )
+        assert gain > 1.0, (
+            f"numpy backend did not beat the python backend on "
+            f"{ACCEPTANCE_CIRCUIT} fault sim (x{gain:.2f})"
+        )
+
+    if args.smoke:
+        out = args.out or (
+            ROOT / "benchmarks" / "results" / "bench_backends_smoke.json"
+        )
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    else:
+        out = args.out or ROOT / "BENCH_perf.json"
+        out.parent.mkdir(parents=True, exist_ok=True)
+        tracked = json.loads(out.read_text()) if out.exists() else {}
+        tracked["backends"] = payload
+        out.write_text(json.dumps(tracked, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

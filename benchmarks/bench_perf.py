@@ -8,6 +8,12 @@ vs. the pre-kernel legacy interpreters kept for parity):
   fault dropping, the paper's ``P_SIM`` workload);
 * **analyze** — end-to-end ``AnalysisEngine.analyze()`` wall time.
 
+When numpy is installed the logic-sim and fault-sim rows additionally
+record the numpy word backend (:mod:`repro.backends`) *at this bench's
+workload shape* — small pattern blocks, where the python backend's
+big-int lanes are competitive; ``bench_backends.py`` tracks the
+large-block workloads the numpy engine is built for.
+
 The full run writes machine-readable ``BENCH_perf.json`` at the repo root
 so the perf trajectory is tracked across PRs; ``--smoke`` runs a
 seconds-scale subset for CI and writes under ``benchmarks/results/``.
@@ -51,6 +57,12 @@ def _best_of(repeats, fn):
     return best
 
 
+def _numpy_available():
+    from repro.backends import get_backend
+
+    return get_backend("numpy").is_available()
+
+
 def bench_logic_sim(circuit, n_patterns, repeats):
     patterns = PatternSet.random(circuit.inputs, n_patterns, seed=7)
     out = {}
@@ -61,6 +73,13 @@ def bench_logic_sim(circuit, n_patterns, repeats):
         )
         out[f"{label}_s"] = elapsed
         out[f"{label}_patterns_per_s"] = n_patterns / elapsed
+    if _numpy_available():
+        simulate(circuit, patterns, backend="numpy")  # warm plan caches
+        elapsed = _best_of(
+            repeats, lambda: simulate(circuit, patterns, backend="numpy")
+        )
+        out["numpy_s"] = elapsed
+        out["numpy_patterns_per_s"] = n_patterns / elapsed
     out["n_patterns"] = n_patterns
     out["speedup"] = out["legacy_s"] / out["kernel_s"]
     return out
@@ -78,6 +97,19 @@ def bench_fault_sim(circuit, n_patterns):
         elapsed = time.perf_counter() - start
         out[f"{label}_s"] = elapsed
         out[f"{label}_faults_x_patterns_per_s"] = (
+            n_faults * n_patterns / elapsed
+        )
+    if _numpy_available():
+        # Same protocol as the kernel/legacy rows — one cold run, so
+        # the numpy engine pays its cone-program build inside the timed
+        # region exactly like the kernel pays its lazy plan build.
+        # bench_backends.py tracks warm steady-state separately.
+        simulator = FaultSimulator(circuit, backend="numpy")
+        start = time.perf_counter()
+        simulator.run(patterns, block_size=n_patterns, drop_detected=False)
+        elapsed = time.perf_counter() - start
+        out["numpy_s"] = elapsed
+        out["numpy_faults_x_patterns_per_s"] = (
             n_faults * n_patterns / elapsed
         )
     out["n_patterns"] = n_patterns

@@ -44,6 +44,7 @@ ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(ROOT / "src"))
 
 from repro.api import AnalysisEngine, ProtestConfig  # noqa: E402
+from repro.backends import available_backends  # noqa: E402
 from repro.circuits.library import build, names  # noqa: E402
 
 SMOKE_CIRCUITS = ("c17", "parity8")
@@ -65,25 +66,33 @@ SEED = 20260729
 MEAN_EXCESS_CEILING = 0.25
 
 
-def sampled_config(seed: int = SEED, fault_sample: "int | None" = None):
+def sampled_config(seed: int = SEED, fault_sample: "int | None" = None,
+                   backend: str = "auto"):
     return ProtestConfig.preset("sampled").replace(
         target_halfwidth=0.02,
         confidence_level=0.99,
         max_patterns=8192,
         seed=seed,
         fault_sample=fault_sample,
+        backend=backend,
         name="bench-sampled",
     )
 
 
-def grade_circuit(name: str, fault_sample: "int | None" = None):
-    engine = AnalysisEngine(build(name), sampled_config(fault_sample=fault_sample))
+def grade_circuit(name: str, fault_sample: "int | None" = None,
+                  backend: str = "auto"):
+    engine = AnalysisEngine(
+        build(name), sampled_config(fault_sample=fault_sample, backend=backend)
+    )
     start = time.perf_counter()
     report = engine.sampled_detection_probabilities()
     elapsed = time.perf_counter() - start
     validation = engine.cross_validate()  # cache hit on the sampled side
     throughput = report.n_faults * report.n_patterns / elapsed
     return {
+        # The backend that actually graded the stream (auto resolves
+        # per workload: default 1024-pattern blocks stay on python).
+        "backend": report.provenance.backend,
         "n_gates": engine.circuit.n_gates,
         "n_faults": report.n_faults,
         "n_universe": report.n_universe,
@@ -162,6 +171,26 @@ def main(argv=None):
             f"analytic estimates left the sampled 99% intervals on "
             f"{STRICT_CIRCUIT}: {strict.to_text()}"
         )
+        if "numpy" in available_backends():
+            # The backend oracle: the numpy word engine must grade the
+            # same seeded stream to the same verdict, flag-free.
+            numpy_engine = AnalysisEngine(
+                build(STRICT_CIRCUIT), sampled_config(backend="numpy")
+            )
+            numpy_strict = numpy_engine.cross_validate(
+                tolerance=STRICT_TOLERANCE
+            )
+            assert numpy_strict.ok, (
+                f"numpy backend left the sampled intervals on "
+                f"{STRICT_CIRCUIT}: {numpy_strict.to_text()}"
+            )
+            assert numpy_strict.max_excess == strict.max_excess, (
+                "numpy backend is not seed-identical to python"
+            )
+            print(
+                f"[{STRICT_CIRCUIT}] numpy backend: seed-identical, "
+                f"0 flags"
+            )
     assert not flagged, (
         "analytic estimates fell outside the tolerance-widened sampled "
         f"intervals: {flagged}"
@@ -187,9 +216,20 @@ def main(argv=None):
         "confidence_level": 0.99,
         "circuits": results,
     }
+    # Per-backend sampled throughput on the largest circuit: the same
+    # seeded block stream graded by each available eval backend (the
+    # sampled numbers are seed-identical; only throughput may differ).
     if not args.smoke:
-        # Stratified-subsample path, shown on the largest circuit.
         largest = max(results, key=lambda n: results[n]["n_universe"])
+        # Full universe per backend: a stratified subsample would leave
+        # the numpy engine one lane per site and misstate its shape.
+        payload["backends"] = {
+            largest: {
+                backend: grade_circuit(largest, backend=backend)
+                for backend in available_backends()
+            }
+        }
+        # Stratified-subsample path, shown on the largest circuit.
         payload["stratified"] = {largest: grade_circuit(largest, fault_sample=2000)}
         out = args.out or ROOT / "BENCH_perf.json"
         out.parent.mkdir(parents=True, exist_ok=True)

@@ -52,6 +52,14 @@ class ProtestConfig:
     seed:
         Default seed for pattern generation, Monte-Carlo sampling and
         optimizer jitter.
+    backend:
+        Evaluation engine behind the compiled kernel
+        (:mod:`repro.backends`): a registered backend name
+        (``"python"``, ``"numpy"``, or a third-party registration) or
+        ``"auto"`` (the default) to pick the numpy word engine for
+        large circuits when numpy is importable and the pure-python
+        engine otherwise.  Backends are bit-identical; the knob only
+        trades throughput.
     method:
         ``"analytic"`` (the paper's estimator pipeline) or ``"sampled"``
         (Monte-Carlo grading, :mod:`repro.sampling`); selects what
@@ -72,6 +80,7 @@ class ProtestConfig:
     include_branches: bool = True
     only_fanout_stems: bool = False
     seed: int = 0
+    backend: str = "auto"
     method: str = "analytic"
     # Sampling defaults come from SamplingPlan — one source of truth.
     target_halfwidth: float = _PLAN_DEFAULTS.target_halfwidth
@@ -96,6 +105,14 @@ class ProtestConfig:
             )
         if not isinstance(self.seed, int) or isinstance(self.seed, bool):
             raise EstimationError(f"seed must be an int, got {self.seed!r}")
+        # Any non-empty name is admissible here: third-party backends may
+        # register after the config is built.  Unknown names surface as
+        # BackendError when the engine resolves them.
+        if not isinstance(self.backend, str) or not self.backend:
+            raise EstimationError(
+                f"backend must be a backend name or 'auto', "
+                f"got {self.backend!r}"
+            )
         if self.method not in METHODS:
             raise EstimationError(
                 f"method must be one of {METHODS}, got {self.method!r}"

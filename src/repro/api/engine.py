@@ -97,10 +97,12 @@ class AnalysisEngine:
         uncollapsed stuck-at universe.
     use_kernel:
         When true (the default) every stage runs on the shared compiled
-        flat-array kernel (:mod:`repro.kernel`), compiled once per
-        circuit.  ``False`` selects the legacy interpreters throughout —
-        the numerically identical parity reference the perf bench
-        measures against.
+        flat-array kernel (:mod:`repro.kernel`) through the evaluation
+        backend selected by ``config.backend`` (:mod:`repro.backends`;
+        ``"auto"`` picks the numpy word engine for large circuits when
+        numpy is importable).  ``False`` selects the legacy interpreters
+        throughout — the numerically identical parity reference the
+        perf bench measures against.
     """
 
     def __init__(
@@ -117,6 +119,12 @@ class AnalysisEngine:
         self.circuit = circuit
         self.use_kernel = use_kernel
         self.config = ProtestConfig.coerce(config)
+        self._backend = None
+        if use_kernel:
+            # Fail fast on an unknown or unavailable backend name even
+            # though analytic stages never dispatch through it — a typo
+            # or a missing optional dependency must not silently run.
+            _ = self.backend
         self._explicit_faults = list(faults) if faults is not None else None
         self._topology: "Topology | None" = None
         self._faults: "List[Fault] | None" = None
@@ -150,14 +158,50 @@ class AnalysisEngine:
         return self._topology
 
     @property
+    def backend(self):
+        """The nominally resolved evaluation backend (``None`` off-kernel).
+
+        ``config.backend`` resolved for this circuit with no workload
+        hint — ``"auto"`` picks by circuit size and numpy availability.
+        Workload-shaped stages re-resolve with their block size
+        (``"auto"`` only selects the numpy word engine for blocks wide
+        enough to amortize it); the name that *actually ran* is
+        recorded per result in ``provenance.backend``.
+        """
+        if not self.use_kernel:
+            return None
+        if self._backend is None:
+            from repro.backends import resolve_backend
+
+            self._backend = resolve_backend(self.config.backend, self.circuit)
+        return self._backend
+
+    def _block_backend(self, block_size: int):
+        """``config.backend`` resolved for a concrete block width."""
+        if not self.use_kernel:
+            return None
+        from repro.backends import resolve_backend
+
+        return resolve_backend(
+            self.config.backend, self.circuit, block_bits=block_size
+        )
+
+    @property
+    def backend_name(self) -> str:
+        """The resolved backend's registry name (``"legacy"`` off-kernel)."""
+        backend = self.backend
+        return backend.name if backend is not None else "legacy"
+
+    @property
     def compiled(self) -> CompiledCircuit:
         """The circuit's compiled flat-array form (one per circuit).
 
         All stages — simulation, fault simulation, the estimator's
         conditional cones — share this artifact via the module-level
-        compile cache, so it is built exactly once per circuit object.
+        compile cache (keyed by circuit *and* backend identity), so it
+        is built exactly once per (circuit, backend) pair.
         """
-        return compile_circuit(self.circuit)
+        return compile_circuit(self.circuit, self.backend)
 
     @property
     def faults(self) -> List[Fault]:
@@ -189,20 +233,24 @@ class AnalysisEngine:
     def sampler(self) -> MonteCarloEstimator:
         """The Monte-Carlo grader configured by this engine's config."""
         if self._sampler is None:
+            # The sampler gets the config *spec*, not the nominal
+            # instance: it resolves "auto" against its own block size.
             self._sampler = MonteCarloEstimator(
                 self.circuit,
                 self.faults,
                 self.config.sampling_plan(),
                 use_kernel=self.use_kernel,
+                backend=self.config.backend if self.use_kernel else None,
             )
         return self._sampler
 
     # -- cache plumbing -----------------------------------------------------------
 
-    def cache_info(self) -> Dict[str, int]:
-        """Per-stage run/hit counters plus current cache sizes."""
-        info = dict(self._stats)
+    def cache_info(self) -> Dict[str, object]:
+        """Per-stage run/hit counters, cache sizes and the active backend."""
+        info: Dict[str, object] = dict(self._stats)
         info["cached_input_tuples"] = len(self._signal_cache)
+        info["backend"] = self.backend_name
         return info
 
     def clear_cache(self) -> None:
@@ -288,14 +336,25 @@ class AnalysisEngine:
         return sample, {"sampling": elapsed}, []
 
     def _provenance(
-        self, timings: Dict[str, float], cached: Sequence[str]
+        self,
+        timings: Dict[str, float],
+        cached: Sequence[str],
+        backend: "str | None" = None,
     ) -> Provenance:
+        # Provenance records what actually ran.  Packed-pattern stages
+        # (fault sim, sampling) pass their resolved backend; the
+        # analytic fallback is the python kernel — the conditional-cone
+        # evaluator is not backend-dispatched, so an analytic report
+        # must not claim the engine's nominally resolved backend.
+        if backend is None:
+            backend = "python" if self.use_kernel else "legacy"
         return Provenance(
             circuit=self.circuit.name,
             config_hash=self.config.config_hash,
             config_name=self.config.name,
             timings=timings,
             cached=tuple(cached),
+            backend=backend,
         )
 
     # -- estimation ---------------------------------------------------------------
@@ -460,8 +519,12 @@ class AnalysisEngine:
         n = patterns.n_patterns
         checkpoints = [c for c in _CURVE_CHECKPOINTS if c < n] + [n]
         detected = sum(1 for r in raw.records.values() if r.detected)
+        backend = self._block_backend(block_size)
         return SimulationResult(
-            provenance=self._provenance({"simulation": elapsed}, []),
+            provenance=self._provenance(
+                {"simulation": elapsed}, [],
+                backend=backend.name if backend is not None else "legacy",
+            ),
             n_patterns=n,
             n_faults=len(raw.records),
             n_detected=detected,
@@ -484,6 +547,7 @@ class AnalysisEngine:
             fault_list,
             use_kernel=self.use_kernel,
             topology=self._topology,
+            backend=self._block_backend(block_size),
         )
         return simulator.run(
             patterns, block_size=block_size, drop_detected=drop_detected
@@ -551,7 +615,9 @@ class AnalysisEngine:
             coverage=sample.coverage,
             test_lengths=dict(test_lengths) if test_lengths else {},
             convergence=list(sample.history),
-            provenance=self._provenance(timings, cached),
+            provenance=self._provenance(
+                timings, cached, backend=self.sampler.backend_name
+            ),
         )
 
     def sampled_detection_probabilities(
@@ -682,7 +748,9 @@ class AnalysisEngine:
             max_excess=max_excess,
             mean_excess=total_excess / checked if checked else 0.0,
             flagged=flagged,
-            provenance=self._provenance(timings, cached),
+            provenance=self._provenance(
+                timings, cached, backend=self.sampler.backend_name
+            ),
         )
 
     def _subset_detection_for(self, key: Tuple[float, ...]):

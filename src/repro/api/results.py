@@ -59,7 +59,13 @@ class Provenance:
 
     ``timings`` maps stage names (``"signal"``, ``"observability"``,
     ``"detection"``, ...) to seconds; a stage served from the engine cache
-    records ``0.0`` and shows up in ``cached`` instead.
+    records ``0.0`` and shows up in ``cached`` instead.  ``backend``
+    records which evaluation engine (:mod:`repro.backends`) actually ran
+    — the *resolved* name, never ``"auto"`` — so sweep cells computed on
+    different workers remain attributable.  Analytic stages always run
+    on the python kernel (``"legacy"`` off-kernel) regardless of the
+    configured backend; only packed-pattern stages (fault simulation,
+    Monte-Carlo grading) record the configured engine.
     """
 
     circuit: str
@@ -67,6 +73,7 @@ class Provenance:
     config_name: str = "custom"
     timings: Dict[str, float] = dataclasses.field(default_factory=dict)
     cached: Tuple[str, ...] = ()
+    backend: str = ""
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -75,6 +82,7 @@ class Provenance:
             "config_name": self.config_name,
             "timings": dict(self.timings),
             "cached": list(self.cached),
+            "backend": self.backend,
         }
 
     @classmethod
@@ -85,6 +93,7 @@ class Provenance:
             config_name=data.get("config_name", "custom"),
             timings=dict(data.get("timings", {})),
             cached=tuple(data.get("cached", ())),
+            backend=data.get("backend", ""),
         )
 
 

@@ -1,0 +1,66 @@
+"""Pluggable evaluation backends behind the compiled circuit kernel.
+
+The kernel (:mod:`repro.kernel`) lowers a circuit once into flat
+opcode/CSR-operand arrays; a *backend* is one engine that evaluates
+those arrays over packed pattern words.  Two ship with the library:
+
+* ``"python"`` — the pure-python packed big-int engine with
+  fault-parallel lane packing (PR 2's kernel strategy; always
+  available, the parity reference);
+* ``"numpy"`` — a vectorized engine evaluating ``uint64`` word
+  matrices (fault lanes × pattern words) with register-allocated
+  fan-out-cone programs (optional numpy dependency).
+
+Backends are **bit-identical** by contract and selected per analysis
+via ``ProtestConfig(backend=...)`` / the CLI ``--backend`` flag;
+``"auto"`` picks the numpy engine for large circuits when numpy is
+importable.  Third-party engines (C, bitarray, GPU) implement
+:class:`EvalBackend` and call :func:`register_backend`::
+
+    from repro.backends import EvalBackend, register_backend
+
+    class MyBackend(EvalBackend):
+        name = "my-engine"
+        ...
+
+    register_backend(MyBackend())
+    engine = AnalysisEngine("mul24", ProtestConfig(backend="my-engine"))
+"""
+
+from repro.backends.base import (
+    AUTO_BACKEND,
+    DEFAULT_BACKEND,
+    NUMPY_AUTO_MIN_BLOCK_BITS,
+    NUMPY_AUTO_MIN_GATES,
+    EvalBackend,
+    available_backends,
+    backend_identity,
+    get_backend,
+    register_backend,
+    registered_backends,
+    resolve_backend,
+)
+from repro.backends.numpy_backend import NumpyBackend
+from repro.backends.python_backend import PythonBackend
+
+__all__ = [
+    "AUTO_BACKEND",
+    "DEFAULT_BACKEND",
+    "EvalBackend",
+    "NUMPY_AUTO_MIN_BLOCK_BITS",
+    "NUMPY_AUTO_MIN_GATES",
+    "NumpyBackend",
+    "PythonBackend",
+    "available_backends",
+    "backend_identity",
+    "get_backend",
+    "register_backend",
+    "registered_backends",
+    "resolve_backend",
+]
+
+# The built-in engines register at import time; replacing one later
+# (register_backend(..., replace=True)) bumps its generation and
+# invalidates every compiled artifact keyed to the old registration.
+register_backend(PythonBackend())
+register_backend(NumpyBackend())

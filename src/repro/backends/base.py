@@ -1,0 +1,285 @@
+"""The evaluation-backend protocol and registry.
+
+An :class:`EvalBackend` is one implementation of the three word-level
+evaluation primitives every packed-pattern workload in the library is
+built from:
+
+* :meth:`~EvalBackend.simulate_words` — true-value simulation of a
+  whole pattern block (``logicsim.simulate``);
+* :meth:`~EvalBackend.fault_sim_words` — per-fault detection words for
+  one pattern block (the ``FaultSimulator`` inner loop);
+* :meth:`~EvalBackend.sample_block` — per-node one-counts of a pattern
+  block (the Monte-Carlo signal-probability primitive).
+
+All backends operate on the *same* compiled artifact
+(:class:`~repro.kernel.compiled.CompiledCircuit` — the flat
+opcode/CSR-operand arrays are the interchange format) and must be
+**bit-identical**: for any circuit and pattern block every backend
+returns the same simulation words, the same detection words and the
+same sampled counts.  ``tests/test_kernel_parity.py`` enforces this
+exhaustively and ``AnalysisEngine.cross_validate()`` is the permanent
+statistical oracle on top.
+
+**Registry.**  Backends register under a short name (``"python"``,
+``"numpy"``, ...) via :func:`register_backend`; third-party engines (C
+extensions, bitarray, GPU) plug in the same way.  Every registration
+bumps a *generation* counter, and ``backend.identity`` (``"name#gen"``)
+keys every derived compile artifact — see
+:func:`repro.kernel.compile_circuit` — so replacing a backend can never
+serve plans compiled for its predecessor.
+
+**Selection.**  :func:`resolve_backend` accepts an instance, a name,
+``"auto"`` or ``None``.  ``"auto"`` picks the numpy word engine for
+large circuits when numpy is importable and degrades silently to the
+pure-python engine otherwise; asking for an unavailable backend *by
+name* raises :class:`~repro.errors.BackendError`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, FrozenSet, Iterable, List, Mapping
+
+from repro.errors import BackendError
+
+__all__ = [
+    "EvalBackend",
+    "register_backend",
+    "get_backend",
+    "available_backends",
+    "registered_backends",
+    "resolve_backend",
+    "backend_identity",
+    "AUTO_BACKEND",
+    "DEFAULT_BACKEND",
+    "NUMPY_AUTO_MIN_BLOCK_BITS",
+    "NUMPY_AUTO_MIN_GATES",
+]
+
+#: The config/CLI spelling of automatic selection.
+AUTO_BACKEND = "auto"
+
+#: The backend ``resolve_backend(None)`` falls back to.
+DEFAULT_BACKEND = "python"
+
+#: ``"auto"`` only picks the numpy engine for circuits at least this
+#: large: below it the pure-python packed-int kernel wins (per-ufunc
+#: call overhead dominates the vectorization gain on small cones).
+NUMPY_AUTO_MIN_GATES = 1024
+
+#: ``"auto"`` only picks the numpy engine when the caller's pattern
+#: blocks are at least this many patterns wide.  The word-matrix engine
+#: amortizes its per-ufunc call overhead along the pattern axis; at the
+#: Monte-Carlo default of 1024-pattern blocks the python backend's
+#: big-int lanes are at parity or better, and the numpy backend would
+#: additionally pay its one-time cone-program build.  Callers that know
+#: their block shape pass it as ``block_bits``; ``None`` (unknown)
+#: gates on circuit size alone.
+NUMPY_AUTO_MIN_BLOCK_BITS = 4096
+
+
+class EvalBackend(abc.ABC):
+    """One evaluation engine behind the compiled circuit kernel.
+
+    Subclasses set :attr:`name` and implement the three word
+    primitives.  Backends are stateless across circuits; all per-run
+    mutable state (overlay arrays, plan caches, matrix buffers) lives
+    in the opaque object returned by :meth:`make_scratch`, which each
+    ``FaultSimulator`` owns — one compiled circuit can therefore be
+    shared by concurrent simulators, exactly like the kernel itself.
+    """
+
+    #: Registry name; set by subclasses.
+    name: str = "?"
+
+    def __init__(self) -> None:
+        # Assigned by register_backend(); "name#0" for unregistered
+        # instances so derived caches still have a stable key.
+        self._identity = f"{self.name}#0"
+
+    @property
+    def identity(self) -> str:
+        """Registration identity (``"name#generation"``).
+
+        Keys every compile-time artifact derived for this backend; a
+        re-registered backend gets a new generation and therefore can
+        never be served plans compiled for the object it replaced.
+        """
+        return self._identity
+
+    @abc.abstractmethod
+    def capabilities(self) -> FrozenSet[str]:
+        """The feature set of this backend.
+
+        Standard flags: ``"simulate"``, ``"fault_sim"``, ``"sample"``,
+        ``"overrides"`` (native forced-node simulation) and
+        ``"vectorized"`` (word-matrix evaluation).
+        """
+
+    @abc.abstractmethod
+    def is_available(self) -> bool:
+        """Whether the backend can run in this process (deps present)."""
+
+    @abc.abstractmethod
+    def simulate_words(
+        self,
+        compiled,
+        words: Mapping[str, int],
+        mask: int,
+        overrides: "Mapping[str, int] | None" = None,
+    ) -> List[int]:
+        """Packed value of every node over one pattern block.
+
+        Same contract as
+        :meth:`repro.kernel.compiled.CompiledCircuit.eval_packed_words`:
+        the result is the flat value array indexed by compiled node
+        index, every word masked to the pattern width.
+        """
+
+    @abc.abstractmethod
+    def fault_sim_words(
+        self,
+        compiled,
+        scratch,
+        faults: Iterable,
+        words: Mapping[str, int],
+        mask: int,
+        n_patterns: int,
+    ) -> Dict[object, int]:
+        """Detection word of every fault over one pattern block.
+
+        ``scratch`` is this backend's :meth:`make_scratch` object.  Bit
+        *j* of a fault's word is set iff pattern *j* detects it at some
+        primary output — bit-identical across backends.
+        """
+
+    @abc.abstractmethod
+    def sample_block(self, compiled, patterns) -> List[int]:
+        """Per-node one-counts of one pattern block (compiled order).
+
+        The Monte-Carlo signal primitive: equals
+        ``[word.bit_count() for word in simulate_words(...)]`` without
+        materializing python integers on vectorized backends.
+        """
+
+    def make_scratch(self, compiled, faults: "Iterable | None" = None):
+        """Per-simulator mutable state for :meth:`fault_sim_words`."""
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.identity}>"
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+_REGISTRY: Dict[str, EvalBackend] = {}
+_GENERATIONS: Dict[str, int] = {}
+
+
+def register_backend(backend: EvalBackend, replace: bool = False) -> EvalBackend:
+    """Register ``backend`` under ``backend.name``.
+
+    Re-registering an existing name requires ``replace=True`` and bumps
+    the name's generation counter, which invalidates every compiled
+    artifact keyed to the previous registration (see
+    :func:`repro.kernel.compile_circuit`).
+    """
+    name = backend.name
+    if not name or name == "?":
+        raise BackendError(f"backend {backend!r} has no usable name")
+    if name == AUTO_BACKEND:
+        raise BackendError(f"{AUTO_BACKEND!r} is reserved for auto-selection")
+    if name in _REGISTRY and not replace:
+        raise BackendError(
+            f"backend {name!r} is already registered; pass replace=True "
+            f"to supersede it"
+        )
+    generation = _GENERATIONS.get(name, -1) + 1
+    _GENERATIONS[name] = generation
+    backend._identity = f"{name}#{generation}"
+    _REGISTRY[name] = backend
+    return backend
+
+
+def get_backend(name: str) -> EvalBackend:
+    """The registered backend called ``name`` (available or not)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise BackendError(
+            f"unknown backend {name!r}; registered: {registered_backends()}"
+        ) from None
+
+
+def registered_backends() -> List[str]:
+    """All registered backend names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def available_backends() -> List[str]:
+    """Registered backends whose dependencies are importable, sorted."""
+    return sorted(
+        name for name, backend in _REGISTRY.items() if backend.is_available()
+    )
+
+
+def backend_identity(backend: "EvalBackend | str | None") -> str:
+    """The compile-cache identity of a backend specification.
+
+    ``None`` maps to the *current* registration of the default backend,
+    so replacing the default also invalidates artifacts compiled
+    through the plain ``compile_circuit(circuit)`` path.
+    """
+    if backend is None:
+        backend = _REGISTRY.get(DEFAULT_BACKEND)
+        if backend is None:  # pragma: no cover - bootstrap corner
+            return f"{DEFAULT_BACKEND}#0"
+        return backend.identity
+    if isinstance(backend, str):
+        return get_backend(backend).identity
+    return backend.identity
+
+
+def resolve_backend(
+    spec: "EvalBackend | str | None",
+    circuit=None,
+    block_bits: "int | None" = None,
+) -> EvalBackend:
+    """Resolve a backend specification to a usable instance.
+
+    ``None`` selects the default (``"python"``); ``"auto"`` selects the
+    numpy word engine when it is available, ``circuit`` has at least
+    :data:`NUMPY_AUTO_MIN_GATES` gates *and* the workload's pattern
+    blocks (``block_bits``, when the caller knows them) are at least
+    :data:`NUMPY_AUTO_MIN_BLOCK_BITS` patterns wide — degrading
+    silently to the default otherwise (numpy stays an optional
+    dependency, and narrow blocks are python's home turf).  A backend
+    requested *by name* must be available — a missing dependency raises
+    :class:`~repro.errors.BackendError` with an install hint.
+    """
+    if spec is None:
+        return get_backend(DEFAULT_BACKEND)
+    if isinstance(spec, EvalBackend):
+        return spec
+    if spec == AUTO_BACKEND:
+        numpy_backend = _REGISTRY.get("numpy")
+        if (
+            numpy_backend is not None
+            and numpy_backend.is_available()
+            and circuit is not None
+            and getattr(circuit, "n_gates", 0) >= NUMPY_AUTO_MIN_GATES
+            and (block_bits is None or block_bits >= NUMPY_AUTO_MIN_BLOCK_BITS)
+        ):
+            return numpy_backend
+        return get_backend(DEFAULT_BACKEND)
+    backend = get_backend(spec)
+    if not backend.is_available():
+        raise BackendError(
+            f"backend {spec!r} is registered but not available in this "
+            f"environment (for the numpy engine: pip install "
+            f"'repro-protest[numpy]'); use backend='auto' to degrade "
+            f"gracefully"
+        )
+    return backend

@@ -15,9 +15,11 @@ Subcommands
 Circuits are referenced either by a built-in name (see ``circuits``) or by
 a ``.bench`` / ``.sdl`` file path.  ``analyze``, ``testlen``, ``optimize``,
 ``fsim``, ``sample`` and ``sweep`` accept ``--json`` to emit the result
-objects' serialized payloads instead of ASCII tables, and ``--preset`` to
-start from a named :class:`~repro.api.ProtestConfig` preset.  ``sweep``
-accepts ``--executor {process,thread,inline}`` to pick the pool type and
+objects' serialized payloads instead of ASCII tables, ``--preset`` to
+start from a named :class:`~repro.api.ProtestConfig` preset, and
+``--backend {auto,python,numpy}`` to pick the evaluation engine behind
+the compiled kernel (:mod:`repro.backends`).  ``sweep`` accepts
+``--executor {process,thread,inline}`` to pick the pool type and
 ``--method sampled`` to Monte-Carlo grade every cell.
 """
 
@@ -31,6 +33,7 @@ from typing import Dict, List
 from repro.api.config import METHODS, ProtestConfig, available_presets
 from repro.api.engine import AnalysisEngine
 from repro.api.sweep import EXECUTORS, run_sweep
+from repro.backends import AUTO_BACKEND, registered_backends
 from repro.circuit.bench_parser import load_bench
 from repro.circuit.netlist import Circuit
 from repro.circuit.sdl import load_sdl, save_sdl
@@ -76,11 +79,15 @@ def _load_probs(spec: "str | None") -> "Dict[str, float] | float | None":
     return {str(k): float(v) for k, v in data.items()}
 
 
+def _backend_choices() -> "List[str]":
+    return [AUTO_BACKEND] + registered_backends()
+
+
 def _config(args: argparse.Namespace) -> ProtestConfig:
     """Resolve the preset + per-flag overrides into one config."""
     base = ProtestConfig.preset(args.preset)
     overrides = {}
-    for knob in ("maxvers", "maxlist", "stem_model", "pin_model"):
+    for knob in ("maxvers", "maxlist", "stem_model", "pin_model", "backend"):
         value = getattr(args, knob, None)
         if value is not None:
             overrides[knob] = value
@@ -106,6 +113,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         choices=("chain", "multi_output"))
     parser.add_argument("--pin-model", default=None,
                         choices=("independent", "boolean_difference"))
+    parser.add_argument("--backend", default=None,
+                        choices=_backend_choices(),
+                        help="evaluation engine behind the compiled kernel "
+                             "(auto picks numpy for large circuits when "
+                             "installed; all backends are bit-identical)")
     parser.add_argument("--json", action="store_true",
                         help="emit machine-readable JSON instead of tables")
 
@@ -253,6 +265,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     configs = [ProtestConfig.preset(name) for name in args.presets or ["paper"]]
     if args.method is not None:
         configs = [c.replace(method=args.method, name=c.name) for c in configs]
+    if args.backend is not None:
+        configs = [c.replace(backend=args.backend, name=c.name)
+                   for c in configs]
     result = run_sweep(
         [_load_circuit(spec) for spec in args.circuits],
         configs,
@@ -374,6 +389,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--method", choices=METHODS, default=None,
                    help="override every preset's method (sampled = "
                         "Monte-Carlo grading with intervals)")
+    p.add_argument("--backend", choices=_backend_choices(), default=None,
+                   help="override every preset's evaluation backend "
+                        "(selection re-resolves inside each worker)")
     p.add_argument("--probs", default=None,
                    help="input 1-probability: scalar or JSON file")
     p.add_argument("--confidence", "-e", type=float, nargs="+",

@@ -40,6 +40,10 @@ class SimulationError(ReproError):
     """Raised for inconsistent simulation requests (pattern mismatch...)."""
 
 
+class BackendError(ReproError):
+    """Raised for unknown, unavailable or misconfigured eval backends."""
+
+
 class EstimationError(ReproError):
     """Raised for invalid probability-estimation requests."""
 

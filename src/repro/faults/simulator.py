@@ -13,20 +13,23 @@ packed patterns at once.  Per fault it records
 classical fault dropping), which leaves first-detection indices exact but
 makes detection *counts* lower bounds.
 
-Propagation runs on the compiled kernel (:mod:`repro.kernel`): fault
-sites map to precomputed, topologically sorted fan-out-cone slices of
-the flat evaluation plan, so injecting a fault is "re-evaluate this
-slice with one override" over version-stamped overlay arrays — no
-per-fault heap scheduling, no dict overlays.  ``use_kernel=False``
+Block propagation runs on a pluggable evaluation backend
+(:mod:`repro.backends`) over the compiled kernel (:mod:`repro.kernel`):
+the ``"python"`` backend packs faults into big-int lanes and propagates
+the merged difference region, the ``"numpy"`` backend sweeps
+register-allocated fan-out-cone programs over word matrices — every
+backend produces bit-identical detection words.  ``use_kernel=False``
 selects the legacy event-driven interpreter (parity reference and perf
-baseline); both produce bit-identical detection words.
+baseline).  The single-fault :meth:`FaultSimulator.detection_word`
+primitive (ATPG, the exact enumerator) always runs on the packed
+python kernel regardless of backend.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import heapq
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.circuit.netlist import Circuit
 from repro.circuit.topology import Topology
@@ -130,6 +133,7 @@ class FaultSimulator:
         faults: "Iterable[Fault] | None" = None,
         use_kernel: bool = True,
         topology: "Topology | None" = None,
+        backend=None,
     ) -> None:
         self.circuit = circuit
         self._topology = topology
@@ -141,17 +145,39 @@ class FaultSimulator:
         )
         for fault in self.faults:
             self._check_fault(fault)
-        self._compiled = compile_circuit(circuit) if use_kernel else None
+        if use_kernel:
+            from repro.backends import resolve_backend
+
+            self._backend = resolve_backend(backend, circuit)
+            self._compiled = compile_circuit(circuit, self._backend)
+            self._scratch = self._backend.make_scratch(
+                self._compiled, self.faults
+            )
+        else:
+            if backend is not None:
+                raise SimulationError(
+                    "backend selection requires the compiled kernel "
+                    "(use_kernel=True)"
+                )
+            self._backend = None
+            self._compiled = None
+            self._scratch = None
         if self._compiled is not None:
             n = self._compiled.n_nodes
-            # Version-stamped overlay scratch (owned per simulator so one
-            # compiled artifact can serve concurrent simulators).
+            # Version-stamped overlay scratch of the single-fault
+            # detection_word path (owned per simulator so one compiled
+            # artifact can serve concurrent simulators).
             self._faulty = [0] * n
             self._stamp = [0] * n
             self._version = 0
             self._spec_cache: Dict[Fault, tuple] = {}
             self._last_good: "Mapping[str, int] | None" = None
             self._last_good_arr: "List[int] | None" = None
+
+    @property
+    def backend(self):
+        """The active block-evaluation backend (``None`` on the legacy path)."""
+        return self._backend
 
     @property
     def topology(self) -> Topology:
@@ -203,9 +229,25 @@ class FaultSimulator:
             block = patterns.slice(offset, stop)
             mask = block.mask
             if self._compiled is not None:
-                self._run_block_kernel(
-                    records, block, mask, offset, drop_detected
-                )
+                alive = [
+                    fault
+                    for fault in self.faults
+                    if not (drop_detected and records[fault].detected)
+                ]
+                if alive:
+                    detect_words = self._backend.fault_sim_words(
+                        self._compiled, self._scratch, alive,
+                        block.words, mask, block.n_patterns,
+                    )
+                    for fault in alive:
+                        record = records[fault]
+                        record.simulated_patterns += block.n_patterns
+                        detect = detect_words.get(fault, 0)
+                        if detect:
+                            record.detect_count += detect.bit_count()
+                            if record.first_detect is None:
+                                first = (detect & -detect).bit_length() - 1
+                                record.first_detect = offset + first
             else:
                 good_map = simulate(self.circuit, block, use_kernel=False)
                 for fault in self.faults:
@@ -221,147 +263,6 @@ class FaultSimulator:
                             record.first_detect = offset + first
             offset = stop
         return FaultSimResult(records, patterns.n_patterns, drop_detected)
-
-    #: Target width of one fault-parallel word: lanes per group shrink as
-    #: the pattern block grows, keeping big-int operands around this size.
-    _GROUP_BITS = 4096
-
-    def _run_block_kernel(
-        self,
-        records: Dict[Fault, FaultRecord],
-        block: PatternSet,
-        mask: int,
-        offset: int,
-        drop_detected: bool,
-    ) -> None:
-        """Fault-parallel pattern-parallel simulation of one block.
-
-        Faults are packed ``group_size`` per big-int word, one *lane* of
-        ``block.n_patterns`` bits each; lane ``j`` simulates fault ``j``'s
-        faulty machine.  Good values are lane-replicated with one multiply
-        (``word * K`` with ``K = Σ 2^(j·P)``), the merged difference
-        region is propagated once per group over the compiled arrays, and
-        per-fault detection words are sliced back out of the lanes.
-        Bitwise gate ops never mix lanes, so every fault's detection word
-        is bit-identical to a single-fault run.
-        """
-        compiled = self._compiled
-        n_patterns = block.n_patterns
-        good = compiled.eval_packed_words(block.words, mask)
-        alive = [
-            fault
-            for fault in self.faults
-            if not (drop_detected and records[fault].detected)
-        ]
-        if not alive:
-            return
-        # Group topological neighbours: overlapping fan-out cones make the
-        # merged difference region barely larger than a single fault's.
-        index = compiled.index
-        alive.sort(key=lambda fault: index[fault.node])
-        group_size = max(1, self._GROUP_BITS // max(n_patterns, 1))
-        rep_good: "List[int] | None" = None
-        for start in range(0, len(alive), group_size):
-            group = alive[start : start + group_size]
-            if len(group) == group_size and rep_good is not None:
-                group_rep = rep_good
-            else:
-                repl = sum(1 << (j * n_patterns) for j in range(len(group)))
-                group_rep = [w * repl for w in good]
-                if len(group) == group_size:
-                    rep_good = group_rep
-            detect_rep = self._propagate_group(group, group_rep, mask, n_patterns)
-            for j, fault in enumerate(group):
-                record = records[fault]
-                record.simulated_patterns += n_patterns
-                detect = (detect_rep >> (j * n_patterns)) & mask
-                if detect:
-                    record.detect_count += detect.bit_count()
-                    if record.first_detect is None:
-                        first = (detect & -detect).bit_length() - 1
-                        record.first_detect = offset + first
-
-    def _propagate_group(
-        self,
-        group: Sequence[Fault],
-        rep_good: List[int],
-        mask: int,
-        n_patterns: int,
-    ) -> int:
-        """Propagate one fault group; returns the lane-packed detect word."""
-        compiled = self._compiled
-        index = compiled.index
-        repl = sum(1 << (j * n_patterns) for j in range(len(group)))
-        full_mask = mask * repl
-        is_output = compiled.is_output
-        consumer_bits = compiled.consumer_bits
-        node_bit = compiled.node_bit
-        entries = compiled.overlay_entry
-        faulty = self._faulty
-        stamp = self._stamp
-        self._version = version = self._version + 1
-        # Compose per-site output forcings (stem faults) and per-gate pin
-        # forcings (branch faults) across the group's lanes.
-        out_clear: Dict[int, int] = {}
-        out_set: Dict[int, int] = {}
-        pin_over: Dict[int, List[Tuple[int, int, int]]] = {}
-        pending = 0
-        detect_rep = 0
-        for j, fault in enumerate(group):
-            shift = j * n_patterns
-            lane_mask = mask << shift
-            lane_forced = lane_mask if fault.value else 0
-            site = index[fault.node]
-            if fault.pin is None:
-                out_clear[site] = out_clear.get(site, 0) | lane_mask
-                out_set[site] = out_set.get(site, 0) | lane_forced
-            else:
-                pin_over.setdefault(site, []).append(
-                    (fault.pin, lane_mask, lane_forced)
-                )
-                pending |= node_bit[site]
-        for site, clear in out_clear.items():
-            word = (rep_good[site] & ~clear) | out_set[site]
-            if word == rep_good[site]:
-                continue
-            faulty[site] = word
-            stamp[site] = version
-            if is_output[site]:
-                detect_rep |= word ^ rep_good[site]
-            pending |= consumer_bits[site]
-        direct_fn = compiled.direct_fn
-        tables = compiled.tables
-        args_of = compiled.args_of
-        while pending:
-            low = pending & -pending
-            pending ^= low
-            i = low.bit_length() - 1
-            entry = entries[i]
-            over = pin_over.get(i)
-            if over is None:
-                word = entry[1](
-                    faulty, stamp, version, rep_good, entry[2],
-                    full_mask, entry[3],
-                )
-            else:
-                vals = [
-                    faulty[a] if stamp[a] == version else rep_good[a]
-                    for a in args_of[i]
-                ]
-                for pin, lane_mask, lane_forced in over:
-                    vals[pin] = (vals[pin] & ~lane_mask) | lane_forced
-                word = direct_fn[i](vals, full_mask, tables[i])
-            clear = out_clear.get(i)
-            if clear is not None:
-                word = (word & ~clear) | out_set[i]
-            if word == rep_good[i]:
-                continue
-            faulty[i] = word
-            stamp[i] = version
-            if is_output[i]:
-                detect_rep |= word ^ rep_good[i]
-            pending |= consumer_bits[i]
-        return detect_rep
 
     def detection_probabilities(
         self, patterns: PatternSet, block_size: int = 4096

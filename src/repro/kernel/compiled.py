@@ -242,15 +242,31 @@ class CompiledCircuit:
         return self._consumer_bits
 
 
-_COMPILE_CACHE: "weakref.WeakKeyDictionary[Circuit, CompiledCircuit]" = (
+_COMPILE_CACHE: "weakref.WeakKeyDictionary[Circuit, Dict[str, CompiledCircuit]]" = (
     weakref.WeakKeyDictionary()
 )
 
 
-def compile_circuit(circuit: Circuit) -> CompiledCircuit:
-    """The memoized compiled form of ``circuit`` (compile-once contract)."""
-    compiled = _COMPILE_CACHE.get(circuit)
+def compile_circuit(circuit: Circuit, backend=None) -> CompiledCircuit:
+    """The memoized compiled form of ``circuit`` (compile-once contract).
+
+    The cache key includes the *backend identity* (``"name#generation"``,
+    see :func:`repro.backends.backend_identity`): every subsystem
+    evaluating through one backend shares one artifact, while an
+    artifact compiled before a backend was replaced can never serve the
+    replacement stale compile-time dispatch state — re-registering a
+    backend bumps its generation, which maps to a fresh compile here.
+    ``backend=None`` keys on the current default ("python") backend.
+    """
+    from repro.backends import backend_identity
+
+    identity = backend_identity(backend)
+    per_circuit = _COMPILE_CACHE.get(circuit)
+    if per_circuit is None:
+        per_circuit = {}
+        _COMPILE_CACHE[circuit] = per_circuit
+    compiled = per_circuit.get(identity)
     if compiled is None:
         compiled = CompiledCircuit(circuit)
-        _COMPILE_CACHE[circuit] = compiled
+        per_circuit[identity] = compiled
     return compiled

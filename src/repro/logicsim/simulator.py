@@ -12,7 +12,7 @@ legacy per-gate dict interpreter (parity reference and perf baseline).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Optional
+from typing import Dict, Iterable, Mapping
 
 from repro.circuit.netlist import Circuit
 from repro.circuit.types import eval_packed
@@ -28,11 +28,16 @@ def simulate(
     patterns: PatternSet,
     overrides: "Mapping[str, int] | None" = None,
     use_kernel: bool = True,
+    backend=None,
 ) -> Dict[str, int]:
     """Simulate and return the packed value of every node.
 
     ``overrides`` forces the given nodes to fixed packed words (used for
     stem fault injection); forced gate nodes are not evaluated.
+    ``backend`` selects the evaluation engine behind the compiled
+    kernel (an :class:`~repro.backends.EvalBackend`, a registered name,
+    ``"auto"``, or ``None`` for the pure-python default); every backend
+    returns bit-identical words.
     """
     _check_inputs(circuit, patterns)
     mask = patterns.mask
@@ -41,9 +46,19 @@ def simulate(
             if not circuit.has_node(node):
                 raise SimulationError(f"override on unknown node {node!r}")
     if use_kernel:
-        compiled = compile_circuit(circuit)
-        values = compiled.eval_packed_words(patterns.words, mask, overrides)
+        from repro.backends import resolve_backend
+
+        resolved = resolve_backend(backend, circuit,
+                                   block_bits=patterns.n_patterns)
+        compiled = compile_circuit(circuit, resolved)
+        values = resolved.simulate_words(compiled, patterns.words, mask,
+                                         overrides)
         return compiled.values_as_dict(values)
+    if backend is not None:
+        raise SimulationError(
+            "backend selection requires the compiled kernel "
+            "(use_kernel=True)"
+        )
     return _simulate_legacy(circuit, patterns, overrides, mask)
 
 
@@ -82,6 +97,7 @@ def node_probabilities(
     circuit: Circuit,
     patterns: PatternSet,
     nodes: "Iterable[str] | None" = None,
+    backend=None,
 ) -> Dict[str, float]:
     """Empirical 1-probability of nodes over a pattern set.
 
@@ -90,7 +106,7 @@ def node_probabilities(
     """
     if patterns.n_patterns == 0:
         raise SimulationError("cannot estimate probabilities from 0 patterns")
-    values = simulate(circuit, patterns)
+    values = simulate(circuit, patterns, backend=backend)
     selected = list(nodes) if nodes is not None else list(circuit.nodes)
     return {
         node: values[node].bit_count() / patterns.n_patterns

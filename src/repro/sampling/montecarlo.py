@@ -219,10 +219,11 @@ class MonteCarloEstimator:
 
     Parameters mirror the analytic estimator's: a circuit, a fault list
     (defaulting to the full uncollapsed universe) and the plan.  All
-    simulation runs on the shared compiled kernel unless
-    ``use_kernel=False`` selects the legacy interpreters (the parity
-    reference — both paths produce bit-identical detection words, hence
-    identical samples).
+    simulation runs on the shared compiled kernel through the selected
+    evaluation ``backend`` (:mod:`repro.backends`; ``None`` is the
+    pure-python engine) unless ``use_kernel=False`` selects the legacy
+    interpreters.  Every backend produces bit-identical detection words
+    and block counts, hence seed-identical samples.
     """
 
     def __init__(
@@ -231,10 +232,26 @@ class MonteCarloEstimator:
         faults: "Iterable[Fault] | None" = None,
         plan: "SamplingPlan | None" = None,
         use_kernel: bool = True,
+        backend=None,
     ) -> None:
         self.circuit = circuit
         self.plan = plan if plan is not None else SamplingPlan()
         self.use_kernel = use_kernel
+        if use_kernel:
+            from repro.backends import resolve_backend
+
+            # "auto" resolves against this estimator's real workload
+            # shape: blocks of ``plan.block_size`` patterns.
+            self.backend = resolve_backend(
+                backend, circuit, block_bits=self.plan.block_size
+            )
+        else:
+            if backend is not None:
+                raise SimulationError(
+                    "backend selection requires the compiled kernel "
+                    "(use_kernel=True)"
+                )
+            self.backend = None
         universe = list(faults) if faults is not None else fault_universe(circuit)
         self.fault_universe = universe
         self.faults = stratified_fault_sample(
@@ -243,10 +260,16 @@ class MonteCarloEstimator:
         self._simulator: "FaultSimulator | None" = None
 
     @property
+    def backend_name(self) -> str:
+        """The resolved backend's name (``"legacy"`` off-kernel)."""
+        return self.backend.name if self.backend is not None else "legacy"
+
+    @property
     def simulator(self) -> FaultSimulator:
         if self._simulator is None:
             self._simulator = FaultSimulator(
-                self.circuit, self.faults, use_kernel=self.use_kernel
+                self.circuit, self.faults, use_kernel=self.use_kernel,
+                backend=self.backend,
             )
         return self._simulator
 
@@ -260,6 +283,32 @@ class MonteCarloEstimator:
             size = min(plan.block_size, remaining)
             yield size
             remaining -= size
+
+    def _block_counter(self):
+        """Per-node one-counts of one pattern block, backend-dispatched.
+
+        On the kernel path the block stream stays in the backend's word
+        domain (the numpy engine counts bits on the value matrix without
+        materializing python integers); every backend produces identical
+        counts, so sampled results are seed-identical across backends.
+        """
+        if not self.use_kernel:
+            def legacy(patterns):
+                values = simulate(self.circuit, patterns, use_kernel=False)
+                return [
+                    (node, word.bit_count()) for node, word in values.items()
+                ]
+            return legacy
+        from repro.kernel import compile_circuit
+
+        backend = self.backend
+        compiled = compile_circuit(self.circuit, backend)
+        names = compiled.names
+
+        def counted(patterns):
+            return zip(names, backend.sample_block(compiled, patterns))
+
+        return counted
 
     def _interval(self, successes: int, n: int) -> IntervalEstimate:
         return IntervalEstimate.from_counts(
@@ -295,15 +344,13 @@ class MonteCarloEstimator:
         n_total = 0
         history: List[Tuple[int, float]] = []
         max_halfwidth = 1.0
+        block_counts = self._block_counter()
         for size in self._blocks():
             patterns = PatternSet.random(
                 inputs, size, input_probs, next(seeds)
             )
-            values = simulate(
-                self.circuit, patterns, use_kernel=self.use_kernel
-            )
-            for node, word in values.items():
-                counts[node] += word.bit_count()
+            for node, count in block_counts(patterns):
+                counts[node] += count
             n_total += size
             max_halfwidth = self._worst_halfwidth(counts.values(), n_total)
             history.append((n_total, max_halfwidth))

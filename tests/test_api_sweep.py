@@ -5,7 +5,12 @@ from __future__ import annotations
 import pytest
 
 from repro.api import ProtestConfig, SweepResult, run_sweep
+from repro.backends import get_backend
 from repro.circuits import c17
+
+needs_numpy = pytest.mark.skipif(
+    not get_backend("numpy").is_available(), reason="numpy not installed"
+)
 
 
 def test_sweep_three_circuits_two_configs_one_call():
@@ -101,3 +106,53 @@ def test_sweep_rejects_unknown_executor():
 
     with pytest.raises(ReproError):
         run_sweep(["c17"], ["paper"], executor="fiber")
+
+
+# -- backend selection across executors ----------------------------------------
+
+
+def test_sweep_records_resolved_backend_in_provenance():
+    result = run_sweep(
+        ["c17"], [ProtestConfig(backend="python", name="py")],
+        executor="inline", confidences=(0.95,), fractions=(1.0,),
+    )
+    assert result.runs[0].report.provenance.backend == "python"
+
+
+@needs_numpy
+def test_sweep_process_executor_serializes_numpy_backend():
+    """The backend knob survives pickling into process workers; each
+    cell's provenance records the backend that actually ran there
+    (sampled cells grade on the configured engine; analytic stages
+    always run on the python kernel), and the numbers match the inline
+    python-backend run exactly — backends are seed-identical."""
+    config = ProtestConfig(
+        backend="numpy", method="sampled", max_patterns=2048, name="np-sweep"
+    )
+    procs = run_sweep(
+        ["c17", "comp8"], [config], executor="process", workers=2,
+        confidences=(0.95,), fractions=(1.0,),
+    )
+    inline = run_sweep(
+        ["c17", "comp8"],
+        [config.replace(backend="python", name="py")],
+        executor="inline", confidences=(0.95,), fractions=(1.0,),
+    )
+    assert all(run.ok for run in procs.runs), [run.error for run in procs.runs]
+    for run in procs.runs:
+        assert run.config.backend == "numpy"
+        assert run.report.provenance.backend == "numpy"
+    for a, b in zip(procs.runs, inline.runs):
+        assert b.report.provenance.backend == "python"
+        assert a.report.test_lengths == b.report.test_lengths
+        assert a.report.n_faults == b.report.n_faults
+
+
+def test_sweep_unknown_backend_is_captured_per_cell():
+    result = run_sweep(
+        ["c17"], [ProtestConfig(backend="definitely-not-registered")],
+        executor="inline", confidences=(0.95,), fractions=(1.0,),
+    )
+    run = result.runs[0]
+    assert not run.ok
+    assert "backend" in run.error

@@ -6,7 +6,12 @@ import json
 
 import pytest
 
+from repro.backends import get_backend
 from repro.cli import main
+
+needs_numpy = pytest.mark.skipif(
+    not get_backend("numpy").is_available(), reason="numpy not installed"
+)
 
 
 def test_analyze_builtin(capsys):
@@ -152,3 +157,30 @@ def test_sweep_json(capsys):
     names = {run["config"]["name"] for run in payload["runs"]}
     assert names == {"fast", "paper"}
     assert all(run["error"] is None for run in payload["runs"])
+
+
+def test_backend_flag_analyze_json(capsys):
+    assert main(["analyze", "c17", "--backend", "python", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["provenance"]["backend"] == "python"
+
+
+def test_backend_flag_rejects_unknown(capsys):
+    with pytest.raises(SystemExit):
+        main(["analyze", "c17", "--backend", "gpu"])
+
+
+@needs_numpy
+def test_backend_flag_numpy_end_to_end(capsys):
+    assert main(["fsim", "c17", "-n", "64", "--backend", "numpy",
+                 "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["provenance"]["backend"] == "numpy"
+    # Sampled sweep cells grade on the requested engine and say so;
+    # analytic cells would truthfully record "python".
+    assert main(["sweep", "c17", "--preset", "fast", "--method", "sampled",
+                 "-e", "0.95", "-d", "1.0", "--backend", "numpy",
+                 "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["runs"][0]["config"]["backend"] == "numpy"
+    assert payload["runs"][0]["report"]["provenance"]["backend"] == "numpy"

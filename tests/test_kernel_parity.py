@@ -1,4 +1,4 @@
-"""Parity suite: compiled kernel vs. legacy interpreters.
+"""Parity suite: compiled kernel vs. legacy interpreters vs. backends.
 
 The compiled flat-array kernel (:mod:`repro.kernel`) must be *bit-identical*
 to the legacy per-gate interpreters for packed simulation and fault
@@ -6,6 +6,12 @@ simulation, and numerically identical (well below 1e-12) for the
 estimator pipeline.  Every test here runs both paths on the same inputs —
 randomized DAGs (with LUTs) plus the paper's bundled circuits — and
 compares exhaustively.
+
+The same contract extends to the evaluation backends
+(:mod:`repro.backends`): the numpy word engine must produce bit-identical
+simulation words, fault-detection words and sampled block counts to the
+pure-python engine on **every** library circuit (the two largest grade a
+deterministic fault slice to keep the suite seconds-scale).
 """
 
 from __future__ import annotations
@@ -13,6 +19,7 @@ from __future__ import annotations
 import pytest
 
 from repro.api import AnalysisEngine
+from repro.backends import get_backend
 from repro.circuit.types import (
     GateType,
     PACKED_DISPATCH,
@@ -20,7 +27,7 @@ from repro.circuit.types import (
     eval_packed,
 )
 from repro.circuits.generators import random_dag
-from repro.circuits.library import build
+from repro.circuits.library import build, names as library_names
 from repro.errors import CircuitError
 from repro.faults.simulator import FaultSimulator
 from repro.kernel import CompiledCircuit, compile_circuit
@@ -30,6 +37,14 @@ from repro.logicsim.simulator import simulate
 BUNDLED = ("alu", "mult", "comp")
 
 RANDOM_SEEDS = (1, 7, 42)
+
+needs_numpy = pytest.mark.skipif(
+    not get_backend("numpy").is_available(), reason="numpy not installed"
+)
+
+#: Circuits whose full fault universe is too large for per-test grading;
+#: cross-backend fault parity runs on a deterministic slice instead.
+LARGE_CIRCUITS = {"mul16", "mul24"}
 
 
 def _random_circuits():
@@ -219,6 +234,120 @@ def test_kernel_engine_cache_contract_still_holds():
     assert info["signal_runs"] == 1
     assert info["observability_runs"] == 1
     assert info["detection_runs"] == 1
+
+
+# -- cross-backend parity (python vs numpy word engine) ------------------------
+
+
+def _backend_fault_records(circuit, faults, patterns, backend, drop=False):
+    simulator = FaultSimulator(circuit, faults, backend=backend)
+    result = simulator.run(patterns, block_size=33, drop_detected=drop)
+    return {
+        fault: (r.detect_count, r.first_detect, r.simulated_patterns)
+        for fault, r in result.records.items()
+    }
+
+
+@needs_numpy
+@pytest.mark.parametrize("name", sorted(library_names()))
+def test_numpy_backend_simulate_parity_library(name):
+    circuit = build(name)
+    patterns = PatternSet.random(circuit.inputs, 193, seed=13)
+    python = simulate(circuit, patterns, backend="python")
+    numpy = simulate(circuit, patterns, backend="numpy")
+    assert python == numpy
+
+
+@needs_numpy
+@pytest.mark.parametrize("name", sorted(library_names()))
+def test_numpy_backend_fault_sim_parity_library(name):
+    circuit = build(name)
+    simulator = FaultSimulator(circuit)
+    faults = simulator.faults
+    if name in LARGE_CIRCUITS:
+        faults = faults[::13]  # deterministic slice, every site family
+    patterns = PatternSet.random(circuit.inputs, 77, seed=29)
+    python = _backend_fault_records(circuit, faults, patterns, "python")
+    numpy = _backend_fault_records(circuit, faults, patterns, "numpy")
+    assert python == numpy
+
+
+@needs_numpy
+@pytest.mark.parametrize("name", sorted(library_names()))
+def test_numpy_backend_sample_block_parity_library(name):
+    circuit = build(name)
+    patterns = PatternSet.random(circuit.inputs, 321, seed=17)
+    python_backend = get_backend("python")
+    numpy_backend = get_backend("numpy")
+    python_counts = python_backend.sample_block(
+        compile_circuit(circuit, python_backend), patterns
+    )
+    numpy_counts = numpy_backend.sample_block(
+        compile_circuit(circuit, numpy_backend), patterns
+    )
+    assert list(python_counts) == list(numpy_counts)
+
+
+@needs_numpy
+@pytest.mark.parametrize("seed", RANDOM_SEEDS)
+@pytest.mark.parametrize("drop", [False, True])
+def test_numpy_backend_fault_sim_parity_random_luts(seed, drop):
+    circuit = random_dag(6, 40, seed=seed, lut_fraction=0.3)
+    patterns = PatternSet.exhaustive(circuit.inputs)
+    faults = FaultSimulator(circuit).faults
+    python = _backend_fault_records(circuit, faults, patterns, "python", drop)
+    numpy = _backend_fault_records(circuit, faults, patterns, "numpy", drop)
+    assert python == numpy
+
+
+@needs_numpy
+def test_numpy_backend_detection_words_bitexact():
+    """Raw per-fault detection *words* (not just counts) are identical."""
+    circuit = build("alu")
+    simulator = FaultSimulator(circuit)
+    patterns = PatternSet.random(circuit.inputs, 100, seed=5)
+    python_backend = get_backend("python")
+    numpy_backend = get_backend("numpy")
+    py_compiled = compile_circuit(circuit, python_backend)
+    np_compiled = compile_circuit(circuit, numpy_backend)
+    py_words = python_backend.fault_sim_words(
+        py_compiled, python_backend.make_scratch(py_compiled),
+        simulator.faults, patterns.words, patterns.mask, patterns.n_patterns,
+    )
+    np_words = numpy_backend.fault_sim_words(
+        np_compiled,
+        numpy_backend.make_scratch(np_compiled, simulator.faults),
+        simulator.faults, patterns.words, patterns.mask, patterns.n_patterns,
+    )
+    assert py_words == np_words
+
+
+@needs_numpy
+def test_numpy_backend_simulate_with_overrides_matches():
+    circuit = build("alu")
+    patterns = PatternSet.random(circuit.inputs, 64, seed=5)
+    gate = next(iter(circuit.gates))
+    overrides = {gate: 0x5A5A, circuit.inputs[0]: 0}
+    python = simulate(circuit, patterns, overrides, backend="python")
+    numpy = simulate(circuit, patterns, overrides, backend="numpy")
+    assert python == numpy
+
+
+@needs_numpy
+def test_numpy_backend_partial_and_growing_blocks():
+    """Session padding (narrow blocks) and rebuilds (wider blocks) agree."""
+    circuit = build("mult")
+    faults = FaultSimulator(circuit).faults
+    patterns = PatternSet.random(circuit.inputs, 150, seed=3)
+    python_sim = FaultSimulator(circuit, faults, backend="python")
+    numpy_sim = FaultSimulator(circuit, faults, backend="numpy")
+    for block_size in (70, 150, 9):  # shrink, grow, shrink again
+        py = python_sim.run(patterns, block_size=block_size)
+        np_ = numpy_sim.run(patterns, block_size=block_size)
+        for fault, record in py.records.items():
+            other = np_.records[fault]
+            assert record.detect_count == other.detect_count, (block_size, fault)
+            assert record.first_detect == other.first_detect, (block_size, fault)
 
 
 # -- dispatch-family drift guard -----------------------------------------------
