@@ -1,0 +1,241 @@
+"""Tracked service benchmark: HTTP job round-trips and cache effect.
+
+Measures the analysis service (:mod:`repro.service`) end to end over
+HTTP on the vendored ISCAS-class payloads:
+
+* **submit -> result latency** — wall-clock from ``POST /jobs`` to a
+  ``200`` on ``GET /jobs/<id>/result``, cold (first submission, full
+  Monte-Carlo run) and warm (identical resubmission served from the
+  artifact cache);
+* **cache effect** — warm/cold speedup and the hit counters from
+  ``GET /stats``;
+* **progressive delivery** — snapshots observed per sampled job and
+  the halfwidth trajectory of the last one.
+
+The full run starts an in-process server and merges a ``"service"``
+section into ``BENCH_perf.json`` at the repo root.  ``--smoke`` instead
+spawns the real thing — ``python -m repro.cli serve --port 0`` as a
+subprocess, parsing the printed ephemeral port — submits a sampled c432
+job over the wire, polls it to completion and **asserts** the service
+contract: ``/healthz``, ``/stats`` counters, at least two progressive
+snapshots with non-increasing halfwidths, and a cache hit on
+resubmission.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py          # full, tracked
+    PYTHONPATH=src python benchmarks/bench_service.py --smoke  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+SEED = 20260808
+#: Sampled knobs used for every benchmark job: a few blocks per job.
+SAMPLED_CONFIG = {
+    "method": "sampled", "max_patterns": 8192, "target_halfwidth": 0.02,
+    "fault_sample": 256, "seed": SEED,
+}
+FULL_CIRCUITS = ("c432", "c880", "c1355")
+SMOKE_CIRCUIT = "c432"
+
+
+def request(base, method, path, body=None, timeout=60.0):
+    data = json.dumps(body).encode("utf-8") if body is not None else None
+    req = urllib.request.Request(base + path, data=data, method=method)
+    if data is not None:
+        req.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read().decode("utf-8"))
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read().decode("utf-8"))
+
+
+def submit_and_wait(base, payload, deadline_s=600.0):
+    """POST one job, poll to completion; returns (latency_s, result body)."""
+    start = time.perf_counter()
+    code, sub = request(base, "POST", "/jobs", payload)
+    assert code == 201, (code, sub)
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        code, body = request(base, "GET", f"/jobs/{sub['id']}/result")
+        if code != 202:
+            latency = time.perf_counter() - start
+            assert code == 200, (code, body)
+            return latency, sub["id"], body
+        time.sleep(0.02)
+    raise AssertionError(f"job {sub['id']} did not finish in {deadline_s}s")
+
+
+def bench_circuit(base, name):
+    payload = {"circuit": name, "config": SAMPLED_CONFIG}
+    cold_s, job_id, cold = submit_and_wait(base, payload)
+    warm_s, _, warm = submit_and_wait(base, payload)
+    assert warm["from_cache"] is True, "resubmission missed the cache"
+    assert warm["result"] == cold["result"]
+    _, status = request(base, "GET", f"/jobs/{job_id}")
+    widths = [s["max_halfwidth"] for s in status["snapshots"]]
+    entry = {
+        "cold_submit_to_result_s": cold_s,
+        "warm_submit_to_result_s": warm_s,
+        "warm_speedup": cold_s / warm_s if warm_s > 0 else None,
+        "n_patterns": cold["result"]["n_patterns"],
+        "n_faults": cold["result"]["n_faults"],
+        "snapshots": len(widths),
+        "halfwidth_trajectory": widths,
+    }
+    print(
+        f"[{name}] cold {cold_s * 1e3:.0f}ms -> warm {warm_s * 1e3:.1f}ms "
+        f"({entry['warm_speedup']:.0f}x), {len(widths)} snapshots",
+        flush=True,
+    )
+    return entry
+
+
+def service_stats(base):
+    code, stats = request(base, "GET", "/stats")
+    assert code == 200
+    cache = stats["cache"]
+    lookups = cache["report_hits"] + cache["report_misses"]
+    return {
+        "cache_hit_rate": cache["report_hits"] / lookups if lookups else 0.0,
+        "cache": cache,
+        "jobs": stats["jobs"],
+        "throughput": stats["throughput"],
+    }
+
+
+def run_full():
+    from repro.service import ArtifactCache, JobManager, make_server
+    import threading
+
+    manager = JobManager(workers=2, cache=ArtifactCache())
+    server = make_server(manager, "127.0.0.1", 0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    base = f"http://127.0.0.1:{server.server_address[1]}"
+    try:
+        circuits = {name: bench_circuit(base, name) for name in FULL_CIRCUITS}
+        stats = service_stats(base)
+    finally:
+        server.shutdown()
+        server.server_close()
+        manager.shutdown(wait=False)
+    return {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "seed": SEED,
+        "config": SAMPLED_CONFIG,
+        "circuits": circuits,
+        **stats,
+    }
+
+
+def run_smoke():
+    """Spawn the real CLI server and exercise the service contract."""
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+         "--workers", "2"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        cwd=str(ROOT), env={**__import__("os").environ,
+                            "PYTHONPATH": str(ROOT / "src")},
+    )
+    try:
+        line = proc.stdout.readline().strip()
+        assert line.startswith("serving on http://"), line
+        base = line.split(" ", 2)[2]
+        print(f"spawned {base} (pid {proc.pid})", flush=True)
+
+        code, health = request(base, "GET", "/healthz")
+        assert (code, health) == (200, {"status": "ok"}), (code, health)
+
+        payload = {"circuit": SMOKE_CIRCUIT, "config": SAMPLED_CONFIG}
+        cold_s, job_id, cold = submit_and_wait(base, payload)
+        _, status = request(base, "GET", f"/jobs/{job_id}")
+        widths = [s["max_halfwidth"] for s in status["snapshots"]]
+        assert len(widths) >= 2, f"expected >=2 snapshots, got {widths}"
+        assert widths == sorted(widths, reverse=True), (
+            f"halfwidths not non-increasing: {widths}"
+        )
+        warm_s, _, warm = submit_and_wait(base, payload)
+        assert warm["from_cache"] is True, "resubmission missed the cache"
+        assert warm["result"] == cold["result"]
+
+        stats = service_stats(base)
+        assert stats["cache"]["report_hits"] >= 1, stats
+        assert stats["cache"]["circuit_hits"] >= 1, stats
+        assert stats["jobs"]["done"] >= 2, stats
+        print(
+            f"[{SMOKE_CIRCUIT}] cold {cold_s * 1e3:.0f}ms -> warm "
+            f"{warm_s * 1e3:.1f}ms, {len(widths)} snapshots, "
+            f"hit rate {100.0 * stats['cache_hit_rate']:.0f}%",
+            flush=True,
+        )
+        return {
+            "python": platform.python_version(),
+            "seed": SEED,
+            "circuit": SMOKE_CIRCUIT,
+            "cold_submit_to_result_s": cold_s,
+            "warm_submit_to_result_s": warm_s,
+            "snapshots": len(widths),
+            "halfwidth_trajectory": widths,
+            **stats,
+        }
+    finally:
+        proc.terminate()
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="spawn `protest serve` as a subprocess and assert the "
+             "service contract end to end",
+    )
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help="output JSON path (default: merge into BENCH_perf.json at "
+             "the repo root, or benchmarks/results/bench_service_smoke"
+             ".json with --smoke)",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        payload = {"mode": "smoke", **run_smoke()}
+        out = args.out or (
+            ROOT / "benchmarks" / "results" / "bench_service_smoke.json"
+        )
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(payload, indent=2) + "\n",
+                       encoding="utf-8")
+    else:
+        payload = {"mode": "full", **run_full()}
+        out = args.out or ROOT / "BENCH_perf.json"
+        out.parent.mkdir(parents=True, exist_ok=True)
+        tracked = json.loads(out.read_text()) if out.exists() else {}
+        tracked["service"] = payload
+        out.write_text(json.dumps(tracked, indent=2) + "\n",
+                       encoding="utf-8")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

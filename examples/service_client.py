@@ -1,0 +1,108 @@
+"""Service client: submit a sampled job and watch the intervals tighten.
+
+Starts the analysis service in-process (the same
+:class:`~repro.service.JobManager` + stdlib HTTP server that
+``protest serve`` runs), submits a Monte-Carlo job for the c880 ALU
+reconstruction over HTTP, and polls ``GET /jobs/<id>`` while it runs —
+printing each progressive snapshot as the widest confidence interval
+shrinks toward the target halfwidth.  It then resubmits the identical
+payload to show the artifact cache serving the finished report in
+milliseconds.
+
+Point ``BASE`` at a real ``protest serve`` instance to run the same
+client against a remote service.
+
+Run with::
+
+    PYTHONPATH=src python examples/service_client.py
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+from repro.service import JobManager, make_server
+
+#: One sampled analysis: stop when every 99% interval is ±0.02 wide.
+JOB = {
+    "circuit": "c880",
+    "config": {
+        "method": "sampled",
+        "target_halfwidth": 0.02,
+        "max_patterns": 16384,
+        "fault_sample": 512,
+    },
+}
+
+
+def request(base: str, method: str, path: str, body=None):
+    data = json.dumps(body).encode("utf-8") if body is not None else None
+    req = urllib.request.Request(base + path, data=data, method=method)
+    if data is not None:
+        req.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(req, timeout=60) as resp:
+            return resp.status, json.loads(resp.read().decode("utf-8"))
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read().decode("utf-8"))
+
+
+def run_job(base: str) -> dict:
+    code, job = request(base, "POST", "/jobs", JOB)
+    assert code == 201, (code, job)
+    print(f"submitted {job['id']} ({job['circuit']}, "
+          f"method={job['method']})")
+    seen = 0
+    while True:
+        code, body = request(base, "GET", f"/jobs/{job['id']}/result")
+        if code == 200:
+            return body
+        if code != 202:
+            raise SystemExit(f"job ended {body.get('state')}: "
+                             f"{body.get('error')}")
+        for snap in body["snapshots"][seen:]:
+            print(f"  {snap['n_patterns']:>6} patterns: "
+                  f"max halfwidth {snap['max_halfwidth']:.4f}, "
+                  f"coverage ~{snap['coverage']:.3f}")
+        seen = len(body["snapshots"])
+        time.sleep(0.05)
+
+
+def main() -> None:
+    manager = JobManager(workers=2)
+    server = make_server(manager, "127.0.0.1", 0)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    base = f"http://127.0.0.1:{server.server_address[1]}"
+    print(f"service at {base}")
+    try:
+        start = time.perf_counter()
+        final = run_job(base)
+        cold = time.perf_counter() - start
+        result = final["result"]
+        print(f"done in {cold * 1e3:.0f}ms: {result['n_faults']} faults "
+              f"graded with {result['n_patterns']} patterns "
+              f"(converged={result['converged']})")
+
+        start = time.perf_counter()
+        again = run_job(base)
+        warm = time.perf_counter() - start
+        print(f"resubmitted: from_cache={again['from_cache']} "
+              f"in {warm * 1e3:.1f}ms")
+
+        code, stats = request(base, "GET", "/stats")
+        cache = stats["cache"]
+        print(f"cache: {cache['report_hits']} report hits / "
+              f"{cache['report_misses']} misses, "
+              f"{cache['circuit_hits']} circuit hits")
+    finally:
+        server.shutdown()
+        server.server_close()
+        manager.shutdown(wait=False)
+
+
+if __name__ == "__main__":
+    main()

@@ -18,8 +18,18 @@ hit/miss counters the tests assert on.
 
 from __future__ import annotations
 
+import threading
 import time
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.api.config import ProtestConfig
 from repro.api.results import (
@@ -103,6 +113,17 @@ class AnalysisEngine:
         numpy is importable).  ``False`` selects the legacy interpreters
         throughout — the numerically identical parity reference the
         perf bench measures against.
+
+    Thread safety
+    -------------
+    One engine may be shared between threads: every stage cache (and its
+    run/hit counters) is guarded by a single reentrant lock, held for
+    the whole of a stage computation.  The lock is deliberately coarse —
+    concurrent callers asking for the same uncached stage serialize and
+    the second one takes a cache hit, so each stage still runs *exactly
+    once* per input tuple and ``cache_info()`` counters stay consistent
+    under contention (the property the service job engine and its
+    stress test rely on).
     """
 
     def __init__(
@@ -119,6 +140,9 @@ class AnalysisEngine:
         self.circuit = circuit
         self.use_kernel = use_kernel
         self.config = ProtestConfig.coerce(config)
+        # Guards every stage cache, the counters, and the lazily built
+        # structure (topology, detector, sampler) — see "Thread safety".
+        self._lock = threading.RLock()
         self._backend = None
         if use_kernel:
             # Fail fast on an unknown or unavailable backend name even
@@ -153,9 +177,10 @@ class AnalysisEngine:
 
     @property
     def topology(self) -> Topology:
-        if self._topology is None:
-            self._topology = Topology(self.circuit, cache=self.use_kernel)
-        return self._topology
+        with self._lock:
+            if self._topology is None:
+                self._topology = Topology(self.circuit, cache=self.use_kernel)
+            return self._topology
 
     @property
     def backend(self):
@@ -170,11 +195,14 @@ class AnalysisEngine:
         """
         if not self.use_kernel:
             return None
-        if self._backend is None:
-            from repro.backends import resolve_backend
+        with self._lock:
+            if self._backend is None:
+                from repro.backends import resolve_backend
 
-            self._backend = resolve_backend(self.config.backend, self.circuit)
-        return self._backend
+                self._backend = resolve_backend(
+                    self.config.backend, self.circuit
+                )
+            return self._backend
 
     def _block_backend(self, block_size: int):
         """``config.backend`` resolved for a concrete block width."""
@@ -205,61 +233,66 @@ class AnalysisEngine:
 
     @property
     def faults(self) -> List[Fault]:
-        if self._faults is None:
-            if self._explicit_faults is not None:
-                self._faults = self._explicit_faults
-            else:
-                self._faults = fault_universe(
-                    self.circuit,
-                    include_branches=self.config.include_branches,
-                    only_fanout_stems=self.config.only_fanout_stems,
-                )
-        return self._faults
+        with self._lock:
+            if self._faults is None:
+                if self._explicit_faults is not None:
+                    self._faults = self._explicit_faults
+                else:
+                    self._faults = fault_universe(
+                        self.circuit,
+                        include_branches=self.config.include_branches,
+                        only_fanout_stems=self.config.only_fanout_stems,
+                    )
+            return self._faults
 
     @property
     def detector(self) -> DetectionProbabilityEstimator:
-        if self._detector is None:
-            self._detector = DetectionProbabilityEstimator(
-                self.circuit,
-                self.config.estimator_params(),
-                self.config.stem_model,
-                self.config.pin_model,
-                self.topology,
-                use_kernel=self.use_kernel,
-            )
-        return self._detector
+        with self._lock:
+            if self._detector is None:
+                self._detector = DetectionProbabilityEstimator(
+                    self.circuit,
+                    self.config.estimator_params(),
+                    self.config.stem_model,
+                    self.config.pin_model,
+                    self.topology,
+                    use_kernel=self.use_kernel,
+                )
+            return self._detector
 
     @property
     def sampler(self) -> MonteCarloEstimator:
         """The Monte-Carlo grader configured by this engine's config."""
-        if self._sampler is None:
-            # The sampler gets the config *spec*, not the nominal
-            # instance: it resolves "auto" against its own block size.
-            self._sampler = MonteCarloEstimator(
-                self.circuit,
-                self.faults,
-                self.config.sampling_plan(),
-                use_kernel=self.use_kernel,
-                backend=self.config.backend if self.use_kernel else None,
-            )
-        return self._sampler
+        with self._lock:
+            if self._sampler is None:
+                # The sampler gets the config *spec*, not the nominal
+                # instance: it resolves "auto" against its own block size.
+                self._sampler = MonteCarloEstimator(
+                    self.circuit,
+                    self.faults,
+                    self.config.sampling_plan(),
+                    use_kernel=self.use_kernel,
+                    backend=self.config.backend if self.use_kernel else None,
+                )
+            return self._sampler
 
     # -- cache plumbing -----------------------------------------------------------
 
     def cache_info(self) -> Dict[str, object]:
         """Per-stage run/hit counters, cache sizes and the active backend."""
-        info: Dict[str, object] = dict(self._stats)
-        info["cached_input_tuples"] = len(self._signal_cache)
+        with self._lock:
+            info: Dict[str, object] = dict(self._stats)
+            info["cached_input_tuples"] = len(self._signal_cache)
         info["backend"] = self.backend_name
         return info
 
     def clear_cache(self) -> None:
-        self._signal_cache.clear()
-        self._obs_cache.clear()
-        self._detection_cache.clear()
-        self._sample_cache.clear()
-        self._signal_sample_cache.clear()
-        self._subset_detection_cache.clear()
+        with self._lock:
+            self._signal_cache.clear()
+            self._obs_cache.clear()
+            self._detection_cache.clear()
+            self._sample_cache.clear()
+            self._signal_sample_cache.clear()
+            self._subset_detection_cache.clear()
 
     def _key(
         self, input_probs: "float | Mapping[str, float] | None"
@@ -269,71 +302,97 @@ class AnalysisEngine:
     def _signal_for(
         self, key: Tuple[float, ...]
     ) -> "tuple[SignalProbabilities, float, bool]":
-        cached = self._signal_cache.get(key)
-        if cached is not None:
-            self._stats["signal_hits"] += 1
-            return cached, 0.0, True
-        start = time.perf_counter()
-        probs = dict(zip(self.circuit.inputs, key))
-        result = self.detector.signal_estimator.run(probs)
-        elapsed = time.perf_counter() - start
-        self._signal_cache[key] = result
-        self._stats["signal_runs"] += 1
-        return result, elapsed, False
+        with self._lock:
+            cached = self._signal_cache.get(key)
+            if cached is not None:
+                self._stats["signal_hits"] += 1
+                return cached, 0.0, True
+            start = time.perf_counter()
+            probs = dict(zip(self.circuit.inputs, key))
+            result = self.detector.signal_estimator.run(probs)
+            elapsed = time.perf_counter() - start
+            self._signal_cache[key] = result
+            self._stats["signal_runs"] += 1
+            return result, elapsed, False
 
     def _stages_for(self, key: Tuple[float, ...]):
         """Signal probabilities + observabilities, memoized per key."""
-        timings: Dict[str, float] = {}
-        cached: List[str] = []
-        signal, t_signal, signal_hit = self._signal_for(key)
-        timings["signal"] = t_signal
-        if signal_hit:
-            cached.append("signal")
-        obs = self._obs_cache.get(key)
-        if obs is not None:
-            self._stats["observability_hits"] += 1
-            timings["observability"] = 0.0
-            cached.append("observability")
-        else:
-            start = time.perf_counter()
-            obs = self.detector.observability_analyzer.run(signal)
-            timings["observability"] = time.perf_counter() - start
-            self._obs_cache[key] = obs
-            self._stats["observability_runs"] += 1
-        return signal, obs, timings, cached
+        with self._lock:
+            timings: Dict[str, float] = {}
+            cached: List[str] = []
+            signal, t_signal, signal_hit = self._signal_for(key)
+            timings["signal"] = t_signal
+            if signal_hit:
+                cached.append("signal")
+            obs = self._obs_cache.get(key)
+            if obs is not None:
+                self._stats["observability_hits"] += 1
+                timings["observability"] = 0.0
+                cached.append("observability")
+            else:
+                start = time.perf_counter()
+                obs = self.detector.observability_analyzer.run(signal)
+                timings["observability"] = time.perf_counter() - start
+                self._obs_cache[key] = obs
+                self._stats["observability_runs"] += 1
+            return signal, obs, timings, cached
 
     def _detection_for(self, key: Tuple[float, ...]):
         """Full-universe detection probabilities, memoized per key."""
-        cached_det = self._detection_cache.get(key)
-        if cached_det is not None:
-            self._stats["detection_hits"] += 1
-            return cached_det, {"detection": 0.0}, ["detection"]
-        signal, obs, timings, cached = self._stages_for(key)
-        start = time.perf_counter()
-        detection = self.detector.run_with(signal, obs, self.faults)
-        timings["detection"] = time.perf_counter() - start
-        self._detection_cache[key] = detection
-        self._stats["detection_runs"] += 1
-        return detection, timings, cached
+        with self._lock:
+            cached_det = self._detection_cache.get(key)
+            if cached_det is not None:
+                self._stats["detection_hits"] += 1
+                return cached_det, {"detection": 0.0}, ["detection"]
+            signal, obs, timings, cached = self._stages_for(key)
+            start = time.perf_counter()
+            detection = self.detector.run_with(signal, obs, self.faults)
+            timings["detection"] = time.perf_counter() - start
+            self._detection_cache[key] = detection
+            self._stats["detection_runs"] += 1
+            return detection, timings, cached
 
-    def _sample_for(self, key: Tuple[float, ...]):
+    def _sample_for(
+        self,
+        key: Tuple[float, ...],
+        checkpoint: "Callable[[SampledReport], object] | None" = None,
+    ):
         """Monte-Carlo detection sample, memoized per input tuple.
 
         The same stage-caching contract as the analytic stages: a chain
         of ``sampled_analyze()`` → ``sampled_detection_probabilities()``
         → ``cross_validate()`` on one input tuple simulates exactly once.
+
+        ``checkpoint`` receives a partial :class:`SampledReport` after
+        every sampled block (see
+        :meth:`MonteCarloEstimator.sample_detection_probabilities`); it
+        never fires on a cache hit — a memoized sample is already final.
+        A checkpoint exception (cancellation, timeout) propagates and
+        nothing is cached, so an aborted run can never serve a partial
+        sample to later callers.
         """
-        cached = self._sample_cache.get(key)
-        if cached is not None:
-            self._stats["sampling_hits"] += 1
-            return cached, {"sampling": 0.0}, ["sampling"]
-        start = time.perf_counter()
-        probs = dict(zip(self.circuit.inputs, key))
-        sample = self.sampler.sample_detection_probabilities(probs)
-        elapsed = time.perf_counter() - start
-        self._sample_cache[key] = sample
-        self._stats["sampling_runs"] += 1
-        return sample, {"sampling": elapsed}, []
+        with self._lock:
+            cached = self._sample_cache.get(key)
+            if cached is not None:
+                self._stats["sampling_hits"] += 1
+                return cached, {"sampling": 0.0}, ["sampling"]
+            start = time.perf_counter()
+            probs = dict(zip(self.circuit.inputs, key))
+            inner = None
+            if checkpoint is not None:
+                def inner(partial):
+                    checkpoint(self._sampled_report(
+                        partial,
+                        {"sampling": time.perf_counter() - start},
+                        [],
+                    ))
+            sample = self.sampler.sample_detection_probabilities(
+                probs, checkpoint=inner
+            )
+            elapsed = time.perf_counter() - start
+            self._sample_cache[key] = sample
+            self._stats["sampling_runs"] += 1
+            return sample, {"sampling": elapsed}, []
 
     def _provenance(
         self,
@@ -623,6 +682,7 @@ class AnalysisEngine:
     def sampled_detection_probabilities(
         self,
         input_probs: "float | Mapping[str, float] | None" = None,
+        checkpoint: "Callable[[SampledReport], object] | None" = None,
     ) -> SampledReport:
         """Monte-Carlo graded detection probabilities, with intervals.
 
@@ -631,8 +691,17 @@ class AnalysisEngine:
         probability is sampled on the compiled kernel until the
         sequential stopping rule (``config.target_halfwidth`` /
         ``config.max_patterns``) is satisfied.
+
+        ``checkpoint`` receives a partial :class:`SampledReport` after
+        every sampled block — successive snapshots carry non-increasing
+        ``max_halfwidth``, which is what lets the analysis service
+        stream progressively tightening intervals.  It never fires when
+        the sample is served from the stage cache, and an exception it
+        raises aborts the run without caching (see :meth:`_sample_for`).
         """
-        sample, timings, cached = self._sample_for(self._key(input_probs))
+        sample, timings, cached = self._sample_for(
+            self._key(input_probs), checkpoint
+        )
         return self._sampled_report(sample, timings, cached)
 
     def raw_sampled_detection_probabilities(
@@ -654,30 +723,37 @@ class AnalysisEngine:
         :meth:`cache_info` track it.
         """
         key = self._key(input_probs)
-        cached = self._signal_sample_cache.get(key)
-        if cached is None:
-            probs = dict(zip(self.circuit.inputs, key))
-            cached = self.sampler.sample_signal_probabilities(probs)
-            self._signal_sample_cache[key] = cached
-            self._stats["signal_sampling_runs"] += 1
-        else:
-            self._stats["signal_sampling_hits"] += 1
-        return dict(cached.intervals)
+        with self._lock:
+            cached = self._signal_sample_cache.get(key)
+            if cached is None:
+                probs = dict(zip(self.circuit.inputs, key))
+                cached = self.sampler.sample_signal_probabilities(probs)
+                self._signal_sample_cache[key] = cached
+                self._stats["signal_sampling_runs"] += 1
+            else:
+                self._stats["signal_sampling_hits"] += 1
+            return dict(cached.intervals)
 
     def sampled_analyze(
         self,
         input_probs: "float | Mapping[str, float] | None" = None,
         confidences: Sequence[float] = (0.95, 0.98, 0.999),
         fractions: Sequence[float] = (1.0, 0.98),
+        checkpoint: "Callable[[SampledReport], object] | None" = None,
     ) -> SampledReport:
         """One-shot Monte-Carlo analysis (the sampled :meth:`analyze`).
 
         Test lengths are derived from the sampled *point estimates*; a
         kept fault that was never detected in the sample makes the
         requirement unreachable (``None``), exactly like an undetectable
-        fault does on the analytic path.
+        fault does on the analytic path.  ``checkpoint`` streams partial
+        reports per sampled block (see
+        :meth:`sampled_detection_probabilities`); snapshots carry no
+        test lengths — those are derived once, from the final sample.
         """
-        sample, timings, cached = self._sample_for(self._key(input_probs))
+        sample, timings, cached = self._sample_for(
+            self._key(input_probs), checkpoint
+        )
         values = sorted(iv.estimate for iv in sample.intervals.values())
         lengths: Dict[Tuple[float, float], Optional[int]] = {}
         for fraction in fractions:
@@ -761,14 +837,17 @@ class AnalysisEngine:
         and memoizes per input tuple under the shared detection
         counters.
         """
-        cached_det = self._subset_detection_cache.get(key)
-        if cached_det is not None:
-            self._stats["detection_hits"] += 1
-            return cached_det, {"detection": 0.0}, ["detection"]
-        signal, obs, timings, cached = self._stages_for(key)
-        start = time.perf_counter()
-        detection = self.detector.run_with(signal, obs, self.sampler.faults)
-        timings["detection"] = time.perf_counter() - start
-        self._subset_detection_cache[key] = detection
-        self._stats["detection_runs"] += 1
-        return detection, timings, cached
+        with self._lock:
+            cached_det = self._subset_detection_cache.get(key)
+            if cached_det is not None:
+                self._stats["detection_hits"] += 1
+                return cached_det, {"detection": 0.0}, ["detection"]
+            signal, obs, timings, cached = self._stages_for(key)
+            start = time.perf_counter()
+            detection = self.detector.run_with(
+                signal, obs, self.sampler.faults
+            )
+            timings["detection"] = time.perf_counter() - start
+            self._subset_detection_cache[key] = detection
+            self._stats["detection_runs"] += 1
+            return detection, timings, cached

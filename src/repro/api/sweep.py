@@ -18,6 +18,7 @@ from __future__ import annotations
 import concurrent.futures
 import dataclasses
 import pickle
+import threading
 import time
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -45,6 +46,10 @@ class SweepRun:
     report: "TestabilityReport | SampledReport | None"
     error: Optional[str] = None
     elapsed: float = 0.0
+    #: True when the run was abandoned by the per-run wall-clock limit
+    #: (``run_sweep(timeout=...)``); ``elapsed`` then records the time
+    #: the sweep actually waited before giving up on the cell.
+    timed_out: bool = False
 
     @property
     def ok(self) -> bool:
@@ -57,6 +62,7 @@ class SweepRun:
             "report": self.report.to_dict() if self.report else None,
             "error": self.error,
             "elapsed": self.elapsed,
+            "timed_out": self.timed_out,
         }
 
     @classmethod
@@ -74,6 +80,7 @@ class SweepRun:
             report=decoded,
             error=data.get("error"),
             elapsed=data.get("elapsed", 0.0),
+            timed_out=data.get("timed_out", False),
         )
 
 
@@ -179,6 +186,8 @@ def run_sweep(
     confidences: Sequence[float] = (0.95, 0.98, 0.999),
     fractions: Sequence[float] = (1.0, 0.98),
     executor: "str | None" = None,
+    timeout: "float | None" = None,
+    cancel: "threading.Event | None" = None,
 ) -> SweepResult:
     """Analyse every circuit under every config, in parallel.
 
@@ -198,6 +207,18 @@ def run_sweep(
         ``None`` picks processes when there is more than one cell.  When
         a process pool cannot be spawned (restricted environments), the
         sweep silently degrades to threads.
+    timeout:
+        Per-run wall-clock limit in seconds.  A cell the sweep waited
+        on for longer is recorded as a failed :class:`SweepRun`
+        (``timed_out=True``, ``error="timeout..."``) instead of hanging
+        the whole sweep; the pool is then shut down without waiting for
+        the stuck worker.  Pool executors only — the ``inline`` path
+        cannot preempt a running estimation.
+    cancel:
+        Optional :class:`threading.Event`; once set, not-yet-collected
+        cells are recorded as ``error="cancelled"`` and their pending
+        futures revoked.  This is the hook the analysis service's job
+        cancellation plumbs into.
 
     Unparseable circuit names and estimation failures are recorded on the
     affected :class:`SweepRun` (``error``), never raised.
@@ -206,6 +227,8 @@ def run_sweep(
         raise ReproError(
             f"executor must be one of {EXECUTORS}, got {executor!r}"
         )
+    if timeout is not None and timeout <= 0:
+        raise ReproError(f"timeout must be positive, got {timeout}")
     circuit_list = list(circuits)
     config_list = [ProtestConfig.coerce(c) for c in configs]
     cells: List[Tuple["Circuit | str", ProtestConfig]] = [
@@ -218,10 +241,14 @@ def run_sweep(
         or (workers is not None and workers <= 1)
         or len(cells) <= 1
     ):
-        runs = [
-            _run_one(circuit, config, input_probs, confidences, fractions)
-            for circuit, config in cells
-        ]
+        runs = []
+        for circuit, config in cells:
+            if cancel is not None and cancel.is_set():
+                runs.append(_abandoned_run(circuit, config, "cancelled"))
+                continue
+            runs.append(
+                _run_one(circuit, config, input_probs, confidences, fractions)
+            )
         return SweepResult(runs=runs)
     mode = executor or "process"
     if mode == "process":
@@ -229,7 +256,7 @@ def run_sweep(
             return SweepResult(
                 runs=_pooled_runs(
                     concurrent.futures.ProcessPoolExecutor, workers, cells,
-                    input_probs, confidences, fractions,
+                    input_probs, confidences, fractions, timeout, cancel,
                 )
             )
         except (OSError, PermissionError, ImportError, NotImplementedError,
@@ -242,8 +269,21 @@ def run_sweep(
     return SweepResult(
         runs=_pooled_runs(
             concurrent.futures.ThreadPoolExecutor, workers, cells,
-            input_probs, confidences, fractions,
+            input_probs, confidences, fractions, timeout, cancel,
         )
+    )
+
+
+def _abandoned_run(
+    circuit: "Circuit | str",
+    config: ProtestConfig,
+    error: str,
+    elapsed: float = 0.0,
+    timed_out: bool = False,
+) -> SweepRun:
+    return SweepRun(
+        circuit=_circuit_label(circuit), config=config, report=None,
+        error=error, elapsed=elapsed, timed_out=timed_out,
     )
 
 
@@ -254,12 +294,43 @@ def _pooled_runs(
     input_probs,
     confidences: Sequence[float],
     fractions: Sequence[float],
+    timeout: "float | None" = None,
+    cancel: "threading.Event | None" = None,
 ) -> List[SweepRun]:
-    with pool_cls(max_workers=workers) as pool:
+    pool = pool_cls(max_workers=workers)
+    abandoned = False
+    try:
         futures = [
             pool.submit(
                 _run_one, circuit, config, input_probs, confidences, fractions
             )
             for circuit, config in cells
         ]
-        return [future.result() for future in futures]
+        runs: List[SweepRun] = []
+        for future, (circuit, config) in zip(futures, cells):
+            if cancel is not None and cancel.is_set():
+                abandoned = True
+                future.cancel()
+                runs.append(_abandoned_run(circuit, config, "cancelled"))
+                continue
+            start = time.perf_counter()
+            try:
+                runs.append(future.result(timeout=timeout))
+            except concurrent.futures.TimeoutError:
+                # A hung worker must not hang the whole sweep: record
+                # the cell as timed out and move on.  The worker itself
+                # cannot be interrupted mid-run — the pool is shut down
+                # without waiting below (best effort: a process keeps
+                # burning CPU until it finishes; a thread until exit).
+                abandoned = True
+                future.cancel()
+                runs.append(_abandoned_run(
+                    circuit, config,
+                    f"timeout after {timeout:g}s", elapsed=time.perf_counter() - start,
+                    timed_out=True,
+                ))
+        return runs
+    finally:
+        # cancel_futures revokes everything still queued; wait=False
+        # keeps an abandoned (hung) worker from blocking the return.
+        pool.shutdown(wait=not abandoned, cancel_futures=abandoned)

@@ -10,6 +10,7 @@ gate drives exactly one node, named after the gate (ISCAS-85 convention), so
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 from typing import Dict, Iterable, Iterator, List, Tuple
 
 from repro.circuit.types import GateType, arity_range, lut_table
@@ -224,6 +225,35 @@ class Circuit:
         )
 
     # -- convenience ----------------------------------------------------------
+
+    def structural_hash(self) -> str:
+        """Stable hash of the circuit *structure* (display name excluded).
+
+        Covers the input/output declarations and every gate (type, pin
+        order, LUT table) — everything that affects analysis results —
+        while two circuits differing only in ``name`` hash identically.
+        This is the artifact-cache key of :mod:`repro.service`: the same
+        netlist uploaded twice, under whatever display name, maps to the
+        same compiled kernels and cached stage results.
+        """
+        cached = getattr(self, "_structural_hash_cache", None)
+        if cached is None:
+            digest = hashlib.sha256()
+            digest.update("|".join(self._inputs).encode("utf-8"))
+            digest.update(b"\x00")
+            digest.update("|".join(self._outputs).encode("utf-8"))
+            for node in self._topo:
+                gate = self._gates.get(node)
+                if gate is None:
+                    continue
+                record = (
+                    f"\x00{gate.name}\x01{gate.gtype.value}"
+                    f"\x01{','.join(gate.inputs)}\x01{gate.table}"
+                )
+                digest.update(record.encode("utf-8"))
+            cached = digest.hexdigest()[:16]
+            self._structural_hash_cache = cached
+        return cached
 
     def stats(self) -> Dict[str, int]:
         """Simple structural statistics (used by reports and Table 7/8)."""

@@ -53,6 +53,27 @@ REGISTRY: Dict[str, Callable[[], Circuit]] = {
     "mul24": lambda: array_multiplier(24),
 }
 
+#: Vendored ISCAS-85-class reconstructions (see circuits/netlists/README.md);
+#: parsed from the packaged ``.bench`` files rather than built procedurally.
+NETLIST_NAMES = ("c432", "c880", "c1355")
+
+
+def _netlist_factory(name: str) -> Callable[[], Circuit]:
+    def factory() -> Circuit:
+        from importlib import resources
+
+        from repro.circuit.bench_parser import parse_bench
+
+        text = (
+            resources.files("repro.circuits") / "netlists" / f"{name}.bench"
+        ).read_text(encoding="utf-8")
+        return parse_bench(text, name=name)
+
+    return factory
+
+
+REGISTRY.update({name: _netlist_factory(name) for name in NETLIST_NAMES})
+
 
 def names() -> List[str]:
     """All registered circuit names, sorted."""

@@ -9,6 +9,7 @@ Subcommands
 ``fsim``       fault-simulate a pattern set and print the coverage curve
 ``sample``     Monte-Carlo grading with confidence intervals
 ``sweep``      analyse many circuits under many configs in one call
+``serve``      run the HTTP analysis service (:mod:`repro.service`)
 ``circuits``   list the built-in evaluation circuits
 ``convert``    convert between .bench and .sdl netlists
 
@@ -276,12 +277,27 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         confidences=tuple(args.confidence),
         fractions=tuple(args.fraction),
         executor=args.executor,
+        timeout=args.timeout,
     )
     if args.json:
         print(result.to_json(indent=2))
     else:
         print(result.to_table())
     return 1 if result.failed else 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import serve
+
+    return serve(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_circuits=args.max_circuits,
+        max_reports=args.max_reports,
+        default_timeout=args.timeout,
+        verbose=args.verbose,
+    )
 
 
 def _cmd_circuits(_args: argparse.Namespace) -> int:
@@ -398,9 +414,32 @@ def build_parser() -> argparse.ArgumentParser:
                    default=[0.95, 0.98, 0.999])
     p.add_argument("--fraction", "-d", type=float, nargs="+",
                    default=[1.0, 0.98])
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-run wall-clock limit in seconds; a cell "
+                        "exceeding it is recorded as timed out instead "
+                        "of hanging the sweep (pool executors only)")
     p.add_argument("--json", action="store_true",
                    help="emit machine-readable JSON instead of tables")
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "serve", help="run the HTTP analysis service (repro.service)"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8321,
+                   help="TCP port; 0 binds an ephemeral port (the bound "
+                        "address is printed on startup)")
+    p.add_argument("--workers", "-w", type=int, default=2,
+                   help="job worker threads")
+    p.add_argument("--max-circuits", type=int, default=64,
+                   help="interned-circuit cache bound")
+    p.add_argument("--max-reports", type=int, default=256,
+                   help="finished-report cache bound")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="default per-job wall-clock budget in seconds")
+    p.add_argument("--verbose", action="store_true",
+                   help="log every HTTP request to stderr")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("circuits", help="list built-in circuits")
     p.set_defaults(func=_cmd_circuits)

@@ -50,3 +50,20 @@ class EstimationError(ReproError):
 
 class OptimizationError(ReproError):
     """Raised when input-probability optimization is asked the impossible."""
+
+
+class ServiceError(ReproError):
+    """Raised for invalid requests to the analysis service (:mod:`repro.service`)."""
+
+
+class JobCancelled(ServiceError):
+    """Raised inside a worker when its job's cancellation flag is set.
+
+    Progressive (sampled) jobs observe the flag at every block-boundary
+    checkpoint; the exception aborts the sampling loop without caching a
+    partial result.
+    """
+
+
+class JobTimeout(ServiceError):
+    """Raised inside a worker when its job exceeds its wall-clock budget."""

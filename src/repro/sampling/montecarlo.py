@@ -32,7 +32,16 @@ from __future__ import annotations
 
 import dataclasses
 import random
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.circuit.netlist import Circuit
 from repro.errors import EstimationError, SimulationError
@@ -372,12 +381,24 @@ class MonteCarloEstimator:
     def sample_detection_probabilities(
         self,
         input_probs: "float | Mapping[str, float] | None" = None,
+        checkpoint: "Callable[[DetectionSample], object] | None" = None,
     ) -> DetectionSample:
         """Empirical detection probability of every graded fault.
 
         Each block is fault-simulated without dropping (counts stay
         exact); detection counts accumulate across blocks and the
         stopping rule checks the widest interval after every block.
+
+        ``checkpoint``, when given, is called after every block with the
+        *partial* :class:`DetectionSample` accumulated so far (the same
+        object shape as the final return value; ``converged`` is only
+        true on the block that satisfies the stopping rule).  Because
+        the stopping rule is sequential, successive checkpoints carry
+        non-increasing ``max_halfwidth`` — the property progressive
+        result delivery (:mod:`repro.service`) relies on.  Exceptions
+        raised by the checkpoint (cancellation, timeouts) propagate and
+        abort the sampling loop; the return value of the callback is
+        ignored.
         """
         if not self.faults:
             raise SimulationError("no faults to grade")
@@ -404,8 +425,27 @@ class MonteCarloEstimator:
             n_total += size
             max_halfwidth = self._worst_halfwidth(counts.values(), n_total)
             history.append((n_total, max_halfwidth))
+            if checkpoint is not None:
+                checkpoint(
+                    self._detection_sample(
+                        counts, first, n_total, max_halfwidth, history
+                    )
+                )
             if max_halfwidth <= plan.target_halfwidth:
                 break
+        return self._detection_sample(
+            counts, first, n_total, max_halfwidth, history
+        )
+
+    def _detection_sample(
+        self,
+        counts: Dict[Fault, int],
+        first: Dict[Fault, Optional[int]],
+        n_total: int,
+        max_halfwidth: float,
+        history: List[Tuple[int, float]],
+    ) -> DetectionSample:
+        """Materialize the accumulated counts as a :class:`DetectionSample`."""
         detected = sum(1 for f in self.faults if first[f] is not None)
         n_graded = len(self.faults)
         if n_graded < len(self.fault_universe):
@@ -431,9 +471,9 @@ class MonteCarloEstimator:
             },
             coverage=coverage,
             n_patterns=n_total,
-            converged=max_halfwidth <= plan.target_halfwidth,
+            converged=max_halfwidth <= self.plan.target_halfwidth,
             max_halfwidth=max_halfwidth,
             n_universe=len(self.fault_universe),
-            history=history,
-            first_detect=first,
+            history=list(history),
+            first_detect=dict(first),
         )

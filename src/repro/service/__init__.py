@@ -1,0 +1,32 @@
+"""Analysis-as-a-service: job engine, artifact cache, HTTP front-end.
+
+The production-shaped front half of the reproduction: long-running
+analyses submitted as jobs, executed on a bounded worker pool over the
+existing :class:`~repro.api.engine.AnalysisEngine` / ``run_sweep``
+machinery, with a circuit-hash-keyed artifact cache shared across jobs
+and progressive Monte-Carlo results streamed while a sampled job runs.
+
+>>> from repro.service import ArtifactCache, JobManager
+>>> manager = JobManager(workers=2)
+>>> job = manager.submit(circuit="c432", config="sampled")
+>>> manager.wait(job.id).state
+'done'
+>>> manager.shutdown()
+
+The HTTP layer (``protest serve``) is stdlib-only; see
+:mod:`repro.service.http`.
+"""
+
+from repro.service.cache import ArtifactCache
+from repro.service.jobs import JOB_STATES, Job, JobManager
+from repro.service.http import ServiceHandler, make_server, serve
+
+__all__ = [
+    "ArtifactCache",
+    "Job",
+    "JobManager",
+    "JOB_STATES",
+    "ServiceHandler",
+    "make_server",
+    "serve",
+]

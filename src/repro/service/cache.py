@@ -1,0 +1,122 @@
+"""Shared artifact cache of the analysis service.
+
+Two cooperating LRU maps, both keyed by content hashes so jobs share
+work regardless of display names or upload order:
+
+* **Circuit interning** — ``intern_circuit`` maps
+  :meth:`~repro.circuit.netlist.Circuit.structural_hash` to one
+  canonical :class:`Circuit` *object*.  The compiled-kernel cache
+  (:func:`repro.kernel.compile_circuit`) is keyed by object identity,
+  so every job that interns the same netlist — uploaded twice, under
+  two names, by two clients — reuses the same compiled kernels instead
+  of recompiling.
+
+* **Report caching** — finished result payloads keyed by
+  ``(circuit_hash, config_hash, method, input-probability tuple)``.
+  Everything behavioural is in the key (:attr:`ProtestConfig.config_hash`
+  covers seeds and sampling knobs), so a cached payload is exactly what
+  a fresh run would have produced and can be served without touching
+  the estimators.
+
+Both maps are size-bounded (least recently used entry evicted) and
+thread-safe; ``cache_info()`` surfaces hit/miss/eviction counters next
+to :meth:`AnalysisEngine.cache_info`'s per-stage counters.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
+
+from repro.circuit.netlist import Circuit
+from repro.errors import ServiceError
+
+__all__ = ["ArtifactCache"]
+
+#: Key of one cached report: (circuit_hash, config_hash, method, probs key).
+ReportKey = Tuple[str, str, str, Tuple[float, ...]]
+
+
+class ArtifactCache:
+    """Bounded, thread-safe artifact store shared by all jobs."""
+
+    def __init__(self, max_circuits: int = 64, max_reports: int = 256) -> None:
+        if max_circuits < 1:
+            raise ServiceError(
+                f"max_circuits must be positive, got {max_circuits}"
+            )
+        if max_reports < 1:
+            raise ServiceError(
+                f"max_reports must be positive, got {max_reports}"
+            )
+        self.max_circuits = max_circuits
+        self.max_reports = max_reports
+        self._lock = threading.Lock()
+        self._circuits: "OrderedDict[str, Circuit]" = OrderedDict()
+        self._reports: "OrderedDict[ReportKey, Dict[str, Any]]" = OrderedDict()
+        self._stats = {
+            "circuit_hits": 0, "circuit_misses": 0, "circuit_evictions": 0,
+            "report_hits": 0, "report_misses": 0, "report_evictions": 0,
+        }
+
+    # -- circuit interning ----------------------------------------------------
+
+    def intern_circuit(self, circuit: Circuit) -> Tuple[Circuit, bool]:
+        """The canonical instance for this structure, plus the hit flag.
+
+        On a hit the previously stored :class:`Circuit` object is
+        returned (its compiled kernels come along for free via the
+        identity-keyed kernel cache); on a miss ``circuit`` itself
+        becomes the canonical instance.
+        """
+        digest = circuit.structural_hash()
+        with self._lock:
+            cached = self._circuits.get(digest)
+            if cached is not None:
+                self._circuits.move_to_end(digest)
+                self._stats["circuit_hits"] += 1
+                return cached, True
+            self._circuits[digest] = circuit
+            self._stats["circuit_misses"] += 1
+            while len(self._circuits) > self.max_circuits:
+                self._circuits.popitem(last=False)
+                self._stats["circuit_evictions"] += 1
+            return circuit, False
+
+    # -- report caching -------------------------------------------------------
+
+    def get_report(self, key: ReportKey) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            payload = self._reports.get(key)
+            if payload is None:
+                self._stats["report_misses"] += 1
+                return None
+            self._reports.move_to_end(key)
+            self._stats["report_hits"] += 1
+            return payload
+
+    def put_report(self, key: ReportKey, payload: Dict[str, Any]) -> None:
+        with self._lock:
+            self._reports[key] = payload
+            self._reports.move_to_end(key)
+            while len(self._reports) > self.max_reports:
+                self._reports.popitem(last=False)
+                self._stats["report_evictions"] += 1
+
+    # -- introspection --------------------------------------------------------
+
+    def cache_info(self) -> Dict[str, int]:
+        """Hit/miss/eviction counters plus current sizes and bounds."""
+        with self._lock:
+            info = dict(self._stats)
+            info["circuits"] = len(self._circuits)
+            info["reports"] = len(self._reports)
+        info["max_circuits"] = self.max_circuits
+        info["max_reports"] = self.max_reports
+        return info
+
+    def clear(self) -> None:
+        with self._lock:
+            self._circuits.clear()
+            self._reports.clear()

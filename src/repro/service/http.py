@@ -1,0 +1,242 @@
+"""Stdlib HTTP/JSON front-end of the analysis service.
+
+No third-party dependencies: a :class:`ThreadingHTTPServer` with a
+small JSON router on top of :class:`~repro.service.jobs.JobManager`.
+
+Routes
+------
+``GET  /healthz``          liveness: ``{"status": "ok"}``
+``GET  /stats``            queue depth, job states, cache counters,
+                           per-backend throughput
+``GET  /jobs``             all job summaries (no snapshot payloads)
+``POST /jobs``             submit — body ``{"circuit": name}`` or
+                           ``{"bench": text}`` or ``{"sweep": {...}}``
+                           plus optional ``config`` (preset name or
+                           knob object), ``input_probs``, ``priority``,
+                           ``timeout``; responds ``201`` with the
+                           queued job's status
+``GET  /jobs/<id>``        status + snapshot history + latest
+                           progressive snapshot
+``GET  /jobs/<id>/result`` the final report — ``200`` when done,
+                           ``202`` while queued/running (body is the
+                           status, so pollers see the snapshots),
+                           ``500`` when failed, ``410`` when cancelled
+``DELETE /jobs/<id>``      request cancellation
+
+Every error body is structured: ``{"error": {"type", "message"}}``.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ServiceError
+from repro.service.jobs import JobManager
+
+__all__ = ["ServiceHandler", "make_server", "serve"]
+
+#: Largest accepted request body (a multi-megabyte .bench is legitimate;
+#: an unbounded one is a memory hole).
+MAX_BODY_BYTES = 16 << 20
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """JSON router; the server instance carries the ``manager``."""
+
+    server_version = "protest-service/1.0"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def manager(self) -> JobManager:
+        return self.server.manager  # type: ignore[attr-defined]
+
+    # -- plumbing ------------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, kind: str, message: str) -> None:
+        self._send_json(status, {"error": {"type": kind, "message": message}})
+
+    def _read_json(self) -> "Dict[str, Any] | None":
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            self._send_error_json(400, "BadRequest", "a JSON body is required")
+            return None
+        if length > MAX_BODY_BYTES:
+            self._send_error_json(
+                413, "BadRequest",
+                f"body larger than {MAX_BODY_BYTES} bytes",
+            )
+            return None
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            self._send_error_json(400, "BadRequest", f"invalid JSON: {error}")
+            return None
+        if not isinstance(payload, dict):
+            self._send_error_json(400, "BadRequest", "body must be an object")
+            return None
+        return payload
+
+    def _job_id(self) -> "Tuple[str, Optional[str]] | None":
+        """Split ``/jobs/<id>[/result]``; ``None`` after a 404."""
+        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        if len(parts) == 2 and parts[0] == "jobs":
+            return parts[1], None
+        if len(parts) == 3 and parts[0] == "jobs":
+            return parts[1], parts[2]
+        self._send_error_json(404, "NotFound", f"no route {self.path!r}")
+        return None
+
+    # -- verbs ---------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        path = self.path.split("?")[0]
+        if path in ("/healthz", "/healthz/"):
+            self._send_json(200, {"status": "ok"})
+            return
+        if path in ("/stats", "/stats/"):
+            self._send_json(200, self.manager.stats())
+            return
+        if path in ("/jobs", "/jobs/"):
+            self._send_json(200, {"jobs": self.manager.jobs()})
+            return
+        route = self._job_id()
+        if route is None:
+            return
+        job_id, tail = route
+        try:
+            status = self.manager.status(job_id)
+        except ServiceError as error:
+            self._send_error_json(404, "NotFound", str(error))
+            return
+        if tail is None:
+            self._send_json(200, status)
+            return
+        if tail != "result":
+            self._send_error_json(404, "NotFound", f"no route {self.path!r}")
+            return
+        state = status["state"]
+        if state == "done":
+            self._send_json(200, {
+                "id": job_id, "state": state,
+                "from_cache": status["from_cache"],
+                "result": self.manager.result(job_id),
+            })
+        elif state == "failed":
+            self._send_json(500, {
+                "id": job_id, "state": state, "error": status["error"],
+            })
+        elif state == "cancelled":
+            self._send_json(410, {
+                "id": job_id, "state": state, "error": status["error"],
+            })
+        else:   # queued / running: expose progress so pollers can watch
+            self._send_json(202, status)
+
+    def do_POST(self) -> None:  # noqa: N802
+        if self.path.split("?")[0] not in ("/jobs", "/jobs/"):
+            self._send_error_json(404, "NotFound", f"no route {self.path!r}")
+            return
+        payload = self._read_json()
+        if payload is None:
+            return
+        known = {"circuit", "bench", "sweep", "config", "input_probs",
+                 "priority", "timeout"}
+        unknown = set(payload) - known
+        if unknown:
+            self._send_error_json(
+                400, "BadRequest", f"unknown keys: {sorted(unknown)}"
+            )
+            return
+        try:
+            job = self.manager.submit(
+                circuit=payload.get("circuit"),
+                bench=payload.get("bench"),
+                sweep=payload.get("sweep"),
+                config=payload.get("config"),
+                input_probs=payload.get("input_probs"),
+                priority=payload.get("priority", 0),
+                timeout=payload.get("timeout"),
+            )
+        except ServiceError as error:
+            self._send_error_json(400, "BadRequest", str(error))
+            return
+        self._send_json(201, self.manager.status(job.id))
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        route = self._job_id()
+        if route is None:
+            return
+        job_id, tail = route
+        if tail is not None:
+            self._send_error_json(404, "NotFound", f"no route {self.path!r}")
+            return
+        try:
+            self._send_json(200, self.manager.cancel(job_id))
+        except ServiceError as error:
+            self._send_error_json(404, "NotFound", str(error))
+
+
+def make_server(
+    manager: JobManager,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+) -> ThreadingHTTPServer:
+    """A ready-to-run server bound to ``host:port`` (0 = ephemeral)."""
+    server = ThreadingHTTPServer((host, port), ServiceHandler)
+    server.daemon_threads = True
+    server.manager = manager          # type: ignore[attr-defined]
+    server.verbose = verbose          # type: ignore[attr-defined]
+    return server
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    workers: int = 2,
+    max_circuits: int = 64,
+    max_reports: int = 256,
+    default_timeout: "float | None" = None,
+    verbose: bool = False,
+) -> int:
+    """Run the service until interrupted (the ``protest serve`` body).
+
+    Prints one ``serving on http://host:port`` line (flushed, so smoke
+    harnesses spawning the process can parse the ephemeral port) and
+    blocks in ``serve_forever``.
+    """
+    from repro.service.cache import ArtifactCache
+
+    manager = JobManager(
+        workers=workers,
+        cache=ArtifactCache(max_circuits=max_circuits,
+                            max_reports=max_reports),
+        default_timeout=default_timeout,
+    )
+    server = make_server(manager, host, port, verbose=verbose)
+    bound_host, bound_port = server.server_address[:2]
+    print(f"serving on http://{bound_host}:{bound_port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        manager.shutdown(wait=False)
+    return 0

@@ -1,0 +1,488 @@
+"""The job engine: queued analyses on a bounded worker pool.
+
+A :class:`JobManager` owns a priority queue of :class:`Job` records and
+``workers`` daemon threads that execute them on the existing analysis
+machinery — :class:`~repro.api.engine.AnalysisEngine` for single-circuit
+jobs, :func:`~repro.api.sweep.run_sweep` for batch jobs — sharing one
+:class:`~repro.service.cache.ArtifactCache` so repeated payloads reuse
+interned circuits (and therefore compiled kernels) and finished report
+payloads.
+
+Lifecycle::
+
+    queued -> running -> done
+                      -> failed     (structured {"type", "message"} error)
+                      -> cancelled  (client DELETE, or revoked while queued)
+
+Sampled jobs additionally publish **progressive snapshots**: the
+engine's per-block checkpoint (see
+:meth:`AnalysisEngine.sampled_analyze`) appends a summary row per
+sampled block and keeps the latest full partial
+:class:`~repro.api.results.SampledReport` payload, so clients polling
+``GET /jobs/<id>`` watch ``max_halfwidth`` shrink monotonically while
+the job runs.  The same checkpoint enforces cancellation and the
+per-job wall-clock budget (:class:`~repro.errors.JobCancelled` /
+:class:`~repro.errors.JobTimeout` abort the sampling loop between
+blocks); analytic stages are not preemptible mid-stage, so for them
+both are best-effort boundaries (checked before the stage runs, and
+between sweep cells).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.api.config import ProtestConfig
+from repro.api.engine import AnalysisEngine
+from repro.api.sweep import run_sweep
+from repro.circuit.bench_parser import parse_bench
+from repro.errors import JobCancelled, JobTimeout, ReproError, ServiceError
+from repro.probability.estimator import input_probs_key
+from repro.service.cache import ArtifactCache
+
+__all__ = ["Job", "JobManager", "JOB_STATES"]
+
+#: Every state a job can be in.
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+#: States a job never leaves.
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+
+class Job:
+    """One queued analysis.  Mutable state is guarded by the manager lock."""
+
+    def __init__(
+        self,
+        job_id: str,
+        kind: str,
+        payload: Dict[str, Any],
+        config: ProtestConfig,
+        input_probs,
+        priority: int,
+        timeout: Optional[float],
+    ) -> None:
+        self.id = job_id
+        self.kind = kind                      # "analyze" | "sweep"
+        self.payload = payload                # kind-specific request body
+        self.config = config
+        self.input_probs = input_probs
+        self.priority = priority
+        self.timeout = timeout
+        self.state = "queued"
+        self.created = time.time()
+        self.started: Optional[float] = None
+        self.finished: Optional[float] = None
+        self.deadline: Optional[float] = None      # monotonic, set at start
+        self.cancel_event = threading.Event()
+        self.circuit_name: Optional[str] = payload.get("circuit")
+        self.circuit_hash: Optional[str] = None
+        self.from_cache = False
+        self.circuit_interned = False
+        self.error: Optional[Dict[str, str]] = None
+        self.snapshots: List[Dict[str, Any]] = []
+        self.latest_snapshot: Optional[Dict[str, Any]] = None
+        self.result: Optional[Dict[str, Any]] = None
+
+    # -- views (call under the manager lock) ---------------------------------
+
+    def elapsed(self) -> float:
+        if self.started is None:
+            return 0.0
+        end = self.finished if self.finished is not None else time.time()
+        return end - self.started
+
+    def status_dict(self) -> Dict[str, Any]:
+        """The ``GET /jobs/<id>`` body: status plus the latest snapshot."""
+        return {
+            "id": self.id,
+            "kind": self.kind,
+            "state": self.state,
+            "circuit": self.circuit_name,
+            "circuit_hash": self.circuit_hash,
+            "config_name": self.config.name,
+            "config_hash": self.config.config_hash,
+            "method": self.config.method,
+            "priority": self.priority,
+            "timeout": self.timeout,
+            "created": self.created,
+            "started": self.started,
+            "finished": self.finished,
+            "elapsed": self.elapsed(),
+            "from_cache": self.from_cache,
+            "error": self.error,
+            "n_snapshots": len(self.snapshots),
+            "snapshots": list(self.snapshots),
+            "snapshot": self.latest_snapshot,
+        }
+
+    def summary_dict(self) -> Dict[str, Any]:
+        """The ``GET /jobs`` row: status without snapshot payloads."""
+        summary = self.status_dict()
+        del summary["snapshots"]
+        del summary["snapshot"]
+        return summary
+
+
+class JobManager:
+    """Priority-ordered job queue on a bounded worker-thread pool."""
+
+    def __init__(
+        self,
+        workers: int = 2,
+        cache: "ArtifactCache | None" = None,
+        default_timeout: "float | None" = None,
+    ) -> None:
+        if workers < 1:
+            raise ServiceError(f"workers must be positive, got {workers}")
+        if default_timeout is not None and default_timeout <= 0:
+            raise ServiceError(
+                f"default_timeout must be positive, got {default_timeout}"
+            )
+        self.cache = cache if cache is not None else ArtifactCache()
+        self.default_timeout = default_timeout
+        # Reentrant: cancel()/shutdown() finish jobs while already
+        # holding the lock; the worker loop finishes them without it.
+        self._lock = threading.RLock()
+        self._cond = threading.Condition(self._lock)
+        self._queue: List[Tuple[int, int, str]] = []   # (-priority, seq, id)
+        self._seq = itertools.count()
+        self._jobs: Dict[str, Job] = {}
+        self._stopping = False
+        # Per-backend sampled-pattern throughput, keyed by the resolved
+        # backend name recorded in each finished report's provenance.
+        self._throughput: Dict[str, Dict[str, float]] = {}
+        self._workers = [
+            threading.Thread(
+                target=self._worker, name=f"protest-job-worker-{i}",
+                daemon=True,
+            )
+            for i in range(workers)
+        ]
+        for thread in self._workers:
+            thread.start()
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(
+        self,
+        circuit: "str | None" = None,
+        bench: "str | None" = None,
+        sweep: "Mapping[str, Any] | None" = None,
+        config: "ProtestConfig | str | Mapping[str, Any] | None" = None,
+        input_probs=None,
+        priority: int = 0,
+        timeout: "float | None" = None,
+    ) -> Job:
+        """Enqueue a job and return its (queued) :class:`Job` record.
+
+        Exactly one of ``circuit`` (a registered library name), ``bench``
+        (``.bench`` source text) or ``sweep`` (a ``run_sweep`` request:
+        ``{"circuits": [...], "presets": [...], ...}``) selects the
+        work.  Request-shape problems raise :class:`ServiceError` here
+        (the HTTP layer maps them to 400); problems with the *content*
+        — an unknown circuit name, unparseable bench text, estimation
+        failures — surface later as a ``failed`` job with a structured
+        error body, so one bad payload can never take down the service.
+        """
+        chosen = [x for x in (circuit, bench, sweep) if x is not None]
+        if len(chosen) != 1:
+            raise ServiceError(
+                "exactly one of 'circuit', 'bench' or 'sweep' is required"
+            )
+        if circuit is not None and not isinstance(circuit, str):
+            raise ServiceError(f"'circuit' must be a name, got {circuit!r}")
+        if bench is not None and not isinstance(bench, str):
+            raise ServiceError("'bench' must be .bench source text")
+        if sweep is not None:
+            if not isinstance(sweep, Mapping):
+                raise ServiceError("'sweep' must be an object")
+            if not sweep.get("circuits"):
+                raise ServiceError("'sweep' requires a 'circuits' list")
+        if not isinstance(priority, int) or isinstance(priority, bool):
+            raise ServiceError(f"priority must be an int, got {priority!r}")
+        if timeout is None:
+            timeout = self.default_timeout
+        elif timeout <= 0:
+            raise ServiceError(f"timeout must be positive, got {timeout}")
+        try:
+            if isinstance(config, Mapping):
+                config = ProtestConfig.from_dict(config)
+            else:
+                config = ProtestConfig.coerce(config)
+        except ReproError as error:
+            raise ServiceError(f"invalid config: {error}") from error
+        if sweep is not None:
+            kind = "sweep"
+            payload: Dict[str, Any] = dict(sweep)
+        elif bench is not None:
+            kind = "analyze"
+            payload = {"bench": bench, "circuit": "uploaded"}
+        else:
+            kind = "analyze"
+            payload = {"circuit": circuit}
+        with self._cond:
+            if self._stopping:
+                raise ServiceError("the job manager is shutting down")
+            job_id = f"j{next(self._seq):06d}"
+            job = Job(
+                job_id, kind, payload, config, input_probs, priority, timeout
+            )
+            self._jobs[job_id] = job
+            heapq.heappush(self._queue, (-priority, int(job_id[1:]), job_id))
+            self._cond.notify()
+            return job
+
+    # -- queries -------------------------------------------------------------
+
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                raise ServiceError(f"unknown job {job_id!r}") from None
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        job = self.get(job_id)
+        with self._lock:
+            return job.status_dict()
+
+    def result(self, job_id: str) -> "Dict[str, Any] | None":
+        job = self.get(job_id)
+        with self._lock:
+            return job.result
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return [
+                job.summary_dict()
+                for _, job in sorted(self._jobs.items())
+            ]
+
+    def wait(self, job_id: str, timeout: "float | None" = None) -> Job:
+        """Block until the job reaches a terminal state (or ``timeout``)."""
+        job = self.get(job_id)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while job.state not in TERMINAL_STATES:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                self._cond.wait(remaining)
+            return job
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        """Request cancellation; returns the (possibly terminal) status.
+
+        A queued job is cancelled immediately; a running sampled or
+        sweep job aborts at its next checkpoint / cell boundary; a job
+        already in a terminal state is left untouched.
+        """
+        job = self.get(job_id)
+        with self._cond:
+            job.cancel_event.set()
+            if job.state == "queued":
+                self._finish(job, "cancelled",
+                             error={"type": "JobCancelled",
+                                    "message": "cancelled while queued"})
+            return job.status_dict()
+
+    def stats(self) -> Dict[str, Any]:
+        """The ``GET /stats`` body: queue, states, cache, throughput."""
+        with self._lock:
+            states = {state: 0 for state in JOB_STATES}
+            for job in self._jobs.values():
+                states[job.state] += 1
+            throughput = {
+                backend: {
+                    **dict(data),
+                    "patterns_per_second": (
+                        data["patterns"] / data["seconds"]
+                        if data["seconds"] > 0 else 0.0
+                    ),
+                }
+                for backend, data in self._throughput.items()
+            }
+            queue_depth = states["queued"]
+        return {
+            "workers": len(self._workers),
+            "queue_depth": queue_depth,
+            "jobs": states,
+            "cache": self.cache.cache_info(),
+            "throughput": throughput,
+        }
+
+    # -- shutdown ------------------------------------------------------------
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the workers; still-queued jobs are marked cancelled."""
+        with self._cond:
+            self._stopping = True
+            while self._queue:
+                _, _, job_id = heapq.heappop(self._queue)
+                job = self._jobs[job_id]
+                if job.state == "queued":
+                    self._finish(job, "cancelled",
+                                 error={"type": "JobCancelled",
+                                        "message": "service shutdown"})
+            self._cond.notify_all()
+        if wait:
+            for thread in self._workers:
+                thread.join()
+
+    # -- worker internals ----------------------------------------------------
+
+    def _worker(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self._stopping:
+                    self._cond.wait()
+                if not self._queue:
+                    return          # stopping and drained
+                _, _, job_id = heapq.heappop(self._queue)
+                job = self._jobs[job_id]
+                if job.state != "queued":
+                    continue        # revoked while queued
+                job.state = "running"
+                job.started = time.time()
+                if job.timeout is not None:
+                    job.deadline = time.monotonic() + job.timeout
+            try:
+                self._execute(job)
+            except JobCancelled as error:
+                self._finish(job, "cancelled",
+                             error={"type": "JobCancelled",
+                                    "message": str(error)})
+            except JobTimeout as error:
+                self._finish(job, "failed",
+                             error={"type": "JobTimeout",
+                                    "message": str(error)})
+            except ReproError as error:
+                self._finish(job, "failed",
+                             error={"type": type(error).__name__,
+                                    "message": str(error)})
+            except Exception as error:  # noqa: BLE001 - worker must survive
+                self._finish(job, "failed",
+                             error={"type": type(error).__name__,
+                                    "message": str(error)})
+
+    def _finish(
+        self,
+        job: Job,
+        state: str,
+        result: "Dict[str, Any] | None" = None,
+        error: "Dict[str, str] | None" = None,
+    ) -> None:
+        with self._cond:
+            if job.state in TERMINAL_STATES:
+                return
+            job.state = state
+            job.result = result
+            job.error = error
+            job.finished = time.time()
+            self._cond.notify_all()
+
+    def _check_abort(self, job: Job) -> None:
+        if job.cancel_event.is_set():
+            raise JobCancelled(f"job {job.id} cancelled")
+        if job.deadline is not None and time.monotonic() > job.deadline:
+            raise JobTimeout(
+                f"job {job.id} exceeded its {job.timeout:g}s budget"
+            )
+
+    def _execute(self, job: Job) -> None:
+        self._check_abort(job)
+        if job.kind == "sweep":
+            self._execute_sweep(job)
+        else:
+            self._execute_analyze(job)
+
+    def _execute_sweep(self, job: Job) -> None:
+        payload = job.payload
+        configs = payload.get("presets") or [job.config]
+        result = run_sweep(
+            payload["circuits"],
+            configs,
+            workers=payload.get("workers"),
+            input_probs=job.input_probs,
+            executor=payload.get("executor", "inline"),
+            timeout=job.timeout,
+            cancel=job.cancel_event,
+        )
+        self._check_abort(job)
+        self._finish(job, "done", result=result.to_dict())
+
+    def _execute_analyze(self, job: Job) -> None:
+        bench = job.payload.get("bench")
+        if bench is not None:
+            # Parsed in the worker on purpose: a syntax error is a
+            # property of this job ("failed", with the parser's
+            # line-numbered message), not of the submission API.
+            circuit = parse_bench(bench, name=job.payload["circuit"])
+        else:
+            from repro.circuits.library import build
+
+            circuit = build(job.payload["circuit"])
+        circuit, interned = self.cache.intern_circuit(circuit)
+        config = job.config
+        probs_key = input_probs_key(circuit.inputs, job.input_probs)
+        report_key = (
+            circuit.structural_hash(), config.config_hash,
+            config.method, probs_key,
+        )
+        with self._lock:
+            job.circuit_name = circuit.name
+            job.circuit_hash = report_key[0]
+            job.circuit_interned = interned
+        cached = self.cache.get_report(report_key)
+        if cached is not None:
+            with self._lock:
+                job.from_cache = True
+            self._finish(job, "done", result=cached)
+            return
+        engine = AnalysisEngine(circuit, config)
+        self._check_abort(job)
+        if config.method == "sampled":
+            report = engine.sampled_analyze(
+                job.input_probs, checkpoint=lambda p: self._snapshot(job, p)
+            )
+        else:
+            report = engine.analyze(job.input_probs)
+        self._check_abort(job)
+        payload = report.to_dict()
+        self.cache.put_report(report_key, payload)
+        self._record_throughput(job, payload)
+        self._finish(job, "done", result=payload)
+
+    def _snapshot(self, job: Job, partial) -> None:
+        """Per-block checkpoint: abort check + progressive publication."""
+        self._check_abort(job)
+        payload = partial.to_dict()
+        summary = {
+            "n_patterns": payload.get("n_patterns"),
+            "max_halfwidth": payload.get("max_halfwidth"),
+            "converged": payload.get("converged"),
+            "coverage": (payload.get("coverage") or {}).get("estimate"),
+            "elapsed": job.elapsed(),
+        }
+        with self._lock:
+            job.snapshots.append(summary)
+            job.latest_snapshot = payload
+            self._cond.notify_all()
+
+    def _record_throughput(self, job: Job, payload: Dict[str, Any]) -> None:
+        backend = (payload.get("provenance") or {}).get("backend", "unknown")
+        patterns = payload.get("n_patterns", 0) or 0
+        with self._lock:
+            data = self._throughput.setdefault(
+                backend, {"jobs": 0, "patterns": 0, "seconds": 0.0}
+            )
+            data["jobs"] += 1
+            data["patterns"] += patterns
+            data["seconds"] += job.elapsed()

@@ -1,0 +1,79 @@
+"""AnalysisEngine thread safety: each stage runs exactly once under contention."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.api.config import ProtestConfig
+from repro.api.engine import AnalysisEngine
+from repro.api.results import canonical_payload
+from repro.circuits.library import build
+
+N_THREADS = 8
+
+
+def _hammer(n_threads, target):
+    results = [None] * n_threads
+    errors = []
+
+    def run(i):
+        try:
+            results[i] = target()
+        except Exception as error:  # noqa: BLE001 - surfaced via assert
+            errors.append(error)
+
+    threads = [threading.Thread(target=run, args=(i,))
+               for i in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors, errors
+    return results
+
+
+def test_concurrent_analyze_runs_each_stage_once():
+    engine = AnalysisEngine(build("c432"), "fast")
+    reports = _hammer(N_THREADS, engine.analyze)
+    info = engine.cache_info()
+    assert info["signal_runs"] == 1
+    assert info["observability_runs"] == 1
+    assert info["detection_runs"] == 1
+    # Every other caller took a hit; counters add up exactly.
+    assert info["detection_runs"] + info["detection_hits"] == N_THREADS
+    # And everyone saw the same numbers.
+    payloads = [canonical_payload(r.to_dict()) for r in reports]
+    assert all(p == payloads[0] for p in payloads)
+
+
+def test_concurrent_sampling_simulates_once():
+    config = ProtestConfig(
+        method="sampled", max_patterns=512, target_halfwidth=0.05,
+        fault_sample=32, name="ts-test",
+    )
+    engine = AnalysisEngine(build("c17"), config)
+    reports = _hammer(N_THREADS, engine.sampled_detection_probabilities)
+    info = engine.cache_info()
+    assert info["sampling_runs"] == 1
+    assert info["sampling_runs"] + info["sampling_hits"] == N_THREADS
+    payloads = [canonical_payload(r.to_dict()) for r in reports]
+    assert all(p == payloads[0] for p in payloads)
+
+
+def test_concurrent_mixed_stages_consistent_counters():
+    engine = AnalysisEngine(build("c17"), "fast")
+
+    def mixed():
+        engine.signal_probabilities()
+        engine.detection_probabilities()
+        return engine.test_length(0.95, 1.0)
+
+    _hammer(N_THREADS, mixed)
+    info = engine.cache_info()
+    assert info["signal_runs"] == 1
+    assert info["detection_runs"] == 1
+    # Per thread: one direct signal lookup and two detection lookups
+    # (detection_probabilities and test_length); the single detection
+    # *miss* performs one extra internal signal lookup.
+    assert info["signal_runs"] + info["signal_hits"] == N_THREADS + 1
+    assert info["detection_runs"] + info["detection_hits"] == 2 * N_THREADS

@@ -1,0 +1,99 @@
+"""ArtifactCache: interning, report caching, bounds, counters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit import CircuitBuilder
+from repro.errors import ServiceError
+from repro.service import ArtifactCache
+
+
+def _chain(name: str, n: int = 3):
+    b = CircuitBuilder(name)
+    node = b.input("a")
+    for i in range(n):
+        node = b.not_(f"inv{i}", node)
+    b.output(node)
+    return b.build()
+
+
+def test_intern_returns_canonical_instance():
+    cache = ArtifactCache()
+    first = _chain("one")
+    second = _chain("two")        # same structure, different display name
+    kept, hit = cache.intern_circuit(first)
+    assert kept is first and hit is False
+    again, hit = cache.intern_circuit(second)
+    assert again is first         # the canonical object, kernels and all
+    assert hit is True
+    info = cache.cache_info()
+    assert info["circuit_hits"] == 1
+    assert info["circuit_misses"] == 1
+    assert info["circuits"] == 1
+
+
+def test_intern_distinguishes_structures():
+    cache = ArtifactCache()
+    cache.intern_circuit(_chain("a", n=3))
+    kept, hit = cache.intern_circuit(_chain("b", n=4))
+    assert hit is False
+    assert cache.cache_info()["circuits"] == 2
+
+
+def test_circuit_lru_eviction():
+    cache = ArtifactCache(max_circuits=2)
+    c1, c2, c3 = _chain("c1", 1), _chain("c2", 2), _chain("c3", 3)
+    cache.intern_circuit(c1)
+    cache.intern_circuit(c2)
+    cache.intern_circuit(c1)        # refresh c1 -> c2 is now oldest
+    cache.intern_circuit(c3)        # evicts c2
+    info = cache.cache_info()
+    assert info["circuit_evictions"] == 1
+    _, hit = cache.intern_circuit(_chain("c1-again", 1))
+    assert hit is True              # c1 survived
+    _, hit = cache.intern_circuit(_chain("c2-again", 2))
+    assert hit is False             # c2 was evicted
+
+
+def test_report_roundtrip_and_counters():
+    cache = ArtifactCache()
+    key = ("hash", "cfg", "analytic", (0.5,))
+    assert cache.get_report(key) is None
+    cache.put_report(key, {"n_faults": 7})
+    assert cache.get_report(key) == {"n_faults": 7}
+    info = cache.cache_info()
+    assert info["report_misses"] == 1
+    assert info["report_hits"] == 1
+    assert info["reports"] == 1
+
+
+def test_report_lru_eviction():
+    cache = ArtifactCache(max_reports=2)
+    keys = [("h", "c", "analytic", (p,)) for p in (0.1, 0.2, 0.3)]
+    for i, key in enumerate(keys):
+        cache.put_report(key, {"i": i})
+    cache.get_report(keys[1])
+    cache.put_report(("h", "c", "analytic", (0.4,)), {"i": 3})
+    assert cache.get_report(keys[0]) is None        # evicted (bound=2)
+    assert cache.get_report(keys[2]) is None        # evicted by the put
+    assert cache.get_report(keys[1]) == {"i": 1}    # refreshed, survived
+    assert cache.cache_info()["report_evictions"] == 2
+
+
+def test_clear_resets_contents_not_counters():
+    cache = ArtifactCache()
+    cache.intern_circuit(_chain("x"))
+    cache.put_report(("h", "c", "analytic", ()), {})
+    cache.clear()
+    info = cache.cache_info()
+    assert info["circuits"] == 0 and info["reports"] == 0
+    assert info["circuit_misses"] == 1      # history survives a clear
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"max_circuits": 0}, {"max_reports": 0}, {"max_circuits": -3},
+])
+def test_invalid_bounds_rejected(kwargs):
+    with pytest.raises(ServiceError):
+        ArtifactCache(**kwargs)

@@ -1,0 +1,161 @@
+"""HTTP front-end: the full job lifecycle over the wire."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service import ArtifactCache, JobManager, make_server
+
+#: Sampled knobs sized for the test wall-clock (two-plus blocks).
+SAMPLED_CONFIG = {
+    "method": "sampled", "max_patterns": 2048, "target_halfwidth": 0.01,
+    "fault_sample": 48,
+}
+
+
+@pytest.fixture(scope="module")
+def service():
+    manager = JobManager(workers=2, cache=ArtifactCache())
+    server = make_server(manager, "127.0.0.1", 0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    base = f"http://127.0.0.1:{server.server_address[1]}"
+    yield base, manager
+    server.shutdown()
+    server.server_close()
+    manager.shutdown(wait=False)
+
+
+def request(base, method, path, body=None):
+    data = json.dumps(body).encode("utf-8") if body is not None else None
+    req = urllib.request.Request(base + path, data=data, method=method)
+    if data is not None:
+        req.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(req, timeout=60) as resp:
+            return resp.status, json.loads(resp.read().decode("utf-8"))
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read().decode("utf-8"))
+
+
+def poll_result(base, job_id, deadline_s=120.0):
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        code, body = request(base, "GET", f"/jobs/{job_id}/result")
+        if code != 202:
+            return code, body
+        time.sleep(0.02)
+    raise AssertionError(f"job {job_id} did not finish in {deadline_s}s")
+
+
+def test_healthz(service):
+    base, _ = service
+    assert request(base, "GET", "/healthz") == (200, {"status": "ok"})
+
+
+def test_submit_poll_result_and_cache_hit(service):
+    base, _ = service
+    code, sub = request(base, "POST", "/jobs",
+                        {"circuit": "c432", "config": SAMPLED_CONFIG})
+    assert code == 201
+    assert sub["state"] in ("queued", "running")
+    assert sub["method"] == "sampled"
+
+    code, final = poll_result(base, sub["id"])
+    assert code == 200
+    assert final["state"] == "done"
+    assert final["result"]["n_patterns"] >= 2 * 1024
+
+    # Status carries the progressive snapshot history.
+    code, status = request(base, "GET", f"/jobs/{sub['id']}")
+    assert code == 200
+    widths = [s["max_halfwidth"] for s in status["snapshots"]]
+    assert len(widths) >= 2
+    assert widths == sorted(widths, reverse=True)
+    assert status["snapshot"]["n_patterns"] == final["result"]["n_patterns"]
+
+    # Same payload again: served from the artifact cache, recorded in /stats.
+    code, sub2 = request(base, "POST", "/jobs",
+                         {"circuit": "c432", "config": SAMPLED_CONFIG})
+    assert code == 201
+    code, again = poll_result(base, sub2["id"])
+    assert code == 200
+    assert again["from_cache"] is True
+    assert again["result"] == final["result"]
+    code, stats = request(base, "GET", "/stats")
+    assert code == 200
+    assert stats["cache"]["report_hits"] >= 1
+    assert stats["cache"]["circuit_hits"] >= 1
+    assert stats["jobs"]["done"] >= 2
+    assert stats["throughput"]            # at least one backend recorded
+
+
+def test_bench_upload_roundtrip(service):
+    base, _ = service
+    bench = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n"
+    code, sub = request(base, "POST", "/jobs",
+                        {"bench": bench, "config": "fast"})
+    assert code == 201
+    code, final = poll_result(base, sub["id"])
+    assert code == 200
+    assert final["result"]["n_faults"] > 0
+
+
+def test_failed_job_surfaces_structured_error(service):
+    base, _ = service
+    code, sub = request(base, "POST", "/jobs",
+                        {"bench": "INPUT(a)\ngarbage((\n"})
+    assert code == 201
+    code, body = poll_result(base, sub["id"])
+    assert code == 500
+    assert body["state"] == "failed"
+    assert body["error"]["type"] == "ParseError"
+    assert "line 2" in body["error"]["message"]
+
+
+def test_delete_cancels(service):
+    base, manager = service
+    # A job that will not converge soon, so DELETE lands while queued or
+    # running either way.
+    slow = {"method": "sampled", "max_patterns": 1 << 18,
+            "target_halfwidth": 0.002, "fault_sample": 128}
+    code, sub = request(base, "POST", "/jobs",
+                        {"circuit": "c880", "config": slow})
+    assert code == 201
+    code, status = request(base, "DELETE", f"/jobs/{sub['id']}")
+    assert code == 200
+    manager.wait(sub["id"], timeout=120)
+    code, body = request(base, "GET", f"/jobs/{sub['id']}/result")
+    assert code == 410
+    assert body["state"] == "cancelled"
+
+
+def test_jobs_listing(service):
+    base, _ = service
+    code, body = request(base, "GET", "/jobs")
+    assert code == 200
+    assert isinstance(body["jobs"], list) and body["jobs"]
+    assert "snapshots" not in body["jobs"][0]     # summaries stay light
+
+
+def test_request_validation(service):
+    base, _ = service
+    code, body = request(base, "POST", "/jobs", {"nonsense": 1})
+    assert code == 400 and body["error"]["type"] == "BadRequest"
+    code, body = request(base, "POST", "/jobs", {})
+    assert code == 400
+    code, body = request(base, "POST", "/jobs",
+                         {"circuit": "c17", "config": {"bad_knob": 2}})
+    assert code == 400 and "bad_knob" in body["error"]["message"]
+    code, body = request(base, "GET", "/jobs/j424242")
+    assert code == 404 and body["error"]["type"] == "NotFound"
+    code, body = request(base, "GET", "/no/such/route")
+    assert code == 404
+    code, body = request(base, "DELETE", "/jobs/j424242")
+    assert code == 404

@@ -1,0 +1,204 @@
+"""Job engine lifecycle: progressive snapshots, caching, failure modes."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.api.config import ProtestConfig
+from repro.api.engine import AnalysisEngine
+from repro.api.results import canonical_payload
+from repro.circuits.library import build
+from repro.errors import ServiceError
+from repro.service import ArtifactCache, JobManager
+
+#: A sampled config small enough for test wall-clocks but guaranteed to
+#: run at least two blocks (target unreachable before the pattern cap).
+SAMPLED = ProtestConfig(
+    method="sampled", max_patterns=2048, target_halfwidth=0.01,
+    fault_sample=48, name="svc-test",
+)
+
+#: A config whose sampling never converges quickly (for cancel/timeout).
+SLOW = ProtestConfig(
+    method="sampled", max_patterns=1 << 18, target_halfwidth=0.002,
+    fault_sample=128, name="svc-slow",
+)
+
+
+@pytest.fixture
+def manager():
+    mgr = JobManager(workers=2, cache=ArtifactCache())
+    yield mgr
+    mgr.shutdown(wait=False)
+
+
+def test_full_lifecycle_progressive_snapshots(manager):
+    job = manager.submit(circuit="c432", config=SAMPLED)
+    assert job.state in ("queued", "running")
+    job = manager.wait(job.id, timeout=120)
+    assert job.state == "done", job.error
+
+    # Progressive delivery: at least two snapshots, halfwidths
+    # non-increasing, the last snapshot agreeing with the final result.
+    assert len(job.snapshots) >= 2
+    widths = [snap["max_halfwidth"] for snap in job.snapshots]
+    assert widths == sorted(widths, reverse=True)
+    patterns = [snap["n_patterns"] for snap in job.snapshots]
+    assert patterns == sorted(patterns) and patterns[0] < patterns[-1]
+    assert job.latest_snapshot["n_patterns"] == job.result["n_patterns"]
+
+    # Bit-identical to the direct in-process run under the same seed.
+    direct = AnalysisEngine(build("c432"), SAMPLED).sampled_analyze()
+    assert canonical_payload(job.result) == canonical_payload(
+        direct.to_dict()
+    )
+
+
+def test_resubmission_is_a_cache_hit(manager):
+    first = manager.wait(manager.submit(circuit="c432", config=SAMPLED).id,
+                         timeout=120)
+    assert first.state == "done"
+    again = manager.wait(manager.submit(circuit="c432", config=SAMPLED).id,
+                         timeout=120)
+    assert again.state == "done"
+    assert again.from_cache is True
+    assert again.snapshots == []            # served, not recomputed
+    assert again.result == first.result
+    info = manager.cache.cache_info()
+    assert info["report_hits"] >= 1
+    assert info["circuit_hits"] >= 1        # same kernel, not recompiled
+
+
+def test_analytic_job_and_stats(manager):
+    job = manager.wait(manager.submit(circuit="c17", config="fast").id,
+                       timeout=60)
+    assert job.state == "done"
+    assert job.result["n_faults"] > 0
+    stats = manager.stats()
+    assert stats["jobs"]["done"] == 1
+    assert stats["queue_depth"] == 0
+    assert stats["workers"] == 2
+    assert "cache" in stats and "throughput" in stats
+
+
+def test_unknown_circuit_fails_structured(manager):
+    job = manager.wait(manager.submit(circuit="no-such-circuit").id,
+                       timeout=60)
+    assert job.state == "failed"
+    assert job.error["type"] == "ReproError"
+    assert "no-such-circuit" in job.error["message"]
+
+
+def test_bad_bench_fails_with_parse_error(manager):
+    job = manager.wait(
+        manager.submit(bench="INPUT(a)\nbad syntax here\n").id, timeout=60
+    )
+    assert job.state == "failed"
+    assert job.error["type"] == "ParseError"
+    assert "line 2" in job.error["message"]
+
+
+def test_cancel_queued_job():
+    mgr = JobManager(workers=1)
+    try:
+        # Occupy the single worker, then cancel a queued job behind it.
+        blocker = mgr.submit(circuit="c880", config=SLOW)
+        queued = mgr.submit(circuit="c17", config="fast")
+        status = mgr.cancel(queued.id)
+        assert status["state"] == "cancelled"
+        mgr.cancel(blocker.id)
+        assert mgr.wait(blocker.id, timeout=120).state == "cancelled"
+    finally:
+        mgr.shutdown(wait=False)
+
+
+def test_cancel_running_sampled_job_and_no_partial_cache():
+    mgr = JobManager(workers=1)
+    try:
+        job = mgr.submit(circuit="c880", config=SLOW)
+        deadline = time.monotonic() + 60
+        while not job.snapshots and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert job.snapshots, "job produced no snapshot to cancel after"
+        mgr.cancel(job.id)
+        job = mgr.wait(job.id, timeout=120)
+        assert job.state == "cancelled"
+        assert job.error["type"] == "JobCancelled"
+        # The aborted sample must not have been cached as a result.
+        assert mgr.cache.cache_info()["reports"] == 0
+    finally:
+        mgr.shutdown(wait=False)
+
+
+def test_timeout_fails_the_job():
+    mgr = JobManager(workers=1)
+    try:
+        job = mgr.submit(circuit="c880", config=SLOW, timeout=0.001)
+        job = mgr.wait(job.id, timeout=120)
+        assert job.state == "failed"
+        assert job.error["type"] == "JobTimeout"
+        assert "budget" in job.error["message"]
+    finally:
+        mgr.shutdown(wait=False)
+
+
+def test_priority_orders_the_queue():
+    mgr = JobManager(workers=1)
+    try:
+        blocker = mgr.submit(circuit="c432", config=SAMPLED)
+        low = mgr.submit(circuit="c17", config="fast", priority=0)
+        high = mgr.submit(circuit="c17", config="paper", priority=5)
+        mgr.wait(blocker.id, timeout=120)
+        high = mgr.wait(high.id, timeout=60)
+        low = mgr.wait(low.id, timeout=60)
+        assert high.started <= low.started
+    finally:
+        mgr.shutdown(wait=False)
+
+
+def test_sweep_job(manager):
+    job = manager.submit(
+        sweep={"circuits": ["c17", "tree-does-not-exist"],
+               "presets": ["fast"]},
+    )
+    job = manager.wait(job.id, timeout=120)
+    assert job.state == "done"
+    runs = job.result["runs"]
+    assert len(runs) == 2
+    by_name = {run["circuit"]: run for run in runs}
+    assert by_name["c17"]["error"] is None
+    assert by_name["tree-does-not-exist"]["error"] is not None
+
+
+def test_submit_validation():
+    mgr = JobManager(workers=1)
+    try:
+        with pytest.raises(ServiceError):
+            mgr.submit()                                     # nothing chosen
+        with pytest.raises(ServiceError):
+            mgr.submit(circuit="c17", bench="INPUT(a)")      # both chosen
+        with pytest.raises(ServiceError):
+            mgr.submit(circuit="c17", timeout=-1.0)
+        with pytest.raises(ServiceError):
+            mgr.submit(circuit="c17", priority="high")
+        with pytest.raises(ServiceError):
+            mgr.submit(circuit="c17", config={"bogus_knob": 1})
+        with pytest.raises(ServiceError):
+            mgr.submit(sweep={"presets": ["fast"]})          # no circuits
+        with pytest.raises(ServiceError):
+            mgr.get("j999999")
+    finally:
+        mgr.shutdown(wait=False)
+
+
+def test_shutdown_cancels_queued_jobs():
+    mgr = JobManager(workers=1)
+    blocker = mgr.submit(circuit="c432", config=SAMPLED)
+    queued = mgr.submit(circuit="c17", config="fast")
+    mgr.shutdown(wait=True)
+    assert queued.state == "cancelled"
+    assert blocker.state in ("done", "cancelled")
+    with pytest.raises(ServiceError):
+        mgr.submit(circuit="c17")

@@ -1,0 +1,86 @@
+"""run_sweep timeout and cancellation plumbing."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.api.config import ProtestConfig
+from repro.api.sweep import SweepRun, run_sweep
+from repro.errors import ReproError
+
+#: Sampling that will not finish inside a millisecond-scale timeout.
+SLOW = ProtestConfig(
+    method="sampled", max_patterns=1 << 18, target_halfwidth=0.002,
+    name="sweep-slow",
+)
+
+
+def test_timeout_records_timed_out_run():
+    result = run_sweep(
+        ["c880", "c17"], [SLOW, "fast"],
+        executor="thread", workers=2, timeout=0.05,
+    )
+    assert len(result.runs) == 4
+    timed_out = [run for run in result.runs if run.timed_out]
+    assert timed_out, "no cell hit the 50ms budget"
+    for run in timed_out:
+        assert not run.ok
+        assert "timeout" in run.error
+        assert run.elapsed > 0.0
+
+
+def test_timed_out_flag_roundtrips():
+    run = SweepRun(
+        circuit="x", config=ProtestConfig.preset("fast"), report=None,
+        error="timeout after 1s", elapsed=1.0, timed_out=True,
+    )
+    decoded = SweepRun.from_dict(run.to_dict())
+    assert decoded.timed_out is True
+    assert decoded.error == run.error
+    # Old payloads without the field decode as not-timed-out.
+    legacy = run.to_dict()
+    del legacy["timed_out"]
+    assert SweepRun.from_dict(legacy).timed_out is False
+
+
+def test_invalid_timeout_rejected():
+    with pytest.raises(ReproError):
+        run_sweep(["c17"], ["fast"], timeout=0.0)
+    with pytest.raises(ReproError):
+        run_sweep(["c17"], ["fast"], timeout=-2.0)
+
+
+def test_preset_cancel_skips_cells_inline():
+    cancel = threading.Event()
+    cancel.set()
+    result = run_sweep(["c17", "comp8"], ["fast"], executor="inline",
+                       cancel=cancel)
+    assert len(result.runs) == 2
+    assert all(run.error == "cancelled" for run in result.runs)
+    assert not any(run.timed_out for run in result.runs)
+
+
+def test_cancel_mid_sweep_thread_pool():
+    cancel = threading.Event()
+    # One slow cell first; cancel fires while it runs, so the cells
+    # behind it are revoked.
+    done = threading.Event()
+
+    def trip():
+        cancel.set()
+        done.set()
+
+    timer = threading.Timer(0.2, trip)
+    timer.start()
+    try:
+        result = run_sweep(
+            ["c880", "c17", "comp8"], [SLOW],
+            executor="thread", workers=1, cancel=cancel,
+        )
+    finally:
+        timer.cancel()
+        done.wait(timeout=5)
+    cancelled = [run for run in result.runs if run.error == "cancelled"]
+    assert cancelled, "cancellation revoked no cells"
