@@ -18,19 +18,31 @@ spawns the real thing — ``python -m repro.cli serve --port 0`` as a
 subprocess, parsing the printed ephemeral port — submits a sampled c432
 job over the wire, polls it to completion and **asserts** the service
 contract: ``/healthz``, ``/stats`` counters, at least two progressive
-snapshots with non-increasing halfwidths, and a cache hit on
-resubmission.
+snapshots with non-increasing halfwidths, a cache hit on resubmission,
+and a clean (exit 0) shutdown on SIGTERM.
+
+``--smoke --chaos`` is the resilience contract: the spawned server runs
+under an injected fault plan (``PROTEST_CHAOS``) — a worker killed at a
+sampled-block checkpoint, a backend failure mid-run — next to a second,
+undisturbed server.  The harness asserts every job still reaches a
+terminal state with results **identical** to the clean server's
+(checkpoint/resume is seed-exact; the backend fallback is
+bit-identical), that the retry/crash/degradation counters and
+``/healthz`` report the events truthfully, and that SIGTERM still
+drains to exit 0.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_service.py          # full, tracked
     PYTHONPATH=src python benchmarks/bench_service.py --smoke  # CI smoke
+    PYTHONPATH=src python benchmarks/bench_service.py --smoke --chaos
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import platform
 import subprocess
@@ -144,23 +156,46 @@ def run_full():
     }
 
 
-def run_smoke():
-    """Spawn the real CLI server and exercise the service contract."""
+def spawn_server(extra_args=(), chaos=None):
+    """Spawn ``protest serve --port 0`` and return ``(proc, base URL)``."""
+    env = {**os.environ, "PYTHONPATH": str(ROOT / "src")}
+    if chaos:
+        env["PROTEST_CHAOS"] = chaos
+    else:
+        env.pop("PROTEST_CHAOS", None)
     proc = subprocess.Popen(
         [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
-         "--workers", "2"],
+         "--workers", "2", *extra_args],
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
-        cwd=str(ROOT), env={**__import__("os").environ,
-                            "PYTHONPATH": str(ROOT / "src")},
+        cwd=str(ROOT), env=env,
     )
-    try:
-        line = proc.stdout.readline().strip()
-        assert line.startswith("serving on http://"), line
-        base = line.split(" ", 2)[2]
-        print(f"spawned {base} (pid {proc.pid})", flush=True)
+    line = proc.stdout.readline().strip()
+    assert line.startswith("serving on http://"), line
+    base = line.split(" ", 2)[2]
+    print(f"spawned {base} (pid {proc.pid}, chaos={chaos!r})", flush=True)
+    return proc, base
 
+
+def stop_server(proc, expect_clean=True):
+    """SIGTERM the server; assert the graceful-drain path exits 0."""
+    proc.terminate()
+    try:
+        code = proc.wait(timeout=15)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        proc.wait()
+        raise AssertionError("server did not drain within 15s of SIGTERM")
+    if expect_clean:
+        assert code == 0, f"server exited {code} on SIGTERM, expected 0"
+
+
+def run_smoke():
+    """Spawn the real CLI server and exercise the service contract."""
+    proc, base = spawn_server()
+    try:
         code, health = request(base, "GET", "/healthz")
-        assert (code, health) == (200, {"status": "ok"}), (code, health)
+        assert code == 200, (code, health)
+        assert health["status"] == "ok", health
 
         payload = {"circuit": SMOKE_CIRCUIT, "config": SAMPLED_CONFIG}
         cold_s, job_id, cold = submit_and_wait(base, payload)
@@ -184,7 +219,7 @@ def run_smoke():
             f"hit rate {100.0 * stats['cache_hit_rate']:.0f}%",
             flush=True,
         )
-        return {
+        result = {
             "python": platform.python_version(),
             "seed": SEED,
             "circuit": SMOKE_CIRCUIT,
@@ -194,13 +229,125 @@ def run_smoke():
             "halfwidth_trajectory": widths,
             **stats,
         }
-    finally:
-        proc.terminate()
-        try:
-            proc.wait(timeout=10)
-        except subprocess.TimeoutExpired:
-            proc.kill()
-            proc.wait()
+    except BaseException:
+        proc.kill()
+        proc.wait()
+        raise
+    stop_server(proc)
+    return result
+
+
+def _result_fields(body, *fields):
+    return {field: body["result"][field] for field in fields}
+
+
+def run_chaos_smoke():
+    """The resilience contract, against a real server under injection.
+
+    Server A runs under ``PROTEST_CHAOS`` (worker killed at a sampled
+    checkpoint; with numpy available, a backend failure mid-run);
+    server B is identical but undisturbed.  Every chaos job must reach
+    a terminal ``done`` with a result identical to B's — the
+    checkpoint/resume and backend-fallback bit-identity contracts over
+    the real wire — and the counters must record what happened.
+    """
+    try:
+        import numpy  # noqa: F401
+        have_numpy = True
+    except ImportError:
+        have_numpy = False
+    rules = ["kill:service.checkpoint:job=j000000,block=1"]
+    if have_numpy:
+        rules.append(
+            "fail:sampling.block:block=2,backend=numpy,"
+            "message=injected backend failure"
+        )
+    proc, base = spawn_server(
+        extra_args=("--retries", "2", "--grace", "3"),
+        chaos=";".join(rules),
+    )
+    clean_proc, clean_base = spawn_server()
+    try:
+        # The serialized SampledReport keeps per-fault intervals under
+        # "faults"; provenance/test-lengths are excluded (timings vary).
+        compare = ("n_patterns", "faults", "coverage", "converged")
+
+        # 1. Worker killed at checkpoint block 1 -> crash detected,
+        #    slot replenished, job retried and resumed from the journal.
+        payload = {"circuit": SMOKE_CIRCUIT, "config": SAMPLED_CONFIG}
+        _, job_id, body = submit_and_wait(base, payload)
+        assert job_id == "j000000", job_id
+        _, status = request(base, "GET", f"/jobs/{job_id}")
+        assert status["state"] == "done", status["state"]
+        assert status["attempts"] >= 2, status["attempts"]
+        assert status["retries"], "expected a logged retry"
+        first_retry = status["retries"][0]["error"]
+        assert first_retry["type"] == "WorkerCrashed", first_retry
+        assert first_retry["transient"] is True, first_retry
+        assert status["resumed"] is True, "job did not resume from journal"
+        _, _, clean = submit_and_wait(clean_base, payload)
+        assert _result_fields(body, *compare) == \
+            _result_fields(clean, *compare), (
+            "resumed result differs from the uninterrupted run"
+        )
+        print(f"[chaos] worker-kill: {status['attempts']} attempts, "
+              f"resumed, result bit-identical", flush=True)
+
+        # 2. Backend failure mid-run -> degradation to the python
+        #    engine, recorded in provenance, result still identical.
+        degraded_backend = None
+        if have_numpy:
+            np_payload = {
+                "circuit": SMOKE_CIRCUIT,
+                "config": {**SAMPLED_CONFIG, "backend": "numpy"},
+            }
+            _, np_id, np_body = submit_and_wait(base, np_payload)
+            degraded_backend = np_body["result"]["provenance"]["backend"]
+            assert degraded_backend == "numpy->python", degraded_backend
+            _, np_status = request(base, "GET", f"/jobs/{np_id}")
+            assert np_status["degraded"] == "numpy->python", np_status
+            _, _, np_clean = submit_and_wait(clean_base, np_payload)
+            assert _result_fields(np_body, *compare) == \
+                _result_fields(np_clean, *compare), (
+                "degraded result differs from the clean numpy run"
+            )
+            print("[chaos] backend-failure: degraded to "
+                  f"{degraded_backend}, result bit-identical", flush=True)
+
+        # 3. Health and counters report the events truthfully.
+        code, health = request(base, "GET", "/healthz")
+        assert code == 200, (code, health)
+        assert health["status"] == "degraded", health
+        assert health["worker_crashes"] >= 1, health
+        _, stats = request(base, "GET", "/stats")
+        resilience = stats["resilience"]
+        assert resilience["retries"] >= 1, resilience
+        assert resilience["worker_crashes"] >= 1, resilience
+        assert resilience["resumes"] >= 1, resilience
+        if have_numpy:
+            assert resilience["degraded_jobs"] >= 1, resilience
+        assert stats["jobs"]["failed"] == 0, stats["jobs"]
+        assert stats["jobs"]["cancelled"] == 0, stats["jobs"]
+        result = {
+            "python": platform.python_version(),
+            "seed": SEED,
+            "circuit": SMOKE_CIRCUIT,
+            "chaos_rules": rules,
+            "worker_kill_attempts": status["attempts"],
+            "degraded_backend": degraded_backend,
+            "resilience": resilience,
+            "jobs": stats["jobs"],
+        }
+    except BaseException:
+        for p in (proc, clean_proc):
+            p.kill()
+            p.wait()
+        raise
+    stop_server(clean_proc)
+    stop_server(proc)
+    print("[chaos] all jobs terminal, SIGTERM drained to exit 0",
+          flush=True)
+    return result
 
 
 def main(argv=None):
@@ -211,17 +358,31 @@ def main(argv=None):
              "service contract end to end",
     )
     parser.add_argument(
+        "--chaos", action="store_true",
+        help="with --smoke: run the server under PROTEST_CHAOS fault "
+             "injection and assert the resilience contract (retries, "
+             "resume bit-identity, degradation, graceful drain)",
+    )
+    parser.add_argument(
         "--out", type=pathlib.Path, default=None,
         help="output JSON path (default: merge into BENCH_perf.json at "
              "the repo root, or benchmarks/results/bench_service_smoke"
              ".json with --smoke)",
     )
     args = parser.parse_args(argv)
+    if args.chaos and not args.smoke:
+        parser.error("--chaos requires --smoke")
     if args.smoke:
-        payload = {"mode": "smoke", **run_smoke()}
-        out = args.out or (
-            ROOT / "benchmarks" / "results" / "bench_service_smoke.json"
-        )
+        if args.chaos:
+            payload = {"mode": "chaos-smoke", **run_chaos_smoke()}
+            out = args.out or (
+                ROOT / "benchmarks" / "results" / "bench_service_chaos.json"
+            )
+        else:
+            payload = {"mode": "smoke", **run_smoke()}
+            out = args.out or (
+                ROOT / "benchmarks" / "results" / "bench_service_smoke.json"
+            )
         out.parent.mkdir(parents=True, exist_ok=True)
         out.write_text(json.dumps(payload, indent=2) + "\n",
                        encoding="utf-8")

@@ -62,6 +62,7 @@ from repro.probability.estimator import (
 from repro.sampling.montecarlo import (
     DetectionSample,
     MonteCarloEstimator,
+    SamplingState,
     SignalSample,
 )
 from repro.testlen.length import expected_coverage as _expected_coverage
@@ -356,6 +357,8 @@ class AnalysisEngine:
         self,
         key: Tuple[float, ...],
         checkpoint: "Callable[[SampledReport], object] | None" = None,
+        state_hook: "Callable[[SamplingState], object] | None" = None,
+        resume: "SamplingState | None" = None,
     ):
         """Monte-Carlo detection sample, memoized per input tuple.
 
@@ -369,7 +372,9 @@ class AnalysisEngine:
         never fires on a cache hit — a memoized sample is already final.
         A checkpoint exception (cancellation, timeout) propagates and
         nothing is cached, so an aborted run can never serve a partial
-        sample to later callers.
+        sample to later callers.  ``state_hook`` and ``resume`` follow
+        the same rule: neither fires nor applies on a cache hit (the
+        memoized sample already *is* the bit-identical final answer).
         """
         with self._lock:
             cached = self._sample_cache.get(key)
@@ -387,7 +392,8 @@ class AnalysisEngine:
                         [],
                     ))
             sample = self.sampler.sample_detection_probabilities(
-                probs, checkpoint=inner
+                probs, checkpoint=inner, state_hook=state_hook,
+                resume=resume,
             )
             elapsed = time.perf_counter() - start
             self._sample_cache[key] = sample
@@ -683,6 +689,8 @@ class AnalysisEngine:
         self,
         input_probs: "float | Mapping[str, float] | None" = None,
         checkpoint: "Callable[[SampledReport], object] | None" = None,
+        state_hook: "Callable[[SamplingState], object] | None" = None,
+        resume: "SamplingState | None" = None,
     ) -> SampledReport:
         """Monte-Carlo graded detection probabilities, with intervals.
 
@@ -698,9 +706,17 @@ class AnalysisEngine:
         stream progressively tightening intervals.  It never fires when
         the sample is served from the stage cache, and an exception it
         raises aborts the run without caching (see :meth:`_sample_for`).
+
+        ``state_hook`` and ``resume`` expose the estimator's
+        checkpoint/resume seam (see
+        :meth:`MonteCarloEstimator.sample_detection_probabilities`):
+        the hook receives the raw
+        :class:`~repro.sampling.montecarlo.SamplingState` per block, and
+        ``resume`` continues an interrupted run seed-exactly.
         """
         sample, timings, cached = self._sample_for(
-            self._key(input_probs), checkpoint
+            self._key(input_probs), checkpoint,
+            state_hook=state_hook, resume=resume,
         )
         return self._sampled_report(sample, timings, cached)
 
@@ -740,6 +756,8 @@ class AnalysisEngine:
         confidences: Sequence[float] = (0.95, 0.98, 0.999),
         fractions: Sequence[float] = (1.0, 0.98),
         checkpoint: "Callable[[SampledReport], object] | None" = None,
+        state_hook: "Callable[[SamplingState], object] | None" = None,
+        resume: "SamplingState | None" = None,
     ) -> SampledReport:
         """One-shot Monte-Carlo analysis (the sampled :meth:`analyze`).
 
@@ -750,9 +768,13 @@ class AnalysisEngine:
         reports per sampled block (see
         :meth:`sampled_detection_probabilities`); snapshots carry no
         test lengths — those are derived once, from the final sample.
+        ``state_hook``/``resume`` expose the estimator's
+        checkpoint/resume seam, as in
+        :meth:`sampled_detection_probabilities`.
         """
         sample, timings, cached = self._sample_for(
-            self._key(input_probs), checkpoint
+            self._key(input_probs), checkpoint,
+            state_hook=state_hook, resume=resume,
         )
         values = sorted(iv.estimate for iv in sample.intervals.values())
         lengths: Dict[Tuple[float, float], Optional[int]] = {}

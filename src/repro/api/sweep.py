@@ -28,6 +28,7 @@ from repro.api.results import SampledReport, TestabilityReport, _Serializable
 from repro.circuit.netlist import Circuit
 from repro.errors import ReproError
 from repro.report.tables import ascii_table, format_count
+from repro.resilience.chaos import ChaosKill, chaos_point
 
 __all__ = ["SweepRun", "SweepResult", "run_sweep"]
 
@@ -150,10 +151,12 @@ def _run_one(
     input_probs,
     confidences: Sequence[float],
     fractions: Sequence[float],
+    attempt: int = 0,
 ) -> SweepRun:
     label = _circuit_label(circuit)
     start = time.perf_counter()
     try:
+        chaos_point("sweep.cell", circuit=label, attempt=attempt)
         engine = AnalysisEngine(circuit, config)
         if config.method == "sampled":
             report = engine.sampled_analyze(
@@ -188,6 +191,7 @@ def run_sweep(
     executor: "str | None" = None,
     timeout: "float | None" = None,
     cancel: "threading.Event | None" = None,
+    retries: int = 1,
 ) -> SweepResult:
     """Analyse every circuit under every config, in parallel.
 
@@ -219,6 +223,13 @@ def run_sweep(
         cells are recorded as ``error="cancelled"`` and their pending
         futures revoked.  This is the hook the analysis service's job
         cancellation plumbs into.
+    retries:
+        Extra attempts granted to a cell whose *worker* died (a broken
+        process pool, an injected :class:`ChaosKill`) — substrate
+        failures, as opposed to estimation failures, which are never
+        retried.  Crashed cells are resubmitted to a fresh pool; a cell
+        still crashing after ``1 + retries`` attempts is recorded as a
+        failed :class:`SweepRun` with the crash as its ``error``.
 
     Unparseable circuit names and estimation failures are recorded on the
     affected :class:`SweepRun` (``error``), never raised.
@@ -229,6 +240,8 @@ def run_sweep(
         )
     if timeout is not None and timeout <= 0:
         raise ReproError(f"timeout must be positive, got {timeout}")
+    if retries < 0:
+        raise ReproError(f"retries must be non-negative, got {retries}")
     circuit_list = list(circuits)
     config_list = [ProtestConfig.coerce(c) for c in configs]
     cells: List[Tuple["Circuit | str", ProtestConfig]] = [
@@ -246,9 +259,23 @@ def run_sweep(
             if cancel is not None and cancel.is_set():
                 runs.append(_abandoned_run(circuit, config, "cancelled"))
                 continue
-            runs.append(
-                _run_one(circuit, config, input_probs, confidences, fractions)
-            )
+            for attempt in range(retries + 1):
+                try:
+                    run = _run_one(
+                        circuit, config, input_probs, confidences,
+                        fractions, attempt,
+                    )
+                    break
+                except ChaosKill as error:
+                    # Inline there is no worker to die, but the chaos
+                    # seam still exercises the retry accounting.
+                    if attempt >= retries:
+                        run = _abandoned_run(
+                            circuit, config,
+                            f"worker crashed after {attempt + 1} attempts: "
+                            f"ChaosKill: {error}",
+                        )
+            runs.append(run)
         return SweepResult(runs=runs)
     mode = executor or "process"
     if mode == "process":
@@ -257,6 +284,7 @@ def run_sweep(
                 runs=_pooled_runs(
                     concurrent.futures.ProcessPoolExecutor, workers, cells,
                     input_probs, confidences, fractions, timeout, cancel,
+                    retries,
                 )
             )
         except (OSError, PermissionError, ImportError, NotImplementedError,
@@ -270,6 +298,7 @@ def run_sweep(
         runs=_pooled_runs(
             concurrent.futures.ThreadPoolExecutor, workers, cells,
             input_probs, confidences, fractions, timeout, cancel,
+            retries,
         )
     )
 
@@ -296,41 +325,85 @@ def _pooled_runs(
     fractions: Sequence[float],
     timeout: "float | None" = None,
     cancel: "threading.Event | None" = None,
+    retries: int = 1,
 ) -> List[SweepRun]:
-    pool = pool_cls(max_workers=workers)
-    abandoned = False
-    try:
-        futures = [
-            pool.submit(
-                _run_one, circuit, config, input_probs, confidences, fractions
-            )
-            for circuit, config in cells
-        ]
-        runs: List[SweepRun] = []
-        for future, (circuit, config) in zip(futures, cells):
-            if cancel is not None and cancel.is_set():
-                abandoned = True
-                future.cancel()
-                runs.append(_abandoned_run(circuit, config, "cancelled"))
-                continue
-            start = time.perf_counter()
-            try:
-                runs.append(future.result(timeout=timeout))
-            except concurrent.futures.TimeoutError:
-                # A hung worker must not hang the whole sweep: record
-                # the cell as timed out and move on.  The worker itself
-                # cannot be interrupted mid-run — the pool is shut down
-                # without waiting below (best effort: a process keeps
-                # burning CPU until it finishes; a thread until exit).
-                abandoned = True
-                future.cancel()
-                runs.append(_abandoned_run(
-                    circuit, config,
-                    f"timeout after {timeout:g}s", elapsed=time.perf_counter() - start,
-                    timed_out=True,
-                ))
-        return runs
-    finally:
-        # cancel_futures revokes everything still queued; wait=False
-        # keeps an abandoned (hung) worker from blocking the return.
-        pool.shutdown(wait=not abandoned, cancel_futures=abandoned)
+    """Run the cells on a pool, in retry rounds.
+
+    A worker death (a broken executor; an injected :class:`ChaosKill`
+    unwinding a pool thread) fails only the cells it took with it: those
+    are resubmitted to a *fresh* pool, up to ``retries`` extra attempts
+    each, while completed results are kept.  Estimation failures are
+    already per-run data (``SweepRun.error``) and are never retried.
+    Should every attempt crash without a single cell ever completing,
+    the last crash propagates so ``run_sweep`` can degrade the executor
+    (process pool → threads).
+    """
+    results: Dict[int, SweepRun] = {}
+    pending: List[Tuple[int, int]] = [(i, 0) for i in range(len(cells))]
+    any_completed = False
+    last_crash: "BaseException | None" = None
+    while pending:
+        requeue: List[Tuple[int, int]] = []
+        pool = pool_cls(max_workers=workers)
+        abandoned = False
+        try:
+            futures = [
+                pool.submit(
+                    _run_one, cells[i][0], cells[i][1], input_probs,
+                    confidences, fractions, attempt,
+                )
+                for i, attempt in pending
+            ]
+            for future, (i, attempt) in zip(futures, pending):
+                circuit, config = cells[i]
+                if cancel is not None and cancel.is_set():
+                    abandoned = True
+                    future.cancel()
+                    results[i] = _abandoned_run(circuit, config, "cancelled")
+                    continue
+                start = time.perf_counter()
+                try:
+                    results[i] = future.result(timeout=timeout)
+                    any_completed = True
+                except concurrent.futures.TimeoutError:
+                    # A hung worker must not hang the whole sweep: record
+                    # the cell as timed out and move on.  The worker itself
+                    # cannot be interrupted mid-run — the pool is shut down
+                    # without waiting below (best effort: a process keeps
+                    # burning CPU until it finishes; a thread until exit).
+                    abandoned = True
+                    future.cancel()
+                    results[i] = _abandoned_run(
+                        circuit, config,
+                        f"timeout after {timeout:g}s",
+                        elapsed=time.perf_counter() - start,
+                        timed_out=True,
+                    )
+                except (concurrent.futures.BrokenExecutor, ChaosKill) as error:
+                    # The *worker* died, not the estimation: a broken
+                    # process pool fails every in-flight future at once,
+                    # a ChaosKill unwinds one pool thread.  Transient by
+                    # taxonomy — give the cell another round.
+                    abandoned = True
+                    last_crash = error
+                    if attempt < retries:
+                        requeue.append((i, attempt + 1))
+                    else:
+                        results[i] = _abandoned_run(
+                            circuit, config,
+                            f"worker crashed after {attempt + 1} attempts: "
+                            f"{type(error).__name__}: {error}",
+                        )
+        finally:
+            # cancel_futures revokes everything still queued; wait=False
+            # keeps an abandoned (hung or crashed) worker from blocking
+            # the return.
+            pool.shutdown(wait=not abandoned, cancel_futures=abandoned)
+        pending = requeue
+    if not any_completed and last_crash is not None and isinstance(
+        last_crash, concurrent.futures.BrokenExecutor
+    ):
+        # Every attempt crashed and nothing ever ran: the substrate is
+        # unusable, not flaky — let run_sweep pick another executor.
+        raise last_crash
+    return [results[i] for i in range(len(cells))]

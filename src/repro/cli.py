@@ -278,6 +278,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         fractions=tuple(args.fraction),
         executor=args.executor,
         timeout=args.timeout,
+        retries=args.retries,
     )
     if args.json:
         print(result.to_json(indent=2))
@@ -297,6 +298,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_reports=args.max_reports,
         default_timeout=args.timeout,
         verbose=args.verbose,
+        journal=args.journal,
+        max_queue=args.max_queue,
+        retries=args.retries,
+        grace=args.grace,
     )
 
 
@@ -418,6 +423,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-run wall-clock limit in seconds; a cell "
                         "exceeding it is recorded as timed out instead "
                         "of hanging the sweep (pool executors only)")
+    p.add_argument("--retries", type=int, default=1,
+                   help="extra attempts for cells whose worker died "
+                        "(a broken pool); estimation failures are "
+                        "never retried")
     p.add_argument("--json", action="store_true",
                    help="emit machine-readable JSON instead of tables")
     p.set_defaults(func=_cmd_sweep)
@@ -437,6 +446,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="finished-report cache bound")
     p.add_argument("--timeout", type=float, default=None,
                    help="default per-job wall-clock budget in seconds")
+    p.add_argument("--journal", default=None, metavar="PATH",
+                   help="checkpoint journal file: sampled jobs persist "
+                        "per-block state there and a restarted server "
+                        "resumes them seed-exactly")
+    p.add_argument("--max-queue", type=int, default=None,
+                   help="bound on queued jobs; submits beyond it get "
+                        "429 + Retry-After instead of unbounded backlog")
+    p.add_argument("--retries", type=int, default=2,
+                   help="extra attempts for jobs failing transiently "
+                        "(worker crash, broken pool); permanent errors "
+                        "fail immediately")
+    p.add_argument("--grace", type=float, default=5.0,
+                   help="drain budget in seconds on SIGTERM/SIGINT: "
+                        "running jobs get this long to finish before "
+                        "being aborted at their next checkpoint")
     p.add_argument("--verbose", action="store_true",
                    help="log every HTTP request to stderr")
     p.set_defaults(func=_cmd_serve)

@@ -9,7 +9,20 @@ from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class of all errors raised by the :mod:`repro` library."""
+    """Base class of all errors raised by the :mod:`repro` library.
+
+    Every error carries a ``transient`` flag — the error taxonomy the
+    resilience layer (:mod:`repro.resilience`) keys its retry policy
+    on.  Transient errors (a crashed worker, an injected fault marked
+    retryable) are safe to retry because re-running the same
+    deterministic computation can succeed; permanent errors (a parse
+    error, an exceeded wall-clock budget) would fail identically on
+    every attempt and are surfaced immediately.
+    """
+
+    #: Whether retrying the failed operation can succeed.  Class-level
+    #: default; instances may override (``error.transient = True``).
+    transient = False
 
 
 class CircuitError(ReproError):
@@ -44,6 +57,21 @@ class BackendError(ReproError):
     """Raised for unknown, unavailable or misconfigured eval backends."""
 
 
+class BackendFailure(BackendError):
+    """Raised when an evaluation backend fails *mid-run*.
+
+    Distinct from :class:`BackendError` (a selection/configuration
+    problem caught before any work runs): a ``BackendFailure`` means an
+    engine that had been producing blocks raised during evaluation —
+    numpy import breakage, a third-party engine bug, an injected chaos
+    fault.  The Monte-Carlo estimator degrades to the ``"python"``
+    engine at the next block boundary when it can
+    (:meth:`MonteCarloEstimator.sample_detection_probabilities`); this
+    exception surfaces only when no fallback is possible, and retrying
+    the same deterministic block would fail identically — permanent.
+    """
+
+
 class EstimationError(ReproError):
     """Raised for invalid probability-estimation requests."""
 
@@ -66,4 +94,53 @@ class JobCancelled(ServiceError):
 
 
 class JobTimeout(ServiceError):
-    """Raised inside a worker when its job exceeds its wall-clock budget."""
+    """Raised inside a worker when its job exceeds its wall-clock budget.
+
+    Permanent by taxonomy: the budget is per *attempt*, so a retry of
+    the same work under the same budget would time out again.
+    """
+
+
+class WorkerCrashed(ServiceError):
+    """Raised (synthetically) when a worker dies executing a job.
+
+    The job manager detects a dead worker thread — or a broken process
+    pool underneath a sweep — replenishes the pool slot, and raises
+    this on the orphaned job's behalf.  Transient: the crash is a
+    property of the worker, not of the job, so the retry policy
+    re-enqueues the job with backoff up to its attempt budget.
+    """
+
+    transient = True
+
+
+class QueueFull(ServiceError):
+    """Raised when job admission is refused because the queue is at bound.
+
+    Carries ``retry_after`` (seconds), which the HTTP layer forwards as
+    a ``Retry-After`` header on the ``429`` response.  Transient by
+    nature — the client should back off and resubmit.
+    """
+
+    transient = True
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        self.retry_after = retry_after
+        super().__init__(message)
+
+
+class ResilienceError(ReproError):
+    """Raised for invalid resume state or journal/checkpoint mismatches."""
+
+
+class InjectedFault(ReproError):
+    """The chaos harness's default injected exception.
+
+    ``transient`` is set per injection rule, so tests can exercise both
+    the retry path (transient) and the fail-fast path (permanent) of
+    the same seam.
+    """
+
+    def __init__(self, message: str, transient: bool = False) -> None:
+        self.transient = transient
+        super().__init__(message)

@@ -1,0 +1,313 @@
+"""Deterministic chaos injection at the service's failure seams.
+
+The operational counterpart of the kernel's parity oracle: instead of
+trusting that the retry/resume/degrade machinery works, every recovery
+path is *exercised* by injecting the failure it exists for.  Injection
+is deterministic — rules fire on exact site/context matches with a
+bounded fire count, never on wall-clock or randomness — so a chaos test
+is as reproducible as a seeded Monte-Carlo run.
+
+Instrumented sites (``chaos_point(site, **ctx)`` is a no-op unless a
+plan is installed):
+
+=====================  ====================================================
+site                   where / context
+=====================  ====================================================
+``service.worker``     job worker, before a job executes
+                       (``job``, ``kind``, ``attempt``)
+``service.checkpoint`` per sampled block in the job snapshot hook
+                       (``job``, ``block``)
+``sampling.block``     Monte-Carlo block loop, before backend evaluation
+                       (``block``, ``backend``)
+``sweep.cell``         inside one sweep cell (``circuit``, ``attempt``)
+``cache.put``          artifact-cache report insertion (``kind``)
+``cache.get``          artifact-cache report lookup (``kind``)
+=====================  ====================================================
+
+Actions:
+
+* ``kill``  — raise :class:`ChaosKill` (a ``BaseException``: it rips
+  through ``except Exception`` worker guards exactly like a real thread
+  death, exercising worker replenishment and job retry);
+* ``die``   — ``os._exit(13)`` (a real process death, for process-pool
+  workers: the parent observes a broken pool);
+* ``fail``  — raise :class:`~repro.errors.InjectedFault` (or a custom
+  exception factory), exercising backend degradation and the error
+  taxonomy;
+* ``sleep`` — delay for ``seconds``, exercising timeout/hung-job paths.
+
+Usage::
+
+    plan = ChaosPlan()
+    plan.kill("service.checkpoint", block=2)        # worker dies at block 2
+    plan.fail("sampling.block", block=1, transient=False)
+    with inject(plan):
+        ...                                          # run the workload
+
+Across processes, a plan can be carried in the ``PROTEST_CHAOS``
+environment variable (``install_from_env`` is called by ``protest
+serve``): semicolon-separated ``action:site[:key=value,...]`` rules,
+e.g. ``kill:service.checkpoint:block=2;fail:sampling.block:block=1``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import InjectedFault, ResilienceError
+
+__all__ = [
+    "CHAOS_ENV",
+    "ChaosKill",
+    "ChaosPlan",
+    "ChaosRule",
+    "active_plan",
+    "chaos_point",
+    "inject",
+    "install",
+    "install_from_env",
+    "uninstall",
+]
+
+#: Environment variable carrying a chaos spec across process spawns.
+CHAOS_ENV = "PROTEST_CHAOS"
+
+#: Exit status of a ``die`` action (a recognizably chaotic corpse).
+DIE_STATUS = 13
+
+
+class ChaosKill(BaseException):
+    """An injected worker death.
+
+    Deliberately **not** an :class:`Exception`: the job worker's
+    catch-all survives ordinary failures, so only a ``BaseException``
+    reproduces what a genuine thread death looks like to the manager —
+    the thread unwinds, the watchdog replenishes the slot, and the
+    orphaned job is retried as :class:`~repro.errors.WorkerCrashed`.
+    """
+
+
+@dataclasses.dataclass
+class ChaosRule:
+    """One injection: ``action`` at ``site`` when ``match`` ⊆ context."""
+
+    action: str                      # "kill" | "die" | "fail" | "sleep"
+    site: str
+    match: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    times: Optional[int] = 1         # max fires; None = unlimited
+    seconds: float = 0.0             # sleep action
+    message: str = ""
+    transient: bool = False          # fail action: InjectedFault flag
+    exc: Optional[Callable[[], BaseException]] = None
+    fired: int = 0
+
+    _ACTIONS = ("kill", "die", "fail", "sleep")
+
+    def __post_init__(self) -> None:
+        if self.action not in self._ACTIONS:
+            raise ResilienceError(
+                f"chaos action must be one of {self._ACTIONS}, "
+                f"got {self.action!r}"
+            )
+
+    def matches(self, site: str, ctx: Dict[str, Any]) -> bool:
+        if site != self.site:
+            return False
+        if self.times is not None and self.fired >= self.times:
+            return False
+        return all(ctx.get(key) == value for key, value in self.match.items())
+
+
+class ChaosPlan:
+    """An ordered rule set plus a log of everything that fired."""
+
+    def __init__(self) -> None:
+        self.rules: List[ChaosRule] = []
+        self.log: List[Dict[str, Any]] = []
+        self._lock = threading.Lock()
+
+    # -- rule builders -------------------------------------------------------
+
+    def add(self, rule: ChaosRule) -> "ChaosPlan":
+        self.rules.append(rule)
+        return self
+
+    def kill(self, site: str, times: "int | None" = 1, **match) -> "ChaosPlan":
+        return self.add(ChaosRule("kill", site, match, times=times))
+
+    def die(self, site: str, times: "int | None" = 1, **match) -> "ChaosPlan":
+        return self.add(ChaosRule("die", site, match, times=times))
+
+    def fail(
+        self,
+        site: str,
+        times: "int | None" = 1,
+        message: str = "",
+        transient: bool = False,
+        exc: "Callable[[], BaseException] | None" = None,
+        **match,
+    ) -> "ChaosPlan":
+        return self.add(ChaosRule(
+            "fail", site, match, times=times, message=message,
+            transient=transient, exc=exc,
+        ))
+
+    def sleep(
+        self, site: str, seconds: float, times: "int | None" = 1, **match
+    ) -> "ChaosPlan":
+        return self.add(ChaosRule("sleep", site, match, times=times,
+                                  seconds=seconds))
+
+    # -- firing --------------------------------------------------------------
+
+    def fired(self, site: "str | None" = None) -> int:
+        """How many injections fired (optionally: at one site)."""
+        with self._lock:
+            return sum(
+                1 for entry in self.log
+                if site is None or entry["site"] == site
+            )
+
+    def trigger(self, site: str, ctx: Dict[str, Any]) -> None:
+        with self._lock:
+            rule = next(
+                (r for r in self.rules if r.matches(site, ctx)), None
+            )
+            if rule is None:
+                return
+            rule.fired += 1
+            self.log.append({"site": site, "action": rule.action, **ctx})
+        if rule.action == "sleep":
+            time.sleep(rule.seconds)
+            return
+        if rule.action == "die":
+            os._exit(DIE_STATUS)
+        if rule.action == "kill":
+            raise ChaosKill(f"chaos kill at {site} {ctx!r}")
+        if rule.exc is not None:
+            raise rule.exc()
+        raise InjectedFault(
+            rule.message or f"chaos fault at {site} {ctx!r}",
+            transient=rule.transient,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Global installation
+# ---------------------------------------------------------------------------
+
+_ACTIVE: Optional[ChaosPlan] = None
+
+
+def active_plan() -> Optional[ChaosPlan]:
+    return _ACTIVE
+
+
+def install(plan: "ChaosPlan | None") -> Optional[ChaosPlan]:
+    """Install (or, with ``None``, clear) the process-wide plan."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = plan
+    return previous
+
+
+def uninstall() -> None:
+    install(None)
+
+
+@contextmanager
+def inject(plan: ChaosPlan):
+    """Scoped installation: the previous plan is restored on exit."""
+    previous = install(plan)
+    try:
+        yield plan
+    finally:
+        install(previous)
+
+
+def chaos_point(site: str, **ctx: Any) -> None:
+    """Instrumentation hook; free when no plan is installed."""
+    plan = _ACTIVE
+    if plan is not None:
+        plan.trigger(site, ctx)
+
+
+# ---------------------------------------------------------------------------
+# Environment-variable transport (for spawned servers / CI smokes)
+# ---------------------------------------------------------------------------
+
+def parse_spec(spec: str) -> ChaosPlan:
+    """Build a plan from a ``PROTEST_CHAOS`` spec string.
+
+    Grammar: rules split on ``;``, each ``action:site[:k=v,...]``.
+    Values parse as int, then float, then string; the keys ``times``
+    (int or ``always``), ``seconds`` (float), ``message`` and
+    ``transient`` (``true``/``false``) configure the rule itself, any
+    other key becomes a context match.
+    """
+    plan = ChaosPlan()
+    for chunk in spec.split(";"):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        parts = chunk.split(":", 2)
+        if len(parts) < 2:
+            raise ResilienceError(
+                f"chaos rule {chunk!r} must be action:site[:k=v,...]"
+            )
+        action, site = parts[0].strip(), parts[1].strip()
+        match: Dict[str, Any] = {}
+        times: "int | None" = 1
+        seconds = 0.0
+        message = ""
+        transient = False
+        if len(parts) == 3 and parts[2].strip():
+            for pair in parts[2].split(","):
+                if "=" not in pair:
+                    raise ResilienceError(
+                        f"chaos option {pair!r} must be key=value"
+                    )
+                key, raw = (s.strip() for s in pair.split("=", 1))
+                value: Any = raw
+                try:
+                    value = int(raw)
+                except ValueError:
+                    try:
+                        value = float(raw)
+                    except ValueError:
+                        pass
+                if key == "times":
+                    times = None if raw == "always" else int(raw)
+                elif key == "seconds":
+                    seconds = float(raw)
+                elif key == "message":
+                    message = raw
+                elif key == "transient":
+                    transient = raw.lower() in ("1", "true", "yes")
+                else:
+                    match[key] = value
+        plan.add(ChaosRule(
+            action, site, match, times=times, seconds=seconds,
+            message=message, transient=transient,
+        ))
+    return plan
+
+
+def install_from_env(environ: "Dict[str, str] | None" = None) -> Optional[ChaosPlan]:
+    """Install the plan described by ``PROTEST_CHAOS``, if any.
+
+    Called by ``protest serve`` at startup so spawned smoke servers can
+    be put under chaos from the outside (see
+    ``benchmarks/bench_service.py --chaos`` and the CI chaos-smoke job).
+    """
+    spec = (environ if environ is not None else os.environ).get(CHAOS_ENV)
+    if not spec:
+        return None
+    plan = parse_spec(spec)
+    install(plan)
+    return plan

@@ -1,0 +1,121 @@
+"""Retry policy and the structured error taxonomy.
+
+One classification, one payload shape, one backoff schedule — shared by
+the job engine (:mod:`repro.service.jobs`), the sweep front-end
+(:func:`repro.api.sweep.run_sweep`) and the chaos harness, so every
+failure in the system is described the same way:
+
+``{"type", "message", "transient", "attempts", "cause"}``
+
+``transient`` comes from the error taxonomy (:mod:`repro.errors`):
+every :class:`~repro.errors.ReproError` carries a ``transient`` flag,
+and a handful of stdlib failure shapes (a broken executor, a dropped
+connection) are known-transient.  Backoff is exponential with
+deterministic jitter — the jitter stream is seeded per (job, attempt),
+so a retry schedule is reproducible in tests while still decorrelating
+a thundering herd in production.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from concurrent.futures import BrokenExecutor
+from typing import Any, Dict, Optional
+
+from repro.errors import ReproError, ResilienceError
+
+__all__ = ["RetryPolicy", "error_payload", "is_transient"]
+
+#: Stdlib exception types that are transient regardless of taxonomy
+#: flags: the failure is a property of the execution substrate (a died
+#: pool process, a dropped socket), not of the submitted work.
+_TRANSIENT_STDLIB = (BrokenExecutor, ConnectionError, InterruptedError)
+
+
+def is_transient(error: BaseException) -> bool:
+    """Whether retrying the operation that raised ``error`` can succeed."""
+    if isinstance(error, _TRANSIENT_STDLIB):
+        return True
+    return bool(getattr(error, "transient", False))
+
+
+def error_payload(
+    error: BaseException, attempts: int = 1
+) -> Dict[str, Any]:
+    """The structured failure body every failed job/run carries.
+
+    ``cause`` records the chained origin (``raise ... from ...`` or an
+    implicit context), rendered as ``"TypeName: message"`` — enough for
+    a client to distinguish "the retry budget ran out on a worker
+    crash" from "the circuit never parsed" without a traceback.
+    """
+    cause = error.__cause__ if error.__cause__ is not None else error.__context__
+    return {
+        "type": type(error).__name__,
+        "message": str(error),
+        "transient": is_transient(error),
+        "attempts": attempts,
+        "cause": f"{type(cause).__name__}: {cause}" if cause is not None else None,
+    }
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with deterministic jitter.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total execution attempts per job, the first one included.  1
+        disables retries.
+    base_delay:
+        Backoff before the first retry; doubles per attempt.
+    max_delay:
+        Cap on the un-jittered backoff.
+    jitter:
+        Symmetric jitter fraction: the actual delay is the exponential
+        backoff scaled by a factor in ``[1 - jitter, 1 + jitter]``.
+    seed:
+        Root of the jitter stream.  Delays are a pure function of
+        (seed, token, attempt), so schedules are reproducible.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 5.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ResilienceError(
+                f"max_attempts must be positive, got {self.max_attempts}"
+            )
+        if self.base_delay < 0 or self.max_delay < self.base_delay:
+            raise ResilienceError(
+                f"need 0 <= base_delay <= max_delay, got "
+                f"{self.base_delay}/{self.max_delay}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ResilienceError(
+                f"jitter must be in [0, 1], got {self.jitter}"
+            )
+
+    def classify(self, error: BaseException) -> bool:
+        """Whether this policy would retry ``error`` (budget permitting)."""
+        return is_transient(error)
+
+    def should_retry(self, error: BaseException, attempts: int) -> bool:
+        """Retry decision after ``attempts`` completed executions."""
+        return self.classify(error) and attempts < self.max_attempts
+
+    def delay(self, attempt: int, token: str = "") -> float:
+        """Seconds to wait before retry number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ResilienceError(f"attempt must be >= 1, got {attempt}")
+        backoff = min(self.max_delay, self.base_delay * (2.0 ** (attempt - 1)))
+        if self.jitter == 0.0 or backoff == 0.0:
+            return backoff
+        rng = random.Random(f"protest-retry:{self.seed}:{token}:{attempt}")
+        return backoff * (1.0 + self.jitter * (2.0 * rng.random() - 1.0))

@@ -44,11 +44,17 @@ from typing import (
 )
 
 from repro.circuit.netlist import Circuit
-from repro.errors import EstimationError, SimulationError
+from repro.errors import (
+    BackendFailure,
+    EstimationError,
+    ResilienceError,
+    SimulationError,
+)
 from repro.faults.model import Fault, fault_universe
 from repro.faults.simulator import FaultSimulator
 from repro.logicsim.patterns import PatternSet
 from repro.logicsim.simulator import simulate
+from repro.resilience.chaos import chaos_point
 from repro.sampling.intervals import (
     INTERVAL_METHODS,
     IntervalEstimate,
@@ -60,6 +66,7 @@ __all__ = [
     "DetectionSample",
     "MonteCarloEstimator",
     "SamplingPlan",
+    "SamplingState",
     "SignalSample",
     "stratified_fault_sample",
 ]
@@ -216,6 +223,66 @@ class DetectionSample:
         return self.intervals[fault]
 
 
+@dataclasses.dataclass
+class SamplingState:
+    """Resumable counter state of one detection-sampling run.
+
+    Everything the sequential loop accumulates, keyed portably: faults
+    by their stable string form (``str(fault)``), the block trajectory
+    as plain pairs.  Because the per-block seed stream is a pure
+    function of ``(seed, block index)``, a run resumed from this state
+    — same circuit, same plan — continues with exactly the patterns an
+    uninterrupted run would have drawn next, so the final sample is
+    **bit-identical** to never having stopped.  That property is what
+    the job journal (:mod:`repro.resilience.journal`) persists per
+    block, and what the service's crash-retry and restart-resume paths
+    are verified against.
+    """
+
+    seed: int
+    n_patterns: int
+    counts: Dict[str, int]
+    first: Dict[str, Optional[int]]
+    history: List[Tuple[int, float]]
+
+    @property
+    def blocks_done(self) -> int:
+        return len(self.history)
+
+    def to_payload(self) -> Dict[str, object]:
+        """A JSON-safe rendering (journal format v1)."""
+        return {
+            "version": 1,
+            "seed": self.seed,
+            "n_patterns": self.n_patterns,
+            "counts": dict(self.counts),
+            "first": dict(self.first),
+            "history": [[n, hw] for n, hw in self.history],
+        }
+
+    @classmethod
+    def from_payload(cls, data: Mapping[str, object]) -> "SamplingState":
+        try:
+            if data["version"] != 1:
+                raise ResilienceError(
+                    f"unknown sampling-state version {data['version']!r}"
+                )
+            return cls(
+                seed=int(data["seed"]),              # type: ignore[arg-type]
+                n_patterns=int(data["n_patterns"]),  # type: ignore[arg-type]
+                counts={k: int(v) for k, v in data["counts"].items()},  # type: ignore[union-attr]
+                first={
+                    k: (None if v is None else int(v))
+                    for k, v in data["first"].items()  # type: ignore[union-attr]
+                },
+                history=[(int(n), float(hw)) for n, hw in data["history"]],  # type: ignore[union-attr]
+            )
+        except (KeyError, TypeError, ValueError, AttributeError) as error:
+            raise ResilienceError(
+                f"malformed sampling state: {error}"
+            ) from error
+
+
 def _block_seeds(seed: int, salt: str):
     """Deterministic, process-independent stream of per-block seeds."""
     rng = random.Random(f"protest-sampling:{salt}:{seed}")
@@ -242,10 +309,18 @@ class MonteCarloEstimator:
         plan: "SamplingPlan | None" = None,
         use_kernel: bool = True,
         backend=None,
+        fallback: bool = True,
     ) -> None:
         self.circuit = circuit
         self.plan = plan if plan is not None else SamplingPlan()
         self.use_kernel = use_kernel
+        #: Degrade to the ``"python"`` engine when the selected backend
+        #: raises mid-run (recorded in :attr:`degraded`); ``False``
+        #: propagates the failure as :class:`BackendFailure` instead.
+        self.fallback = fallback
+        #: Degradation events: ``{"block", "backend", "error"}`` per
+        #: mid-run fallback, in occurrence order.
+        self.degraded: List[Dict[str, object]] = []
         if use_kernel:
             from repro.backends import resolve_backend
 
@@ -270,8 +345,19 @@ class MonteCarloEstimator:
 
     @property
     def backend_name(self) -> str:
-        """The resolved backend's name (``"legacy"`` off-kernel)."""
-        return self.backend.name if self.backend is not None else "legacy"
+        """The resolved backend's name (``"legacy"`` off-kernel).
+
+        After a mid-run degradation the name records the event
+        truthfully as ``"<original>-><fallback>"`` (e.g.
+        ``"numpy->python"``) — the string that ends up in
+        ``Provenance.backend``, so a report computed on a degraded
+        engine can never masquerade as a clean run.
+        """
+        if self.backend is None:
+            return "legacy"
+        if self.degraded:
+            return f"{self.degraded[0]['backend']}->{self.backend.name}"
+        return self.backend.name
 
     @property
     def simulator(self) -> FaultSimulator:
@@ -284,10 +370,15 @@ class MonteCarloEstimator:
 
     # -- block scheduling -----------------------------------------------------------
 
-    def _blocks(self):
-        """Block sizes covering ``max_patterns`` exactly, lazily."""
+    def _blocks(self, done: int = 0):
+        """Block sizes covering ``max_patterns`` exactly, lazily.
+
+        ``done`` skips patterns already accumulated by a resumed run:
+        the remaining sizes are exactly the sizes an uninterrupted run
+        would still have ahead of it.
+        """
         plan = self.plan
-        remaining = plan.max_patterns
+        remaining = plan.max_patterns - done
         while remaining > 0:
             size = min(plan.block_size, remaining)
             yield size
@@ -382,6 +473,8 @@ class MonteCarloEstimator:
         self,
         input_probs: "float | Mapping[str, float] | None" = None,
         checkpoint: "Callable[[DetectionSample], object] | None" = None,
+        state_hook: "Callable[[SamplingState], object] | None" = None,
+        resume: "SamplingState | None" = None,
     ) -> DetectionSample:
         """Empirical detection probability of every graded fault.
 
@@ -399,25 +492,47 @@ class MonteCarloEstimator:
         raised by the checkpoint (cancellation, timeouts) propagate and
         abort the sampling loop; the return value of the callback is
         ignored.
+
+        ``state_hook`` is the durability counterpart: it receives the
+        raw :class:`SamplingState` after every block (before
+        ``checkpoint``, so persisted state always covers the block a
+        kill-at-checkpoint interrupts).  ``resume`` restarts the loop
+        from such a state — seed-exact, so the final sample is
+        bit-identical to an uninterrupted run (see
+        :class:`SamplingState`).
+
+        When the evaluation backend raises mid-run and :attr:`fallback`
+        is enabled, the run **degrades**: the failed block is re-run on
+        the ``"python"`` engine (identical counts by the backend parity
+        contract), the event is recorded in :attr:`degraded`, and
+        :attr:`backend_name` reports ``"<failed>->python"``.  With no
+        fallback possible the failure surfaces as
+        :class:`~repro.errors.BackendFailure`.
         """
         if not self.faults:
             raise SimulationError("no faults to grade")
         plan = self.plan
         inputs = self.circuit.inputs
-        simulator = self.simulator
-        counts: Dict[Fault, int] = {fault: 0 for fault in self.faults}
-        first: Dict[Fault, Optional[int]] = {fault: None for fault in self.faults}
+        counts, first, n_total, history = self._initial_state(resume)
+        max_halfwidth = history[-1][1] if history else 1.0
+        if resume is not None and (
+            max_halfwidth <= plan.target_halfwidth
+            or n_total >= plan.max_patterns
+        ):
+            # The interrupted run had already stopped; nothing to redo.
+            return self._detection_sample(
+                counts, first, n_total, max_halfwidth, history
+            )
         seeds = _block_seeds(plan.seed, "detection")
-        n_total = 0
-        history: List[Tuple[int, float]] = []
-        max_halfwidth = 1.0
-        for size in self._blocks():
+        for _ in range(len(history)):
+            next(seeds)
+        block_index = len(history)
+        for size in self._blocks(n_total):
+            block_index += 1
             patterns = PatternSet.random(
                 inputs, size, input_probs, next(seeds)
             )
-            result = simulator.run(
-                patterns, block_size=size, drop_detected=False
-            )
+            result = self._run_block(patterns, size, block_index)
             for fault, record in result.records.items():
                 counts[fault] += record.detect_count
                 if first[fault] is None and record.first_detect is not None:
@@ -425,6 +540,14 @@ class MonteCarloEstimator:
             n_total += size
             max_halfwidth = self._worst_halfwidth(counts.values(), n_total)
             history.append((n_total, max_halfwidth))
+            if state_hook is not None:
+                state_hook(SamplingState(
+                    seed=plan.seed,
+                    n_patterns=n_total,
+                    counts={str(f): c for f, c in counts.items()},
+                    first={str(f): v for f, v in first.items()},
+                    history=list(history),
+                ))
             if checkpoint is not None:
                 checkpoint(
                     self._detection_sample(
@@ -436,6 +559,78 @@ class MonteCarloEstimator:
         return self._detection_sample(
             counts, first, n_total, max_halfwidth, history
         )
+
+    def _initial_state(self, resume: "SamplingState | None"):
+        """Fresh or resumed accumulators, validated against this run."""
+        if resume is None:
+            return (
+                {fault: 0 for fault in self.faults},
+                {fault: None for fault in self.faults},
+                0,
+                [],
+            )
+        if resume.seed != self.plan.seed:
+            raise ResilienceError(
+                f"resume state was sampled under seed {resume.seed}, "
+                f"this plan uses {self.plan.seed}"
+            )
+        keys = [str(fault) for fault in self.faults]
+        if set(keys) != set(resume.counts) or set(keys) != set(resume.first):
+            raise ResilienceError(
+                "resume state does not cover this run's fault list "
+                f"({len(resume.counts)} stored vs {len(keys)} graded)"
+            )
+        if resume.history and resume.history[-1][0] != resume.n_patterns:
+            raise ResilienceError(
+                "resume state is torn: history does not end at n_patterns"
+            )
+        counts = {f: resume.counts[str(f)] for f in self.faults}
+        first = {f: resume.first[str(f)] for f in self.faults}
+        return counts, first, resume.n_patterns, list(resume.history)
+
+    def _run_block(self, patterns: PatternSet, size: int, index: int):
+        """One fault-simulated block, with chaos seam and degradation."""
+        try:
+            chaos_point("sampling.block", block=index, backend=self.backend_name)
+            return self.simulator.run(
+                patterns, block_size=size, drop_detected=False
+            )
+        except Exception as error:
+            self._degrade_or_raise(error, index)
+            chaos_point("sampling.block", block=index, backend=self.backend_name)
+            return self.simulator.run(
+                patterns, block_size=size, drop_detected=False
+            )
+
+    def _degrade_or_raise(self, error: Exception, index: int) -> None:
+        """Fall back to the python engine, or surface a BackendFailure.
+
+        Degradation requires the kernel path, an enabled fallback, and
+        a backend that is not already the pure-python engine; the
+        failed block is then re-run on ``"python"`` — bit-identical
+        counts by the parity contract, so a degraded run continues the
+        *same* statistical stream.
+        """
+        can_fall_back = (
+            self.use_kernel
+            and self.fallback
+            and self.backend is not None
+            and self.backend.name != "python"
+        )
+        if not can_fall_back:
+            raise BackendFailure(
+                f"evaluation backend {self.backend_name!r} failed at "
+                f"block {index}: {type(error).__name__}: {error}"
+            ) from error
+        from repro.backends import get_backend
+
+        self.degraded.append({
+            "block": index,
+            "backend": self.backend.name,
+            "error": f"{type(error).__name__}: {error}",
+        })
+        self.backend = get_backend("python")
+        self._simulator = None      # rebuilt lazily on the fallback engine
 
     def _detection_sample(
         self,

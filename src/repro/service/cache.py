@@ -21,16 +21,24 @@ work regardless of display names or upload order:
 Both maps are size-bounded (least recently used entry evicted) and
 thread-safe; ``cache_info()`` surfaces hit/miss/eviction counters next
 to :meth:`AnalysisEngine.cache_info`'s per-stage counters.
+
+Every mutation happens entirely under one lock, so a lookup can never
+observe a half-applied eviction.  The ``cache.get`` / ``cache.put``
+chaos seams (:mod:`repro.resilience.chaos`) sit deliberately *outside*
+the lock: an injected ``sleep`` there widens the get/put/evict races
+the concurrency stress test hammers, without ever being able to
+deadlock the cache itself.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.circuit.netlist import Circuit
 from repro.errors import ServiceError
+from repro.resilience.chaos import chaos_point
 
 __all__ = ["ArtifactCache"]
 
@@ -87,6 +95,7 @@ class ArtifactCache:
     # -- report caching -------------------------------------------------------
 
     def get_report(self, key: ReportKey) -> Optional[Dict[str, Any]]:
+        chaos_point("cache.get", kind="report")
         with self._lock:
             payload = self._reports.get(key)
             if payload is None:
@@ -97,12 +106,31 @@ class ArtifactCache:
             return payload
 
     def put_report(self, key: ReportKey, payload: Dict[str, Any]) -> None:
+        chaos_point("cache.put", kind="report")
         with self._lock:
             self._reports[key] = payload
             self._reports.move_to_end(key)
             while len(self._reports) > self.max_reports:
                 self._reports.popitem(last=False)
                 self._stats["report_evictions"] += 1
+
+    def evict_report(self, key: ReportKey) -> bool:
+        """Drop one cached report (returns whether it existed).
+
+        The explicit-eviction arm of the concurrency stress test: a get
+        racing an evict must see either the full payload or a clean
+        miss, never a torn entry.
+        """
+        with self._lock:
+            existed = self._reports.pop(key, None) is not None
+            if existed:
+                self._stats["report_evictions"] += 1
+            return existed
+
+    def report_keys(self) -> List[ReportKey]:
+        """Current report keys, LRU-first (a snapshot, for tests)."""
+        with self._lock:
+            return list(self._reports)
 
     # -- introspection --------------------------------------------------------
 

@@ -5,9 +5,12 @@ small JSON router on top of :class:`~repro.service.jobs.JobManager`.
 
 Routes
 ------
-``GET  /healthz``          liveness: ``{"status": "ok"}``
+``GET  /healthz``          liveness + degradation: ``{"status": "ok" |
+                           "degraded" | "draining", ...}`` (200 for ok
+                           and degraded — the service still serves
+                           correct results — 503 while draining)
 ``GET  /stats``            queue depth, job states, cache counters,
-                           per-backend throughput
+                           per-backend throughput, resilience counters
 ``GET  /jobs``             all job summaries (no snapshot payloads)
 ``POST /jobs``             submit — body ``{"circuit": name}`` or
                            ``{"bench": text}`` or ``{"sweep": {...}}``
@@ -24,15 +27,28 @@ Routes
 ``DELETE /jobs/<id>``      request cancellation
 
 Every error body is structured: ``{"error": {"type", "message"}}``.
+A submit that finds the (bounded) queue full is rejected with ``429``
+and a ``Retry-After`` header instead of accepting unbounded work.
+
+``serve()`` additionally installs SIGTERM/SIGINT handlers: on either
+signal the server stops accepting connections, the job manager drains
+(running jobs get a grace period, stragglers abort at their next
+checkpoint with their progress journaled), the journal is synced, and
+the process exits 0.
 """
 
 from __future__ import annotations
 
 import json
+import signal
+import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 
-from repro.errors import ServiceError
+from repro.errors import QueueFull, ServiceError
+from repro.resilience.chaos import install_from_env
+from repro.resilience.journal import JobJournal
+from repro.resilience.policy import RetryPolicy
 from repro.service.jobs import JobManager
 
 __all__ = ["ServiceHandler", "make_server", "serve"]
@@ -106,7 +122,11 @@ class ServiceHandler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
         path = self.path.split("?")[0]
         if path in ("/healthz", "/healthz/"):
-            self._send_json(200, {"status": "ok"})
+            health = self.manager.health()
+            # Degraded still serves correct results (the fallback engine
+            # is bit-identical); only a draining service turns away.
+            status = 503 if health["status"] == "draining" else 200
+            self._send_json(status, health)
             return
         if path in ("/stats", "/stats/"):
             self._send_json(200, self.manager.stats())
@@ -172,6 +192,19 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 priority=payload.get("priority", 0),
                 timeout=payload.get("timeout"),
             )
+        except QueueFull as error:
+            body = json.dumps(
+                {"error": {"type": "QueueFull", "message": str(error)},
+                 "retry_after": error.retry_after},
+                sort_keys=True,
+            ).encode("utf-8")
+            self.send_response(429)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Retry-After", str(max(1, round(error.retry_after))))
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+            return
         except ServiceError as error:
             self._send_error_json(400, "BadRequest", str(error))
             return
@@ -213,30 +246,73 @@ def serve(
     max_reports: int = 256,
     default_timeout: "float | None" = None,
     verbose: bool = False,
+    journal: "str | None" = None,
+    max_queue: "int | None" = None,
+    retries: int = 2,
+    grace: float = 5.0,
 ) -> int:
     """Run the service until interrupted (the ``protest serve`` body).
 
     Prints one ``serving on http://host:port`` line (flushed, so smoke
     harnesses spawning the process can parse the ephemeral port) and
     blocks in ``serve_forever``.
+
+    ``journal`` names a checkpoint file: sampled jobs persist their
+    per-block state there, and a restarted ``protest serve --journal
+    <path>`` resumes interrupted runs seed-exactly.  ``max_queue``
+    bounds admission (429 beyond it), ``retries`` grants transient
+    failures extra attempts, and ``grace`` is the drain budget (in
+    seconds) of the SIGTERM/SIGINT path.  A ``PROTEST_CHAOS``
+    environment spec, when present, installs a fault-injection plan
+    (see :mod:`repro.resilience.chaos`) — how the CI chaos-smoke puts a
+    real spawned server under failure.
     """
     from repro.service.cache import ArtifactCache
 
+    install_from_env()
     manager = JobManager(
         workers=workers,
         cache=ArtifactCache(max_circuits=max_circuits,
                             max_reports=max_reports),
         default_timeout=default_timeout,
+        retry=RetryPolicy(max_attempts=1 + max(0, retries)),
+        max_queue=max_queue,
+        journal=JobJournal(journal) if journal else None,
     )
     server = make_server(manager, host, port, verbose=verbose)
     bound_host, bound_port = server.server_address[:2]
     print(f"serving on http://{bound_host}:{bound_port}", flush=True)
+
+    stop_requested = threading.Event()
+
+    def request_stop(signum=None, frame=None):
+        if stop_requested.is_set():
+            return
+        stop_requested.set()
+        # shutdown() blocks until serve_forever returns, so it must run
+        # off the signal-handling (main) thread.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    installed = []
+    if threading.current_thread() is threading.main_thread():
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                installed.append((signum, signal.signal(signum, request_stop)))
+            except (ValueError, OSError):
+                pass
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
+        for signum, previous in installed:
+            try:
+                signal.signal(signum, previous)
+            except (ValueError, OSError):
+                pass
         server.shutdown()
         server.server_close()
-        manager.shutdown(wait=False)
+        summary = manager.drain(grace=grace)
+        if verbose:
+            print(f"drained: {summary}", flush=True)
     return 0

@@ -11,8 +11,10 @@ payloads.
 Lifecycle::
 
     queued -> running -> done
-                      -> failed     (structured {"type", "message"} error)
+                      -> failed     (structured {"type", "message",
+                                     "transient", "attempts", "cause"})
                       -> cancelled  (client DELETE, or revoked while queued)
+                      -> queued     (transient failure, retried with backoff)
 
 Sampled jobs additionally publish **progressive snapshots**: the
 engine's per-block checkpoint (see
@@ -26,10 +28,40 @@ per-job wall-clock budget (:class:`~repro.errors.JobCancelled` /
 blocks); analytic stages are not preemptible mid-stage, so for them
 both are best-effort boundaries (checked before the stage runs, and
 between sweep cells).
+
+Fault tolerance (:mod:`repro.resilience`):
+
+* **Retries** — a job failing with a *transient* error (a worker crash,
+  a broken executor, an injected transient fault) goes back to the
+  queue with exponential backoff + deterministic jitter, up to the
+  :class:`~repro.resilience.policy.RetryPolicy` budget; every attempt
+  is logged on the job.  Permanent errors (a parse error, a timeout, an
+  estimation failure) fail immediately with the structured payload.
+* **Worker crash detection** — each worker thread runs under a watchdog
+  (:meth:`JobManager._worker_main`): a ``BaseException`` unwinding the
+  loop (a :class:`~repro.resilience.chaos.ChaosKill`, a real thread
+  death) replenishes the pool slot with a fresh thread and routes the
+  orphaned job through the retry path as
+  :class:`~repro.errors.WorkerCrashed`.
+* **Checkpoint/resume** — sampled jobs persist their
+  :class:`~repro.sampling.montecarlo.SamplingState` to the
+  :class:`~repro.resilience.journal.JobJournal` once per block, keyed
+  by the same content identity as the artifact cache.  A retried,
+  resubmitted, or restarted (``--journal``) job resumes seed-exactly
+  from the last completed block — the final report is bit-identical to
+  an uninterrupted run.
+* **Admission control** — with ``max_queue`` set, a submit that finds
+  the queue full raises :class:`~repro.errors.QueueFull` (HTTP 429 +
+  ``Retry-After``) instead of accepting unbounded work.
+* **Degradation accounting** — sampled jobs that fell back from a
+  failing backend to the ``"python"`` engine mid-run are counted and
+  surface in :meth:`health` as status ``"degraded"``; their provenance
+  records the event as ``"<failed>->python"``.
 """
 
 from __future__ import annotations
 
+import hashlib
 import heapq
 import itertools
 import threading
@@ -40,8 +72,20 @@ from repro.api.config import ProtestConfig
 from repro.api.engine import AnalysisEngine
 from repro.api.sweep import run_sweep
 from repro.circuit.bench_parser import parse_bench
-from repro.errors import JobCancelled, JobTimeout, ReproError, ServiceError
+from repro.errors import (
+    JobCancelled,
+    JobTimeout,
+    QueueFull,
+    ReproError,
+    ResilienceError,
+    ServiceError,
+    WorkerCrashed,
+)
 from repro.probability.estimator import input_probs_key
+from repro.resilience.chaos import ChaosKill, chaos_point
+from repro.resilience.journal import JobJournal
+from repro.resilience.policy import RetryPolicy, error_payload
+from repro.sampling.montecarlo import SamplingState
 from repro.service.cache import ArtifactCache
 
 __all__ = ["Job", "JobManager", "JOB_STATES"]
@@ -83,10 +127,15 @@ class Job:
         self.circuit_hash: Optional[str] = None
         self.from_cache = False
         self.circuit_interned = False
-        self.error: Optional[Dict[str, str]] = None
+        self.error: Optional[Dict[str, Any]] = None
         self.snapshots: List[Dict[str, Any]] = []
         self.latest_snapshot: Optional[Dict[str, Any]] = None
         self.result: Optional[Dict[str, Any]] = None
+        # -- resilience bookkeeping -----------------------------------
+        self.attempts = 0                     # executions started
+        self.retries: List[Dict[str, Any]] = []   # one entry per retry
+        self.resumed = False                  # continued from the journal
+        self.degraded: Optional[str] = None   # "numpy->python" etc.
 
     # -- views (call under the manager lock) ---------------------------------
 
@@ -115,6 +164,10 @@ class Job:
             "elapsed": self.elapsed(),
             "from_cache": self.from_cache,
             "error": self.error,
+            "attempts": self.attempts,
+            "retries": list(self.retries),
+            "resumed": self.resumed,
+            "degraded": self.degraded,
             "n_snapshots": len(self.snapshots),
             "snapshots": list(self.snapshots),
             "snapshot": self.latest_snapshot,
@@ -129,13 +182,40 @@ class Job:
 
 
 class JobManager:
-    """Priority-ordered job queue on a bounded worker-thread pool."""
+    """Priority-ordered job queue on a bounded worker-thread pool.
+
+    Parameters
+    ----------
+    workers:
+        Worker-thread count.  Crashed workers are replenished, so the
+        pool size is an invariant, not a best effort.
+    cache:
+        Shared :class:`ArtifactCache` (one is created when omitted).
+    default_timeout:
+        Per-attempt wall-clock budget applied to jobs submitted without
+        their own ``timeout``.
+    retry:
+        The :class:`RetryPolicy` for transient failures; the default
+        grants 3 attempts with exponential backoff.  ``max_attempts=1``
+        disables retries.
+    max_queue:
+        Bound on the number of *queued* jobs; a submit beyond it raises
+        :class:`~repro.errors.QueueFull` (mapped to HTTP 429).  ``None``
+        (default) leaves admission unbounded.
+    journal:
+        The checkpoint :class:`JobJournal`.  Defaults to an in-memory
+        journal (crash-retry resume within this manager); pass a
+        file-backed one to survive service restarts.
+    """
 
     def __init__(
         self,
         workers: int = 2,
         cache: "ArtifactCache | None" = None,
         default_timeout: "float | None" = None,
+        retry: "RetryPolicy | None" = None,
+        max_queue: "int | None" = None,
+        journal: "JobJournal | None" = None,
     ) -> None:
         if workers < 1:
             raise ServiceError(f"workers must be positive, got {workers}")
@@ -143,23 +223,39 @@ class JobManager:
             raise ServiceError(
                 f"default_timeout must be positive, got {default_timeout}"
             )
+        if max_queue is not None and max_queue < 1:
+            raise ServiceError(
+                f"max_queue must be positive or None, got {max_queue}"
+            )
         self.cache = cache if cache is not None else ArtifactCache()
         self.default_timeout = default_timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.max_queue = max_queue
+        self.journal = journal if journal is not None else JobJournal()
         # Reentrant: cancel()/shutdown() finish jobs while already
         # holding the lock; the worker loop finishes them without it.
         self._lock = threading.RLock()
         self._cond = threading.Condition(self._lock)
-        self._queue: List[Tuple[int, int, str]] = []   # (-priority, seq, id)
+        self._queue: List[Tuple[int, int, str]] = []   # (-priority, order, id)
+        self._delayed: List[Tuple[float, int, str]] = []  # (ready, order, id)
         self._seq = itertools.count()
+        self._order = itertools.count()       # heap tie-breaker stream
         self._jobs: Dict[str, Job] = {}
         self._stopping = False
+        # The job each worker thread is executing, by thread ident —
+        # what the crash watchdog consults to find the orphaned job.
+        self._running: Dict[int, Job] = {}
+        self._counters: Dict[str, int] = {
+            "retries": 0, "worker_crashes": 0, "resumes": 0,
+            "degraded_jobs": 0, "rejected": 0,
+        }
         # Per-backend sampled-pattern throughput, keyed by the resolved
         # backend name recorded in each finished report's provenance.
         self._throughput: Dict[str, Dict[str, float]] = {}
         self._workers = [
             threading.Thread(
-                target=self._worker, name=f"protest-job-worker-{i}",
-                daemon=True,
+                target=self._worker_main, args=(i,),
+                name=f"protest-job-worker-{i}", daemon=True,
             )
             for i in range(workers)
         ]
@@ -188,6 +284,8 @@ class JobManager:
         — an unknown circuit name, unparseable bench text, estimation
         failures — surface later as a ``failed`` job with a structured
         error body, so one bad payload can never take down the service.
+        With ``max_queue`` set, a full queue raises
+        :class:`~repro.errors.QueueFull` (429 + ``Retry-After``).
         """
         chosen = [x for x in (circuit, bench, sweep) if x is not None]
         if len(chosen) != 1:
@@ -228,14 +326,29 @@ class JobManager:
         with self._cond:
             if self._stopping:
                 raise ServiceError("the job manager is shutting down")
+            if self.max_queue is not None:
+                depth = self._queued_depth()
+                if depth >= self.max_queue:
+                    self._counters["rejected"] += 1
+                    raise QueueFull(
+                        f"queue is full ({depth} jobs queued, "
+                        f"limit {self.max_queue})",
+                        retry_after=max(1.0, self.retry.base_delay),
+                    )
             job_id = f"j{next(self._seq):06d}"
             job = Job(
                 job_id, kind, payload, config, input_probs, priority, timeout
             )
             self._jobs[job_id] = job
-            heapq.heappush(self._queue, (-priority, int(job_id[1:]), job_id))
+            heapq.heappush(
+                self._queue, (-priority, next(self._order), job_id)
+            )
             self._cond.notify()
             return job
+
+    def _queued_depth(self) -> int:
+        """Jobs in state ``"queued"`` (call under the lock)."""
+        return sum(1 for job in self._jobs.values() if job.state == "queued")
 
     # -- queries -------------------------------------------------------------
 
@@ -282,16 +395,46 @@ class JobManager:
 
         A queued job is cancelled immediately; a running sampled or
         sweep job aborts at its next checkpoint / cell boundary; a job
-        already in a terminal state is left untouched.
+        already in a terminal state is left untouched.  A cancelled
+        sampled job keeps its journal checkpoint — resubmitting the
+        same work resumes instead of restarting.
         """
         job = self.get(job_id)
         with self._cond:
             job.cancel_event.set()
             if job.state == "queued":
-                self._finish(job, "cancelled",
-                             error={"type": "JobCancelled",
-                                    "message": "cancelled while queued"})
+                self._finish(
+                    job, "cancelled",
+                    error=error_payload(
+                        JobCancelled("cancelled while queued"), job.attempts
+                    ),
+                )
             return job.status_dict()
+
+    def health(self) -> Dict[str, Any]:
+        """The ``GET /healthz`` body: liveness plus truthful degradation.
+
+        ``status`` is ``"ok"`` (all clear), ``"degraded"`` (a sampled
+        job fell back from a failing backend, or a worker crashed —
+        results are still correct, capacity or performance may not be),
+        or ``"draining"`` (shutdown in progress; submissions are
+        rejected).
+        """
+        with self._lock:
+            if self._stopping:
+                status = "draining"
+            elif (self._counters["degraded_jobs"] > 0
+                    or self._counters["worker_crashes"] > 0):
+                status = "degraded"
+            else:
+                status = "ok"
+            return {
+                "status": status,
+                "workers": len(self._workers),
+                "queue_depth": self._queued_depth(),
+                "worker_crashes": self._counters["worker_crashes"],
+                "degraded_jobs": self._counters["degraded_jobs"],
+            }
 
     def stats(self) -> Dict[str, Any]:
         """The ``GET /stats`` body: queue, states, cache, throughput."""
@@ -310,12 +453,22 @@ class JobManager:
                 for backend, data in self._throughput.items()
             }
             queue_depth = states["queued"]
+            resilience: Dict[str, Any] = dict(self._counters)
+            resilience["delayed"] = len(self._delayed)
+            resilience["journal_entries"] = len(self.journal)
+            resilience["max_queue"] = self.max_queue
+            resilience["retry"] = {
+                "max_attempts": self.retry.max_attempts,
+                "base_delay": self.retry.base_delay,
+                "max_delay": self.retry.max_delay,
+            }
         return {
             "workers": len(self._workers),
             "queue_depth": queue_depth,
             "jobs": states,
             "cache": self.cache.cache_info(),
             "throughput": throughput,
+            "resilience": resilience,
         }
 
     # -- shutdown ------------------------------------------------------------
@@ -324,60 +477,201 @@ class JobManager:
         """Stop the workers; still-queued jobs are marked cancelled."""
         with self._cond:
             self._stopping = True
-            while self._queue:
-                _, _, job_id = heapq.heappop(self._queue)
-                job = self._jobs[job_id]
-                if job.state == "queued":
-                    self._finish(job, "cancelled",
-                                 error={"type": "JobCancelled",
-                                        "message": "service shutdown"})
+            self._revoke_queued("service shutdown")
             self._cond.notify_all()
         if wait:
-            for thread in self._workers:
+            for thread in list(self._workers):
                 thread.join()
+
+    def drain(self, grace: float = 5.0) -> Dict[str, Any]:
+        """Graceful shutdown: finish running jobs, persist the journal.
+
+        The SIGTERM path of ``protest serve``: intake stops, queued jobs
+        are revoked, running jobs get ``grace`` seconds to finish; any
+        still running after that are cancelled — sampled jobs abort at
+        their next block checkpoint with their progress already in the
+        journal, so a restarted service resumes them seed-exactly.
+        Returns a summary of what was drained.
+        """
+        if grace < 0:
+            raise ServiceError(f"grace must be non-negative, got {grace}")
+        with self._cond:
+            self._stopping = True
+            revoked = self._revoke_queued("service shutdown")
+            self._cond.notify_all()
+        deadline = time.monotonic() + grace
+        aborted: List[str] = []
+        with self._cond:
+            while True:
+                running = [
+                    job for job in self._jobs.values()
+                    if job.state == "running"
+                ]
+                if not running:
+                    break
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    # Grace expired: abort at the next checkpoint; the
+                    # journal keeps each job's last completed block.
+                    for job in running:
+                        job.cancel_event.set()
+                        aborted.append(job.id)
+                    break
+                self._cond.wait(remaining)
+        for thread in list(self._workers):
+            thread.join(timeout=max(grace, 1.0))
+        try:
+            self.journal.sync()
+        except ResilienceError:
+            pass        # an unwritable journal must not block shutdown
+        with self._lock:
+            return {
+                "revoked": revoked,
+                "aborted": aborted,
+                "journal_entries": len(self.journal),
+            }
+
+    def _revoke_queued(self, reason: str) -> int:
+        """Cancel everything still queued or awaiting retry (under lock)."""
+        revoked = 0
+        for heap in (self._queue, self._delayed):
+            while heap:
+                entry = heapq.heappop(heap)
+                job = self._jobs[entry[2]]
+                if job.state == "queued":
+                    self._finish(
+                        job, "cancelled",
+                        error=error_payload(
+                            JobCancelled(reason), job.attempts
+                        ),
+                    )
+                    revoked += 1
+        return revoked
 
     # -- worker internals ----------------------------------------------------
 
-    def _worker(self) -> None:
+    def _worker_main(self, index: int) -> None:
+        """Watchdog shell around the worker loop.
+
+        A ``BaseException`` unwinding :meth:`_worker_loop` is a worker
+        death — injected (:class:`ChaosKill`) or real.  The slot is
+        replenished with a fresh thread, and the job the dead worker
+        was holding goes through the retry path as
+        :class:`WorkerCrashed` (transient: the failure belongs to the
+        substrate, not the work).
+        """
+        try:
+            self._worker_loop()
+        except BaseException as error:  # noqa: BLE001 - thread death
+            job = self._running.pop(threading.get_ident(), None)
+            replacement = threading.Thread(
+                target=self._worker_main, args=(index,),
+                name=f"protest-job-worker-{index}", daemon=True,
+            )
+            with self._cond:
+                self._counters["worker_crashes"] += 1
+                self._workers[index] = replacement
+            replacement.start()
+            if job is not None:
+                crash = WorkerCrashed(
+                    f"worker died while running job {job.id}: "
+                    f"{type(error).__name__}: {error}"
+                )
+                crash.__cause__ = error
+                self._handle_failure(job, crash)
+            if not isinstance(error, ChaosKill):
+                raise
+
+    def _worker_loop(self) -> None:
         while True:
             with self._cond:
-                while not self._queue and not self._stopping:
-                    self._cond.wait()
-                if not self._queue:
+                job = self._next_job()
+                if job is None:
                     return          # stopping and drained
+                self._running[threading.get_ident()] = job
+            try:
+                chaos_point(
+                    "service.worker",
+                    job=job.id, kind=job.kind, attempt=job.attempts - 1,
+                )
+                self._execute(job)
+            except JobCancelled as error:
+                self._finish(job, "cancelled",
+                             error=error_payload(error, job.attempts))
+            except ReproError as error:
+                self._handle_failure(job, error)
+            except Exception as error:  # noqa: BLE001 - worker must survive
+                self._handle_failure(job, error)
+            # Deliberately not a finally: on a BaseException (worker
+            # death) the entry must survive for the watchdog to find.
+            self._running.pop(threading.get_ident(), None)
+
+    def _next_job(self) -> Optional[Job]:
+        """Claim the next runnable job (call under the condition)."""
+        while True:
+            now = time.monotonic()
+            # Promote retry entries whose backoff has elapsed.
+            while self._delayed and self._delayed[0][0] <= now:
+                _, order, job_id = heapq.heappop(self._delayed)
+                delayed = self._jobs[job_id]
+                if delayed.state == "queued":
+                    heapq.heappush(
+                        self._queue, (-delayed.priority, order, job_id)
+                    )
+            while self._queue:
                 _, _, job_id = heapq.heappop(self._queue)
                 job = self._jobs[job_id]
                 if job.state != "queued":
                     continue        # revoked while queued
                 job.state = "running"
                 job.started = time.time()
+                job.finished = None
+                job.attempts += 1
                 if job.timeout is not None:
                     job.deadline = time.monotonic() + job.timeout
-            try:
-                self._execute(job)
-            except JobCancelled as error:
-                self._finish(job, "cancelled",
-                             error={"type": "JobCancelled",
-                                    "message": str(error)})
-            except JobTimeout as error:
-                self._finish(job, "failed",
-                             error={"type": "JobTimeout",
-                                    "message": str(error)})
-            except ReproError as error:
-                self._finish(job, "failed",
-                             error={"type": type(error).__name__,
-                                    "message": str(error)})
-            except Exception as error:  # noqa: BLE001 - worker must survive
-                self._finish(job, "failed",
-                             error={"type": type(error).__name__,
-                                    "message": str(error)})
+                return job
+            if self._stopping:
+                return None
+            timeout = None
+            if self._delayed:
+                timeout = max(0.0, self._delayed[0][0] - now)
+            self._cond.wait(timeout)
+
+    def _handle_failure(self, job: Job, error: BaseException) -> None:
+        """Retry a transient failure with backoff, or fail the job."""
+        with self._cond:
+            retryable = (
+                not self._stopping
+                and not job.cancel_event.is_set()
+                and self.retry.should_retry(error, job.attempts)
+            )
+            if not retryable:
+                self._finish(
+                    job, "failed", error=error_payload(error, job.attempts)
+                )
+                return
+            delay = self.retry.delay(job.attempts, token=job.id)
+            job.retries.append({
+                "attempt": job.attempts,
+                "error": error_payload(error, job.attempts),
+                "delay": delay,
+            })
+            self._counters["retries"] += 1
+            job.state = "queued"
+            job.started = None
+            job.deadline = None
+            heapq.heappush(
+                self._delayed,
+                (time.monotonic() + delay, next(self._order), job.id),
+            )
+            self._cond.notify_all()
 
     def _finish(
         self,
         job: Job,
         state: str,
         result: "Dict[str, Any] | None" = None,
-        error: "Dict[str, str] | None" = None,
+        error: "Dict[str, Any] | None" = None,
     ) -> None:
         with self._cond:
             if job.state in TERMINAL_STATES:
@@ -418,6 +712,23 @@ class JobManager:
         self._check_abort(job)
         self._finish(job, "done", result=result.to_dict())
 
+    def _journal_key(
+        self, circuit_hash: str, config: ProtestConfig, probs_key
+    ) -> str:
+        """Content identity of a sampled run — the journal's key.
+
+        The same identity the report cache uses (circuit structure,
+        config hash, method, input-probability tuple), flattened to a
+        string: a crashed-and-retried job, a cancelled-then-resubmitted
+        job, and a restarted service all find the same checkpoint.
+        """
+        probs_hash = hashlib.sha256(
+            repr(probs_key).encode("utf-8")
+        ).hexdigest()[:16]
+        return "|".join(
+            [circuit_hash, config.config_hash, config.method, probs_hash]
+        )
+
     def _execute_analyze(self, job: Job) -> None:
         bench = job.payload.get("bench")
         if bench is not None:
@@ -449,9 +760,7 @@ class JobManager:
         engine = AnalysisEngine(circuit, config)
         self._check_abort(job)
         if config.method == "sampled":
-            report = engine.sampled_analyze(
-                job.input_probs, checkpoint=lambda p: self._snapshot(job, p)
-            )
+            report = self._run_sampled(job, engine, report_key)
         else:
             report = engine.analyze(job.input_probs)
         self._check_abort(job)
@@ -460,8 +769,69 @@ class JobManager:
         self._record_throughput(job, payload)
         self._finish(job, "done", result=payload)
 
+    def _run_sampled(self, job: Job, engine: AnalysisEngine, report_key):
+        """One sampled analysis with journal checkpoint/resume."""
+        journal_key = self._journal_key(
+            report_key[0], job.config, report_key[3]
+        )
+        resume = None
+        entry = self.journal.get(journal_key)
+        if entry is not None:
+            try:
+                resume = SamplingState.from_payload(entry)
+            except ResilienceError:
+                self.journal.discard(journal_key)   # corrupt: recompute
+
+        def state_hook(state: SamplingState) -> None:
+            try:
+                self.journal.put(journal_key, state.to_payload())
+            except ResilienceError:
+                # A lost checkpoint costs recomputation, never the job.
+                pass
+
+        if resume is not None:
+            with self._lock:
+                job.resumed = True
+                self._counters["resumes"] += 1
+        try:
+            report = engine.sampled_analyze(
+                job.input_probs,
+                checkpoint=lambda p: self._snapshot(job, p),
+                state_hook=state_hook,
+                resume=resume,
+            )
+        except ResilienceError:
+            if resume is None:
+                raise
+            # A stale checkpoint (fault list or seed mismatch after a
+            # config collision) is discarded, and the run restarts clean.
+            self.journal.discard(journal_key)
+            with self._lock:
+                job.resumed = False
+            report = engine.sampled_analyze(
+                job.input_probs,
+                checkpoint=lambda p: self._snapshot(job, p),
+                state_hook=state_hook,
+            )
+        if engine.sampler.degraded:
+            with self._lock:
+                job.degraded = engine.sampler.backend_name
+                self._counters["degraded_jobs"] += 1
+        self.journal.discard(journal_key)     # done: retire the checkpoint
+        return report
+
     def _snapshot(self, job: Job, partial) -> None:
-        """Per-block checkpoint: abort check + progressive publication."""
+        """Per-block checkpoint: abort check + progressive publication.
+
+        The chaos seam comes *first*: a kill injected "at block k"
+        strikes after the journal already holds block k's state (the
+        estimator runs its ``state_hook`` before the checkpoint), so
+        the retried attempt resumes with block k done — the situation
+        the bit-identity acceptance test exercises.
+        """
+        chaos_point(
+            "service.checkpoint", job=job.id, block=len(job.snapshots)
+        )
         self._check_abort(job)
         payload = partial.to_dict()
         summary = {

@@ -1,0 +1,222 @@
+"""Sampling-layer resilience: checkpoint/resume and backend degradation.
+
+The load-bearing property is **bit-identity**: a Monte-Carlo run resumed
+from a persisted :class:`SamplingState`, or degraded mid-run from a
+failing backend to the python engine, must produce exactly the sample an
+undisturbed run produces — same intervals, same history, same
+first-detection indices.  Anything weaker would make the service's
+crash-retry and restart paths statistically dishonest.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.backends import PythonBackend, register_backend
+from repro.circuits.library import build
+from repro.errors import BackendFailure, ResilienceError
+from repro.resilience import ChaosPlan, inject
+from repro.sampling.montecarlo import (
+    MonteCarloEstimator,
+    SamplingPlan,
+    SamplingState,
+)
+
+#: Several blocks, never converges (c17 needs far more than 4096
+#: patterns for a 0.01 Wilson halfwidth at 99%), and fast.
+PLAN = SamplingPlan(
+    target_halfwidth=0.01, max_patterns=4096, block_size=512, seed=3
+)
+
+
+def run_with_states(circuit="c17", plan=PLAN, **kwargs):
+    """One full run plus every per-block SamplingState it emitted."""
+    states = []
+    estimator = MonteCarloEstimator(build(circuit), plan=plan, **kwargs)
+    sample = estimator.sample_detection_probabilities(
+        state_hook=states.append
+    )
+    return estimator, sample, states
+
+
+def assert_bit_identical(a, b):
+    assert a.n_patterns == b.n_patterns
+    assert a.converged == b.converged
+    assert a.max_halfwidth == b.max_halfwidth
+    assert a.history == b.history
+    assert a.intervals == b.intervals
+    assert a.coverage == b.coverage
+    assert a.first_detect == b.first_detect
+
+
+# ---------------------------------------------------------------------------
+# SamplingState serialization
+# ---------------------------------------------------------------------------
+
+def test_state_payload_roundtrip_through_json():
+    _, _, states = run_with_states()
+    state = states[2]
+    payload = json.loads(json.dumps(state.to_payload()))
+    restored = SamplingState.from_payload(payload)
+    assert restored.seed == state.seed
+    assert restored.n_patterns == state.n_patterns
+    assert restored.counts == state.counts
+    assert restored.first == state.first
+    assert restored.history == state.history
+    assert restored.blocks_done == 3
+
+
+def test_state_rejects_malformed_payloads():
+    _, _, states = run_with_states()
+    good = states[0].to_payload()
+    with pytest.raises(ResilienceError):
+        SamplingState.from_payload({**good, "version": 2})
+    for key in ("seed", "n_patterns", "counts", "first", "history"):
+        bad = dict(good)
+        del bad[key]
+        with pytest.raises(ResilienceError):
+            SamplingState.from_payload(bad)
+    with pytest.raises(ResilienceError):
+        SamplingState.from_payload({**good, "counts": "not-a-mapping"})
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint/resume bit-identity
+# ---------------------------------------------------------------------------
+
+def test_resume_is_bit_identical_from_every_block():
+    _, full, states = run_with_states()
+    assert len(states) == 8 and not full.converged
+    for state in states[:-1]:
+        estimator = MonteCarloEstimator(build("c17"), plan=PLAN)
+        resumed = estimator.sample_detection_probabilities(resume=state)
+        assert_bit_identical(resumed, full)
+
+
+def test_resume_after_journal_roundtrip():
+    # The exact path the service takes: state -> JSON journal -> state.
+    _, full, states = run_with_states()
+    payload = json.loads(json.dumps(states[4].to_payload()))
+    estimator = MonteCarloEstimator(build("c17"), plan=PLAN)
+    resumed = estimator.sample_detection_probabilities(
+        resume=SamplingState.from_payload(payload)
+    )
+    assert_bit_identical(resumed, full)
+
+
+def test_resume_from_finished_state_is_a_noop():
+    _, full, states = run_with_states()
+    estimator = MonteCarloEstimator(build("c17"), plan=PLAN)
+    blocks = []
+    resumed = estimator.sample_detection_probabilities(
+        resume=states[-1], state_hook=blocks.append
+    )
+    assert blocks == []                 # nothing was re-simulated
+    assert_bit_identical(resumed, full)
+
+
+def test_resume_validation():
+    _, _, states = run_with_states()
+    state = states[1]
+    # Wrong seed: the pattern stream would diverge.
+    other_seed = MonteCarloEstimator(
+        build("c17"),
+        plan=SamplingPlan(
+            target_halfwidth=0.01, max_patterns=4096, block_size=512, seed=4
+        ),
+    )
+    with pytest.raises(ResilienceError, match="seed"):
+        other_seed.sample_detection_probabilities(resume=state)
+    # Wrong circuit: the fault lists differ.
+    other_circuit = MonteCarloEstimator(build("parity8"), plan=PLAN)
+    with pytest.raises(ResilienceError, match="fault list"):
+        other_circuit.sample_detection_probabilities(resume=state)
+    # Torn state: history not ending at n_patterns.
+    torn = SamplingState(
+        seed=state.seed, n_patterns=state.n_patterns + 512,
+        counts=state.counts, first=state.first, history=state.history,
+    )
+    with pytest.raises(ResilienceError, match="torn"):
+        MonteCarloEstimator(
+            build("c17"), plan=PLAN
+        ).sample_detection_probabilities(resume=torn)
+
+
+# ---------------------------------------------------------------------------
+# Backend degradation
+# ---------------------------------------------------------------------------
+
+class FlakyBackend(PythonBackend):
+    """Python-identical engine under a name degradation can leave."""
+
+    name = "flaky-test"
+
+
+register_backend(FlakyBackend(), replace=True)
+
+
+def test_degradation_is_bit_identical_and_truthful():
+    plan = ChaosPlan().fail(
+        "sampling.block", block=2, backend="flaky-test",
+        message="injected backend failure",
+    )
+    estimator = MonteCarloEstimator(
+        build("c17"), plan=PLAN, backend="flaky-test"
+    )
+    with inject(plan):
+        degraded = estimator.sample_detection_probabilities()
+    assert plan.fired("sampling.block") == 1
+    # The event is recorded truthfully...
+    assert estimator.degraded == [{
+        "block": 2,
+        "backend": "flaky-test",
+        "error": "InjectedFault: injected backend failure",
+    }]
+    assert estimator.backend_name == "flaky-test->python"
+    assert estimator.backend.name == "python"
+    # ...and the sample is exactly what a clean run produces.
+    clean = MonteCarloEstimator(
+        build("c17"), plan=PLAN, backend="python"
+    ).sample_detection_probabilities()
+    assert_bit_identical(degraded, clean)
+
+
+def test_degradation_survives_a_resumed_run():
+    _, full, states = run_with_states()
+    plan = ChaosPlan().fail(
+        "sampling.block", block=5, backend="flaky-test"
+    )
+    estimator = MonteCarloEstimator(
+        build("c17"), plan=PLAN, backend="flaky-test"
+    )
+    with inject(plan):
+        resumed = estimator.sample_detection_probabilities(resume=states[2])
+    assert estimator.backend_name == "flaky-test->python"
+    assert_bit_identical(resumed, full)
+
+
+def test_no_fallback_surfaces_backend_failure():
+    # fallback=False: the failure propagates as a permanent error.
+    plan = ChaosPlan().fail("sampling.block", block=1, backend="flaky-test")
+    estimator = MonteCarloEstimator(
+        build("c17"), plan=PLAN, backend="flaky-test", fallback=False
+    )
+    with inject(plan):
+        with pytest.raises(BackendFailure) as exc:
+            estimator.sample_detection_probabilities()
+    assert exc.value.transient is False
+    assert "block 1" in str(exc.value)
+    assert isinstance(exc.value.__cause__, Exception)
+
+
+def test_python_backend_has_nowhere_to_fall_back():
+    plan = ChaosPlan().fail("sampling.block", block=1, backend="python")
+    estimator = MonteCarloEstimator(
+        build("c17"), plan=PLAN, backend="python"
+    )
+    with inject(plan):
+        with pytest.raises(BackendFailure):
+            estimator.sample_detection_probabilities()
+    assert estimator.degraded == []

@@ -56,7 +56,12 @@ def poll_result(base, job_id, deadline_s=120.0):
 
 def test_healthz(service):
     base, _ = service
-    assert request(base, "GET", "/healthz") == (200, {"status": "ok"})
+    code, health = request(base, "GET", "/healthz")
+    assert code == 200
+    assert health["status"] == "ok"
+    assert health["worker_crashes"] == 0
+    assert health["degraded_jobs"] == 0
+    assert health["workers"] == 2
 
 
 def test_submit_poll_result_and_cache_hit(service):

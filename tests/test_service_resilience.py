@@ -1,0 +1,397 @@
+"""Service-level fault tolerance: retries, resume, degradation, drain.
+
+Every recovery path of the job engine is exercised by injecting the
+exact failure it exists for (:mod:`repro.resilience.chaos`) and then
+asserting the strongest available contract — usually that the recovered
+result is **bit-identical** to an undisturbed run's.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api.config import ProtestConfig
+from repro.api.engine import AnalysisEngine
+from repro.api.results import canonical_payload
+from repro.api.sweep import run_sweep
+from repro.circuits.library import build
+from repro.errors import QueueFull
+from repro.resilience import ChaosPlan, JobJournal, RetryPolicy, inject
+from repro.resilience.chaos import uninstall
+from repro.service import ArtifactCache, JobManager, make_server
+
+#: Four blocks on c432, fast, never converges before the pattern cap.
+SAMPLED = ProtestConfig(
+    method="sampled", max_patterns=4096, target_halfwidth=0.01,
+    fault_sample=48, name="resil-test",
+)
+
+#: A sampled config that cannot finish within a test's patience.
+SLOW = ProtestConfig(
+    method="sampled", max_patterns=1 << 18, target_halfwidth=0.002,
+    fault_sample=128, name="resil-slow",
+)
+
+#: Fast backoff so retry tests spend microseconds, not seconds.
+FAST_RETRY = RetryPolicy(max_attempts=3, base_delay=0.001, max_delay=0.01)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan():
+    yield
+    uninstall()
+
+
+@pytest.fixture
+def make_manager():
+    managers = []
+
+    def factory(**kwargs):
+        kwargs.setdefault("retry", FAST_RETRY)
+        mgr = JobManager(**kwargs)
+        managers.append(mgr)
+        return mgr
+
+    yield factory
+    # Chaos plans match on job ids that restart at j000000 per manager,
+    # so leftover workers must be fully stopped before the next test
+    # installs its plan.
+    for mgr in managers:
+        for job in list(mgr._jobs.values()):
+            job.cancel_event.set()
+        mgr.shutdown(wait=True)
+
+
+def wait_for(predicate, timeout=30.0, message="condition"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.005)
+    raise AssertionError(f"timed out waiting for {message}")
+
+
+# ---------------------------------------------------------------------------
+# Worker crash -> retry -> resume
+# ---------------------------------------------------------------------------
+
+def test_worker_kill_retries_and_resumes_bit_identically(make_manager):
+    manager = make_manager(workers=1)
+    plan = ChaosPlan().kill("service.checkpoint", job="j000000", block=1)
+    with inject(plan):
+        job = manager.submit(circuit="c432", config=SAMPLED)
+        job = manager.wait(job.id, timeout=120)
+    assert plan.fired() == 1
+    assert job.state == "done", job.error
+
+    # The crash was retried with the taxonomy's structured payload...
+    assert job.attempts == 2
+    assert len(job.retries) == 1
+    crash = job.retries[0]["error"]
+    assert crash["type"] == "WorkerCrashed"
+    assert crash["transient"] is True
+    assert crash["attempts"] == 1
+    assert "ChaosKill" in crash["cause"]
+    # ...the retry resumed from the journal instead of restarting...
+    assert job.resumed is True
+    assert job.result["n_patterns"] == 4096
+    # ...and the recovered result is exactly an uninterrupted run's.
+    direct = AnalysisEngine(build("c432"), SAMPLED).sampled_analyze()
+    assert canonical_payload(job.result) == canonical_payload(
+        direct.to_dict()
+    )
+
+    # The journal entry is retired on completion; the crash shows up in
+    # the counters and in /healthz (truthfully degraded, still serving).
+    assert len(manager.journal) == 0
+    stats = manager.stats()["resilience"]
+    assert stats["worker_crashes"] == 1
+    assert stats["retries"] == 1
+    assert stats["resumes"] == 1
+    health = manager.health()
+    assert health["status"] == "degraded"
+    assert health["worker_crashes"] == 1
+
+
+def test_retry_budget_exhaustion_fails_with_structured_cause(make_manager):
+    manager = make_manager(
+        workers=1, retry=RetryPolicy(max_attempts=2, base_delay=0.001)
+    )
+    plan = ChaosPlan().kill("service.worker", times=None, job="j000000")
+    with inject(plan):
+        job = manager.submit(circuit="c17", config="fast")
+        job = manager.wait(job.id, timeout=60)
+    assert job.state == "failed"
+    assert job.attempts == 2
+    assert job.error["type"] == "WorkerCrashed"
+    assert job.error["transient"] is True       # transient, budget spent
+    assert job.error["attempts"] == 2
+    assert "ChaosKill" in job.error["cause"]
+    assert manager.stats()["resilience"]["worker_crashes"] == 2
+
+
+# ---------------------------------------------------------------------------
+# Failure taxonomy: every failed job carries the same payload shape
+# ---------------------------------------------------------------------------
+
+PAYLOAD_KEYS = {"type", "message", "transient", "attempts", "cause"}
+
+
+def test_parse_error_is_permanent(make_manager):
+    manager = make_manager(workers=1)
+    job = manager.wait(
+        manager.submit(bench="INPUT(a)\ngarbage((\n").id, timeout=60
+    )
+    assert job.state == "failed"
+    assert set(job.error) == PAYLOAD_KEYS
+    assert job.error["type"] == "ParseError"
+    assert job.error["transient"] is False
+    assert job.error["attempts"] == 1           # never retried
+    assert job.retries == []
+
+
+def test_timeout_is_permanent(make_manager):
+    manager = make_manager(workers=1)
+    job = manager.wait(
+        manager.submit(circuit="c880", config=SLOW, timeout=0.05).id,
+        timeout=120,
+    )
+    assert job.state == "failed"
+    assert set(job.error) == PAYLOAD_KEYS
+    assert job.error["type"] == "JobTimeout"
+    assert job.error["transient"] is False
+    assert job.error["attempts"] == 1
+    assert job.retries == []
+
+
+def test_backend_failure_is_permanent_with_cause(make_manager):
+    # The python engine has nowhere to fall back to, so an injected
+    # backend fault surfaces as a permanent BackendFailure.
+    manager = make_manager(workers=1)
+    config = ProtestConfig(
+        method="sampled", max_patterns=2048, target_halfwidth=0.01,
+        fault_sample=32, backend="python", name="resil-backend",
+    )
+    plan = ChaosPlan().fail(
+        "sampling.block", block=1, backend="python", message="injected"
+    )
+    with inject(plan):
+        job = manager.submit(circuit="c432", config=config)
+        job = manager.wait(job.id, timeout=60)
+    assert job.state == "failed"
+    assert set(job.error) == PAYLOAD_KEYS
+    assert job.error["type"] == "BackendFailure"
+    assert job.error["transient"] is False
+    assert job.error["cause"] == "InjectedFault: injected"
+
+
+def test_transient_injected_fault_is_retried_to_success(make_manager):
+    manager = make_manager(workers=1)
+    plan = ChaosPlan().fail(
+        "service.worker", job="j000000", transient=True, message="flaky"
+    )
+    with inject(plan):
+        job = manager.submit(circuit="c17", config="fast")
+        job = manager.wait(job.id, timeout=60)
+    assert job.state == "done"
+    assert job.attempts == 2
+    assert job.retries[0]["error"]["type"] == "InjectedFault"
+    assert job.retries[0]["error"]["transient"] is True
+
+
+# ---------------------------------------------------------------------------
+# Admission control: bounded queue -> QueueFull -> HTTP 429
+# ---------------------------------------------------------------------------
+
+def test_bounded_queue_rejects_with_retry_after(make_manager):
+    manager = make_manager(workers=1, max_queue=1)
+    running = manager.submit(circuit="c880", config=SLOW)
+    wait_for(lambda: manager.get(running.id).state == "running",
+             message="first job running")
+    manager.submit(circuit="c432", config=SLOW)     # fills the queue
+    with pytest.raises(QueueFull) as exc:
+        manager.submit(circuit="c17", config=SLOW)
+    assert exc.value.retry_after >= 1.0
+    assert exc.value.transient is True
+    assert manager.stats()["resilience"]["rejected"] == 1
+
+
+def test_http_429_with_retry_after_header(make_manager):
+    manager = make_manager(workers=1, max_queue=1)
+    server = make_server(manager, "127.0.0.1", 0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    base = f"http://127.0.0.1:{server.server_address[1]}"
+
+    def post(payload):
+        req = urllib.request.Request(
+            base + "/jobs", data=json.dumps(payload).encode("utf-8"),
+            method="POST", headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=30) as resp:
+                return resp.status, dict(resp.headers), json.loads(
+                    resp.read().decode("utf-8")
+                )
+        except urllib.error.HTTPError as error:
+            return error.code, dict(error.headers), json.loads(
+                error.read().decode("utf-8")
+            )
+
+    try:
+        slow = {"method": "sampled", "max_patterns": 1 << 18,
+                "target_halfwidth": 0.002, "fault_sample": 128}
+        code, _, first = post({"circuit": "c880", "config": slow})
+        assert code == 201
+        wait_for(lambda: manager.get(first["id"]).state == "running",
+                 message="first job running")
+        code, _, _ = post({"circuit": "c432", "config": slow})
+        assert code == 201
+        code, headers, body = post({"circuit": "c17", "config": slow})
+        assert code == 429
+        assert body["error"]["type"] == "QueueFull"
+        assert body["retry_after"] >= 1.0
+        assert int(headers["Retry-After"]) >= 1
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+# ---------------------------------------------------------------------------
+# Health states
+# ---------------------------------------------------------------------------
+
+def test_health_ok_then_draining(make_manager):
+    manager = make_manager(workers=1)
+    health = manager.health()
+    assert health["status"] == "ok"
+    assert health["worker_crashes"] == 0
+    summary = manager.drain(grace=0.5)
+    assert manager.health()["status"] == "draining"
+    assert summary == {"revoked": 0, "aborted": [], "journal_entries": 0}
+    with pytest.raises(Exception, match="shutting down"):
+        manager.submit(circuit="c17", config="fast")
+
+
+# ---------------------------------------------------------------------------
+# Drain + file-backed journal: resume across service restarts
+# ---------------------------------------------------------------------------
+
+def test_drain_then_restart_resumes_from_journal(tmp_path, make_manager):
+    path = tmp_path / "journal.json"
+    config = ProtestConfig(
+        method="sampled", max_patterns=16 * 1024, target_halfwidth=0.002,
+        fault_sample=48, name="resil-journal",
+    )
+    # First service lifetime: slow the checkpoints down so the drain
+    # reliably lands mid-run, then stop with zero grace.
+    first = make_manager(workers=1, journal=JobJournal(path))
+    plan = ChaosPlan().sleep(
+        "service.checkpoint", seconds=0.05, times=None, job="j000000"
+    )
+    with inject(plan):
+        job = first.submit(circuit="c432", config=config)
+        wait_for(lambda: len(first.status(job.id)["snapshots"]) >= 2,
+                 message="two snapshots before drain")
+        summary = first.drain(grace=0.0)
+    assert summary["aborted"] == [job.id]
+    assert summary["journal_entries"] == 1
+    assert first.get(job.id).state == "cancelled"
+
+    # Second lifetime: a fresh manager on the same journal file picks
+    # the checkpoint up and finishes the job seed-exactly.
+    second = make_manager(workers=1, journal=JobJournal(path))
+    resumed = second.wait(
+        second.submit(circuit="c432", config=config).id, timeout=120
+    )
+    assert resumed.state == "done", resumed.error
+    assert resumed.resumed is True
+    assert second.stats()["resilience"]["resumes"] == 1
+    direct = AnalysisEngine(build("c432"), config).sampled_analyze()
+    assert canonical_payload(resumed.result) == canonical_payload(
+        direct.to_dict()
+    )
+    assert len(second.journal) == 0         # retired on completion
+    assert json.loads(path.read_text(encoding="utf-8")) == {}
+
+
+# ---------------------------------------------------------------------------
+# Artifact-cache concurrency (satellite: lock guard stress)
+# ---------------------------------------------------------------------------
+
+def test_cache_concurrent_get_put_evict_stress():
+    cache = ArtifactCache(max_circuits=4, max_reports=8)
+    keys = [("hash%d" % i, "cfg", "sampled", (0.5,)) for i in range(16)]
+    gets = []
+    errors = []
+    # Widen the race windows: every get/put yields at the chaos seam
+    # (deliberately outside the cache lock).
+    plan = ChaosPlan().sleep("cache.get", seconds=0.0002, times=None)
+    plan.sleep("cache.put", seconds=0.0002, times=None)
+
+    def hammer(worker):
+        rng = random.Random(worker)
+        hits = 0
+        for i in range(150):
+            key = keys[rng.randrange(len(keys))]
+            op = rng.random()
+            try:
+                if op < 0.4:
+                    cache.put_report(key, {"payload": key[0], "i": i})
+                elif op < 0.8:
+                    payload = cache.get_report(key)
+                    if payload is not None:
+                        # Never a torn entry: the payload is complete.
+                        assert payload["payload"] == key[0]
+                        hits += 1
+                else:
+                    cache.evict_report(key)
+            except Exception as error:  # noqa: BLE001 - collected below
+                errors.append(error)
+        gets.append(hits)
+
+    with inject(plan):
+        threads = [
+            threading.Thread(target=hammer, args=(w,)) for w in range(6)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    assert errors == []
+    info = cache.cache_info()
+    assert info["reports"] <= 8
+    assert len(cache.report_keys()) == info["reports"]
+    assert info["report_hits"] == sum(gets)
+
+
+# ---------------------------------------------------------------------------
+# Sweep retries
+# ---------------------------------------------------------------------------
+
+def test_sweep_cell_retry_recovers_from_kill():
+    plan = ChaosPlan().kill("sweep.cell", circuit="c17", attempt=0)
+    with inject(plan):
+        result = run_sweep(["c17"], ["fast"], executor="inline", retries=1)
+    assert plan.fired() == 1
+    (run,) = result.runs
+    assert run.error is None
+    assert run.report is not None
+
+
+def test_sweep_cell_retry_exhaustion_is_recorded():
+    plan = ChaosPlan().kill("sweep.cell", times=None, circuit="c17")
+    with inject(plan):
+        result = run_sweep(["c17"], ["fast"], executor="inline", retries=1)
+    assert plan.fired() == 2                    # both attempts consumed
+    (run,) = result.runs
+    assert run.report is None
+    assert "worker crashed after 2 attempts" in run.error
+    assert "ChaosKill" in run.error
