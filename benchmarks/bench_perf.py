@@ -14,6 +14,11 @@ workload shape* — small pattern blocks, where the python backend's
 big-int lanes are competitive; ``bench_backends.py`` tracks the
 large-block workloads the numpy engine is built for.
 
+A ``telemetry`` section additionally times the largest circuit's fault
+sim with telemetry writes enabled vs. disabled
+(:func:`repro.telemetry.metrics.set_enabled`) — the observability
+layer's overhead gate.
+
 The full run writes machine-readable ``BENCH_perf.json`` at the repo root
 so the perf trajectory is tracked across PRs; ``--smoke`` runs a
 seconds-scale subset for CI and writes under ``benchmarks/results/``.
@@ -41,6 +46,7 @@ from repro.circuits.library import build  # noqa: E402
 from repro.faults.simulator import FaultSimulator  # noqa: E402
 from repro.logicsim.patterns import PatternSet  # noqa: E402
 from repro.logicsim.simulator import simulate  # noqa: E402
+from repro.telemetry.metrics import set_enabled  # noqa: E402
 
 #: The paper's evaluation circuits plus the largest bundled circuit; the
 #: last entry is the "largest" the acceptance numbers are recorded for.
@@ -118,6 +124,40 @@ def bench_fault_sim(circuit, n_patterns):
     return out
 
 
+def bench_telemetry_overhead(circuit, n_patterns, repeats):
+    """Fault-sim throughput with telemetry writes on vs. off.
+
+    Same warm simulator both ways, so the delta isolates the metric
+    increments and span bookkeeping around ``FaultSimulator.run``.  The
+    disabled path is the acceptance gate: its cost must stay at noise
+    level relative to a build without the telemetry layer.
+    """
+    patterns = PatternSet.random(circuit.inputs, n_patterns, seed=7)
+    simulator = FaultSimulator(circuit)
+    n_faults = len(simulator.faults)
+    simulator.run(patterns, block_size=n_patterns, drop_detected=False)  # warm
+    out = {}
+    try:
+        for label, flag in (("enabled", True), ("disabled", False)):
+            set_enabled(flag)
+            elapsed = _best_of(
+                repeats,
+                lambda: simulator.run(
+                    patterns, block_size=n_patterns, drop_detected=False
+                ),
+            )
+            out[f"{label}_s"] = elapsed
+            out[f"{label}_faults_x_patterns_per_s"] = (
+                n_faults * n_patterns / elapsed
+            )
+    finally:
+        set_enabled(True)
+    out["n_patterns"] = n_patterns
+    out["n_faults"] = n_faults
+    out["overhead_pct"] = 100.0 * (out["enabled_s"] / out["disabled_s"] - 1.0)
+    return out
+
+
 def bench_analyze(name):
     out = {}
     for label, use_kernel in (("kernel", True), ("legacy", False)):
@@ -158,12 +198,25 @@ def run(circuits, sim_patterns, fsim_patterns, repeats, mode):
             "analyze": analyze,
         }
     largest = max(circuits, key=lambda n: results[n]["n_gates"])
+    telemetry = bench_telemetry_overhead(
+        build(largest),
+        n_patterns=256 if mode == "full" else 64,
+        repeats=5 if mode == "full" else 2,
+    )
+    telemetry["circuit"] = largest
+    print(
+        f"[telemetry] {largest}: "
+        f"{telemetry['enabled_faults_x_patterns_per_s']:.3e} f*p/s on, "
+        f"{telemetry['disabled_faults_x_patterns_per_s']:.3e} f*p/s off "
+        f"({telemetry['overhead_pct']:+.2f}% overhead)", flush=True,
+    )
     return {
         "bench": "bench_perf",
         "mode": mode,
         "python": platform.python_version(),
         "machine": platform.machine(),
         "circuits": results,
+        "telemetry": telemetry,
         "largest_circuit": largest,
         "acceptance": {
             "fault_sim_speedup_largest": results[largest]["fault_sim"]["speedup"],
@@ -193,6 +246,13 @@ def main(argv=None):
                       repeats=3, mode="full")
         out = args.out or ROOT / "BENCH_perf.json"
     out.parent.mkdir(parents=True, exist_ok=True)
+    if not args.smoke and out.exists():
+        # Other full benches merge their own sections ("backends",
+        # "sampling", "service") into the tracked file — update this
+        # bench's keys without dropping theirs.
+        tracked = json.loads(out.read_text(encoding="utf-8"))
+        tracked.update(payload)
+        payload = tracked
     out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     acceptance = payload["acceptance"]
     print(

@@ -1,0 +1,228 @@
+"""Telemetry smoke: a live server's /metrics scrape and job traces.
+
+Spawns the real thing — ``python -m repro.cli serve --port 0
+--log-level info --trace-dir <tmp>`` as a subprocess — submits a
+sampled job over HTTP, and **asserts** the observability contract:
+
+* ``GET /metrics`` answers 200 with the Prometheus text content type
+  (``text/plain; version=0.0.4``) and a parseable exposition — every
+  sample line belongs to a ``# TYPE``-declared family, histogram
+  ``_bucket`` series are cumulative and end in ``+Inf == _count``;
+* the core series are present with sane values: queue depth, job
+  submit/finish counters, cache hit/miss, engine stage events,
+  sampling blocks, per-backend fault-sim throughput, HTTP request
+  counts, build info and uptime;
+* the finished job leaves a well-formed Chrome/Perfetto
+  ``trace-<job>.json`` in ``--trace-dir``: loadable JSON whose spans
+  share one trace id and nest HTTP request -> service.job -> engine
+  stage -> sampling blocks;
+* the server's stderr lines are structured JSON log records.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_telemetry.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import tempfile
+import urllib.request
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+sys.path.insert(0, str(ROOT / "benchmarks"))
+
+from bench_service import (  # noqa: E402
+    SAMPLED_CONFIG,
+    request,
+    spawn_server,
+    stop_server,
+    submit_and_wait,
+)
+
+SMOKE_CIRCUIT = "c432"
+
+#: Series that must be present after one sampled job (prefix match).
+REQUIRED_SERIES = (
+    "protest_job_queue_depth ",
+    "protest_jobs_submitted_total ",
+    'protest_jobs_finished_total{state="done"}',
+    "protest_job_seconds_bucket{",
+    'protest_cache_requests_total{cache="circuit",outcome="miss"}',
+    'protest_engine_stage_events_total{stage="sampling",event="run"}',
+    'protest_sampling_blocks_total{kind="detection"}',
+    "protest_backend_fault_patterns_total{",
+    'protest_http_requests_total{method="POST",route="/jobs",status="201"}',
+    "protest_http_request_seconds_bucket{",
+    "protest_build_info{",
+    "protest_uptime_seconds ",
+)
+
+
+def scrape_metrics(base):
+    with urllib.request.urlopen(base + "/metrics", timeout=30) as resp:
+        assert resp.status == 200, resp.status
+        content_type = resp.headers["Content-Type"]
+        assert content_type.startswith("text/plain; version=0.0.4"), (
+            content_type
+        )
+        return resp.read().decode("utf-8")
+
+
+def validate_exposition(text):
+    """Structural checks on the Prometheus text format; returns stats."""
+    lines = text.splitlines()
+    assert lines, "empty exposition"
+    typed = {}
+    for line in lines:
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ", 3)
+            typed[name] = kind
+    samples = 0
+    histogram_state = {}
+    for line in lines:
+        if not line or line.startswith("#"):
+            continue
+        samples += 1
+        name = line.split("{")[0].split(" ")[0]
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in typed:
+                family = name[: -len(suffix)]
+        assert family in typed, f"untyped sample line: {line}"
+        value = float(line.rsplit(" ", 1)[1])
+        if name.endswith("_bucket") and typed.get(family) == "histogram":
+            series = line.split("le=")[0]
+            previous = histogram_state.get(series, 0.0)
+            assert value >= previous, f"non-cumulative buckets: {line}"
+            histogram_state[series] = value
+        elif typed.get(family) in ("counter", "histogram"):
+            assert value >= 0, f"negative {typed[family]}: {line}"
+    for needle in REQUIRED_SERIES:
+        assert any(l.startswith(needle) for l in lines), (
+            f"missing series {needle!r}"
+        )
+    return {"families": len(typed), "samples": samples}
+
+
+def validate_trace(trace_dir, job_id):
+    """The per-job trace file is loadable and the spans nest correctly."""
+    path = pathlib.Path(trace_dir) / f"trace-{job_id}.json"
+    assert path.exists(), f"no trace file at {path}"
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    events = doc["traceEvents"]
+    assert events, "trace has no spans"
+    for event in events:
+        assert event["ph"] == "X", event
+        for key in ("name", "ts", "dur", "pid", "tid", "args"):
+            assert key in event, (key, event)
+    trace_ids = {e["args"]["trace_id"] for e in events}
+    assert len(trace_ids) == 1, f"mixed traces in one file: {trace_ids}"
+    by_id = {e["args"]["span_id"]: e for e in events}
+    names = {e["name"] for e in events}
+    for required in ("http.request", "service.job", "engine.sampling",
+                     "sampling.block"):
+        assert required in names, f"missing span {required!r} in {names}"
+
+    def ancestors(event):
+        chain = []
+        parent = event["args"]["parent_id"]
+        while parent is not None and parent in by_id:
+            chain.append(by_id[parent]["name"])
+            parent = by_id[parent]["args"]["parent_id"]
+        return chain
+
+    for event in events:
+        if event["name"] == "service.job":
+            assert "http.request" in ancestors(event), "job not under request"
+        if event["name"] == "sampling.block":
+            chain = ancestors(event)
+            assert "engine.sampling" in chain and "service.job" in chain, (
+                f"sampling.block badly nested: {chain}"
+            )
+    return {"spans": len(events), "span_names": sorted(names)}
+
+
+def validate_logs(proc):
+    """Every post-startup server output line is a JSON log record."""
+    output = proc.stdout.read()
+    records = 0
+    for line in output.splitlines():
+        line = line.strip()
+        if not line or line.startswith(("serving on", "drained:")):
+            continue
+        record = json.loads(line)
+        assert {"ts", "level", "logger", "message"} <= set(record), record
+        records += 1
+    assert records >= 1, "expected at least one structured log line"
+    return {"log_records": records}
+
+
+def run_smoke():
+    trace_dir = tempfile.mkdtemp(prefix="protest-traces-")
+    proc, base = spawn_server(
+        extra_args=("--log-level", "info", "--trace-dir", trace_dir)
+    )
+    try:
+        payload = {"circuit": SMOKE_CIRCUIT, "config": SAMPLED_CONFIG}
+        latency_s, job_id, body = submit_and_wait(base, payload)
+        assert body["state"] == "done", body
+
+        text = scrape_metrics(base)
+        exposition = validate_exposition(text)
+        code, status = request(base, "GET", f"/jobs/{job_id}")
+        assert code == 200 and status["trace_id"], status
+        trace = validate_trace(trace_dir, job_id)
+
+        code, stats = request(base, "GET", "/stats")
+        assert stats["uptime_seconds"] > 0, stats
+        assert stats["version"], stats
+        assert "protest_jobs_submitted_total" in stats["telemetry"], (
+            sorted(stats["telemetry"])
+        )
+        print(
+            f"[{SMOKE_CIRCUIT}] {exposition['families']} families / "
+            f"{exposition['samples']} samples on /metrics, "
+            f"{trace['spans']} spans in trace-{job_id}.json", flush=True,
+        )
+    except BaseException:
+        proc.kill()
+        proc.wait()
+        raise
+    stop_server(proc)
+    logs = validate_logs(proc)
+    print(f"{logs['log_records']} structured log lines", flush=True)
+    return {
+        "python": platform.python_version(),
+        "circuit": SMOKE_CIRCUIT,
+        "submit_to_result_s": latency_s,
+        **exposition,
+        **trace,
+        **logs,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI smoke (the only mode; kept for symmetry "
+                             "with the other benchmark entry points)")
+    parser.add_argument("--out", type=pathlib.Path, default=None)
+    args = parser.parse_args(argv)
+    payload = run_smoke()
+    out = args.out or ROOT / "benchmarks" / "results" / (
+        "bench_telemetry_smoke.json"
+    )
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -65,6 +65,8 @@ from repro.sampling.montecarlo import (
     SamplingState,
     SignalSample,
 )
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracing import span
 from repro.testlen.length import expected_coverage as _expected_coverage
 from repro.testlen.length import required_test_length
 
@@ -72,6 +74,11 @@ __all__ = ["AnalysisEngine", "DEFAULT_CROSS_VALIDATION_TOLERANCE"]
 
 #: Coverage-curve checkpoints recorded by :meth:`AnalysisEngine.fault_simulate`.
 _CURVE_CHECKPOINTS = (10, 100, 1000, 10_000, 100_000)
+
+#: Memoized pipeline stages, in order — the keys of ``cache_info()``.
+_STAGES = (
+    "signal", "observability", "detection", "sampling", "signal_sampling",
+)
 
 #: Default ``cross_validate`` tolerance.  The analytic estimator is a
 #: heuristic with a documented error envelope: the paper's own Table 1
@@ -133,6 +140,7 @@ class AnalysisEngine:
         config: "ProtestConfig | str | None" = None,
         faults: "Iterable[Fault] | None" = None,
         use_kernel: bool = True,
+        registry: "MetricsRegistry | None" = None,
     ) -> None:
         if isinstance(circuit, str):
             from repro.circuits.library import build
@@ -166,13 +174,25 @@ class AnalysisEngine:
         self._subset_detection_cache: Dict[
             Tuple[float, ...], Dict[Fault, float]
         ] = {}
-        self._stats: Dict[str, int] = {
-            "signal_runs": 0, "signal_hits": 0,
-            "observability_runs": 0, "observability_hits": 0,
-            "detection_runs": 0, "detection_hits": 0,
-            "sampling_runs": 0, "sampling_hits": 0,
-            "signal_sampling_runs": 0, "signal_sampling_hits": 0,
-        }
+        # Stage run/hit counters and latencies live in a per-engine
+        # telemetry registry: ``cache_info()`` reads it back, and the
+        # process-wide /metrics merge picks it up through the registry
+        # weak set (see repro.telemetry.metrics).  A private registry
+        # dies with the engine, so long-lived owners (the service's
+        # JobManager) pass their own to keep stage series scrapeable
+        # after the per-job engine is gone — at the cost of cache_info
+        # counters then being cumulative across engines.
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self._stage_events = self.metrics.counter(
+            "protest_engine_stage_events_total",
+            "Engine stage executions (event=run) and cache hits (event=hit)",
+            ("stage", "event"),
+        )
+        self._stage_seconds = self.metrics.histogram(
+            "protest_engine_stage_seconds",
+            "Wall-clock seconds per computed (non-cached) engine stage",
+            ("stage",),
+        )
 
     # -- lazily built structure ---------------------------------------------------
 
@@ -278,10 +298,28 @@ class AnalysisEngine:
 
     # -- cache plumbing -----------------------------------------------------------
 
+    def _stage_hit(self, stage: str) -> None:
+        self._stage_events.labels(stage=stage, event="hit").inc()
+
+    def _stage_run(self, stage: str, seconds: float) -> None:
+        self._stage_events.labels(stage=stage, event="run").inc()
+        self._stage_seconds.labels(stage=stage).observe(seconds)
+
     def cache_info(self) -> Dict[str, object]:
-        """Per-stage run/hit counters, cache sizes and the active backend."""
+        """Per-stage run/hit counters, cache sizes and the active backend.
+
+        Read back from the engine's telemetry registry — the same series
+        ``GET /metrics`` exposes as ``protest_engine_stage_events_total``.
+        """
+        info: Dict[str, object] = {}
+        for stage in _STAGES:
+            info[f"{stage}_runs"] = int(
+                self._stage_events.value(stage=stage, event="run")
+            )
+            info[f"{stage}_hits"] = int(
+                self._stage_events.value(stage=stage, event="hit")
+            )
         with self._lock:
-            info: Dict[str, object] = dict(self._stats)
             info["cached_input_tuples"] = len(self._signal_cache)
         info["backend"] = self.backend_name
         return info
@@ -306,15 +344,14 @@ class AnalysisEngine:
         with self._lock:
             cached = self._signal_cache.get(key)
             if cached is not None:
-                self._stats["signal_hits"] += 1
+                self._stage_hit("signal")
                 return cached, 0.0, True
-            start = time.perf_counter()
             probs = dict(zip(self.circuit.inputs, key))
-            result = self.detector.signal_estimator.run(probs)
-            elapsed = time.perf_counter() - start
+            with span("engine.signal", circuit=self.circuit.name) as stage:
+                result = self.detector.signal_estimator.run(probs)
             self._signal_cache[key] = result
-            self._stats["signal_runs"] += 1
-            return result, elapsed, False
+            self._stage_run("signal", stage.duration)
+            return result, stage.duration, False
 
     def _stages_for(self, key: Tuple[float, ...]):
         """Signal probabilities + observabilities, memoized per key."""
@@ -327,15 +364,17 @@ class AnalysisEngine:
                 cached.append("signal")
             obs = self._obs_cache.get(key)
             if obs is not None:
-                self._stats["observability_hits"] += 1
+                self._stage_hit("observability")
                 timings["observability"] = 0.0
                 cached.append("observability")
             else:
-                start = time.perf_counter()
-                obs = self.detector.observability_analyzer.run(signal)
-                timings["observability"] = time.perf_counter() - start
+                with span(
+                    "engine.observability", circuit=self.circuit.name
+                ) as stage:
+                    obs = self.detector.observability_analyzer.run(signal)
+                timings["observability"] = stage.duration
                 self._obs_cache[key] = obs
-                self._stats["observability_runs"] += 1
+                self._stage_run("observability", stage.duration)
             return signal, obs, timings, cached
 
     def _detection_for(self, key: Tuple[float, ...]):
@@ -343,14 +382,14 @@ class AnalysisEngine:
         with self._lock:
             cached_det = self._detection_cache.get(key)
             if cached_det is not None:
-                self._stats["detection_hits"] += 1
+                self._stage_hit("detection")
                 return cached_det, {"detection": 0.0}, ["detection"]
             signal, obs, timings, cached = self._stages_for(key)
-            start = time.perf_counter()
-            detection = self.detector.run_with(signal, obs, self.faults)
-            timings["detection"] = time.perf_counter() - start
+            with span("engine.detection", circuit=self.circuit.name) as stage:
+                detection = self.detector.run_with(signal, obs, self.faults)
+            timings["detection"] = stage.duration
             self._detection_cache[key] = detection
-            self._stats["detection_runs"] += 1
+            self._stage_run("detection", stage.duration)
             return detection, timings, cached
 
     def _sample_for(
@@ -379,7 +418,7 @@ class AnalysisEngine:
         with self._lock:
             cached = self._sample_cache.get(key)
             if cached is not None:
-                self._stats["sampling_hits"] += 1
+                self._stage_hit("sampling")
                 return cached, {"sampling": 0.0}, ["sampling"]
             start = time.perf_counter()
             probs = dict(zip(self.circuit.inputs, key))
@@ -391,14 +430,16 @@ class AnalysisEngine:
                         {"sampling": time.perf_counter() - start},
                         [],
                     ))
-            sample = self.sampler.sample_detection_probabilities(
-                probs, checkpoint=inner, state_hook=state_hook,
-                resume=resume,
-            )
-            elapsed = time.perf_counter() - start
+            with span("engine.sampling", circuit=self.circuit.name) as stage:
+                sample = self.sampler.sample_detection_probabilities(
+                    probs, checkpoint=inner, state_hook=state_hook,
+                    resume=resume,
+                )
+                stage.set("backend", self.sampler.backend_name)
+                stage.set("n_patterns", sample.n_patterns)
             self._sample_cache[key] = sample
-            self._stats["sampling_runs"] += 1
-            return sample, {"sampling": elapsed}, []
+            self._stage_run("sampling", stage.duration)
+            return sample, {"sampling": stage.duration}, []
 
     def _provenance(
         self,
@@ -743,11 +784,14 @@ class AnalysisEngine:
             cached = self._signal_sample_cache.get(key)
             if cached is None:
                 probs = dict(zip(self.circuit.inputs, key))
-                cached = self.sampler.sample_signal_probabilities(probs)
+                with span(
+                    "engine.signal_sampling", circuit=self.circuit.name
+                ) as stage:
+                    cached = self.sampler.sample_signal_probabilities(probs)
                 self._signal_sample_cache[key] = cached
-                self._stats["signal_sampling_runs"] += 1
+                self._stage_run("signal_sampling", stage.duration)
             else:
-                self._stats["signal_sampling_hits"] += 1
+                self._stage_hit("signal_sampling")
             return dict(cached.intervals)
 
     def sampled_analyze(
@@ -862,14 +906,16 @@ class AnalysisEngine:
         with self._lock:
             cached_det = self._subset_detection_cache.get(key)
             if cached_det is not None:
-                self._stats["detection_hits"] += 1
+                self._stage_hit("detection")
                 return cached_det, {"detection": 0.0}, ["detection"]
             signal, obs, timings, cached = self._stages_for(key)
-            start = time.perf_counter()
-            detection = self.detector.run_with(
-                signal, obs, self.sampler.faults
-            )
-            timings["detection"] = time.perf_counter() - start
+            with span(
+                "engine.detection", circuit=self.circuit.name, subset=True
+            ) as stage:
+                detection = self.detector.run_with(
+                    signal, obs, self.sampler.faults
+                )
+            timings["detection"] = stage.duration
             self._subset_detection_cache[key] = detection
-            self._stats["detection_runs"] += 1
+            self._stage_run("detection", stage.duration)
             return detection, timings, cached

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import concurrent.futures
 import dataclasses
+import os
 import pickle
 import threading
 import time
@@ -29,6 +30,14 @@ from repro.circuit.netlist import Circuit
 from repro.errors import ReproError
 from repro.report.tables import ascii_table, format_count
 from repro.resilience.chaos import ChaosKill, chaos_point
+from repro.telemetry.tracing import (
+    SpanContext,
+    current_context,
+    drain_spans,
+    ingest_spans,
+    span,
+    use_context,
+)
 
 __all__ = ["SweepRun", "SweepResult", "run_sweep"]
 
@@ -51,6 +60,13 @@ class SweepRun:
     #: (``run_sweep(timeout=...)``); ``elapsed`` then records the time
     #: the sweep actually waited before giving up on the cell.
     timed_out: bool = False
+    #: Trace events recorded in a foreign *process* worker, shipped back
+    #: for re-ingestion into the parent's span buffer (empty when the
+    #: cell ran in-process).  Transport, not payload: excluded from
+    #: ``to_dict`` and comparisons.
+    spans: List[Dict[str, Any]] = dataclasses.field(
+        default_factory=list, repr=False, compare=False
+    )
 
     @property
     def ok(self) -> bool:
@@ -152,29 +168,59 @@ def _run_one(
     confidences: Sequence[float],
     fractions: Sequence[float],
     attempt: int = 0,
+    trace: "Dict[str, Any] | None" = None,
 ) -> SweepRun:
     label = _circuit_label(circuit)
+    # ``trace`` carries the parent sweep's span context (plus the pid
+    # that produced it) into this worker; spans opened here nest under
+    # it even across a process boundary, where the finished events are
+    # shipped back on ``SweepRun.spans`` because the parent's in-memory
+    # buffer is not shared.
+    context = SpanContext.from_payload(
+        trace if trace is None else
+        {"trace_id": trace["trace_id"], "span_id": trace["span_id"]}
+    )
+    foreign = trace is not None and trace.get("pid") != os.getpid()
     start = time.perf_counter()
-    try:
-        chaos_point("sweep.cell", circuit=label, attempt=attempt)
-        engine = AnalysisEngine(circuit, config)
-        if config.method == "sampled":
-            report = engine.sampled_analyze(
-                input_probs, confidences=confidences, fractions=fractions
-            )
-        else:
-            report = engine.analyze(
-                input_probs, confidences=confidences, fractions=fractions
-            )
-        return SweepRun(
-            circuit=label, config=config, report=report,
-            elapsed=time.perf_counter() - start,
-        )
-    except ReproError as error:
-        return SweepRun(
-            circuit=label, config=config, report=None, error=str(error),
-            elapsed=time.perf_counter() - start,
-        )
+    run: "SweepRun | None" = None
+    with use_context(context):
+        with span(
+            "sweep.cell", circuit=label, config=config.name, attempt=attempt
+        ) as cell:
+            try:
+                chaos_point("sweep.cell", circuit=label, attempt=attempt)
+                engine = AnalysisEngine(circuit, config)
+                if config.method == "sampled":
+                    report = engine.sampled_analyze(
+                        input_probs, confidences=confidences,
+                        fractions=fractions,
+                    )
+                else:
+                    report = engine.analyze(
+                        input_probs, confidences=confidences,
+                        fractions=fractions,
+                    )
+                run = SweepRun(
+                    circuit=label, config=config, report=report,
+                    elapsed=time.perf_counter() - start,
+                )
+            except ReproError as error:
+                run = SweepRun(
+                    circuit=label, config=config, report=None,
+                    error=str(error),
+                    elapsed=time.perf_counter() - start,
+                )
+    if foreign:
+        run.spans = drain_spans(cell.trace_id)
+    return run
+
+
+def _adopt_spans(run: SweepRun) -> SweepRun:
+    """Re-ingest trace events a process worker shipped back."""
+    if run.spans:
+        ingest_spans(run.spans)
+        run.spans = []
+    return run
 
 
 #: Recognized values of the ``executor`` knob.
@@ -249,58 +295,65 @@ def run_sweep(
         for circuit in circuit_list
         for config in config_list
     ]
-    if (
-        executor == "inline"
-        or (workers is not None and workers <= 1)
-        or len(cells) <= 1
-    ):
-        runs = []
-        for circuit, config in cells:
-            if cancel is not None and cancel.is_set():
-                runs.append(_abandoned_run(circuit, config, "cancelled"))
-                continue
-            for attempt in range(retries + 1):
-                try:
-                    run = _run_one(
-                        circuit, config, input_probs, confidences,
-                        fractions, attempt,
-                    )
-                    break
-                except ChaosKill as error:
-                    # Inline there is no worker to die, but the chaos
-                    # seam still exercises the retry accounting.
-                    if attempt >= retries:
-                        run = _abandoned_run(
-                            circuit, config,
-                            f"worker crashed after {attempt + 1} attempts: "
-                            f"ChaosKill: {error}",
+    with span(
+        "sweep.run", cells=len(cells), executor=executor or "auto"
+    ) as sweep_span:
+        # Serialized context handed to every cell: workers parent their
+        # spans under this sweep, and the pid lets a worker tell whether
+        # it must ship its spans back across a process boundary.
+        trace = {**sweep_span.context.to_payload(), "pid": os.getpid()}
+        if (
+            executor == "inline"
+            or (workers is not None and workers <= 1)
+            or len(cells) <= 1
+        ):
+            runs = []
+            for circuit, config in cells:
+                if cancel is not None and cancel.is_set():
+                    runs.append(_abandoned_run(circuit, config, "cancelled"))
+                    continue
+                for attempt in range(retries + 1):
+                    try:
+                        run = _run_one(
+                            circuit, config, input_probs, confidences,
+                            fractions, attempt, trace,
                         )
-            runs.append(run)
-        return SweepResult(runs=runs)
-    mode = executor or "process"
-    if mode == "process":
-        try:
-            return SweepResult(
-                runs=_pooled_runs(
-                    concurrent.futures.ProcessPoolExecutor, workers, cells,
-                    input_probs, confidences, fractions, timeout, cancel,
-                    retries,
+                        break
+                    except ChaosKill as error:
+                        # Inline there is no worker to die, but the chaos
+                        # seam still exercises the retry accounting.
+                        if attempt >= retries:
+                            run = _abandoned_run(
+                                circuit, config,
+                                f"worker crashed after {attempt + 1} "
+                                f"attempts: ChaosKill: {error}",
+                            )
+                runs.append(run)
+            return SweepResult(runs=runs)
+        mode = executor or "process"
+        if mode == "process":
+            try:
+                return SweepResult(
+                    runs=_pooled_runs(
+                        concurrent.futures.ProcessPoolExecutor, workers,
+                        cells, input_probs, confidences, fractions, timeout,
+                        cancel, retries, trace,
+                    )
                 )
+            except (OSError, PermissionError, ImportError,
+                    NotImplementedError, pickle.PicklingError,
+                    concurrent.futures.process.BrokenProcessPool):
+                # No usable process pool (sandboxes, missing /dev/shm or
+                # sem_open, unpicklable inputs defined in __main__, ...):
+                # threads still give overlap on the C-level big-int work.
+                pass
+        return SweepResult(
+            runs=_pooled_runs(
+                concurrent.futures.ThreadPoolExecutor, workers, cells,
+                input_probs, confidences, fractions, timeout, cancel,
+                retries, trace,
             )
-        except (OSError, PermissionError, ImportError, NotImplementedError,
-                pickle.PicklingError,
-                concurrent.futures.process.BrokenProcessPool):
-            # No usable process pool (sandboxes, missing /dev/shm or
-            # sem_open, unpicklable inputs defined in __main__, ...):
-            # threads still give overlap on the C-level big-int work.
-            pass
-    return SweepResult(
-        runs=_pooled_runs(
-            concurrent.futures.ThreadPoolExecutor, workers, cells,
-            input_probs, confidences, fractions, timeout, cancel,
-            retries,
         )
-    )
 
 
 def _abandoned_run(
@@ -326,6 +379,7 @@ def _pooled_runs(
     timeout: "float | None" = None,
     cancel: "threading.Event | None" = None,
     retries: int = 1,
+    trace: "Dict[str, Any] | None" = None,
 ) -> List[SweepRun]:
     """Run the cells on a pool, in retry rounds.
 
@@ -350,7 +404,7 @@ def _pooled_runs(
             futures = [
                 pool.submit(
                     _run_one, cells[i][0], cells[i][1], input_probs,
-                    confidences, fractions, attempt,
+                    confidences, fractions, attempt, trace,
                 )
                 for i, attempt in pending
             ]
@@ -363,7 +417,7 @@ def _pooled_runs(
                     continue
                 start = time.perf_counter()
                 try:
-                    results[i] = future.result(timeout=timeout)
+                    results[i] = _adopt_spans(future.result(timeout=timeout))
                     any_completed = True
                 except concurrent.futures.TimeoutError:
                     # A hung worker must not hang the whole sweep: record

@@ -22,6 +22,11 @@ start from a named :class:`~repro.api.ProtestConfig` preset, and
 the compiled kernel (:mod:`repro.backends`).  ``sweep`` accepts
 ``--executor {process,thread,inline}`` to pick the pool type and
 ``--method sampled`` to Monte-Carlo grade every cell.
+
+The same subcommands plus ``sweep`` accept ``--trace PATH`` to dump the
+command's spans as Chrome/Perfetto trace-event JSON
+(:mod:`repro.telemetry.tracing`); ``serve`` exposes ``--log-level`` for
+structured JSON logs and ``--trace-dir`` for per-job trace files.
 """
 
 from __future__ import annotations
@@ -46,6 +51,8 @@ from repro.faults.coverage import TABLE6_CHECKPOINTS
 from repro.report.tables import ascii_table, format_count
 from repro.sampling.intervals import INTERVAL_METHODS
 from repro.sampling.montecarlo import SamplingPlan
+from repro.telemetry.logs import LOG_LEVELS
+from repro.telemetry.tracing import export_chrome_trace, span
 
 #: Defaults quoted in the ``sample`` subcommand's help text.
 _PLAN = SamplingPlan()
@@ -121,6 +128,10 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                              "installed; all backends are bit-identical)")
     parser.add_argument("--json", action="store_true",
                         help="emit machine-readable JSON instead of tables")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="write a Chrome/Perfetto trace-event JSON of "
+                             "this command's spans (open in about:tracing "
+                             "or ui.perfetto.dev)")
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -302,6 +313,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_queue=args.max_queue,
         retries=args.retries,
         grace=args.grace,
+        log_level=args.log_level,
+        trace_dir=args.trace_dir,
     )
 
 
@@ -429,6 +442,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "never retried")
     p.add_argument("--json", action="store_true",
                    help="emit machine-readable JSON instead of tables")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="write a Chrome/Perfetto trace-event JSON of "
+                        "this sweep's spans (process workers ship "
+                        "theirs back to the parent)")
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser(
@@ -463,6 +480,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "being aborted at their next checkpoint")
     p.add_argument("--verbose", action="store_true",
                    help="log every HTTP request to stderr")
+    p.add_argument("--log-level", default="info", choices=LOG_LEVELS,
+                   help="structured JSON log level on stderr "
+                        "('off' keeps the process silent)")
+    p.add_argument("--trace-dir", default=None, metavar="DIR",
+                   help="write a Chrome/Perfetto trace-<job>.json per "
+                        "finished job into this directory")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("circuits", help="list built-in circuits")
@@ -478,11 +501,18 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: "List[str] | None" = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    trace_path = getattr(args, "trace", None)
     try:
-        return args.func(args)
+        with span(f"cli.{args.command}", command=args.command) as root:
+            status = args.func(args)
+            root.set("status", status)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    if trace_path is not None:
+        export_chrome_trace(trace_path, trace_id=root.trace_id)
+        print(f"trace written to {trace_path}", file=sys.stderr)
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -39,8 +39,26 @@ from repro.faults.model import Fault, fault_universe
 from repro.kernel import compile_circuit
 from repro.logicsim.patterns import PatternSet
 from repro.logicsim.simulator import simulate
+from repro.telemetry.metrics import REGISTRY
+from repro.telemetry.tracing import span
 
 __all__ = ["FaultSimulator", "FaultSimResult", "FaultRecord"]
+
+_SIM_RUNS = REGISTRY.counter(
+    "protest_faultsim_runs_total",
+    "Fault-simulation runs per evaluation backend",
+    ("backend",),
+)
+_SIM_FAULT_PATTERNS = REGISTRY.counter(
+    "protest_backend_fault_patterns_total",
+    "Fault x pattern evaluations per evaluation backend",
+    ("backend",),
+)
+_SIM_SECONDS = REGISTRY.counter(
+    "protest_backend_seconds_total",
+    "Wall-clock seconds spent in fault simulation per backend",
+    ("backend",),
+)
 
 
 @dataclasses.dataclass
@@ -222,46 +240,71 @@ class FaultSimulator:
             raise SimulationError("empty pattern set")
         if block_size < 1:
             raise SimulationError("block_size must be positive")
+        backend_name = (
+            self._backend.name if self._backend is not None else "legacy"
+        )
         records = {fault: FaultRecord(fault) for fault in self.faults}
-        offset = 0
-        while offset < patterns.n_patterns:
-            stop = min(offset + block_size, patterns.n_patterns)
-            block = patterns.slice(offset, stop)
-            mask = block.mask
-            if self._compiled is not None:
-                alive = [
-                    fault
-                    for fault in self.faults
-                    if not (drop_detected and records[fault].detected)
-                ]
-                if alive:
-                    detect_words = self._backend.fault_sim_words(
-                        self._compiled, self._scratch, alive,
-                        block.words, mask, block.n_patterns,
-                    )
-                    for fault in alive:
+        evaluated = 0
+        with span(
+            "faultsim.run",
+            circuit=self.circuit.name,
+            backend=backend_name,
+            faults=len(self.faults),
+            patterns=patterns.n_patterns,
+        ) as run_span:
+            offset = 0
+            while offset < patterns.n_patterns:
+                stop = min(offset + block_size, patterns.n_patterns)
+                block = patterns.slice(offset, stop)
+                mask = block.mask
+                if self._compiled is not None:
+                    alive = [
+                        fault
+                        for fault in self.faults
+                        if not (drop_detected and records[fault].detected)
+                    ]
+                    if alive:
+                        with span(
+                            "backend.fault_sim_words",
+                            backend=backend_name,
+                            faults=len(alive),
+                            patterns=block.n_patterns,
+                        ):
+                            detect_words = self._backend.fault_sim_words(
+                                self._compiled, self._scratch, alive,
+                                block.words, mask, block.n_patterns,
+                            )
+                        evaluated += len(alive) * block.n_patterns
+                        for fault in alive:
+                            record = records[fault]
+                            record.simulated_patterns += block.n_patterns
+                            detect = detect_words.get(fault, 0)
+                            if detect:
+                                record.detect_count += detect.bit_count()
+                                if record.first_detect is None:
+                                    first = (detect & -detect).bit_length() - 1
+                                    record.first_detect = offset + first
+                else:
+                    good_map = simulate(self.circuit, block, use_kernel=False)
+                    for fault in self.faults:
                         record = records[fault]
+                        if drop_detected and record.detected:
+                            continue
+                        detect = self._legacy_detection_word(
+                            fault, good_map, mask
+                        )
                         record.simulated_patterns += block.n_patterns
-                        detect = detect_words.get(fault, 0)
+                        evaluated += block.n_patterns
                         if detect:
                             record.detect_count += detect.bit_count()
                             if record.first_detect is None:
                                 first = (detect & -detect).bit_length() - 1
                                 record.first_detect = offset + first
-            else:
-                good_map = simulate(self.circuit, block, use_kernel=False)
-                for fault in self.faults:
-                    record = records[fault]
-                    if drop_detected and record.detected:
-                        continue
-                    detect = self._legacy_detection_word(fault, good_map, mask)
-                    record.simulated_patterns += block.n_patterns
-                    if detect:
-                        record.detect_count += detect.bit_count()
-                        if record.first_detect is None:
-                            first = (detect & -detect).bit_length() - 1
-                            record.first_detect = offset + first
-            offset = stop
+                offset = stop
+            run_span.set("fault_patterns", evaluated)
+        _SIM_RUNS.labels(backend=backend_name).inc()
+        _SIM_FAULT_PATTERNS.labels(backend=backend_name).inc(evaluated)
+        _SIM_SECONDS.labels(backend=backend_name).inc(run_span.duration)
         return FaultSimResult(records, patterns.n_patterns, drop_detected)
 
     def detection_probabilities(

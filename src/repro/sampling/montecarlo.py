@@ -61,6 +61,29 @@ from repro.sampling.intervals import (
     proportion_interval,
     wilson_halfwidth,
 )
+from repro.telemetry.metrics import REGISTRY
+from repro.telemetry.tracing import span
+
+_BLOCKS_TOTAL = REGISTRY.counter(
+    "protest_sampling_blocks_total",
+    "Monte-Carlo pattern blocks simulated",
+    ("kind",),
+)
+_PATTERNS_TOTAL = REGISTRY.counter(
+    "protest_sampling_patterns_total",
+    "Random patterns drawn by the Monte-Carlo estimator",
+    ("kind",),
+)
+_BLOCK_SECONDS = REGISTRY.histogram(
+    "protest_sampling_block_seconds",
+    "Latency of one sampled block (draw + simulate + intervals)",
+    ("kind",),
+)
+_HALFWIDTH = REGISTRY.gauge(
+    "protest_sampling_halfwidth",
+    "Widest interval halfwidth after the most recent sampled block",
+    ("kind",),
+)
 
 __all__ = [
     "DetectionSample",
@@ -405,8 +428,15 @@ class MonteCarloEstimator:
         compiled = compile_circuit(self.circuit, backend)
         names = compiled.names
 
+        backend_name = backend.name
+
         def counted(patterns):
-            return zip(names, backend.sample_block(compiled, patterns))
+            with span(
+                "backend.sample_block",
+                backend=backend_name, patterns=patterns.n_patterns,
+            ):
+                counts = backend.sample_block(compiled, patterns)
+            return zip(names, counts)
 
         return counted
 
@@ -445,14 +475,27 @@ class MonteCarloEstimator:
         history: List[Tuple[int, float]] = []
         max_halfwidth = 1.0
         block_counts = self._block_counter()
+        block_index = 0
         for size in self._blocks():
-            patterns = PatternSet.random(
-                inputs, size, input_probs, next(seeds)
-            )
-            for node, count in block_counts(patterns):
-                counts[node] += count
-            n_total += size
-            max_halfwidth = self._worst_halfwidth(counts.values(), n_total)
+            block_index += 1
+            with span(
+                "sampling.block",
+                kind="signal",
+                block=block_index,
+                patterns=size,
+            ) as block_span:
+                patterns = PatternSet.random(
+                    inputs, size, input_probs, next(seeds)
+                )
+                for node, count in block_counts(patterns):
+                    counts[node] += count
+                n_total += size
+                max_halfwidth = self._worst_halfwidth(counts.values(), n_total)
+                block_span.set("max_halfwidth", max_halfwidth)
+            _BLOCKS_TOTAL.labels(kind="signal").inc()
+            _PATTERNS_TOTAL.labels(kind="signal").inc(size)
+            _BLOCK_SECONDS.labels(kind="signal").observe(block_span.duration)
+            _HALFWIDTH.labels(kind="signal").set(max_halfwidth)
             history.append((n_total, max_halfwidth))
             if max_halfwidth <= plan.target_halfwidth:
                 break
@@ -529,16 +572,28 @@ class MonteCarloEstimator:
         block_index = len(history)
         for size in self._blocks(n_total):
             block_index += 1
-            patterns = PatternSet.random(
-                inputs, size, input_probs, next(seeds)
-            )
-            result = self._run_block(patterns, size, block_index)
-            for fault, record in result.records.items():
-                counts[fault] += record.detect_count
-                if first[fault] is None and record.first_detect is not None:
-                    first[fault] = n_total + record.first_detect
-            n_total += size
-            max_halfwidth = self._worst_halfwidth(counts.values(), n_total)
+            with span(
+                "sampling.block",
+                kind="detection",
+                block=block_index,
+                patterns=size,
+                backend=self.backend_name,
+            ) as block_span:
+                patterns = PatternSet.random(
+                    inputs, size, input_probs, next(seeds)
+                )
+                result = self._run_block(patterns, size, block_index)
+                for fault, record in result.records.items():
+                    counts[fault] += record.detect_count
+                    if first[fault] is None and record.first_detect is not None:
+                        first[fault] = n_total + record.first_detect
+                n_total += size
+                max_halfwidth = self._worst_halfwidth(counts.values(), n_total)
+                block_span.set("max_halfwidth", max_halfwidth)
+            _BLOCKS_TOTAL.labels(kind="detection").inc()
+            _PATTERNS_TOTAL.labels(kind="detection").inc(size)
+            _BLOCK_SECONDS.labels(kind="detection").observe(block_span.duration)
+            _HALFWIDTH.labels(kind="detection").set(max_halfwidth)
             history.append((n_total, max_halfwidth))
             if state_hook is not None:
                 state_hook(SamplingState(

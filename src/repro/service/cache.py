@@ -39,6 +39,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.circuit.netlist import Circuit
 from repro.errors import ServiceError
 from repro.resilience.chaos import chaos_point
+from repro.telemetry.metrics import MetricsRegistry
 
 __all__ = ["ArtifactCache"]
 
@@ -49,7 +50,12 @@ ReportKey = Tuple[str, str, str, Tuple[float, ...]]
 class ArtifactCache:
     """Bounded, thread-safe artifact store shared by all jobs."""
 
-    def __init__(self, max_circuits: int = 64, max_reports: int = 256) -> None:
+    def __init__(
+        self,
+        max_circuits: int = 64,
+        max_reports: int = 256,
+        registry: "MetricsRegistry | None" = None,
+    ) -> None:
         if max_circuits < 1:
             raise ServiceError(
                 f"max_circuits must be positive, got {max_circuits}"
@@ -63,10 +69,20 @@ class ArtifactCache:
         self._lock = threading.Lock()
         self._circuits: "OrderedDict[str, Circuit]" = OrderedDict()
         self._reports: "OrderedDict[ReportKey, Dict[str, Any]]" = OrderedDict()
-        self._stats = {
-            "circuit_hits": 0, "circuit_misses": 0, "circuit_evictions": 0,
-            "report_hits": 0, "report_misses": 0, "report_evictions": 0,
-        }
+        # Hit/miss/eviction counters live in a telemetry registry —
+        # the JobManager passes its own so cache and queue series render
+        # together on /metrics; standalone caches get a private one.
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self._requests = self.metrics.counter(
+            "protest_cache_requests_total",
+            "Artifact cache lookups by cache (circuit|report) and outcome",
+            ("cache", "outcome"),
+        )
+        self._evictions = self.metrics.counter(
+            "protest_cache_evictions_total",
+            "Artifact cache LRU/explicit evictions",
+            ("cache",),
+        )
 
     # -- circuit interning ----------------------------------------------------
 
@@ -83,13 +99,13 @@ class ArtifactCache:
             cached = self._circuits.get(digest)
             if cached is not None:
                 self._circuits.move_to_end(digest)
-                self._stats["circuit_hits"] += 1
+                self._requests.labels(cache="circuit", outcome="hit").inc()
                 return cached, True
             self._circuits[digest] = circuit
-            self._stats["circuit_misses"] += 1
+            self._requests.labels(cache="circuit", outcome="miss").inc()
             while len(self._circuits) > self.max_circuits:
                 self._circuits.popitem(last=False)
-                self._stats["circuit_evictions"] += 1
+                self._evictions.labels(cache="circuit").inc()
             return circuit, False
 
     # -- report caching -------------------------------------------------------
@@ -99,10 +115,10 @@ class ArtifactCache:
         with self._lock:
             payload = self._reports.get(key)
             if payload is None:
-                self._stats["report_misses"] += 1
+                self._requests.labels(cache="report", outcome="miss").inc()
                 return None
             self._reports.move_to_end(key)
-            self._stats["report_hits"] += 1
+            self._requests.labels(cache="report", outcome="hit").inc()
             return payload
 
     def put_report(self, key: ReportKey, payload: Dict[str, Any]) -> None:
@@ -112,7 +128,7 @@ class ArtifactCache:
             self._reports.move_to_end(key)
             while len(self._reports) > self.max_reports:
                 self._reports.popitem(last=False)
-                self._stats["report_evictions"] += 1
+                self._evictions.labels(cache="report").inc()
 
     def evict_report(self, key: ReportKey) -> bool:
         """Drop one cached report (returns whether it existed).
@@ -124,7 +140,7 @@ class ArtifactCache:
         with self._lock:
             existed = self._reports.pop(key, None) is not None
             if existed:
-                self._stats["report_evictions"] += 1
+                self._evictions.labels(cache="report").inc()
             return existed
 
     def report_keys(self) -> List[ReportKey]:
@@ -135,9 +151,22 @@ class ArtifactCache:
     # -- introspection --------------------------------------------------------
 
     def cache_info(self) -> Dict[str, int]:
-        """Hit/miss/eviction counters plus current sizes and bounds."""
+        """Hit/miss/eviction counters plus current sizes and bounds.
+
+        Read back from the telemetry registry — the same series
+        ``GET /metrics`` exposes as ``protest_cache_requests_total`` /
+        ``protest_cache_evictions_total``.
+        """
+        info: Dict[str, int] = {}
+        for kind in ("circuit", "report"):
+            for outcome, key in (("hit", "hits"), ("miss", "misses")):
+                info[f"{kind}_{key}"] = int(
+                    self._requests.value(cache=kind, outcome=outcome)
+                )
+            info[f"{kind}_evictions"] = int(
+                self._evictions.value(cache=kind)
+            )
         with self._lock:
-            info = dict(self._stats)
             info["circuits"] = len(self._circuits)
             info["reports"] = len(self._reports)
         info["max_circuits"] = self.max_circuits

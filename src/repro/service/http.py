@@ -9,8 +9,14 @@ Routes
                            "degraded" | "draining", ...}`` (200 for ok
                            and degraded — the service still serves
                            correct results — 503 while draining)
+``GET  /metrics``          Prometheus text exposition (version 0.0.4):
+                           every live telemetry registry in the process
+                           — queue depth, job states, cache hit/miss,
+                           engine stage counters, per-backend
+                           throughput, HTTP request series
 ``GET  /stats``            queue depth, job states, cache counters,
-                           per-backend throughput, resilience counters
+                           per-backend throughput, resilience counters,
+                           uptime/version and a telemetry snapshot
 ``GET  /jobs``             all job summaries (no snapshot payloads)
 ``POST /jobs``             submit — body ``{"circuit": name}`` or
                            ``{"bench": text}`` or ``{"sweep": {...}}``
@@ -43,19 +49,26 @@ import json
 import signal
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
+from repro import __version__
 from repro.errors import QueueFull, ServiceError
 from repro.resilience.chaos import install_from_env
 from repro.resilience.journal import JobJournal
 from repro.resilience.policy import RetryPolicy
 from repro.service.jobs import JobManager
+from repro.telemetry.logs import configure as configure_logging
+from repro.telemetry.logs import get_logger
+from repro.telemetry.metrics import MetricsRegistry, render_prometheus
+from repro.telemetry.tracing import span
 
 __all__ = ["ServiceHandler", "make_server", "serve"]
 
 #: Largest accepted request body (a multi-megabyte .bench is legitimate;
 #: an unbounded one is a memory hole).
 MAX_BODY_BYTES = 16 << 20
+
+_ACCESS_LOG = get_logger("service.http")
 
 
 class ServiceHandler(BaseHTTPRequestHandler):
@@ -71,8 +84,45 @@ class ServiceHandler(BaseHTTPRequestHandler):
     # -- plumbing ------------------------------------------------------------
 
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
-        if getattr(self.server, "verbose", False):
-            super().log_message(format, *args)
+        # Access logs go through the structured logger (quiet unless
+        # telemetry logging is configured — `protest serve --log-level`),
+        # instead of BaseHTTPRequestHandler's raw stderr writes.
+        _ACCESS_LOG.info(
+            format % args if args else format,
+            extra={"client": self.client_address[0], "log_kind": "access"},
+        )
+
+    def send_response(self, code: int, message: "str | None" = None) -> None:
+        self._last_status = code
+        super().send_response(code, message)
+
+    def _route_label(self) -> str:
+        """Low-cardinality route label (job ids collapse to ``{id}``)."""
+        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        if not parts:
+            return "/"
+        if parts[0] == "jobs" and len(parts) > 1:
+            parts = ["jobs", "{id}"] + parts[2:]
+        return "/" + "/".join(parts)
+
+    def _traced(self, method: str, handler: "Callable[[], None]") -> None:
+        """Run one verb handler inside a request span + request metrics."""
+        route = self._route_label()
+        self._last_status = 0
+        with span(
+            "http.request",
+            method=method, route=route, path=self.path.split("?")[0],
+        ) as request_span:
+            handler()
+            request_span.set("status", self._last_status)
+        requests = getattr(self.server, "http_requests", None)
+        if requests is not None:
+            requests.labels(
+                method=method, route=route, status=str(self._last_status)
+            ).inc()
+            self.server.http_seconds.labels(
+                method=method, route=route
+            ).observe(request_span.duration)
 
     def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
@@ -120,7 +170,32 @@ class ServiceHandler(BaseHTTPRequestHandler):
     # -- verbs ---------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        self._traced("GET", self._handle_get)
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._traced("POST", self._handle_post)
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._traced("DELETE", self._handle_delete)
+
+    def _send_prometheus(self) -> None:
+        text = render_prometheus(
+            extra={"protest_uptime_seconds": self.manager.uptime_seconds()}
+        )
+        body = text.encode("utf-8")
+        self.send_response(200)
+        self.send_header(
+            "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+        )
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _handle_get(self) -> None:
         path = self.path.split("?")[0]
+        if path in ("/metrics", "/metrics/"):
+            self._send_prometheus()
+            return
         if path in ("/healthz", "/healthz/"):
             health = self.manager.health()
             # Degraded still serves correct results (the fallback engine
@@ -167,7 +242,7 @@ class ServiceHandler(BaseHTTPRequestHandler):
         else:   # queued / running: expose progress so pollers can watch
             self._send_json(202, status)
 
-    def do_POST(self) -> None:  # noqa: N802
+    def _handle_post(self) -> None:
         if self.path.split("?")[0] not in ("/jobs", "/jobs/"):
             self._send_error_json(404, "NotFound", f"no route {self.path!r}")
             return
@@ -210,7 +285,7 @@ class ServiceHandler(BaseHTTPRequestHandler):
             return
         self._send_json(201, self.manager.status(job.id))
 
-    def do_DELETE(self) -> None:  # noqa: N802
+    def _handle_delete(self) -> None:
         route = self._job_id()
         if route is None:
             return
@@ -235,6 +310,23 @@ def make_server(
     server.daemon_threads = True
     server.manager = manager          # type: ignore[attr-defined]
     server.verbose = verbose          # type: ignore[attr-defined]
+    # Request series live on the manager's registry so /metrics shows
+    # HTTP, queue and cache counters side by side.
+    server.http_requests = manager.metrics.counter(       # type: ignore[attr-defined]
+        "protest_http_requests_total",
+        "HTTP requests by method, normalized route and status code",
+        ("method", "route", "status"),
+    )
+    server.http_seconds = manager.metrics.histogram(      # type: ignore[attr-defined]
+        "protest_http_request_seconds",
+        "HTTP request handling latency",
+        ("method", "route"),
+    )
+    manager.metrics.gauge(
+        "protest_build_info",
+        "Constant 1; the version label identifies the running build",
+        ("version",),
+    ).labels(version=__version__).set(1)
     return server
 
 
@@ -250,6 +342,8 @@ def serve(
     max_queue: "int | None" = None,
     retries: int = 2,
     grace: float = 5.0,
+    log_level: str = "info",
+    trace_dir: "str | None" = None,
 ) -> int:
     """Run the service until interrupted (the ``protest serve`` body).
 
@@ -266,18 +360,27 @@ def serve(
     environment spec, when present, installs a fault-injection plan
     (see :mod:`repro.resilience.chaos`) — how the CI chaos-smoke puts a
     real spawned server under failure.
+
+    ``log_level`` configures the structured JSON logger (``"off"``
+    keeps the process silent); ``trace_dir`` names a directory where
+    each finished job drops a Chrome/Perfetto ``trace-<job>.json``.
     """
     from repro.service.cache import ArtifactCache
 
     install_from_env()
+    configure_logging(log_level)
+    registry = MetricsRegistry()
     manager = JobManager(
         workers=workers,
         cache=ArtifactCache(max_circuits=max_circuits,
-                            max_reports=max_reports),
+                            max_reports=max_reports,
+                            registry=registry),
+        registry=registry,
         default_timeout=default_timeout,
         retry=RetryPolicy(max_attempts=1 + max(0, retries)),
         max_queue=max_queue,
         journal=JobJournal(journal) if journal else None,
+        trace_dir=trace_dir,
     )
     server = make_server(manager, host, port, verbose=verbose)
     bound_host, bound_port = server.server_address[:2]

@@ -64,10 +64,12 @@ from __future__ import annotations
 import hashlib
 import heapq
 import itertools
+import os
 import threading
 import time
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
+from repro import __version__
 from repro.api.config import ProtestConfig
 from repro.api.engine import AnalysisEngine
 from repro.api.sweep import run_sweep
@@ -87,6 +89,15 @@ from repro.resilience.journal import JobJournal
 from repro.resilience.policy import RetryPolicy, error_payload
 from repro.sampling.montecarlo import SamplingState
 from repro.service.cache import ArtifactCache
+from repro.telemetry.logs import get_logger
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracing import (
+    SpanContext,
+    current_context,
+    export_chrome_trace,
+    span,
+    use_context,
+)
 
 __all__ = ["Job", "JobManager", "JOB_STATES"]
 
@@ -128,6 +139,10 @@ class Job:
         self.from_cache = False
         self.circuit_interned = False
         self.error: Optional[Dict[str, Any]] = None
+        # Span context captured at submission (the HTTP request's), and
+        # the trace id the job actually ran under — set by the worker.
+        self.trace: Optional[Dict[str, str]] = None
+        self.trace_id: Optional[str] = None
         self.snapshots: List[Dict[str, Any]] = []
         self.latest_snapshot: Optional[Dict[str, Any]] = None
         self.result: Optional[Dict[str, Any]] = None
@@ -163,6 +178,7 @@ class Job:
             "finished": self.finished,
             "elapsed": self.elapsed(),
             "from_cache": self.from_cache,
+            "trace_id": self.trace_id,
             "error": self.error,
             "attempts": self.attempts,
             "retries": list(self.retries),
@@ -206,6 +222,16 @@ class JobManager:
         The checkpoint :class:`JobJournal`.  Defaults to an in-memory
         journal (crash-retry resume within this manager); pass a
         file-backed one to survive service restarts.
+    registry:
+        The :class:`MetricsRegistry` carrying this manager's queue,
+        retry and throughput series (one is created when omitted); an
+        omitted ``cache`` shares it, so ``GET /metrics`` renders queue
+        and cache series from one place.
+    trace_dir:
+        When set, every job that reaches a terminal state writes its
+        trace as Chrome trace-event JSON to
+        ``<trace_dir>/trace-<job_id>.json`` (``protest serve
+        --trace-dir``).
     """
 
     def __init__(
@@ -216,6 +242,8 @@ class JobManager:
         retry: "RetryPolicy | None" = None,
         max_queue: "int | None" = None,
         journal: "JobJournal | None" = None,
+        registry: "MetricsRegistry | None" = None,
+        trace_dir: "str | None" = None,
     ) -> None:
         if workers < 1:
             raise ServiceError(f"workers must be positive, got {workers}")
@@ -227,11 +255,21 @@ class JobManager:
             raise ServiceError(
                 f"max_queue must be positive or None, got {max_queue}"
             )
-        self.cache = cache if cache is not None else ArtifactCache()
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self.cache = (
+            cache if cache is not None
+            else ArtifactCache(registry=self.metrics)
+        )
         self.default_timeout = default_timeout
         self.retry = retry if retry is not None else RetryPolicy()
         self.max_queue = max_queue
         self.journal = journal if journal is not None else JobJournal()
+        self.trace_dir = trace_dir
+        if trace_dir is not None:
+            os.makedirs(trace_dir, exist_ok=True)
+        self.started = time.time()
+        self._started_mono = time.monotonic()
+        self._log = get_logger("service.jobs")
         # Reentrant: cancel()/shutdown() finish jobs while already
         # holding the lock; the worker loop finishes them without it.
         self._lock = threading.RLock()
@@ -245,13 +283,61 @@ class JobManager:
         # The job each worker thread is executing, by thread ident —
         # what the crash watchdog consults to find the orphaned job.
         self._running: Dict[int, Job] = {}
-        self._counters: Dict[str, int] = {
-            "retries": 0, "worker_crashes": 0, "resumes": 0,
-            "degraded_jobs": 0, "rejected": 0,
-        }
-        # Per-backend sampled-pattern throughput, keyed by the resolved
-        # backend name recorded in each finished report's provenance.
-        self._throughput: Dict[str, Dict[str, float]] = {}
+        # Queue/retry/crash accounting and per-backend throughput live
+        # in the telemetry registry; stats()/health() read them back and
+        # GET /metrics renders them directly.
+        self._submitted_total = self.metrics.counter(
+            "protest_jobs_submitted_total", "Jobs accepted into the queue"
+        )
+        self._finished_total = self.metrics.counter(
+            "protest_jobs_finished_total",
+            "Jobs that reached a terminal state",
+            ("state",),
+        )
+        self._retries_total = self.metrics.counter(
+            "protest_job_retries_total",
+            "Transient job failures sent back to the queue with backoff",
+        )
+        self._crashes_total = self.metrics.counter(
+            "protest_worker_crashes_total",
+            "Worker threads that died and were replenished",
+        )
+        self._resumes_total = self.metrics.counter(
+            "protest_job_resumes_total",
+            "Sampled jobs resumed from a journal checkpoint",
+        )
+        self._degraded_total = self.metrics.counter(
+            "protest_degraded_jobs_total",
+            "Jobs whose sampling fell back to the python engine mid-run",
+        )
+        self._rejected_total = self.metrics.counter(
+            "protest_jobs_rejected_total",
+            "Submissions rejected by admission control (queue full)",
+        )
+        self._queue_depth_gauge = self.metrics.gauge(
+            "protest_job_queue_depth",
+            "Jobs currently in state queued (including retry backoff)",
+        )
+        self._job_seconds = self.metrics.histogram(
+            "protest_job_seconds",
+            "Wall-clock seconds from job start to terminal state",
+            ("kind",),
+        )
+        self._report_jobs = self.metrics.counter(
+            "protest_job_reports_total",
+            "Finished analyze reports per resolved backend",
+            ("backend",),
+        )
+        self._report_patterns = self.metrics.counter(
+            "protest_job_patterns_total",
+            "Patterns behind finished reports per resolved backend",
+            ("backend",),
+        )
+        self._report_seconds = self.metrics.counter(
+            "protest_job_report_seconds_total",
+            "Seconds behind finished reports per resolved backend",
+            ("backend",),
+        )
         self._workers = [
             threading.Thread(
                 target=self._worker_main, args=(i,),
@@ -329,7 +415,11 @@ class JobManager:
             if self.max_queue is not None:
                 depth = self._queued_depth()
                 if depth >= self.max_queue:
-                    self._counters["rejected"] += 1
+                    self._rejected_total.inc()
+                    self._log.warning(
+                        "submission rejected: queue full",
+                        extra={"depth": depth, "max_queue": self.max_queue},
+                    )
                     raise QueueFull(
                         f"queue is full ({depth} jobs queued, "
                         f"limit {self.max_queue})",
@@ -339,9 +429,23 @@ class JobManager:
             job = Job(
                 job_id, kind, payload, config, input_probs, priority, timeout
             )
+            # Capture the submitter's span context (the HTTP request's),
+            # so the worker's spans nest under it across the thread hop.
+            context = current_context()
+            if context is not None:
+                job.trace = context.to_payload()
             self._jobs[job_id] = job
             heapq.heappush(
                 self._queue, (-priority, next(self._order), job_id)
+            )
+            self._submitted_total.inc()
+            self._queue_depth_gauge.set(self._queued_depth())
+            self._log.debug(
+                "job submitted",
+                extra={
+                    "job": job_id, "job_kind": kind,
+                    "circuit": job.circuit_name, "priority": priority,
+                },
             )
             self._cond.notify()
             return job
@@ -349,6 +453,10 @@ class JobManager:
     def _queued_depth(self) -> int:
         """Jobs in state ``"queued"`` (call under the lock)."""
         return sum(1 for job in self._jobs.values() if job.state == "queued")
+
+    def uptime_seconds(self) -> float:
+        """Seconds since this manager started."""
+        return time.monotonic() - self._started_mono
 
     # -- queries -------------------------------------------------------------
 
@@ -420,11 +528,12 @@ class JobManager:
         or ``"draining"`` (shutdown in progress; submissions are
         rejected).
         """
+        crashes = int(self._crashes_total.value())
+        degraded = int(self._degraded_total.value())
         with self._lock:
             if self._stopping:
                 status = "draining"
-            elif (self._counters["degraded_jobs"] > 0
-                    or self._counters["worker_crashes"] > 0):
+            elif degraded > 0 or crashes > 0:
                 status = "degraded"
             else:
                 status = "ok"
@@ -432,28 +541,44 @@ class JobManager:
                 "status": status,
                 "workers": len(self._workers),
                 "queue_depth": self._queued_depth(),
-                "worker_crashes": self._counters["worker_crashes"],
-                "degraded_jobs": self._counters["degraded_jobs"],
+                "worker_crashes": crashes,
+                "degraded_jobs": degraded,
+                "uptime_seconds": round(self.uptime_seconds(), 3),
+                "version": __version__,
             }
 
     def stats(self) -> Dict[str, Any]:
-        """The ``GET /stats`` body: queue, states, cache, throughput."""
+        """The ``GET /stats`` body: queue, states, cache, throughput.
+
+        Counters are read back from the telemetry registry — the same
+        series ``GET /metrics`` renders — plus a full registry snapshot
+        under ``"telemetry"``.
+        """
+        throughput: Dict[str, Dict[str, float]] = {}
+        for labels, jobs_done in self._report_jobs.samples():
+            backend = labels["backend"]
+            patterns = self._report_patterns.value(backend=backend)
+            seconds = self._report_seconds.value(backend=backend)
+            throughput[backend] = {
+                "jobs": int(jobs_done),
+                "patterns": int(patterns),
+                "seconds": seconds,
+                "patterns_per_second": (
+                    patterns / seconds if seconds > 0 else 0.0
+                ),
+            }
+        resilience: Dict[str, Any] = {
+            "retries": int(self._retries_total.value()),
+            "worker_crashes": int(self._crashes_total.value()),
+            "resumes": int(self._resumes_total.value()),
+            "degraded_jobs": int(self._degraded_total.value()),
+            "rejected": int(self._rejected_total.value()),
+        }
         with self._lock:
             states = {state: 0 for state in JOB_STATES}
             for job in self._jobs.values():
                 states[job.state] += 1
-            throughput = {
-                backend: {
-                    **dict(data),
-                    "patterns_per_second": (
-                        data["patterns"] / data["seconds"]
-                        if data["seconds"] > 0 else 0.0
-                    ),
-                }
-                for backend, data in self._throughput.items()
-            }
             queue_depth = states["queued"]
-            resilience: Dict[str, Any] = dict(self._counters)
             resilience["delayed"] = len(self._delayed)
             resilience["journal_entries"] = len(self.journal)
             resilience["max_queue"] = self.max_queue
@@ -469,6 +594,9 @@ class JobManager:
             "cache": self.cache.cache_info(),
             "throughput": throughput,
             "resilience": resilience,
+            "uptime_seconds": round(self.uptime_seconds(), 3),
+            "version": __version__,
+            "telemetry": self.metrics.snapshot(),
         }
 
     # -- shutdown ------------------------------------------------------------
@@ -569,8 +697,16 @@ class JobManager:
                 name=f"protest-job-worker-{index}", daemon=True,
             )
             with self._cond:
-                self._counters["worker_crashes"] += 1
+                self._crashes_total.inc()
                 self._workers[index] = replacement
+            self._log.warning(
+                "worker crashed; slot replenished",
+                extra={
+                    "worker": index,
+                    "job": job.id if job is not None else None,
+                    "error": f"{type(error).__name__}: {error}",
+                },
+            )
             replacement.start()
             if job is not None:
                 crash = WorkerCrashed(
@@ -589,12 +725,25 @@ class JobManager:
                 if job is None:
                     return          # stopping and drained
                 self._running[threading.get_ident()] = job
+            # Run under the submitter's span context: the job span (and
+            # everything the engine opens below it) nests under the
+            # originating HTTP request, across the thread hop.
+            context = SpanContext.from_payload(job.trace)
             try:
-                chaos_point(
-                    "service.worker",
-                    job=job.id, kind=job.kind, attempt=job.attempts - 1,
-                )
-                self._execute(job)
+                with use_context(context):
+                    with span(
+                        "service.job",
+                        job=job.id, kind=job.kind,
+                        circuit=job.circuit_name, attempt=job.attempts,
+                    ) as job_span:
+                        with self._lock:
+                            job.trace_id = job_span.trace_id
+                        chaos_point(
+                            "service.worker",
+                            job=job.id, kind=job.kind,
+                            attempt=job.attempts - 1,
+                        )
+                        self._execute(job)
             except JobCancelled as error:
                 self._finish(job, "cancelled",
                              error=error_payload(error, job.attempts))
@@ -605,6 +754,27 @@ class JobManager:
             # Deliberately not a finally: on a BaseException (worker
             # death) the entry must survive for the watchdog to find.
             self._running.pop(threading.get_ident(), None)
+            self._maybe_export_trace(job)
+
+    def _maybe_export_trace(self, job: Job) -> None:
+        """Write the job's Chrome trace file once it is terminal."""
+        if self.trace_dir is None or job.trace_id is None:
+            return
+        if job.state not in TERMINAL_STATES:
+            return      # retrying: export once, after the final attempt
+        path = os.path.join(self.trace_dir, f"trace-{job.id}.json")
+        try:
+            count = export_chrome_trace(path, trace_id=job.trace_id)
+        except OSError as error:
+            self._log.warning(
+                "trace export failed",
+                extra={"job": job.id, "path": path, "error": str(error)},
+            )
+            return
+        self._log.debug(
+            "trace exported",
+            extra={"job": job.id, "path": path, "n_spans": count},
+        )
 
     def _next_job(self) -> Optional[Job]:
         """Claim the next runnable job (call under the condition)."""
@@ -629,6 +799,7 @@ class JobManager:
                 job.attempts += 1
                 if job.timeout is not None:
                     job.deadline = time.monotonic() + job.timeout
+                self._queue_depth_gauge.set(self._queued_depth())
                 return job
             if self._stopping:
                 return None
@@ -656,13 +827,21 @@ class JobManager:
                 "error": error_payload(error, job.attempts),
                 "delay": delay,
             })
-            self._counters["retries"] += 1
+            self._retries_total.inc()
             job.state = "queued"
             job.started = None
             job.deadline = None
             heapq.heappush(
                 self._delayed,
                 (time.monotonic() + delay, next(self._order), job.id),
+            )
+            self._queue_depth_gauge.set(self._queued_depth())
+            self._log.info(
+                "job retrying after transient failure",
+                extra={
+                    "job": job.id, "attempt": job.attempts, "delay": delay,
+                    "error": f"{type(error).__name__}: {error}",
+                },
             )
             self._cond.notify_all()
 
@@ -680,6 +859,18 @@ class JobManager:
             job.result = result
             job.error = error
             job.finished = time.time()
+            self._finished_total.labels(state=state).inc()
+            self._job_seconds.labels(kind=job.kind).observe(job.elapsed())
+            self._queue_depth_gauge.set(self._queued_depth())
+            self._log.info(
+                "job finished",
+                extra={
+                    "job": job.id, "state": state, "job_kind": job.kind,
+                    "attempts": job.attempts,
+                    "elapsed": round(job.elapsed(), 6),
+                    "from_cache": job.from_cache,
+                },
+            )
             self._cond.notify_all()
 
     def _check_abort(self, job: Job) -> None:
@@ -757,7 +948,7 @@ class JobManager:
                 job.from_cache = True
             self._finish(job, "done", result=cached)
             return
-        engine = AnalysisEngine(circuit, config)
+        engine = AnalysisEngine(circuit, config, registry=self.metrics)
         self._check_abort(job)
         if config.method == "sampled":
             report = self._run_sampled(job, engine, report_key)
@@ -792,7 +983,7 @@ class JobManager:
         if resume is not None:
             with self._lock:
                 job.resumed = True
-                self._counters["resumes"] += 1
+                self._resumes_total.inc()
         try:
             report = engine.sampled_analyze(
                 job.input_probs,
@@ -816,7 +1007,11 @@ class JobManager:
         if engine.sampler.degraded:
             with self._lock:
                 job.degraded = engine.sampler.backend_name
-                self._counters["degraded_jobs"] += 1
+                self._degraded_total.inc()
+            self._log.warning(
+                "sampling degraded to the python engine",
+                extra={"job": job.id, "backend": job.degraded},
+            )
         self.journal.discard(journal_key)     # done: retire the checkpoint
         return report
 
@@ -849,10 +1044,6 @@ class JobManager:
     def _record_throughput(self, job: Job, payload: Dict[str, Any]) -> None:
         backend = (payload.get("provenance") or {}).get("backend", "unknown")
         patterns = payload.get("n_patterns", 0) or 0
-        with self._lock:
-            data = self._throughput.setdefault(
-                backend, {"jobs": 0, "patterns": 0, "seconds": 0.0}
-            )
-            data["jobs"] += 1
-            data["patterns"] += patterns
-            data["seconds"] += job.elapsed()
+        self._report_jobs.labels(backend=backend).inc()
+        self._report_patterns.labels(backend=backend).inc(patterns)
+        self._report_seconds.labels(backend=backend).inc(job.elapsed())

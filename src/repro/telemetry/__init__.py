@@ -1,0 +1,72 @@
+"""repro.telemetry — structured tracing, metrics, and exposition.
+
+Three cooperating zero-dependency layers:
+
+* :mod:`repro.telemetry.metrics` — thread-safe counters, gauges and
+  fixed-bucket histograms in instance-scoped registries, merged
+  process-wide into the Prometheus text format served by the analysis
+  service's ``GET /metrics``.
+* :mod:`repro.telemetry.tracing` — nested spans with propagatable
+  contexts (HTTP request → job worker → engine stage → sampled block,
+  and across ``run_sweep`` process workers), exported as
+  Chrome/Perfetto trace-event JSON (``protest serve --trace-dir``,
+  ``protest analyze --trace``).
+* :mod:`repro.telemetry.logs` — structured JSON logging that
+  cross-links to traces by ``trace_id`` (``protest serve
+  --log-level``).
+
+The whole layer honours one switch — :func:`set_enabled` or
+``PROTEST_TELEMETRY=0`` — and its disabled-path cost is tracked in the
+``"telemetry"`` section of ``BENCH_perf.json``.
+"""
+
+from repro.telemetry.logs import LOG_LEVELS, JsonFormatter, configure, get_logger
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    REGISTRY,
+    MetricsRegistry,
+    collect_all,
+    enabled,
+    render_prometheus,
+    set_enabled,
+)
+from repro.telemetry.tracing import (
+    Span,
+    SpanContext,
+    chrome_trace_payload,
+    clear_spans,
+    current_context,
+    drain_spans,
+    export_chrome_trace,
+    ingest_spans,
+    new_context,
+    span,
+    spans,
+    use_context,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "JsonFormatter",
+    "LOG_LEVELS",
+    "MetricsRegistry",
+    "REGISTRY",
+    "Span",
+    "SpanContext",
+    "chrome_trace_payload",
+    "clear_spans",
+    "collect_all",
+    "configure",
+    "current_context",
+    "drain_spans",
+    "enabled",
+    "export_chrome_trace",
+    "get_logger",
+    "ingest_spans",
+    "new_context",
+    "render_prometheus",
+    "set_enabled",
+    "span",
+    "spans",
+    "use_context",
+]

@@ -1,0 +1,96 @@
+"""Structured JSON logging on top of :mod:`logging`.
+
+One logger tree (``"protest"``) for the whole library, quiet by
+default: the root carries a :class:`logging.NullHandler` and does not
+propagate, so importing the library never writes to stderr.  The
+service front-end calls :func:`configure` (``protest serve
+--log-level``) to attach a stream handler whose formatter renders one
+JSON object per line::
+
+    {"level": "info", "logger": "protest.service.http", "message": ...,
+     "ts": 1754650000.123456, "trace_id": "4f2a...", ...}
+
+Any ``extra={...}`` fields passed at the call site are merged into the
+object, and the current span context (:mod:`repro.telemetry.tracing`)
+is attached automatically, so log lines and trace events cross-link by
+``trace_id``.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import Any, Dict, Optional
+
+from repro.errors import ReproError
+from repro.telemetry.tracing import current_context
+
+__all__ = ["LOG_LEVELS", "JsonFormatter", "configure", "get_logger"]
+
+#: Accepted ``configure``/``--log-level`` values.
+LOG_LEVELS = ("debug", "info", "warning", "error", "off")
+
+#: Attributes of a LogRecord that are plumbing, not payload.
+_RESERVED = frozenset(vars(
+    logging.LogRecord("", 0, "", 0, "", (), None)
+)) | {"message", "asctime", "taskName"}
+
+_ROOT = logging.getLogger("protest")
+_ROOT.addHandler(logging.NullHandler())
+_ROOT.propagate = False
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record; ``extra`` fields merged in."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: Dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key in _RESERVED or key.startswith("_"):
+                continue
+            payload[key] = value
+        context = current_context()
+        if context is not None:
+            payload.setdefault("trace_id", context.trace_id)
+            payload.setdefault("span_id", context.span_id)
+        if record.exc_info:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True, default=str)
+
+
+def configure(
+    level: str = "info",
+    stream: "Optional[Any]" = None,
+) -> logging.Logger:
+    """Attach the JSON stream handler to the ``protest`` logger tree.
+
+    ``level="off"`` silences everything; any other value sets the
+    threshold.  Replaces previously configured handlers, so calling it
+    twice (tests, restarted services) never duplicates output lines.
+    """
+    if level not in LOG_LEVELS:
+        raise ReproError(
+            f"log level must be one of {LOG_LEVELS}, got {level!r}"
+        )
+    for handler in list(_ROOT.handlers):
+        _ROOT.removeHandler(handler)
+    if level == "off":
+        _ROOT.addHandler(logging.NullHandler())
+        _ROOT.setLevel(logging.CRITICAL + 1)
+        return _ROOT
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonFormatter())
+    _ROOT.addHandler(handler)
+    _ROOT.setLevel(getattr(logging, level.upper()))
+    return _ROOT
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A child of the ``protest`` logger tree (e.g. ``service.jobs``)."""
+    return logging.getLogger(f"protest.{name}")

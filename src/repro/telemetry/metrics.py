@@ -1,0 +1,483 @@
+"""Zero-dependency metrics primitives: counters, gauges, histograms.
+
+A :class:`MetricsRegistry` owns named metric *families*; a family owns
+one cell per label-value combination.  Everything is thread-safe (one
+lock per family) and renders to the Prometheus text exposition format
+(version 0.0.4) — the payload of the service's ``GET /metrics``.
+
+Registries are deliberately cheap and instance-scoped: the
+:class:`~repro.api.engine.AnalysisEngine` owns one (its stage
+counters), each :class:`~repro.service.jobs.JobManager` owns one
+(queue/retry/throughput counters, shared with its
+:class:`~repro.service.cache.ArtifactCache`), and module-level
+instrument points (fault simulation, Monte-Carlo blocks) use the
+default :data:`REGISTRY`.  Every live registry is tracked in a weak
+set, and :func:`render_prometheus` / :func:`collect_all` merge them
+into one process-wide view — counters and histograms sum across
+registries, gauges resolve to the most recently written value — so the
+exposition endpoint sees every subsystem without the subsystems
+sharing mutable state.
+
+The whole layer sits behind one switch: :func:`set_enabled` (or the
+``PROTEST_TELEMETRY`` environment variable, ``0``/``false``/``off`` to
+disable) turns every write into an early return, which is what the
+``"telemetry"`` overhead section of ``benchmarks/bench_perf.py``
+measures.  Reads always work — a disabled registry simply stops
+moving.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import os
+import threading
+import weakref
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "MetricsRegistry",
+    "REGISTRY",
+    "collect_all",
+    "enabled",
+    "render_prometheus",
+    "set_enabled",
+]
+
+#: Default histogram buckets, in seconds: sub-millisecond stage math up
+#: to multi-second sampled analyses (``+Inf`` is implicit).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+_ENABLED = os.environ.get("PROTEST_TELEMETRY", "1").strip().lower() not in (
+    "0", "false", "off", "no",
+)
+
+#: Monotonic stamp stream ordering gauge writes across registries.
+_GAUGE_STAMPS = itertools.count(1)
+
+
+def set_enabled(flag: bool) -> None:
+    """Globally enable/disable telemetry *writes* (reads always work)."""
+    global _ENABLED
+    _ENABLED = bool(flag)
+
+
+def enabled() -> bool:
+    """Whether metric writes and span recording are currently on."""
+    return _ENABLED
+
+
+def _check_name(name: str) -> None:
+    if not name or not all(c.isalnum() or c in "_:" for c in name):
+        raise ReproError(f"invalid metric name {name!r}")
+    if name[0].isdigit():
+        raise ReproError(f"invalid metric name {name!r}")
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def _labels_text(names: Sequence[str], values: Sequence[str]) -> str:
+    if not names:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label(value)}"'
+        for name, value in zip(names, values)
+    )
+    return "{" + inner + "}"
+
+
+class _Cell:
+    """One (family, label-values) time series."""
+
+    __slots__ = ("_family", "_labels")
+
+    def __init__(self, family: "_Family", labels: Tuple[str, ...]) -> None:
+        self._family = family
+        self._labels = labels
+
+    @property
+    def labels_dict(self) -> Dict[str, str]:
+        return dict(zip(self._family.labelnames, self._labels))
+
+    # -- counter / gauge ----------------------------------------------------
+
+    def inc(self, amount: float = 1.0) -> None:
+        if not _ENABLED:
+            return
+        if self._family.kind == "counter" and amount < 0:
+            raise ReproError("counters can only increase")
+        with self._family._lock:
+            self._family._values[self._labels] = (
+                self._family._values.get(self._labels, 0.0) + amount
+            )
+            if self._family.kind == "gauge":
+                self._family._stamps[self._labels] = next(_GAUGE_STAMPS)
+
+    def set(self, value: float) -> None:
+        if self._family.kind != "gauge":
+            raise ReproError(f"{self._family.name} is not a gauge")
+        if not _ENABLED:
+            return
+        with self._family._lock:
+            self._family._values[self._labels] = float(value)
+            self._family._stamps[self._labels] = next(_GAUGE_STAMPS)
+
+    # -- histogram ----------------------------------------------------------
+
+    def observe(self, value: float) -> None:
+        if self._family.kind != "histogram":
+            raise ReproError(f"{self._family.name} is not a histogram")
+        if not _ENABLED:
+            return
+        value = float(value)
+        with self._family._lock:
+            state = self._family._hist.get(self._labels)
+            if state is None:
+                state = [[0] * (len(self._family.buckets) + 1), 0.0, 0]
+                self._family._hist[self._labels] = state
+            counts, _, _ = state
+            for i, bound in enumerate(self._family.buckets):
+                if value <= bound:
+                    counts[i] += 1
+                    break
+            else:
+                counts[-1] += 1
+            state[1] += value
+            state[2] += 1
+
+    # -- reads --------------------------------------------------------------
+
+    @property
+    def value(self) -> float:
+        with self._family._lock:
+            return self._family._values.get(self._labels, 0.0)
+
+    @property
+    def histogram(self) -> Dict[str, Any]:
+        """``{"buckets": {le: cumulative}, "sum": s, "count": n}``."""
+        with self._family._lock:
+            state = self._family._hist.get(self._labels)
+            if state is None:
+                counts: List[int] = [0] * (len(self._family.buckets) + 1)
+                total, n = 0.0, 0
+            else:
+                counts, total, n = list(state[0]), state[1], state[2]
+        cumulative: Dict[str, int] = {}
+        running = 0
+        for bound, count in zip(self._family.buckets, counts):
+            running += count
+            cumulative[_format_value(bound)] = running
+        cumulative["+Inf"] = running + counts[-1]
+        return {"buckets": cumulative, "sum": total, "count": n}
+
+
+class _Family:
+    """All cells of one named metric."""
+
+    def __init__(
+        self,
+        kind: str,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str],
+        buckets: "Sequence[float] | None" = None,
+    ) -> None:
+        _check_name(name)
+        for label in labelnames:
+            _check_name(label)
+        self.kind = kind
+        self.name = name
+        self.help = help_text
+        self.labelnames = tuple(labelnames)
+        if kind == "histogram":
+            bounds = tuple(sorted(buckets if buckets else DEFAULT_BUCKETS))
+            if not bounds or len(set(bounds)) != len(bounds):
+                raise ReproError(f"invalid histogram buckets {buckets!r}")
+            self.buckets: Tuple[float, ...] = bounds
+        else:
+            self.buckets = ()
+        self._lock = threading.Lock()
+        self._cells: Dict[Tuple[str, ...], _Cell] = {}
+        self._values: Dict[Tuple[str, ...], float] = {}
+        self._stamps: Dict[Tuple[str, ...], int] = {}
+        # label values -> [per-bucket counts + overflow, sum, count]
+        self._hist: Dict[Tuple[str, ...], List[Any]] = {}
+
+    def labels(self, **labels: str) -> _Cell:
+        if set(labels) != set(self.labelnames):
+            raise ReproError(
+                f"{self.name} takes labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        key = tuple(str(labels[name]) for name in self.labelnames)
+        with self._lock:
+            cell = self._cells.get(key)
+            if cell is None:
+                cell = _Cell(self, key)
+                self._cells[key] = cell
+            return cell
+
+    def _default_cell(self) -> _Cell:
+        if self.labelnames:
+            raise ReproError(
+                f"{self.name} requires labels {self.labelnames}"
+            )
+        return self.labels()
+
+    # Label-less conveniences -------------------------------------------------
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default_cell().inc(amount)
+
+    def set(self, value: float) -> None:
+        self._default_cell().set(value)
+
+    def observe(self, value: float) -> None:
+        self._default_cell().observe(value)
+
+    def value(self, **labels: str) -> float:
+        if labels or not self.labelnames:
+            return self.labels(**labels).value
+        raise ReproError(f"{self.name} requires labels {self.labelnames}")
+
+    def samples(self) -> List[Tuple[Dict[str, str], Any]]:
+        """Every live series: ``(labels dict, value-or-histogram)``."""
+        with self._lock:
+            keys = list(self._cells)
+        out: List[Tuple[Dict[str, str], Any]] = []
+        for key in keys:
+            cell = self._cells[key]
+            if self.kind == "histogram":
+                out.append((cell.labels_dict, cell.histogram))
+            else:
+                out.append((cell.labels_dict, cell.value))
+        return out
+
+
+class MetricsRegistry:
+    """A namespace of metric families; see the module docstring.
+
+    ``register=False`` keeps a registry out of the process-wide weak
+    set (and therefore out of :func:`render_prometheus`'s merged view)
+    — useful for throwaway registries in tests.
+    """
+
+    _instances: "weakref.WeakSet[MetricsRegistry]" = weakref.WeakSet()
+
+    def __init__(self, register: bool = True) -> None:
+        self._lock = threading.Lock()
+        self._families: Dict[str, _Family] = {}
+        if register:
+            MetricsRegistry._instances.add(self)
+
+    def _family(
+        self,
+        kind: str,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str],
+        buckets: "Sequence[float] | None" = None,
+    ) -> _Family:
+        with self._lock:
+            family = self._families.get(name)
+            if family is not None:
+                if family.kind != kind or family.labelnames != tuple(labelnames):
+                    raise ReproError(
+                        f"metric {name!r} already registered as a "
+                        f"{family.kind} with labels {family.labelnames}"
+                    )
+                return family
+            family = _Family(kind, name, help_text, labelnames, buckets)
+            self._families[name] = family
+            return family
+
+    def counter(
+        self, name: str, help_text: str = "", labelnames: Sequence[str] = ()
+    ) -> _Family:
+        return self._family("counter", name, help_text, labelnames)
+
+    def gauge(
+        self, name: str, help_text: str = "", labelnames: Sequence[str] = ()
+    ) -> _Family:
+        return self._family("gauge", name, help_text, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: "Sequence[float] | None" = None,
+    ) -> _Family:
+        return self._family("histogram", name, help_text, labelnames, buckets)
+
+    def families(self) -> List[_Family]:
+        with self._lock:
+            return list(self._families.values())
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe dump of every family (the ``/stats`` telemetry view)."""
+        out: Dict[str, Any] = {}
+        for family in self.families():
+            out[family.name] = {
+                "type": family.kind,
+                "samples": [
+                    {"labels": labels, "value": value}
+                    for labels, value in family.samples()
+                ],
+            }
+        return out
+
+    def render(self) -> str:
+        """This registry alone in Prometheus text format."""
+        return _render_families(_merge_families(self.families()))
+
+
+def collect_all() -> List[_Family]:
+    """Every family of every live registered registry."""
+    families: List[_Family] = []
+    for registry in list(MetricsRegistry._instances):
+        families.extend(registry.families())
+    return families
+
+
+def _merge_families(families: Iterable[_Family]) -> "List[Dict[str, Any]]":
+    """Merge same-named families across registries into plain records.
+
+    Counters and histograms sum per label set; gauges take the most
+    recently written value (ordered by the global write stamp).
+    """
+    merged: Dict[str, Dict[str, Any]] = {}
+    for family in families:
+        record = merged.get(family.name)
+        if record is None:
+            record = {
+                "kind": family.kind,
+                "name": family.name,
+                "help": family.help,
+                "labelnames": family.labelnames,
+                "buckets": family.buckets,
+                "series": {},
+                "stamps": {},
+            }
+            merged[family.name] = record
+        elif (record["kind"] != family.kind
+                or record["labelnames"] != family.labelnames):
+            raise ReproError(
+                f"conflicting registrations of metric {family.name!r}"
+            )
+        with family._lock:
+            if family.kind == "histogram":
+                items = [
+                    (key, [list(state[0]), state[1], state[2]])
+                    for key, state in family._hist.items()
+                ]
+            else:
+                items = list(family._values.items())
+                stamps = dict(family._stamps)
+        for key, value in items:
+            series = record["series"]
+            if family.kind == "histogram":
+                existing = series.get(key)
+                if existing is None:
+                    series[key] = value
+                else:
+                    existing[0] = [
+                        a + b for a, b in zip(existing[0], value[0])
+                    ]
+                    existing[1] += value[1]
+                    existing[2] += value[2]
+            elif family.kind == "counter":
+                series[key] = series.get(key, 0.0) + value
+            else:       # gauge: latest write wins
+                stamp = stamps.get(key, 0)
+                if stamp >= record["stamps"].get(key, -1):
+                    series[key] = value
+                    record["stamps"][key] = stamp
+    return [merged[name] for name in sorted(merged)]
+
+
+def _render_families(records: "List[Dict[str, Any]]") -> str:
+    lines: List[str] = []
+    for record in records:
+        name, kind = record["name"], record["kind"]
+        labelnames = record["labelnames"]
+        if record["help"]:
+            lines.append(f"# HELP {name} {record['help']}")
+        lines.append(f"# TYPE {name} {kind}")
+        for key in sorted(record["series"]):
+            labels = _labels_text(labelnames, key)
+            value = record["series"][key]
+            if kind == "histogram":
+                counts, total, count = value
+                running = 0
+                for bound, bucket_count in zip(record["buckets"], counts):
+                    running += bucket_count
+                    le = _labels_text(
+                        tuple(labelnames) + ("le",),
+                        key + (_format_value(bound),),
+                    )
+                    lines.append(f"{name}_bucket{le} {running}")
+                le = _labels_text(
+                    tuple(labelnames) + ("le",), key + ("+Inf",)
+                )
+                lines.append(f"{name}_bucket{le} {running + counts[-1]}")
+                lines.append(f"{name}_sum{labels} {_format_value(total)}")
+                lines.append(f"{name}_count{labels} {count}")
+            else:
+                lines.append(f"{name}{labels} {_format_value(value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_prometheus(
+    *registries: MetricsRegistry,
+    extra: "Optional[Dict[str, float]]" = None,
+) -> str:
+    """The Prometheus text-format exposition (version 0.0.4).
+
+    With no arguments, merges every live registry in the process — the
+    ``GET /metrics`` payload.  ``extra`` appends computed label-less
+    gauges (uptime, version info) without requiring a registry.
+    """
+    if registries:
+        families: List[_Family] = []
+        for registry in registries:
+            families.extend(registry.families())
+    else:
+        families = collect_all()
+    text = _render_families(_merge_families(families))
+    if extra:
+        lines = []
+        for name in sorted(extra):
+            _check_name(name)
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {_format_value(float(extra[name]))}")
+        text += "\n".join(lines) + "\n"
+    return text
+
+
+#: Default process-wide registry for module-level instrument points
+#: (fault simulation, Monte-Carlo sampling).
+REGISTRY = MetricsRegistry()

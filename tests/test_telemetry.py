@@ -1,0 +1,446 @@
+"""Unit tests of repro.telemetry: metrics registry, tracing, logging."""
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.errors import ReproError
+from repro.telemetry.logs import JsonFormatter, configure, get_logger
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    enabled,
+    render_prometheus,
+    set_enabled,
+)
+from repro.telemetry.tracing import (
+    SpanContext,
+    chrome_trace_payload,
+    clear_spans,
+    current_context,
+    drain_spans,
+    export_chrome_trace,
+    ingest_spans,
+    new_context,
+    span,
+    spans,
+    use_context,
+)
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_isolation():
+    """Every test starts enabled with an empty span buffer."""
+    set_enabled(True)
+    clear_spans()
+    yield
+    set_enabled(True)
+    clear_spans()
+
+
+def registry():
+    return MetricsRegistry(register=False)
+
+
+# -- counters ----------------------------------------------------------------
+
+
+class TestCounters:
+    def test_basic_inc_and_value(self):
+        reg = registry()
+        c = reg.counter("t_total", "help")
+        assert c.value() == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == 3.5
+
+    def test_labelled_cells_are_independent(self):
+        reg = registry()
+        c = reg.counter("t_total", "", ("kind",))
+        c.labels(kind="a").inc()
+        c.labels(kind="a").inc()
+        c.labels(kind="b").inc(5)
+        assert c.value(kind="a") == 2
+        assert c.value(kind="b") == 5
+
+    def test_counters_cannot_decrease(self):
+        c = registry().counter("t_total")
+        with pytest.raises(ReproError):
+            c.inc(-1)
+
+    def test_missing_labels_raise(self):
+        c = registry().counter("t_total", "", ("kind",))
+        with pytest.raises(ReproError):
+            c.value()
+        with pytest.raises(ReproError):
+            c.labels(kind="a", extra="b")
+        with pytest.raises(ReproError):
+            c.inc()     # label-less convenience needs a label-less family
+
+    def test_eight_thread_storm_is_exact(self):
+        reg = registry()
+        c = reg.counter("t_total", "", ("worker",))
+        per_thread = 2_000
+        threads = 8
+
+        def storm(i):
+            cell = c.labels(worker=str(i % 2))
+            for _ in range(per_thread):
+                cell.inc()
+
+        pool = [threading.Thread(target=storm, args=(i,))
+                for i in range(threads)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        total = sum(value for _, value in c.samples())
+        assert total == threads * per_thread
+        assert c.value(worker="0") == c.value(worker="1") == total / 2
+
+
+# -- gauges ------------------------------------------------------------------
+
+
+class TestGauges:
+    def test_set_overwrites(self):
+        g = registry().gauge("t_depth")
+        g.set(4)
+        g.set(2)
+        assert g.value() == 2
+
+    def test_latest_write_wins_across_registries(self):
+        a, b = MetricsRegistry(register=False), MetricsRegistry(register=False)
+        a.gauge("t_depth").set(10)
+        b.gauge("t_depth").set(3)
+        text = render_prometheus(a, b)
+        assert "t_depth 3\n" in text
+        a.gauge("t_depth").set(7)
+        assert "t_depth 7\n" in render_prometheus(a, b)
+
+    def test_set_on_counter_raises(self):
+        c = registry().counter("t_total")
+        with pytest.raises(ReproError):
+            c.set(1)
+
+
+# -- histograms --------------------------------------------------------------
+
+
+class TestHistograms:
+    def test_bucket_sums_equal_observation_count(self):
+        h = registry().histogram("t_seconds", buckets=(0.1, 1.0, 10.0))
+        observations = [0.05, 0.1, 0.5, 2.0, 50.0, 0.01, 9.99]
+        for value in observations:
+            h.observe(value)
+        hist = h.labels().histogram
+        assert hist["count"] == len(observations)
+        assert hist["sum"] == pytest.approx(sum(observations))
+        # cumulative buckets: each bound counts everything <= it, and
+        # +Inf equals the total observation count.
+        assert hist["buckets"]["0.1"] == 3
+        assert hist["buckets"]["1"] == 4
+        assert hist["buckets"]["10"] == 6
+        assert hist["buckets"]["+Inf"] == len(observations)
+
+    def test_default_buckets_are_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+    def test_concurrent_observations_reconcile(self):
+        h = registry().histogram(
+            "t_seconds", labelnames=("kind",), buckets=(0.5,)
+        )
+        per_thread = 1_000
+
+        def storm(kind):
+            cell = h.labels(kind=kind)
+            for i in range(per_thread):
+                cell.observe(0.25 if i % 2 == 0 else 0.75)
+
+        pool = [threading.Thread(target=storm, args=(k,))
+                for k in ("a", "b", "a", "b")]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        for kind in ("a", "b"):
+            hist = h.labels(kind=kind).histogram
+            assert hist["count"] == 2 * per_thread
+            assert hist["buckets"]["+Inf"] == 2 * per_thread
+            assert hist["buckets"]["0.5"] == per_thread
+
+    def test_invalid_buckets_raise(self):
+        with pytest.raises(ReproError):
+            registry().histogram("t_seconds", buckets=(1.0, 1.0))
+
+
+# -- registry plumbing -------------------------------------------------------
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_family(self):
+        reg = registry()
+        assert reg.counter("t_total", "", ("a",)) is reg.counter(
+            "t_total", "", ("a",)
+        )
+
+    def test_conflicting_registration_raises(self):
+        reg = registry()
+        reg.counter("t_total")
+        with pytest.raises(ReproError):
+            reg.gauge("t_total")
+        with pytest.raises(ReproError):
+            reg.counter("t_total", "", ("other",))
+
+    def test_invalid_names_raise(self):
+        reg = registry()
+        for bad in ("", "1bad", "has space", "has-dash"):
+            with pytest.raises(ReproError):
+                reg.counter(bad)
+        with pytest.raises(ReproError):
+            reg.counter("t_total", "", ("bad label",))
+
+    def test_snapshot_is_json_safe(self):
+        reg = registry()
+        reg.counter("t_total", "", ("kind",)).labels(kind="x").inc()
+        reg.histogram("t_seconds", buckets=(1.0,)).observe(0.5)
+        snap = json.loads(json.dumps(reg.snapshot()))
+        assert snap["t_total"]["type"] == "counter"
+        assert snap["t_total"]["samples"] == [
+            {"labels": {"kind": "x"}, "value": 1.0}
+        ]
+        assert snap["t_seconds"]["samples"][0]["value"]["count"] == 1
+
+    def test_unregistered_registry_stays_out_of_global_render(self):
+        reg = MetricsRegistry(register=False)
+        reg.counter("t_invisible_total").inc()
+        assert "t_invisible_total" not in render_prometheus()
+
+
+# -- Prometheus exposition ---------------------------------------------------
+
+
+class TestPrometheusRender:
+    def test_counter_and_gauge_lines(self):
+        reg = registry()
+        reg.counter("t_total", "requests", ("kind",)).labels(kind="a").inc(3)
+        reg.gauge("t_depth", "queue depth").set(2)
+        text = render_prometheus(reg)
+        assert "# HELP t_total requests\n" in text
+        assert "# TYPE t_total counter\n" in text
+        assert 't_total{kind="a"} 3\n' in text
+        assert "# TYPE t_depth gauge\n" in text
+        assert "t_depth 2\n" in text
+
+    def test_histogram_exposition_shape(self):
+        reg = registry()
+        h = reg.histogram("t_seconds", "", buckets=(0.5, 2.0))
+        for value in (0.1, 1.0, 9.0):
+            h.observe(value)
+        text = render_prometheus(reg)
+        assert 't_seconds_bucket{le="0.5"} 1\n' in text
+        assert 't_seconds_bucket{le="2"} 2\n' in text
+        assert 't_seconds_bucket{le="+Inf"} 3\n' in text
+        assert "t_seconds_count 3\n" in text
+        assert "t_seconds_sum 10.1\n" in text
+
+    def test_counters_sum_across_registries(self):
+        a, b = MetricsRegistry(register=False), MetricsRegistry(register=False)
+        a.counter("t_total").inc(2)
+        b.counter("t_total").inc(3)
+        assert "t_total 5\n" in render_prometheus(a, b)
+
+    def test_label_values_are_escaped(self):
+        reg = registry()
+        reg.counter("t_total", "", ("path",)).labels(path='a"b\\c\nd').inc()
+        text = render_prometheus(reg)
+        assert 't_total{path="a\\"b\\\\c\\nd"} 1\n' in text
+
+    def test_extra_appends_labelless_gauges(self):
+        text = render_prometheus(registry(), extra={"t_uptime_seconds": 1.5})
+        assert "# TYPE t_uptime_seconds gauge\n" in text
+        assert "t_uptime_seconds 1.5\n" in text
+
+
+# -- the global switch -------------------------------------------------------
+
+
+class TestEnabledSwitch:
+    def test_disabled_writes_are_noops(self):
+        reg = registry()
+        c = reg.counter("t_total")
+        g = reg.gauge("t_depth")
+        h = reg.histogram("t_seconds", buckets=(1.0,))
+        set_enabled(False)
+        assert not enabled()
+        c.inc()
+        g.set(9)
+        h.observe(0.5)
+        assert c.value() == 0
+        assert g.value() == 0
+        assert h.labels().histogram["count"] == 0
+        set_enabled(True)
+        c.inc()
+        assert c.value() == 1
+
+    def test_disabled_spans_still_measure_but_do_not_buffer(self):
+        set_enabled(False)
+        with span("t.work") as s:
+            pass
+        assert s.duration >= 0.0
+        assert spans() == []
+
+
+# -- tracing -----------------------------------------------------------------
+
+
+class TestTracing:
+    def test_nesting_links_parent_ids(self):
+        with span("outer") as outer:
+            with span("inner") as inner:
+                assert current_context().span_id == inner.span_id
+            assert current_context().span_id == outer.span_id
+        assert current_context() is None
+        events = {e["name"]: e for e in spans()}
+        assert events["inner"]["args"]["parent_id"] == outer.span_id
+        assert events["inner"]["args"]["trace_id"] == outer.trace_id
+        assert events["outer"]["args"]["parent_id"] is None
+
+    def test_span_attributes_and_duration(self):
+        with span("t.work", circuit="c17") as s:
+            s.set("patterns", 64)
+        event = spans()[0]
+        assert event["ph"] == "X"
+        assert event["args"]["circuit"] == "c17"
+        assert event["args"]["patterns"] == 64
+        assert event["dur"] == pytest.approx(s.duration * 1e6)
+
+    def test_context_propagation_round_trip(self):
+        context = new_context()
+        payload = context.to_payload()
+        # run_sweep ships extra keys (pid); from_payload tolerates them.
+        restored = SpanContext.from_payload({**payload, "pid": 123})
+        with use_context(restored):
+            with span("child"):
+                pass
+        event = spans()[0]
+        assert event["args"]["trace_id"] == context.trace_id
+        assert event["args"]["parent_id"] == context.span_id
+
+    def test_malformed_context_raises(self):
+        assert SpanContext.from_payload(None) is None
+        with pytest.raises(ReproError):
+            SpanContext.from_payload({"trace_id": "only-half"})
+
+    def test_drain_and_ingest_by_trace(self):
+        with span("mine") as mine:
+            pass
+        with span("other"):
+            pass
+        shipped = drain_spans(mine.trace_id)
+        assert [e["name"] for e in shipped] == ["mine"]
+        assert [e["name"] for e in spans()] == ["other"]
+        ingest_spans(shipped)
+        assert sorted(e["name"] for e in spans()) == ["mine", "other"]
+
+    def test_threads_inherit_no_context_but_accept_one(self):
+        seen = {}
+
+        def worker(context):
+            with use_context(context):
+                with span("thread.child"):
+                    seen["context"] = current_context()
+
+        with span("parent") as parent:
+            t = threading.Thread(target=worker, args=(parent.context,))
+            t.start()
+            t.join()
+        events = {e["name"]: e for e in spans()}
+        assert events["thread.child"]["args"]["parent_id"] == parent.span_id
+        assert events["thread.child"]["tid"] != events["parent"]["tid"]
+
+    def test_export_chrome_trace(self, tmp_path):
+        with span("a"):
+            with span("b"):
+                pass
+        path = tmp_path / "trace.json"
+        count = export_chrome_trace(str(path))
+        assert count == 2
+        doc = json.loads(path.read_text())
+        assert {e["name"] for e in doc["traceEvents"]} == {"a", "b"}
+        for event in doc["traceEvents"]:
+            assert set(event) >= {"name", "ph", "ts", "dur", "pid", "tid"}
+
+    def test_export_filters_by_trace_id(self, tmp_path):
+        with span("keep") as keep:
+            pass
+        with span("drop"):
+            pass
+        payload = chrome_trace_payload(trace_id=keep.trace_id)
+        assert [e["name"] for e in payload["traceEvents"]] == ["keep"]
+
+
+# -- structured logging ------------------------------------------------------
+
+
+class TestLogging:
+    def test_json_lines_with_extras(self):
+        stream = io.StringIO()
+        configure("debug", stream=stream)
+        try:
+            get_logger("test").info("hello", extra={"job": "j1"})
+        finally:
+            configure("off")
+        record = json.loads(stream.getvalue())
+        assert record["message"] == "hello"
+        assert record["level"] == "info"
+        assert record["logger"] == "protest.test"
+        assert record["job"] == "j1"
+        assert isinstance(record["ts"], float)
+
+    def test_trace_context_is_attached(self):
+        stream = io.StringIO()
+        configure("info", stream=stream)
+        try:
+            with span("logged") as s:
+                get_logger("test").info("inside")
+        finally:
+            configure("off")
+        record = json.loads(stream.getvalue())
+        assert record["trace_id"] == s.trace_id
+        assert record["span_id"] == s.span_id
+
+    def test_off_silences_and_levels_filter(self):
+        stream = io.StringIO()
+        configure("warning", stream=stream)
+        try:
+            get_logger("test").info("dropped")
+            get_logger("test").warning("kept")
+        finally:
+            configure("off")
+        lines = [l for l in stream.getvalue().splitlines() if l]
+        assert len(lines) == 1
+        assert json.loads(lines[0])["message"] == "kept"
+        stream = io.StringIO()
+        configure("off", stream=stream)
+        get_logger("test").error("nothing")
+        assert stream.getvalue() == ""
+
+    def test_bad_level_raises(self):
+        with pytest.raises(ReproError):
+            configure("loud")
+
+    def test_formatter_renders_exceptions(self):
+        formatter = JsonFormatter()
+        import logging as _logging
+        try:
+            raise ValueError("boom")
+        except ValueError:
+            record = _logging.LogRecord(
+                "protest.t", _logging.ERROR, __file__, 1, "failed",
+                (), __import__("sys").exc_info(),
+            )
+        payload = json.loads(formatter.format(record))
+        assert "ValueError: boom" in payload["exception"]

@@ -1,0 +1,246 @@
+"""Telemetry wired through the service: /metrics, /stats, job traces.
+
+The unit-level registry/tracing behaviour lives in test_telemetry.py;
+here the counters are driven by the real JobManager + HTTP front-end
+and read back over the wire.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import __version__
+from repro.api.config import ProtestConfig
+from repro.service import JobManager, make_server
+from repro.telemetry.tracing import clear_spans
+
+#: Small but multi-block sampled config (same shape as test_service_jobs).
+SAMPLED = ProtestConfig(
+    method="sampled", max_patterns=2048, target_halfwidth=0.01,
+    fault_sample=48, name="tel-test",
+)
+
+
+@pytest.fixture(autouse=True)
+def _span_isolation():
+    clear_spans()
+    yield
+    clear_spans()
+
+
+@pytest.fixture
+def manager(tmp_path):
+    mgr = JobManager(workers=2, trace_dir=str(tmp_path / "traces"))
+    yield mgr
+    mgr.shutdown(wait=False)
+
+
+@pytest.fixture
+def server(manager):
+    srv = make_server(manager)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    host, port = srv.server_address[:2]
+    yield f"http://{host}:{port}", manager
+    srv.shutdown()
+    srv.server_close()
+
+
+def _wait_for_file(path, timeout=30.0):
+    """The trace file is written by the worker just *after* the job
+    turns terminal, so a fresh ``wait()`` can race it by a tick."""
+    deadline = time.monotonic() + timeout
+    while not path.exists() and time.monotonic() < deadline:
+        time.sleep(0.02)
+    return path.exists()
+
+
+def _get(url):
+    with urllib.request.urlopen(url) as response:
+        return response.status, dict(response.headers), response.read()
+
+
+def _post_json(url, payload):
+    request = urllib.request.Request(
+        url, data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request) as response:
+        return response.status, json.loads(response.read())
+
+
+# -- job storm: registry totals reconcile with job states --------------------
+
+
+def test_job_storm_counters_reconcile(manager):
+    jobs, lock = [], threading.Lock()
+    per_thread = 4
+
+    def storm(i):
+        for j in range(per_thread):
+            # Distinct input probs defeat the report cache so every job
+            # does real work; a couple of bad names exercise "failed".
+            if (i, j) == (0, 0):
+                job = manager.submit(circuit="definitely-not-a-circuit")
+            else:
+                job = manager.submit(
+                    circuit="c17", config="fast",
+                    input_probs=0.05 + 0.01 * (i * per_thread + j),
+                )
+            with lock:
+                jobs.append(job)
+
+    pool = [threading.Thread(target=storm, args=(i,)) for i in range(8)]
+    for t in pool:
+        t.start()
+    for t in pool:
+        t.join()
+    states = [manager.wait(job.id, timeout=120).state for job in jobs]
+
+    submitted = manager.metrics.counter("protest_jobs_submitted_total").value()
+    assert submitted == 8 * per_thread == len(jobs)
+    finished = manager.metrics.counter(
+        "protest_jobs_finished_total", labelnames=("state",)
+    )
+    by_state = {labels["state"]: value for labels, value in finished.samples()}
+    assert by_state.get("done", 0) == states.count("done")
+    assert by_state.get("failed", 0) == states.count("failed") == 1
+    assert sum(by_state.values()) == len(jobs)
+    # Histogram observation counts match finished jobs, and the bucket
+    # cumulative totals are internally consistent.
+    hist = manager.metrics.histogram(
+        "protest_job_seconds", labelnames=("kind",)
+    ).labels(kind="analyze").histogram
+    assert hist["count"] == len(jobs)
+    assert hist["buckets"]["+Inf"] == hist["count"]
+    assert manager.metrics.gauge("protest_job_queue_depth").value() == 0
+
+
+# -- /metrics over the wire --------------------------------------------------
+
+
+def test_metrics_endpoint_serves_core_series(server):
+    base, manager = server
+    status, body = _post_json(
+        f"{base}/jobs", {"circuit": "c17", "config": "sampled"}
+    )
+    assert status == 201
+    manager.wait(body["id"], timeout=120)
+    # An analytic job exercises the signal/observability/detection
+    # stages (the sampled one only runs "sampling").
+    _, body = _post_json(f"{base}/jobs", {"circuit": "c17", "config": "fast"})
+    manager.wait(body["id"], timeout=120)
+
+    status, headers, raw = _get(f"{base}/metrics")
+    assert status == 200
+    assert headers["Content-Type"].startswith("text/plain; version=0.0.4")
+    text = raw.decode("utf-8")
+    lines = text.splitlines()
+    # queue / job / cache / engine-stage / sampling / backend / HTTP
+    # series all present, plus build info and computed uptime.
+    for needle in (
+        "protest_job_queue_depth ",
+        "protest_jobs_submitted_total 2",
+        'protest_jobs_finished_total{state="done"} 2',
+        'protest_cache_requests_total{cache="report",outcome="miss"}',
+        'protest_engine_stage_events_total{stage="signal",event="run"}',
+        'protest_sampling_blocks_total{kind="detection"}',
+        "protest_backend_fault_patterns_total{",
+        'protest_http_requests_total{method="POST",route="/jobs",status="201"} 2',
+        f'protest_build_info{{version="{__version__}"}} 1',
+        "protest_uptime_seconds ",
+    ):
+        assert any(line.startswith(needle) for line in lines), needle
+    # Well-formed exposition: every series line's family has a TYPE.
+    typed = {line.split()[2] for line in lines if line.startswith("# TYPE")}
+    for line in lines:
+        if line.startswith("#") or not line:
+            continue
+        family = line.split("{")[0].split(" ")[0]
+        base_name = family
+        for suffix in ("_bucket", "_sum", "_count"):
+            if family.endswith(suffix) and family[: -len(suffix)] in typed:
+                base_name = family[: -len(suffix)]
+        assert base_name in typed, line
+
+
+def test_stats_and_healthz_carry_uptime_version_telemetry(server):
+    base, manager = server
+    status, body = _post_json(f"{base}/jobs", {"circuit": "c17"})
+    manager.wait(body["id"], timeout=120)
+
+    _, _, raw = _get(f"{base}/stats")
+    stats = json.loads(raw)
+    assert stats["version"] == __version__
+    assert stats["uptime_seconds"] >= 0
+    telemetry = stats["telemetry"]
+    assert telemetry["protest_jobs_submitted_total"]["samples"][0]["value"] == 1
+    assert "protest_job_queue_depth" in telemetry
+
+    _, _, raw = _get(f"{base}/healthz")
+    health = json.loads(raw)
+    assert health["version"] == __version__
+    assert health["uptime_seconds"] >= 0
+
+
+# -- per-job chrome traces ---------------------------------------------------
+
+
+def test_job_trace_file_nests_request_job_stage_block(server, tmp_path):
+    base, manager = server
+    status, body = _post_json(
+        f"{base}/jobs", {"circuit": "c17", "config": "sampled"}
+    )
+    job = manager.wait(body["id"], timeout=120)
+    assert job.state == "done"
+    assert job.trace_id is not None
+
+    trace_path = tmp_path / "traces" / f"trace-{job.id}.json"
+    assert _wait_for_file(trace_path)
+    doc = json.loads(trace_path.read_text())
+    events = doc["traceEvents"]
+    assert events, "trace must not be empty"
+    by_id = {e["args"]["span_id"]: e for e in events}
+    by_name = {}
+    for event in events:
+        by_name.setdefault(event["name"], []).append(event)
+
+    def ancestors(event):
+        names = []
+        parent = event["args"]["parent_id"]
+        while parent is not None and parent in by_id:
+            names.append(by_id[parent]["name"])
+            parent = by_id[parent]["args"]["parent_id"]
+        return names
+
+    # One trace id throughout.
+    assert len({e["args"]["trace_id"] for e in events}) == 1
+    assert events[0]["args"]["trace_id"] == job.trace_id
+    # http.request -> service.job -> engine.sampling -> sampling.block
+    job_span = by_name["service.job"][0]
+    assert "http.request" in ancestors(job_span)
+    stage = by_name["engine.sampling"][0]
+    assert "service.job" in ancestors(stage)
+    for block in by_name["sampling.block"]:
+        chain = ancestors(block)
+        assert "engine.sampling" in chain
+        assert "http.request" in chain
+
+
+def test_cancelled_submit_carries_no_trace_file(manager, tmp_path):
+    # A job that never ran to "done" still exports (terminal states all
+    # do) — but only once a worker stamped a trace id on it.
+    job = manager.submit(circuit="no-such-circuit")
+    job = manager.wait(job.id, timeout=120)
+    assert job.state == "failed"
+    trace_path = tmp_path / "traces" / f"trace-{job.id}.json"
+    assert _wait_for_file(trace_path)
+    names = {e["name"] for e in
+             json.loads(trace_path.read_text())["traceEvents"]}
+    assert "service.job" in names
