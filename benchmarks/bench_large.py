@@ -1,0 +1,176 @@
+"""Tracked large-circuit benchmark: compile/analyze cost at 10k+ gates.
+
+The vendored ISCAS-class corpus (``repro.circuits.netlists``) pushes the
+pipeline past the procedural ``mul24`` that used to be the largest
+tracked circuit.  For each large registered circuit this harness times,
+in a **fresh subprocess** (so peak RSS is per-circuit, not cumulative):
+
+* **build** — netlist parse (or procedural construction),
+* **compile** — :func:`repro.kernel.compile_circuit` flat-array lowering,
+* **analyze** — the full analytic PROTEST pass (``paper`` preset:
+  signal probabilities, observabilities, detection probabilities),
+* **peak RSS** — ``ru_maxrss`` after the pass.
+
+The full run merges a ``"large_circuit"`` section into
+``BENCH_perf.json`` at the repo root and promotes the top-level
+``largest_circuit`` pointer; ``--smoke`` is the CI ingestion oracle: it
+parses + analyzes the smallest vendored ISCAS circuit end to end and
+**asserts** that :meth:`cross_validate` raises zero flags — the analytic
+estimates of a parsed netlist must sit inside the sampled Monte-Carlo
+intervals at the documented tolerance.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_large.py          # full, tracked
+    PYTHONPATH=src python benchmarks/bench_large.py --smoke  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import resource
+import subprocess
+import sys
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+#: Circuits tracked by the full run: the previous champion plus every
+#: vendored netlist above ~1000 gates, ending on the 10k+-gate s15850.
+LARGE_CIRCUITS = ("mul24", "c5315", "c6288", "c7552", "s15850")
+SMOKE_CIRCUIT = "c432"
+SEED = 20260808
+
+
+def measure(name: str) -> dict:
+    """Run in the child process: time one circuit through the pipeline."""
+    from repro.api import AnalysisEngine
+    from repro.circuits.library import build
+    from repro.kernel import compile_circuit
+
+    t0 = time.perf_counter()
+    circuit = build(name)
+    build_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    compiled = compile_circuit(circuit)
+    compile_s = time.perf_counter() - t0
+
+    engine = AnalysisEngine(circuit, "paper")
+    t0 = time.perf_counter()
+    report = engine.analyze()
+    analyze_s = time.perf_counter() - t0
+
+    # Linux reports ru_maxrss in KiB.
+    peak_rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+    return {
+        "n_gates": circuit.n_gates,
+        "n_nodes": compiled.n_nodes,
+        "n_inputs": len(circuit.inputs),
+        "n_outputs": len(circuit.outputs),
+        "n_faults": report.n_faults,
+        "build_s": build_s,
+        "compile_s": compile_s,
+        "analyze_s": analyze_s,
+        "gates_per_analyze_s": circuit.n_gates / analyze_s,
+        "peak_rss_bytes": peak_rss,
+    }
+
+
+def measure_in_subprocess(name: str) -> dict:
+    proc = subprocess.run(
+        [sys.executable, str(pathlib.Path(__file__).resolve()),
+         "--measure", name],
+        capture_output=True, text=True, check=True,
+    )
+    return json.loads(proc.stdout)
+
+
+def smoke() -> int:
+    """Parse + analyze the smallest vendored ISCAS circuit, then assert
+    the analytic estimates survive Monte-Carlo cross-validation."""
+    from repro.api import AnalysisEngine, ProtestConfig
+    from repro.circuits.library import build
+
+    entry = measure(SMOKE_CIRCUIT)
+    print(
+        f"[{SMOKE_CIRCUIT}] {entry['n_gates']} gates: "
+        f"build {entry['build_s'] * 1e3:.1f} ms, "
+        f"compile {entry['compile_s'] * 1e3:.1f} ms, "
+        f"analyze {entry['analyze_s'] * 1e3:.1f} ms, "
+        f"peak RSS {entry['peak_rss_bytes'] / 1e6:.1f} MB"
+    )
+    config = ProtestConfig.preset("sampled").replace(
+        target_halfwidth=0.02, confidence_level=0.99,
+        max_patterns=8192, seed=SEED, name="large-smoke",
+    )
+    engine = AnalysisEngine(build(SMOKE_CIRCUIT), config)
+    validation = engine.cross_validate()
+    print(
+        f"[{SMOKE_CIRCUIT}] cross-validation: "
+        f"{100.0 * validation.strict_agreement:.1f}% strictly inside, "
+        f"flags {len(validation.flagged)}"
+    )
+    assert not validation.flagged, (
+        f"analytic estimates of the parsed {SMOKE_CIRCUIT} netlist fell "
+        f"outside the sampled intervals: {validation.to_text()}"
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI ingestion oracle on the smallest netlist")
+    parser.add_argument("--measure", metavar="NAME", default=None,
+                        help=argparse.SUPPRESS)  # child-process entry
+    parser.add_argument("--out", type=pathlib.Path, default=None,
+                        help="output JSON path (default: merge into "
+                        "BENCH_perf.json at the repo root)")
+    args = parser.parse_args(argv)
+
+    if args.measure:
+        json.dump(measure(args.measure), sys.stdout)
+        return 0
+    if args.smoke:
+        return smoke()
+
+    results = {}
+    for name in LARGE_CIRCUITS:
+        entry = measure_in_subprocess(name)
+        results[name] = entry
+        print(
+            f"[{name}] {entry['n_gates']} gates, {entry['n_faults']} "
+            f"faults: build {entry['build_s']:.2f}s, "
+            f"compile {entry['compile_s']:.2f}s, "
+            f"analyze {entry['analyze_s']:.2f}s, "
+            f"peak RSS {entry['peak_rss_bytes'] / 1e6:.1f} MB",
+            flush=True,
+        )
+
+    largest = max(results, key=lambda n: results[n]["n_gates"])
+    payload = {
+        "mode": "full",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "largest_circuit": largest,
+        "circuits": results,
+    }
+    out = args.out or ROOT / "BENCH_perf.json"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    tracked = json.loads(out.read_text()) if out.exists() else {}
+    tracked["large_circuit"] = payload
+    # Promote the repo-wide pointer: the corpus, not mul24, now holds
+    # the largest tracked circuit.
+    tracked["largest_circuit"] = largest
+    out.write_text(json.dumps(tracked, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out} (largest_circuit={largest})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

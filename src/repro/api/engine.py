@@ -105,8 +105,13 @@ class AnalysisEngine:
     Parameters
     ----------
     circuit:
-        A :class:`~repro.circuit.netlist.Circuit` or the name of a
-        registered evaluation circuit (``"alu"``, ``"c17"``, ...).
+        A :class:`~repro.circuit.netlist.Circuit`, the name of a
+        registered evaluation circuit (``"alu"``, ``"c17"``, ...), or a
+        netlist file path (``.bench`` / ``.v`` / ``.sdl``, dispatched
+        through :mod:`repro.circuit.io`; sequential ``.bench`` inputs
+        are combinationally extracted).  Path strings also work as
+        :func:`~repro.api.sweep.run_sweep` cells — they serialize to
+        pool workers as plain strings.
     config:
         A :class:`ProtestConfig`, a preset name (``"paper"``, ``"fast"``,
         ``"accurate"``), or ``None`` for the paper preset.
@@ -143,9 +148,14 @@ class AnalysisEngine:
         registry: "MetricsRegistry | None" = None,
     ) -> None:
         if isinstance(circuit, str):
-            from repro.circuits.library import build
+            from repro.circuit.io import is_netlist_path, load_netlist
 
-            circuit = build(circuit)
+            if is_netlist_path(circuit):
+                circuit = load_netlist(circuit)
+            else:
+                from repro.circuits.library import build
+
+                circuit = build(circuit)
         self.circuit = circuit
         self.use_kernel = use_kernel
         self.config = ProtestConfig.coerce(config)

@@ -1,7 +1,17 @@
 """Netlist substrate: circuit structures, parsers and structural analysis."""
 
 from repro.circuit.builder import CircuitBuilder
-from repro.circuit.bench_parser import load_bench, parse_bench
+from repro.circuit.io import (
+    NetlistInfo,
+    is_netlist_path,
+    load_bench,
+    load_netlist,
+    load_verilog,
+    parse_bench,
+    parse_verilog,
+    read_bench,
+    read_verilog,
+)
 from repro.circuit.netlist import Circuit, Gate, Pin
 from repro.circuit.sdl import format_sdl, load_sdl, parse_sdl, save_sdl
 from repro.circuit.topology import Topology
@@ -20,6 +30,7 @@ __all__ = [
     "Gate",
     "GateType",
     "Issue",
+    "NetlistInfo",
     "Pin",
     "Topology",
     "check",
@@ -27,10 +38,16 @@ __all__ = [
     "format_sdl",
     "gate_equivalents",
     "gate_transistors",
+    "is_netlist_path",
     "load_bench",
+    "load_netlist",
     "load_sdl",
+    "load_verilog",
     "parse_bench",
     "parse_sdl",
+    "parse_verilog",
+    "read_bench",
+    "read_verilog",
     "save_bench",
     "save_sdl",
     "transistor_count",

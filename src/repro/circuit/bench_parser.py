@@ -1,102 +1,14 @@
-"""Parser for the ISCAS-85 ``.bench`` netlist format.
+"""Backward-compatible import path for the ``.bench`` reader.
 
-The format used by the classic testability benchmarks::
-
-    # comment
-    INPUT(G1)
-    OUTPUT(G17)
-    G10 = NAND(G1, G3)
-    G11 = NOT(G10)
-
-Gate names are case-insensitive; ``DFF`` is rejected (PROTEST analyses the
-combinational part only — scan design moves the state elements out of the
-way, paper §1).
+The parser grew into the import subsystem :mod:`repro.circuit.io`
+(full ISCAS-85/89 coverage, structural Verilog, line-numbered
+diagnostics, automatic combinational extraction of ``DFF`` state
+elements).  This module re-exports the ``.bench`` entry points so the
+historical ``repro.circuit.bench_parser`` spelling keeps working.
 """
 
 from __future__ import annotations
 
-import re
-from typing import List, Tuple
+from repro.circuit.io.bench import load_bench, parse_bench, read_bench
 
-from repro.circuit.netlist import Circuit, Gate
-from repro.circuit.types import GateType
-from repro.errors import ParseError
-
-__all__ = ["parse_bench", "load_bench"]
-
-_DECL_RE = re.compile(r"^(INPUT|OUTPUT)\s*\(\s*([^\s()]+)\s*\)$", re.IGNORECASE)
-_GATE_RE = re.compile(
-    r"^([^\s=()]+)\s*=\s*([A-Za-z01]+)\s*\(\s*([^()]*)\s*\)$"
-)
-
-_TYPE_ALIASES = {
-    "AND": GateType.AND,
-    "OR": GateType.OR,
-    "NAND": GateType.NAND,
-    "NOR": GateType.NOR,
-    "XOR": GateType.XOR,
-    "XNOR": GateType.XNOR,
-    "NOT": GateType.NOT,
-    "INV": GateType.NOT,
-    "BUF": GateType.BUF,
-    "BUFF": GateType.BUF,
-    "CONST0": GateType.CONST0,
-    "CONST1": GateType.CONST1,
-}
-
-
-def parse_bench(text: str, name: str = "bench") -> Circuit:
-    """Parse ``.bench`` source text into a :class:`Circuit`."""
-    inputs: List[str] = []
-    outputs: List[str] = []
-    gates: List[Gate] = []
-    for lineno, raw in enumerate(text.splitlines(), start=1):
-        line = raw.split("#", 1)[0].strip()
-        if not line:
-            continue
-        decl = _DECL_RE.match(line)
-        if decl:
-            kind, node = decl.group(1).upper(), decl.group(2)
-            if kind == "INPUT":
-                inputs.append(node)
-            else:
-                outputs.append(node)
-            continue
-        gate_match = _GATE_RE.match(line)
-        if gate_match:
-            target, type_name, arg_text = gate_match.groups()
-            gtype = _TYPE_ALIASES.get(type_name.upper())
-            if gtype is None:
-                if type_name.upper() == "DFF":
-                    raise ParseError(
-                        "sequential element DFF is not supported; "
-                        "extract the combinational part first",
-                        lineno,
-                    )
-                raise ParseError(f"unknown gate type {type_name!r}", lineno)
-            sources = _split_args(arg_text, lineno)
-            gates.append(Gate(target, gtype, tuple(sources)))
-            continue
-        raise ParseError(f"cannot parse {line!r}", lineno)
-    if not outputs:
-        raise ParseError("netlist declares no OUTPUT(...)")
-    return Circuit(name, inputs, outputs, gates)
-
-
-def _split_args(arg_text: str, lineno: int) -> Tuple[str, ...]:
-    arg_text = arg_text.strip()
-    if not arg_text:
-        return ()
-    parts = [part.strip() for part in arg_text.split(",")]
-    if any(not part or " " in part for part in parts):
-        raise ParseError(f"malformed argument list {arg_text!r}", lineno)
-    return tuple(parts)
-
-
-def load_bench(path: str, name: "str | None" = None) -> Circuit:
-    """Read and parse a ``.bench`` file."""
-    with open(path, "r", encoding="utf-8") as handle:
-        text = handle.read()
-    if name is None:
-        name = path.rsplit("/", 1)[-1].rsplit(".", 1)[0]
-    return parse_bench(text, name)
+__all__ = ["load_bench", "parse_bench", "read_bench"]

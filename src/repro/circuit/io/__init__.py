@@ -1,0 +1,88 @@
+"""Netlist import layer: industrial netlist ingestion for the library.
+
+One front door for every supported on-disk netlist format::
+
+    from repro.circuit.io import load_netlist
+
+    circuit = load_netlist("nets/c7552.bench")      # ISCAS-85/89 .bench
+    circuit = load_netlist("nets/c432.v")           # structural Verilog
+    circuit = load_netlist("nets/demo.sdl")         # the library's SDL
+
+Format is chosen by file suffix (:data:`NETLIST_SUFFIXES`);
+:func:`is_netlist_path` is the cheap test the CLI, the sweep front-end
+and :class:`~repro.api.engine.AnalysisEngine` use to tell a netlist path
+from a registered circuit name.  The readers share one assembly layer
+(:mod:`repro.circuit.io._netlist`) providing line-numbered diagnostics,
+case-insensitive ``.bench`` node resolution, duplicate detection and
+automatic combinational extraction of ``DFF`` state elements
+(``sequential="cut"``); ``read_bench``/``read_verilog`` additionally
+return a :class:`NetlistInfo` describing what the cut did.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.circuit.io._netlist import (
+    SEQUENTIAL_MODES,
+    NetlistAssembler,
+    NetlistInfo,
+)
+from repro.circuit.io.bench import load_bench, parse_bench, read_bench
+from repro.circuit.io.verilog import (
+    load_verilog,
+    parse_verilog,
+    read_verilog,
+)
+from repro.circuit.netlist import Circuit
+from repro.errors import ReproError
+
+__all__ = [
+    "NETLIST_SUFFIXES",
+    "NetlistAssembler",
+    "NetlistInfo",
+    "SEQUENTIAL_MODES",
+    "is_netlist_path",
+    "load_bench",
+    "load_netlist",
+    "load_verilog",
+    "parse_bench",
+    "parse_verilog",
+    "read_bench",
+    "read_verilog",
+]
+
+#: Recognized netlist file suffixes, mapped to their loader.
+NETLIST_SUFFIXES = (".bench", ".v", ".verilog", ".sdl")
+
+
+def is_netlist_path(spec: "str | pathlib.Path") -> bool:
+    """True when ``spec`` names a netlist file by suffix."""
+    return str(spec).lower().endswith(NETLIST_SUFFIXES)
+
+
+def load_netlist(
+    path: "str | pathlib.Path",
+    name: "str | None" = None,
+    sequential: str = "cut",
+) -> Circuit:
+    """Load a netlist file, picking the reader from the file suffix."""
+    suffix = pathlib.Path(path).suffix.lower()
+    if suffix == ".bench":
+        return load_bench(path, name, sequential)
+    if suffix in (".v", ".verilog"):
+        return load_verilog(path, name, sequential)
+    if suffix == ".sdl":
+        from repro.circuit.sdl import load_sdl
+
+        circuit = load_sdl(str(path))
+        if name is not None:
+            circuit = Circuit(
+                name, circuit.inputs, circuit.outputs,
+                circuit.gates.values(),
+            )
+        return circuit
+    raise ReproError(
+        f"unknown netlist format {suffix!r} for {str(path)!r}; "
+        f"supported suffixes: {', '.join(NETLIST_SUFFIXES)}"
+    )

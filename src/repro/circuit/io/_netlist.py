@@ -1,0 +1,237 @@
+"""Shared netlist-assembly machinery for the import readers.
+
+Both front-ends (:mod:`repro.circuit.io.bench` and
+:mod:`repro.circuit.io.verilog`) tokenize very different surface syntax
+into the same small vocabulary — input/output declarations, gate
+definitions, flip-flops — and every industrial-robustness concern lives
+here, once:
+
+* line-numbered :class:`~repro.errors.ParseError` diagnostics for
+  duplicate declarations, nodes driven twice, undeclared sources and
+  undriven outputs (the raw :class:`~repro.circuit.netlist.Circuit`
+  constructor would reject most of these too, but without saying *where*
+  in a 10k-line netlist the problem is);
+* optional case-insensitive node resolution (the ``.bench`` dialect):
+  the first-seen spelling of a name is canonical and every other
+  spelling resolves to it, so ``INPUT(g1)`` + ``G10 = NAND(G1, ...)``
+  connect instead of silently producing a dangling source;
+* automatic combinational extraction of sequential elements: a
+  ``DFF`` is cut into a pseudo primary input (its output ``Q``) and a
+  pseudo primary output (its data node ``D``) — the standard scan-design
+  view the paper assumes (§1) — instead of a hard parse failure.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.circuit.netlist import Circuit, Gate
+from repro.circuit.types import GateType
+from repro.errors import CircuitError, ParseError
+
+__all__ = ["NetlistAssembler", "NetlistInfo", "SEQUENTIAL_MODES"]
+
+#: Accepted values of the readers' ``sequential`` knob: ``"cut"``
+#: extracts the combinational core (flip-flop outputs become pseudo
+#: primary inputs, their data nodes pseudo primary outputs), ``"reject"``
+#: restores the historical hard :class:`ParseError`.
+SEQUENTIAL_MODES = ("cut", "reject")
+
+
+@dataclasses.dataclass(frozen=True)
+class NetlistInfo:
+    """Import diagnostics the :class:`Circuit` object itself cannot carry.
+
+    Attributes
+    ----------
+    source_format:
+        ``"bench"`` or ``"verilog"``.
+    flipflops:
+        ``(Q, D)`` node-name pairs of the cut state elements, in
+        definition order (empty for purely combinational netlists).
+    pseudo_inputs / pseudo_outputs:
+        The nodes *added* to the primary input/output lists by the cut
+        (``pseudo_outputs`` omits data nodes that were already declared
+        primary outputs).
+    """
+
+    source_format: str
+    flipflops: Tuple[Tuple[str, str], ...] = ()
+    pseudo_inputs: Tuple[str, ...] = ()
+    pseudo_outputs: Tuple[str, ...] = ()
+
+    @property
+    def is_sequential(self) -> bool:
+        return bool(self.flipflops)
+
+
+class NetlistAssembler:
+    """Accumulates declarations and builds a validated :class:`Circuit`."""
+
+    def __init__(self, source_format: str, case_sensitive: bool = True) -> None:
+        self.source_format = source_format
+        self.case_sensitive = case_sensitive
+        self._canonical: Dict[str, str] = {}
+        self._inputs: List[str] = []
+        self._input_lines: Dict[str, int] = {}
+        self._outputs: List[str] = []
+        self._output_lines: Dict[str, int] = {}
+        self._gates: Dict[str, Gate] = {}
+        self._gate_lines: Dict[str, int] = {}
+        # Gate sources with the line that referenced them, checked once
+        # every definition is in (out-of-order definitions are legal).
+        self._references: List[Tuple[str, str, int]] = []
+        self._flipflops: List[Tuple[str, str]] = []
+        self._ff_lines: Dict[str, int] = {}
+
+    # -- name interning -------------------------------------------------------
+
+    def intern(self, name: str) -> str:
+        """Resolve ``name`` to its canonical spelling (first seen wins)."""
+        if self.case_sensitive:
+            return name
+        key = name.casefold()
+        canonical = self._canonical.get(key)
+        if canonical is None:
+            self._canonical[key] = canonical = name
+        return canonical
+
+    # -- declarations ---------------------------------------------------------
+
+    def add_input(self, name: str, lineno: "int | None" = None) -> str:
+        node = self.intern(name)
+        previous = self._input_lines.get(node)
+        if previous is not None:
+            raise ParseError(
+                f"duplicate INPUT({node}) (first declared on line {previous})",
+                lineno,
+            )
+        self._inputs.append(node)
+        self._input_lines[node] = lineno or 0
+        return node
+
+    def add_output(self, name: str, lineno: "int | None" = None) -> str:
+        node = self.intern(name)
+        previous = self._output_lines.get(node)
+        if previous is not None:
+            raise ParseError(
+                f"duplicate OUTPUT({node}) (first declared on line {previous})",
+                lineno,
+            )
+        self._outputs.append(node)
+        self._output_lines[node] = lineno or 0
+        return node
+
+    def add_gate(
+        self,
+        target: str,
+        gtype: GateType,
+        sources: Tuple[str, ...],
+        lineno: "int | None" = None,
+        table: int = 0,
+    ) -> str:
+        node = self.intern(target)
+        self._check_driven_once(node, lineno)
+        interned = tuple(self.intern(src) for src in sources)
+        for src in interned:
+            self._references.append((src, node, lineno or 0))
+        try:
+            gate = Gate(node, gtype, interned, table)
+        except CircuitError as error:
+            raise ParseError(str(error), lineno) from error
+        self._gates[node] = gate
+        self._gate_lines[node] = lineno or 0
+        return node
+
+    def add_flipflop(
+        self, q: str, d: str, lineno: "int | None" = None
+    ) -> str:
+        """Record a state element ``q = DFF(d)`` for combinational cutting."""
+        node = self.intern(q)
+        self._check_driven_once(node, lineno)
+        data = self.intern(d)
+        self._references.append((data, node, lineno or 0))
+        self._flipflops.append((node, data))
+        self._ff_lines[node] = lineno or 0
+        return node
+
+    def _check_driven_once(self, node: str, lineno: "int | None") -> None:
+        previous = self._gate_lines.get(node, self._ff_lines.get(node))
+        if previous is not None:
+            raise ParseError(
+                f"node {node!r} is driven twice "
+                f"(first defined on line {previous})",
+                lineno,
+            )
+        declared = self._input_lines.get(node)
+        if declared is not None:
+            raise ParseError(
+                f"node {node!r} is a declared INPUT and cannot also be "
+                f"driven by a gate (declared on line {declared})",
+                lineno,
+            )
+
+    # -- assembly -------------------------------------------------------------
+
+    def build(
+        self, name: str, sequential: str = "cut"
+    ) -> Tuple[Circuit, NetlistInfo]:
+        if sequential not in SEQUENTIAL_MODES:
+            raise ParseError(
+                f"sequential mode must be one of {SEQUENTIAL_MODES}, "
+                f"got {sequential!r}"
+            )
+        if self._flipflops and sequential == "reject":
+            q = self._flipflops[0][0]
+            raise ParseError(
+                "sequential element DFF is not supported in 'reject' mode; "
+                "pass sequential='cut' to extract the combinational part",
+                self._ff_lines.get(q) or None,
+            )
+        inputs = list(self._inputs)
+        outputs = list(self._outputs)
+        pseudo_inputs: List[str] = []
+        pseudo_outputs: List[str] = []
+        if self._flipflops:
+            output_set = set(outputs)
+            for q, d in self._flipflops:
+                # The state output becomes a fully controllable pseudo-PI
+                # (scan-in), the data input a fully observable pseudo-PO
+                # (scan-out), in flip-flop definition order.
+                pseudo_inputs.append(q)
+                inputs.append(q)
+                if d not in output_set:
+                    pseudo_outputs.append(d)
+                    outputs.append(d)
+                    output_set.add(d)
+        known = set(inputs) | set(self._gates)
+        for src, consumer, lineno in self._references:
+            if src not in known:
+                raise ParseError(
+                    f"node {consumer!r} reads {src!r}, which is neither a "
+                    "declared INPUT nor defined by any gate",
+                    lineno or None,
+                )
+        for node in self._outputs:
+            if node not in known:
+                raise ParseError(
+                    f"OUTPUT({node}) is never driven",
+                    self._output_lines.get(node) or None,
+                )
+        if not outputs:
+            raise ParseError("netlist declares no OUTPUT(...)")
+        try:
+            circuit = Circuit(name, inputs, outputs, self._gates.values())
+        except CircuitError as error:
+            # Residual structural failures (combinational loops) have no
+            # single offending line; surface them as parse failures with
+            # the constructor's message.
+            raise ParseError(f"invalid netlist: {error}") from error
+        info = NetlistInfo(
+            source_format=self.source_format,
+            flipflops=tuple(self._flipflops),
+            pseudo_inputs=tuple(pseudo_inputs),
+            pseudo_outputs=tuple(pseudo_outputs),
+        )
+        return circuit, info

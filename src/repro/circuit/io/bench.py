@@ -1,0 +1,180 @@
+"""Hardened reader for the ISCAS-85/89 ``.bench`` netlist format.
+
+The classic benchmark dialect::
+
+    # comment
+    INPUT(G1)
+    OUTPUT(G17)
+    G10 = NAND(G1, G3)
+    G11 = NOT(G10)
+    G22 = DFF(G11)        # ISCAS-89; cut into pseudo-PI/PO by default
+
+Industrial-distribution quirks this reader tolerates (and the original
+minimal parser did not):
+
+* **out-of-order definitions** — gates may be used before they are
+  defined; references are resolved once the whole file is read;
+* **multi-line definitions** — an argument list may span physical lines
+  (the historical files wrap wide fan-in gates); logical lines continue
+  while parentheses are unbalanced or a line ends in ``,`` or ``=``;
+* **case-insensitive names** — gate *types* and *node names* both; the
+  first-seen spelling of a node is canonical, so ``INPUT(g1)`` feeding
+  ``NAND(G1, ...)`` connects instead of leaving a dangling source;
+* **sequential elements** — ``DFF`` gates are cut into pseudo
+  primary-input/primary-output pairs (automatic combinational
+  extraction, the scan-design view of paper §1) unless
+  ``sequential="reject"`` asks for the historical hard error;
+* **CRLF line endings, blank lines, trailing comments** anywhere.
+
+Malformed input fails with a line-numbered
+:class:`~repro.errors.ParseError`: duplicate ``INPUT``/``OUTPUT``
+declarations, nodes driven twice, undeclared sources and undriven
+outputs all name the offending line (and the conflicting earlier one).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+from typing import Iterator, List, Tuple
+
+from repro.circuit.io._netlist import NetlistAssembler, NetlistInfo
+from repro.circuit.netlist import Circuit
+from repro.circuit.types import GateType
+from repro.errors import ParseError
+
+__all__ = ["load_bench", "parse_bench", "read_bench"]
+
+_DECL_RE = re.compile(r"^(INPUT|OUTPUT)\s*\(\s*([^\s()]+)\s*\)$", re.IGNORECASE)
+_GATE_RE = re.compile(
+    r"^([^\s=()]+)\s*=\s*([A-Za-z01_]+)\s*\(\s*([^()]*)\s*\)$"
+)
+
+_TYPE_ALIASES = {
+    "AND": GateType.AND,
+    "OR": GateType.OR,
+    "NAND": GateType.NAND,
+    "NOR": GateType.NOR,
+    "XOR": GateType.XOR,
+    "XNOR": GateType.XNOR,
+    "NOT": GateType.NOT,
+    "INV": GateType.NOT,
+    "BUF": GateType.BUF,
+    "BUFF": GateType.BUF,
+    "CONST0": GateType.CONST0,
+    "CONST1": GateType.CONST1,
+}
+
+#: Sequential cell spellings found across .bench distributions.
+_DFF_ALIASES = frozenset({"DFF", "FF", "FLIPFLOP"})
+
+
+def _logical_lines(text: str) -> Iterator[Tuple[int, str]]:
+    """Yield ``(first_lineno, logical_line)`` with continuations joined.
+
+    Comments (``#`` to end of line) are stripped *before* joining, so a
+    wrapped argument list may carry a trailing comment on every physical
+    line.  A logical line continues while its parentheses are unbalanced
+    or it ends in ``,`` or ``=``.
+    """
+    pending: List[str] = []
+    start = 0
+    depth = 0
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if not pending:
+            start = lineno
+        pending.append(line)
+        depth += line.count("(") - line.count(")")
+        if depth < 0:
+            raise ParseError("unbalanced ')'", lineno)
+        if depth > 0 or line.endswith((",", "=")):
+            continue
+        yield start, " ".join(pending)
+        pending = []
+        depth = 0
+    if pending:
+        raise ParseError("unterminated definition (unbalanced '(')", start)
+
+
+def _split_args(arg_text: str, lineno: int) -> Tuple[str, ...]:
+    arg_text = arg_text.strip()
+    if not arg_text:
+        return ()
+    parts = [part.strip() for part in arg_text.split(",")]
+    if any(not part or " " in part for part in parts):
+        raise ParseError(f"malformed argument list {arg_text!r}", lineno)
+    return tuple(parts)
+
+
+def read_bench(
+    text: str, name: str = "bench", sequential: str = "cut"
+) -> Tuple[Circuit, NetlistInfo]:
+    """Parse ``.bench`` source text, returning the circuit and import info.
+
+    ``sequential="cut"`` (default) extracts the combinational core of a
+    sequential netlist — every ``DFF`` output becomes a pseudo primary
+    input and every ``DFF`` data node a pseudo primary output, recorded
+    on the returned :class:`~repro.circuit.io.NetlistInfo`;
+    ``sequential="reject"`` raises :class:`ParseError` on the first
+    state element instead.
+    """
+    assembler = NetlistAssembler("bench", case_sensitive=False)
+    for lineno, line in _logical_lines(text):
+        decl = _DECL_RE.match(line)
+        if decl:
+            kind = decl.group(1).upper()
+            if kind == "INPUT":
+                assembler.add_input(decl.group(2), lineno)
+            else:
+                assembler.add_output(decl.group(2), lineno)
+            continue
+        gate_match = _GATE_RE.match(line)
+        if gate_match:
+            target, type_name, arg_text = gate_match.groups()
+            sources = _split_args(arg_text, lineno)
+            type_key = type_name.upper()
+            if type_key in _DFF_ALIASES:
+                if len(sources) != 1:
+                    raise ParseError(
+                        f"{type_key} takes exactly one data input, "
+                        f"got {len(sources)}",
+                        lineno,
+                    )
+                assembler.add_flipflop(target, sources[0], lineno)
+                continue
+            gtype = _TYPE_ALIASES.get(type_key)
+            if gtype is None:
+                raise ParseError(f"unknown gate type {type_name!r}", lineno)
+            assembler.add_gate(target, gtype, sources, lineno)
+            continue
+        raise ParseError(f"cannot parse {line!r}", lineno)
+    return assembler.build(name, sequential)
+
+
+def parse_bench(
+    text: str, name: str = "bench", sequential: str = "cut"
+) -> Circuit:
+    """Parse ``.bench`` source text into a :class:`Circuit`."""
+    circuit, _info = read_bench(text, name, sequential)
+    return circuit
+
+
+def load_bench(
+    path: "str | pathlib.Path",
+    name: "str | None" = None,
+    sequential: str = "cut",
+) -> Circuit:
+    """Read and parse a ``.bench`` file.
+
+    The default circuit name is the file's stem, resolved portably
+    (``pathlib``), so ``C:\\bench\\c880.bench`` and ``nets/c880.bench``
+    both name the circuit ``c880``.
+    """
+    path = pathlib.Path(path)
+    text = path.read_text(encoding="utf-8")
+    if name is None:
+        name = path.stem
+    return parse_bench(text, name, sequential)

@@ -1,0 +1,302 @@
+"""Reader for gate-level structural Verilog.
+
+Covers the subset the gate-level benchmark distributions (ISCAS-85/89
+Verilog translations, synthesized netlists of the same alphabet) use::
+
+    // comment            /* block comments too */
+    module c17 (N1, N2, N3, N6, N7, N22, N23);
+      input N1, N2, N3, N6, N7;
+      output N22, N23;
+      wire N10, N11, N16, N19;
+      nand g1 (N10, N1, N3);
+      nand (N11, N3, N6);          // instance names are optional
+      nand g3 (N16, N2, N11), g4 (N19, N11, N7);
+      assign N22 = N10;            // identifier / ~identifier / 1'b0 / 1'b1
+      dff r1 (Q, D);               // cut into pseudo-PI/PO like .bench DFFs
+    endmodule
+
+Supported declarations: ``input``/``output``/``wire`` lists with vector
+ranges (``input [7:0] a`` expands to nodes ``a[7]`` ... ``a[0]``), the
+gate primitives ``and or nand nor xor xnor not buf``, ``dff`` state
+elements (combinational extraction, same semantics as the ``.bench``
+reader), and ``assign`` of an identifier, its complement or a 1-bit
+constant.  Primitive port order is Verilog's: output first, then the
+inputs.  Everything is validated through the shared assembler, so
+duplicate declarations, double-driven nets, undeclared sources and
+undriven outputs fail with line-numbered
+:class:`~repro.errors.ParseError` diagnostics.  Per the Verilog
+standard, identifiers are case-sensitive (unlike ``.bench`` names).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+from typing import Iterator, List, Tuple
+
+from repro.circuit.io._netlist import NetlistAssembler, NetlistInfo
+from repro.circuit.netlist import Circuit
+from repro.circuit.types import GateType
+from repro.errors import ParseError
+
+__all__ = ["load_verilog", "parse_verilog", "read_verilog"]
+
+_PRIMITIVES = {
+    "and": GateType.AND,
+    "or": GateType.OR,
+    "nand": GateType.NAND,
+    "nor": GateType.NOR,
+    "xor": GateType.XOR,
+    "xnor": GateType.XNOR,
+    "not": GateType.NOT,
+    "buf": GateType.BUF,
+}
+
+_DFF_KEYWORDS = frozenset({"dff", "dffp", "fd", "flipflop"})
+
+_MODULE_RE = re.compile(
+    r"^module\s+([A-Za-z_\\][\w$\\]*)\s*(?:\(([^)]*)\))?$"
+)
+_RANGE_RE = re.compile(r"^\[\s*(\d+)\s*:\s*(\d+)\s*\]$")
+_IDENT_RE = re.compile(r"^[A-Za-z_\\][\w$\\]*(\[\d+\])?$")
+_CONST_RE = re.compile(r"^1'[bB]([01])$")
+_INSTANCE_RE = re.compile(
+    r"^\s*(?:([A-Za-z_\\][\w$\\]*)\s*)?\(\s*([^()]*)\s*\)\s*$"
+)
+_ASSIGN_RE = re.compile(r"^assign\s+(\S+)\s*=\s*(.+)$")
+
+
+def _strip_comments(text: str) -> str:
+    """Blank out ``//`` and ``/* */`` comments, preserving line numbers."""
+    out: List[str] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "/" and i + 1 < n:
+            nxt = text[i + 1]
+            if nxt == "/":
+                end = text.find("\n", i)
+                i = n if end < 0 else end
+                continue
+            if nxt == "*":
+                end = text.find("*/", i + 2)
+                if end < 0:
+                    raise ParseError(
+                        "unterminated /* comment",
+                        text.count("\n", 0, i) + 1,
+                    )
+                out.append("\n" * text.count("\n", i, end + 2))
+                i = end + 2
+                continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def _statements(text: str) -> Iterator[Tuple[int, str]]:
+    """Split on ``;`` (and ``endmodule``), yielding ``(lineno, stmt)``."""
+    lineno = 1
+    pending_line = 1
+    pending: List[str] = []
+    for ch in text:
+        if ch == ";":
+            stmt = "".join(pending).strip()
+            if stmt:
+                yield pending_line, stmt
+            pending = []
+            continue
+        if not pending:
+            # Skip (un-buffered) whitespace between statements so
+            # pending_line is the line of the statement's first real
+            # character, not of the previous statement's ';'.
+            if ch.isspace():
+                if ch == "\n":
+                    lineno += 1
+                continue
+            pending_line = lineno
+        pending.append(ch)
+        if ch == "\n":
+            lineno += 1
+    stmt = "".join(pending).strip()
+    if stmt:
+        yield pending_line, stmt
+
+
+def _split_decl(body: str, lineno: int) -> List[str]:
+    """Expand an input/output/wire declaration body into node names."""
+    body = body.strip()
+    match = re.match(r"^(\[[^\]]*\])\s*(.+)$", body)
+    indices: "List[int] | None" = None
+    if match:
+        range_match = _RANGE_RE.match(match.group(1))
+        if not range_match:
+            raise ParseError(
+                f"malformed vector range {match.group(1)!r}", lineno
+            )
+        msb, lsb = int(range_match.group(1)), int(range_match.group(2))
+        step = -1 if msb >= lsb else 1
+        indices = list(range(msb, lsb + step, step))
+        body = match.group(2)
+    names: List[str] = []
+    for part in body.split(","):
+        base = part.strip()
+        if not base or not _IDENT_RE.match(base) or "[" in base:
+            raise ParseError(f"malformed declaration name {base!r}", lineno)
+        if indices is None:
+            names.append(base)
+        else:
+            names.extend(f"{base}[{i}]" for i in indices)
+    return names
+
+
+def _check_net(name: str, lineno: int) -> str:
+    name = name.strip()
+    if not _IDENT_RE.match(name):
+        raise ParseError(f"malformed net reference {name!r}", lineno)
+    return name.lstrip("\\")
+
+
+def _instances(body: str, lineno: int) -> Iterator[Tuple[str, List[str]]]:
+    """Split ``g1 (a, b), g2 (c, d)`` into per-instance port lists."""
+    depth = 0
+    start = 0
+    chunks: List[str] = []
+    for i, ch in enumerate(body):
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth < 0:
+                raise ParseError("unbalanced ')'", lineno)
+        elif ch == "," and depth == 0:
+            chunks.append(body[start:i])
+            start = i + 1
+    chunks.append(body[start:])
+    for chunk in chunks:
+        match = _INSTANCE_RE.match(chunk)
+        if not match:
+            raise ParseError(f"malformed instance {chunk.strip()!r}", lineno)
+        ports = [
+            _check_net(port, lineno)
+            for port in match.group(2).split(",")
+            if port.strip() or match.group(2).strip()
+        ]
+        yield (match.group(1) or ""), ports
+
+
+def read_verilog(
+    text: str, name: "str | None" = None, sequential: str = "cut"
+) -> Tuple[Circuit, NetlistInfo]:
+    """Parse structural Verilog source, returning circuit and import info."""
+    assembler = NetlistAssembler("verilog", case_sensitive=True)
+    module_name: "str | None" = None
+    wires: set = set()
+    done = False
+    for lineno, stmt in _statements(_strip_comments(text)):
+        stmt = re.sub(r"\s+", " ", stmt).strip()
+        if done:
+            raise ParseError(f"statement after endmodule: {stmt!r}", lineno)
+        if stmt == "endmodule":
+            done = True
+            continue
+        if stmt.startswith("endmodule"):
+            # "endmodule" has no terminating ';' — the next statement
+            # may have been glued onto it by the splitter.
+            raise ParseError(
+                f"statement after endmodule: {stmt[len('endmodule'):].strip()!r}",
+                lineno,
+            )
+        if stmt.startswith("module"):
+            match = _MODULE_RE.match(stmt)
+            if not match:
+                raise ParseError(f"malformed module header {stmt!r}", lineno)
+            if module_name is not None:
+                raise ParseError("duplicate module header", lineno)
+            module_name = match.group(1).lstrip("\\")
+            continue
+        keyword = stmt.split(" ", 1)[0].lower()
+        body = stmt[len(keyword):].strip()
+        if keyword in ("input", "output", "wire"):
+            for net in _split_decl(body, lineno):
+                net = net.lstrip("\\")
+                if keyword == "input":
+                    assembler.add_input(net, lineno)
+                elif keyword == "output":
+                    assembler.add_output(net, lineno)
+                else:
+                    wires.add(net)
+            continue
+        if keyword in _PRIMITIVES:
+            gtype = _PRIMITIVES[keyword]
+            for label, ports in _instances(body, lineno):
+                if len(ports) < 2:
+                    raise ParseError(
+                        f"{keyword} instance needs an output and at least "
+                        f"one input, got {len(ports)} port(s)",
+                        lineno,
+                    )
+                assembler.add_gate(
+                    ports[0], gtype, tuple(ports[1:]), lineno
+                )
+            continue
+        if keyword in _DFF_KEYWORDS:
+            for label, ports in _instances(body, lineno):
+                if len(ports) != 2:
+                    raise ParseError(
+                        f"{keyword} instance takes (Q, D), got "
+                        f"{len(ports)} port(s)",
+                        lineno,
+                    )
+                assembler.add_flipflop(ports[0], ports[1], lineno)
+            continue
+        if keyword == "assign":
+            match = _ASSIGN_RE.match(stmt)
+            if not match:
+                raise ParseError(f"malformed assign {stmt!r}", lineno)
+            lhs = _check_net(match.group(1), lineno)
+            rhs = match.group(2).strip()
+            const = _CONST_RE.match(rhs)
+            if const:
+                gtype = (
+                    GateType.CONST1 if const.group(1) == "1"
+                    else GateType.CONST0
+                )
+                assembler.add_gate(lhs, gtype, (), lineno)
+            elif rhs.startswith("~"):
+                src = _check_net(rhs[1:], lineno)
+                assembler.add_gate(lhs, GateType.NOT, (src,), lineno)
+            else:
+                src = _check_net(rhs, lineno)
+                assembler.add_gate(lhs, GateType.BUF, (src,), lineno)
+            continue
+        raise ParseError(f"cannot parse statement {stmt!r}", lineno)
+    if module_name is None:
+        raise ParseError("no module header found")
+    if not done:
+        raise ParseError("missing endmodule")
+    return assembler.build(name or module_name, sequential)
+
+
+def parse_verilog(
+    text: str, name: "str | None" = None, sequential: str = "cut"
+) -> Circuit:
+    """Parse structural Verilog source text into a :class:`Circuit`."""
+    circuit, _info = read_verilog(text, name, sequential)
+    return circuit
+
+
+def load_verilog(
+    path: "str | pathlib.Path",
+    name: "str | None" = None,
+    sequential: str = "cut",
+) -> Circuit:
+    """Read and parse a structural Verilog (``.v``) file.
+
+    Unlike ``.bench`` loading, the default circuit name comes from the
+    ``module`` header (which the dialect requires), not the file stem.
+    """
+    path = pathlib.Path(path)
+    return parse_verilog(
+        path.read_text(encoding="utf-8"), name, sequential
+    )

@@ -242,10 +242,14 @@ class Circuit:
             digest.update("|".join(self._inputs).encode("utf-8"))
             digest.update(b"\x00")
             digest.update("|".join(self._outputs).encode("utf-8"))
-            for node in self._topo:
-                gate = self._gates.get(node)
-                if gate is None:
-                    continue
+            # Sorted by driven node, not topological order: Kahn
+            # tie-breaking depends on gate *declaration* order, so two
+            # structurally identical netlists whose gates are merely
+            # declared in a different order would hash apart (and the
+            # service artifact cache would miss).  Names are unique, so
+            # sorted order is canonical.
+            for node in sorted(self._gates):
+                gate = self._gates[node]
                 record = (
                     f"\x00{gate.name}\x01{gate.gtype.value}"
                     f"\x01{','.join(gate.inputs)}\x01{gate.table}"

@@ -354,9 +354,29 @@ def _exact_boolean_difference(
     pin: int,
     table: int,
 ) -> float:
-    """Exact ``P(df/dx = 1)`` by enumeration over the side inputs."""
+    """Exact ``P(df/dx = 1)`` for independent side inputs.
+
+    Decomposable gate types have closed forms (a pin toggle propagates
+    through AND/NAND iff every side input is 1, through OR/NOR iff every
+    side input is 0, through XOR/XNOR/NOT/BUF always), so only LUTs pay
+    the exponential enumeration — vendored ISCAS-class netlists carry
+    32-input reduction gates, where 2^31 minterms per pin is not a cost,
+    it's a hang.
+    """
     n = len(probs)
     side = [i for i in range(n) if i != pin]
+    if gtype in (GateType.AND, GateType.NAND):
+        weight = 1.0
+        for i in side:
+            weight *= probs[i]
+        return weight
+    if gtype in (GateType.OR, GateType.NOR):
+        weight = 1.0
+        for i in side:
+            weight *= 1.0 - probs[i]
+        return weight
+    if gtype in (GateType.XOR, GateType.XNOR, GateType.NOT, GateType.BUF):
+        return 1.0
     total = 0.0
     operands = [0] * n
     for assignment in range(1 << len(side)):

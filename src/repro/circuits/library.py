@@ -26,7 +26,7 @@ from repro.circuits.sn7485 import sn7485
 from repro.circuits.sn74181 import sn74181
 from repro.errors import ReproError
 
-__all__ = ["build", "names", "REGISTRY"]
+__all__ = ["build", "names", "LARGE_NAMES", "NETLIST_NAMES", "REGISTRY"]
 
 REGISTRY: Dict[str, Callable[[], Circuit]] = {
     # The paper's four evaluation circuits.
@@ -53,16 +53,37 @@ REGISTRY: Dict[str, Callable[[], Circuit]] = {
     "mul24": lambda: array_multiplier(24),
 }
 
-#: Vendored ISCAS-85-class reconstructions (see circuits/netlists/README.md);
+#: Vendored ISCAS-class reconstructions (see circuits/netlists/README.md);
 #: parsed from the packaged ``.bench`` files rather than built procedurally.
-NETLIST_NAMES = ("c432", "c880", "c1355")
+#: The s-series entries carry ``DFF`` state elements that the reader cuts
+#: into pseudo-PI/PO pairs on load.
+NETLIST_NAMES = (
+    "c432",
+    "c499",
+    "c880",
+    "c1355",
+    "c1908",
+    "c2670",
+    "c3540",
+    "c5315",
+    "c6288",
+    "c7552",
+    "s1196",
+    "s15850",
+)
+
+#: Registered circuits (procedural or vendored) above ~1000 gates; test
+#: harnesses slice fault universes or skip exhaustive sweeps for these.
+LARGE_NAMES = frozenset(
+    {"mul16", "mul24", "c5315", "c6288", "c7552", "s15850"}
+)
 
 
 def _netlist_factory(name: str) -> Callable[[], Circuit]:
     def factory() -> Circuit:
         from importlib import resources
 
-        from repro.circuit.bench_parser import parse_bench
+        from repro.circuit.io import parse_bench
 
         text = (
             resources.files("repro.circuits") / "netlists" / f"{name}.bench"

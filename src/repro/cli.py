@@ -11,10 +11,12 @@ Subcommands
 ``sweep``      analyse many circuits under many configs in one call
 ``serve``      run the HTTP analysis service (:mod:`repro.service`)
 ``circuits``   list the built-in evaluation circuits
-``convert``    convert between .bench and .sdl netlists
+``convert``    convert netlists (.bench/.v/.sdl in, .bench/.sdl out)
 
 Circuits are referenced either by a built-in name (see ``circuits``) or by
-a ``.bench`` / ``.sdl`` file path.  ``analyze``, ``testlen``, ``optimize``,
+a netlist file path — ISCAS-85/89 ``.bench`` (sequential netlists are
+combinationally extracted), structural Verilog ``.v``, or the library's
+``.sdl`` (see :mod:`repro.circuit.io`).  ``analyze``, ``testlen``, ``optimize``,
 ``fsim``, ``sample`` and ``sweep`` accept ``--json`` to emit the result
 objects' serialized payloads instead of ASCII tables, ``--preset`` to
 start from a named :class:`~repro.api.ProtestConfig` preset, and
@@ -40,9 +42,9 @@ from repro.api.config import METHODS, ProtestConfig, available_presets
 from repro.api.engine import AnalysisEngine
 from repro.api.sweep import EXECUTORS, run_sweep
 from repro.backends import AUTO_BACKEND, registered_backends
-from repro.circuit.bench_parser import load_bench
+from repro.circuit.io import NETLIST_SUFFIXES, is_netlist_path, load_netlist
 from repro.circuit.netlist import Circuit
-from repro.circuit.sdl import load_sdl, save_sdl
+from repro.circuit.sdl import save_sdl
 from repro.circuit.transistors import transistor_count
 from repro.circuit.writer import save_bench
 from repro.circuits.library import REGISTRY, build, names
@@ -63,13 +65,11 @@ __all__ = ["main"]
 def _load_circuit(spec: str) -> Circuit:
     if spec in REGISTRY:
         return build(spec)
-    if spec.endswith(".bench"):
-        return load_bench(spec)
-    if spec.endswith(".sdl"):
-        return load_sdl(spec)
+    if is_netlist_path(spec):
+        return load_netlist(spec)
     raise ReproError(
         f"unknown circuit {spec!r}: not a registered name and not a "
-        ".bench/.sdl path"
+        f"netlist path ({'/'.join(NETLIST_SUFFIXES)})"
     )
 
 
@@ -107,7 +107,8 @@ def _engine(args: argparse.Namespace) -> AnalysisEngine:
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("circuit", help="built-in name or .bench/.sdl path")
+    parser.add_argument("circuit",
+                        help="built-in name or .bench/.v/.sdl path")
     parser.add_argument("--probs", default=None,
                         help="input 1-probability: scalar or JSON file")
     parser.add_argument("--preset", default="paper",
@@ -411,7 +412,7 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", help="analyse many circuits under many configs"
     )
     p.add_argument("circuits", nargs="+",
-                   help="built-in names or .bench/.sdl paths")
+                   help="built-in names or .bench/.v/.sdl paths")
     p.add_argument("--preset", dest="presets", action="append",
                    choices=available_presets(), default=None,
                    help="config preset; repeat for a config grid")

@@ -135,6 +135,8 @@ class CompiledCircuit:
         )
         self._cone_cache: Dict[int, Tuple[int, ...]] = {}
         self._cone_entry_cache: Dict[int, Tuple[tuple, ...]] = {}
+        self._cone_cache_elems = 0
+        self._cone_entry_elems = 0
         self._node_bit: Optional[List[int]] = None
         self._consumer_bits: Optional[List[int]] = None
 
@@ -182,12 +184,30 @@ class CompiledCircuit:
 
     # -- fan-out cone slices --------------------------------------------------------
 
+    #: Soft cap on the total number of elements held across each cone
+    #: cache.  On small circuits every cone fits (the caches behave as
+    #: before); on 10k+-gate netlists, where every fault site queries its
+    #: cone and full retention costs hundreds of MB, the oldest slices
+    #: are evicted FIFO and recomputed on demand.
+    cone_cache_budget = 2_000_000
+
+    def _cache_put(self, cache: Dict[int, tuple], key: int, value: tuple,
+                   counter: str) -> None:
+        cache[key] = value
+        total = getattr(self, counter) + len(value)
+        while total > self.cone_cache_budget and len(cache) > 1:
+            old_key = next(iter(cache))
+            if old_key == key:
+                break
+            total -= len(cache.pop(old_key))
+        setattr(self, counter, total)
+
     def cone(self, idx: int) -> Tuple[int, ...]:
         """Gate indices in the transitive fan-out of node ``idx``.
 
         Excludes ``idx`` itself; sorted ascending, which *is* topological
         order because compiled indices follow the levelized node table.
-        Computed once per node and cached on the compiled artifact.
+        Cached on the compiled artifact under a total-size budget.
         """
         cached = self._cone_cache.get(idx)
         if cached is not None:
@@ -201,7 +221,7 @@ class CompiledCircuit:
             seen.add(i)
             stack.extend(self.consumers[i])
         cone = tuple(sorted(seen))
-        self._cone_cache[idx] = cone
+        self._cache_put(self._cone_cache, idx, cone, "_cone_cache_elems")
         return cone
 
     def cone_entries(self, idx: int) -> Tuple[tuple, ...]:
@@ -211,7 +231,9 @@ class CompiledCircuit:
             return cached
         overlay = self.overlay_entry
         entries = tuple(overlay[i] for i in self.cone(idx))
-        self._cone_entry_cache[idx] = entries
+        self._cache_put(
+            self._cone_entry_cache, idx, entries, "_cone_entry_elems"
+        )
         return entries
 
     # -- node/consumer bitsets -------------------------------------------------------

@@ -143,6 +143,7 @@ class SignalProbabilityEstimator:
     ) -> SignalProbabilities:
         """Estimate all node probabilities for the given input tuple."""
         resolved = resolve_input_probs(self.circuit.inputs, input_probs)
+        self._conditional.begin_pass()
         probs: Dict[str, float] = dict(resolved)
         conditioned = 0
         for node in self.circuit.nodes:
@@ -174,6 +175,7 @@ class SignalProbabilityEstimator:
         ]
         if not changed:
             return previous
+        self._conditional.begin_pass()
         dirty = set(changed)
         for node in changed:
             dirty.update(self.topology.tfo(node))

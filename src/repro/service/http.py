@@ -18,8 +18,9 @@ Routes
                            per-backend throughput, resilience counters,
                            uptime/version and a telemetry snapshot
 ``GET  /jobs``             all job summaries (no snapshot payloads)
-``POST /jobs``             submit — body ``{"circuit": name}`` or
-                           ``{"bench": text}`` or ``{"sweep": {...}}``
+``POST /jobs``             submit — body ``{"circuit": name}``,
+                           ``{"bench": text}``, ``{"verilog": text}``
+                           or ``{"sweep": {...}}``
                            plus optional ``config`` (preset name or
                            knob object), ``input_probs``, ``priority``,
                            ``timeout``; responds ``201`` with the
@@ -249,8 +250,8 @@ class ServiceHandler(BaseHTTPRequestHandler):
         payload = self._read_json()
         if payload is None:
             return
-        known = {"circuit", "bench", "sweep", "config", "input_probs",
-                 "priority", "timeout"}
+        known = {"circuit", "bench", "verilog", "sweep", "config",
+                 "input_probs", "priority", "timeout"}
         unknown = set(payload) - known
         if unknown:
             self._send_error_json(
@@ -261,6 +262,7 @@ class ServiceHandler(BaseHTTPRequestHandler):
             job = self.manager.submit(
                 circuit=payload.get("circuit"),
                 bench=payload.get("bench"),
+                verilog=payload.get("verilog"),
                 sweep=payload.get("sweep"),
                 config=payload.get("config"),
                 input_probs=payload.get("input_probs"),

@@ -73,7 +73,7 @@ from repro import __version__
 from repro.api.config import ProtestConfig
 from repro.api.engine import AnalysisEngine
 from repro.api.sweep import run_sweep
-from repro.circuit.bench_parser import parse_bench
+from repro.circuit.io import parse_bench, parse_verilog
 from repro.errors import (
     JobCancelled,
     JobTimeout,
@@ -354,6 +354,7 @@ class JobManager:
         self,
         circuit: "str | None" = None,
         bench: "str | None" = None,
+        verilog: "str | None" = None,
         sweep: "Mapping[str, Any] | None" = None,
         config: "ProtestConfig | str | Mapping[str, Any] | None" = None,
         input_probs=None,
@@ -363,25 +364,31 @@ class JobManager:
         """Enqueue a job and return its (queued) :class:`Job` record.
 
         Exactly one of ``circuit`` (a registered library name), ``bench``
-        (``.bench`` source text) or ``sweep`` (a ``run_sweep`` request:
+        (ISCAS-85/89 ``.bench`` source text; sequential netlists are
+        combinationally extracted), ``verilog`` (structural Verilog
+        source text) or ``sweep`` (a ``run_sweep`` request:
         ``{"circuits": [...], "presets": [...], ...}``) selects the
         work.  Request-shape problems raise :class:`ServiceError` here
         (the HTTP layer maps them to 400); problems with the *content*
-        — an unknown circuit name, unparseable bench text, estimation
+        — an unknown circuit name, unparseable netlist text, estimation
         failures — surface later as a ``failed`` job with a structured
         error body, so one bad payload can never take down the service.
         With ``max_queue`` set, a full queue raises
         :class:`~repro.errors.QueueFull` (429 + ``Retry-After``).
         """
-        chosen = [x for x in (circuit, bench, sweep) if x is not None]
+        chosen = [x for x in (circuit, bench, verilog, sweep)
+                  if x is not None]
         if len(chosen) != 1:
             raise ServiceError(
-                "exactly one of 'circuit', 'bench' or 'sweep' is required"
+                "exactly one of 'circuit', 'bench', 'verilog' or 'sweep' "
+                "is required"
             )
         if circuit is not None and not isinstance(circuit, str):
             raise ServiceError(f"'circuit' must be a name, got {circuit!r}")
         if bench is not None and not isinstance(bench, str):
             raise ServiceError("'bench' must be .bench source text")
+        if verilog is not None and not isinstance(verilog, str):
+            raise ServiceError("'verilog' must be Verilog source text")
         if sweep is not None:
             if not isinstance(sweep, Mapping):
                 raise ServiceError("'sweep' must be an object")
@@ -406,6 +413,9 @@ class JobManager:
         elif bench is not None:
             kind = "analyze"
             payload = {"bench": bench, "circuit": "uploaded"}
+        elif verilog is not None:
+            kind = "analyze"
+            payload = {"verilog": verilog, "circuit": "uploaded"}
         else:
             kind = "analyze"
             payload = {"circuit": circuit}
@@ -922,11 +932,14 @@ class JobManager:
 
     def _execute_analyze(self, job: Job) -> None:
         bench = job.payload.get("bench")
+        verilog = job.payload.get("verilog")
         if bench is not None:
             # Parsed in the worker on purpose: a syntax error is a
             # property of this job ("failed", with the parser's
             # line-numbered message), not of the submission API.
             circuit = parse_bench(bench, name=job.payload["circuit"])
+        elif verilog is not None:
+            circuit = parse_verilog(verilog)
         else:
             from repro.circuits.library import build
 

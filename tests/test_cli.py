@@ -184,3 +184,32 @@ def test_backend_flag_numpy_end_to_end(capsys):
     payload = json.loads(capsys.readouterr().out)
     assert payload["runs"][0]["config"]["backend"] == "numpy"
     assert payload["runs"][0]["report"]["provenance"]["backend"] == "numpy"
+
+
+def test_analyze_bench_netlist_path(tmp_path, capsys):
+    from repro.circuits.library import build
+    from repro.circuit.writer import save_bench
+
+    path = str(tmp_path / "my_c17.bench")
+    save_bench(build("c17"), path)
+    assert main(["analyze", path, "--preset", "fast"]) == 0
+    assert "PROTEST analysis of my_c17" in capsys.readouterr().out
+
+
+def test_analyze_verilog_netlist_path(tmp_path, capsys):
+    path = tmp_path / "tiny.v"
+    path.write_text(
+        "module tiny (a, b, y);\ninput a, b;\noutput y;\n"
+        "nand (y, a, b);\nendmodule\n"
+    )
+    assert main(["analyze", str(path), "--preset", "fast", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["circuit"] == "tiny"
+
+
+def test_analyze_netlist_parse_error_reported(tmp_path, capsys):
+    path = tmp_path / "broken.bench"
+    path.write_text("INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n")
+    assert main(["analyze", str(path)]) == 1
+    err = capsys.readouterr().err
+    assert "error:" in err and "line 3" in err

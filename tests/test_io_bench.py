@@ -1,0 +1,172 @@
+"""Hardened .bench reader: dialect tolerance and diagnostics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.io import (
+    is_netlist_path,
+    load_bench,
+    load_netlist,
+    parse_bench,
+    read_bench,
+)
+from repro.circuit.types import GateType
+from repro.errors import ParseError
+from repro.logicsim import PatternSet, simulate
+
+
+def test_out_of_order_definitions():
+    circuit = parse_bench(
+        "OUTPUT(y)\ny = NOT(n1)\nn1 = NAND(a, b)\nINPUT(a)\nINPUT(b)\n"
+    )
+    assert circuit.inputs == ("a", "b")
+    assert circuit.gate("y").inputs == ("n1",)
+
+
+def test_multi_line_definitions_and_crlf():
+    text = (
+        "INPUT(a)\r\nINPUT(b)\r\nINPUT(c)\r\nOUTPUT(y)\r\n"
+        "y = AND(a,   # wide fan-in wraps in the historical files\r\n"
+        "        b,\r\n"
+        "        c)   # trailing comment\r\n"
+    )
+    circuit = parse_bench(text)
+    assert circuit.gate("y").inputs == ("a", "b", "c")
+
+
+def test_continuation_on_trailing_equals():
+    circuit = parse_bench("INPUT(a)\nOUTPUT(y)\ny =\n  NOT(a)\n")
+    assert circuit.gate("y").gtype is GateType.NOT
+
+
+def test_unterminated_definition_names_start_line():
+    with pytest.raises(ParseError, match="line 3"):
+        parse_bench("INPUT(a)\nOUTPUT(y)\ny = AND(a,\n")
+
+
+def test_node_names_case_insensitive_first_seen_canonical():
+    circuit = parse_bench(
+        "INPUT(g1)\nOUTPUT(Y)\nn = NOT(G1)\nY = BUFF(N)\n"
+    )
+    # First-seen spelling wins; later spellings resolve to it.
+    assert circuit.inputs == ("g1",)
+    assert circuit.gate("n").inputs == ("g1",)
+    assert circuit.gate("Y").inputs == ("n",)
+
+
+def test_duplicate_input_rejected_with_both_lines():
+    with pytest.raises(ParseError, match=r"line 3.*line 1") as err:
+        parse_bench("INPUT(a)\nOUTPUT(y)\nINPUT(A)\ny = NOT(a)\n")
+    assert "duplicate INPUT" in str(err.value)
+
+
+def test_duplicate_output_rejected():
+    with pytest.raises(ParseError, match="duplicate OUTPUT"):
+        parse_bench("INPUT(a)\nOUTPUT(y)\nOUTPUT(y)\ny = NOT(a)\n")
+
+
+def test_duplicate_gate_definition_rejected():
+    with pytest.raises(ParseError, match=r"line 4.*driven twice.*line 3"):
+        parse_bench(
+            "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = BUFF(a)\n"
+        )
+
+
+def test_gate_driving_declared_input_rejected():
+    with pytest.raises(ParseError, match="declared INPUT"):
+        parse_bench("INPUT(a)\nOUTPUT(y)\na = NOT(y)\ny = CONST1()\n")
+
+
+def test_undeclared_source_names_consuming_line():
+    with pytest.raises(ParseError, match=r"line 3.*'ghost'"):
+        parse_bench("INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n")
+
+
+def test_undriven_output_rejected():
+    with pytest.raises(ParseError, match=r"OUTPUT\(z\) is never driven"):
+        parse_bench("INPUT(a)\nOUTPUT(y)\nOUTPUT(z)\ny = NOT(a)\n")
+
+
+def test_const_gates_take_no_args():
+    circuit = parse_bench(
+        "INPUT(a)\nOUTPUT(y)\nzero = CONST0()\ny = OR(a, zero)\n"
+    )
+    assert circuit.gate("zero").gtype is GateType.CONST0
+    ps = PatternSet.exhaustive(circuit.inputs)
+    values = simulate(circuit, ps)
+    assert values["y"] == values["a"]  # OR with constant 0 is identity
+
+
+def test_empty_args_on_non_const_rejected():
+    with pytest.raises(ParseError):
+        parse_bench("INPUT(a)\nOUTPUT(y)\ny = AND()\n")
+
+
+def test_dff_cut_records_info():
+    text = (
+        "INPUT(d_in)\nOUTPUT(q_out)\n"
+        "q1 = DFF(n1)\n"
+        "n1 = AND(d_in, q1)\n"
+        "q_out = BUFF(q1)\n"
+    )
+    circuit, info = read_bench(text)
+    assert info.is_sequential
+    assert info.flipflops == (("q1", "n1"),)
+    assert info.pseudo_inputs == ("q1",)
+    assert info.pseudo_outputs == ("n1",)
+    assert circuit.inputs == ("d_in", "q1")
+    assert circuit.outputs == ("q_out", "n1")
+
+
+def test_dff_aliases_accepted():
+    for cell in ("DFF", "FF", "FLIPFLOP", "dff"):
+        circuit, info = read_bench(
+            f"INPUT(a)\nOUTPUT(y)\nq = {cell}(a)\ny = NOT(q)\n"
+        )
+        assert info.flipflops == (("q", "a"),)
+
+
+def test_dff_reject_mode():
+    with pytest.raises(ParseError, match="sequential"):
+        read_bench(
+            "INPUT(a)\nOUTPUT(y)\nq = DFF(a)\ny = NOT(q)\n",
+            sequential="reject",
+        )
+
+
+def test_bad_sequential_mode_rejected():
+    with pytest.raises(ParseError, match="sequential mode"):
+        read_bench("INPUT(a)\nOUTPUT(a)\n", sequential="nope")
+
+
+def test_load_bench_names_circuit_from_stem(tmp_path):
+    path = tmp_path / "sub dir" / "my_circ.bench"
+    path.parent.mkdir()
+    path.write_text("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n")
+    assert load_bench(path).name == "my_circ"
+    assert load_bench(str(path)).name == "my_circ"
+    assert load_bench(path, name="override").name == "override"
+
+
+def test_is_netlist_path():
+    assert is_netlist_path("nets/c880.bench")
+    assert is_netlist_path("top.v")
+    assert is_netlist_path("design.VERILOG")
+    assert is_netlist_path("alu.sdl")
+    assert not is_netlist_path("c880")
+    assert not is_netlist_path("notes.txt")
+
+
+def test_load_netlist_dispatches_on_suffix(tmp_path):
+    bench = tmp_path / "tiny.bench"
+    bench.write_text("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n")
+    verilog = tmp_path / "tiny.v"
+    verilog.write_text(
+        "module tinyv (a, y);\ninput a;\noutput y;\n"
+        "not (y, a);\nendmodule\n"
+    )
+    assert load_netlist(bench).name == "tiny"
+    assert load_netlist(verilog).name == "tinyv"
+    with pytest.raises(Exception, match="unknown netlist format"):
+        load_netlist(tmp_path / "tiny.xyz")

@@ -1,0 +1,149 @@
+"""Structural-Verilog reader: the gate-level benchmark subset."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.io import load_verilog, parse_verilog, read_verilog
+from repro.circuit.types import GateType
+from repro.errors import ParseError
+from repro.logicsim import PatternSet, simulate
+
+C17_V = """
+// ISCAS-85 c17 in its Verilog translation shape.
+module c17 (N1, N2, N3, N6, N7, N22, N23);
+  input N1, N2, N3, N6, N7;
+  output N22, N23;
+  wire N10, N11, N16, N19;
+  nand g1 (N10, N1, N3);
+  nand (N11, N3, N6);            /* instance names are optional */
+  nand g3 (N16, N2, N11), g4 (N19, N11, N7);
+  nand g5 (N22, N10, N16);
+  nand g6 (N23, N16, N19);
+endmodule
+"""
+
+
+def test_parse_c17_shape():
+    circuit = parse_verilog(C17_V)
+    assert circuit.name == "c17"
+    assert circuit.inputs == ("N1", "N2", "N3", "N6", "N7")
+    assert circuit.outputs == ("N22", "N23")
+    assert circuit.n_gates == 6
+    assert all(g.gtype is GateType.NAND for g in circuit.gates.values())
+
+
+def test_matches_bench_c17_functionally():
+    from repro.circuits.generators import c17
+
+    verilog = parse_verilog(C17_V)
+    reference = c17()
+    # Different node alphabets (Nxx vs Gxx) but identical positional
+    # structure: exhaustive patterns assign bit i of the word to input i,
+    # so comparing outputs by position compares the functions.
+    got = simulate(verilog, PatternSet.exhaustive(verilog.inputs))
+    want = simulate(reference, PatternSet.exhaustive(reference.inputs))
+    for mine, theirs in zip(verilog.outputs, reference.outputs):
+        assert got[mine] == want[theirs]
+
+
+def test_explicit_name_overrides_module_header():
+    assert parse_verilog(C17_V, name="renamed").name == "renamed"
+
+
+def test_vector_declarations_expand():
+    circuit = parse_verilog(
+        "module vec (a, y);\n"
+        "input [1:0] a;\noutput [0:1] y;\n"
+        "not (y[0], a[1]);\nbuf (y[1], a[0]);\nendmodule\n"
+    )
+    assert circuit.inputs == ("a[1]", "a[0]")
+    assert circuit.outputs == ("y[0]", "y[1]")
+
+
+def test_assign_forms():
+    circuit = parse_verilog(
+        "module m (a, w, x, y, z);\n"
+        "input a;\noutput w, x, y, z;\n"
+        "assign w = a;\nassign x = ~a;\n"
+        "assign y = 1'b1;\nassign z = 1'b0;\nendmodule\n"
+    )
+    assert circuit.gate("w").gtype is GateType.BUF
+    assert circuit.gate("x").gtype is GateType.NOT
+    assert circuit.gate("y").gtype is GateType.CONST1
+    assert circuit.gate("z").gtype is GateType.CONST0
+
+
+def test_dff_cut_like_bench():
+    circuit, info = read_verilog(
+        "module seq (d, q);\n"
+        "input d;\noutput q;\nwire n;\n"
+        "and (n, d, q1);\n"
+        "dff r1 (q1, n);\n"
+        "buf (q, q1);\nendmodule\n"
+    )
+    assert info.flipflops == (("q1", "n"),)
+    assert "q1" in circuit.inputs
+    assert "n" in circuit.outputs
+
+
+def test_identifiers_are_case_sensitive():
+    # Per the standard: 'A' and 'a' are distinct nets, so referencing
+    # the wrong case is an undeclared-source error, not a silent merge.
+    with pytest.raises(ParseError, match="'A'"):
+        parse_verilog(
+            "module m (a, y);\ninput a;\noutput y;\n"
+            "not (y, A);\nendmodule\n"
+        )
+
+
+def test_double_driven_net_rejected():
+    with pytest.raises(ParseError, match="driven twice"):
+        parse_verilog(
+            "module m (a, y);\ninput a;\noutput y;\n"
+            "not (y, a);\nbuf (y, a);\nendmodule\n"
+        )
+
+
+def test_missing_endmodule_rejected():
+    with pytest.raises(ParseError, match="endmodule"):
+        parse_verilog("module m (a, y);\ninput a;\noutput y;\nbuf (y, a);\n")
+
+
+def test_statement_after_endmodule_rejected():
+    with pytest.raises(ParseError, match="after endmodule"):
+        parse_verilog(
+            "module m (a, y);\ninput a;\noutput y;\nbuf (y, a);\n"
+            "endmodule\nwire z;\n"
+        )
+
+
+def test_missing_module_header_rejected():
+    with pytest.raises(ParseError, match="module header"):
+        parse_verilog("input a;\noutput y;\nbuf (y, a);\nendmodule\n")
+
+
+def test_errors_carry_line_numbers():
+    with pytest.raises(ParseError, match="line 4"):
+        parse_verilog(
+            "module m (a, y);\ninput a;\noutput y;\n"
+            "frobnicate (y, a);\nendmodule\n"
+        )
+
+
+def test_block_comment_preserves_line_numbers():
+    with pytest.raises(ParseError, match="line 6"):
+        parse_verilog(
+            "module m (a, y);\n/* a\nblock\ncomment */\ninput a;\n"
+            "garbage here\n"
+        )
+
+
+def test_load_verilog_uses_module_name(tmp_path):
+    path = tmp_path / "anything.v"
+    path.write_text(
+        "module actual (a, y);\ninput a;\noutput y;\n"
+        "not (y, a);\nendmodule\n"
+    )
+    assert load_verilog(path).name == "actual"
+    assert load_verilog(path, name="forced").name == "forced"

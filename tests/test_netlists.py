@@ -1,21 +1,46 @@
-"""Vendored ISCAS-85-class netlists: shape, registration, analyzability."""
+"""Vendored ISCAS-class netlists: shape, registration, analyzability."""
 
 from __future__ import annotations
+
+from importlib import resources
 
 import pytest
 
 from repro.api.engine import AnalysisEngine
+from repro.circuit.io import read_bench
 from repro.circuit.netlist import Circuit
+from repro.circuit.writer import format_bench
 from repro.circuits.library import NETLIST_NAMES, build, names
 from repro.logicsim.patterns import PatternSet
 from repro.logicsim.simulator import simulate
 
-#: Published primary input/output counts the reconstructions must match.
+#: Input/output counts the reconstructions must match after loading.  For
+#: the combinational c-series these are the published ISCAS-85 PI/PO
+#: counts; for the sequential s-series they are the post-cut counts
+#: (published PI/PO plus one pseudo-PI and pseudo-PO per flip-flop).
 EXPECTED_IO = {
     "c432": (36, 7),
+    "c499": (41, 32),
     "c880": (60, 26),
     "c1355": (41, 32),
+    "c1908": (33, 25),
+    "c2670": (233, 140),
+    "c3540": (50, 22),
+    "c5315": (178, 123),
+    "c6288": (32, 32),
+    "c7552": (207, 108),
+    "s1196": (32, 32),
+    "s15850": (611, 684),
 }
+
+#: Flip-flop counts for the sequential reconstructions.
+EXPECTED_DFFS = {"s1196": 18, "s15850": 534}
+
+
+def _netlist_text(name):
+    return (
+        resources.files("repro.circuits") / "netlists" / f"{name}.bench"
+    ).read_text(encoding="utf-8")
 
 
 def test_registered_in_library():
@@ -70,3 +95,32 @@ def test_c432_analyzable():
     report = AnalysisEngine(build("c432"), "fast").analyze()
     assert report.n_faults > 500
     assert 0.0 <= report.min_detection <= report.median_detection <= 1.0
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_DFFS))
+def test_sequential_netlists_are_cut(name):
+    circuit, info = read_bench(_netlist_text(name), name=name)
+    assert len(info.flipflops) == EXPECTED_DFFS[name]
+    assert len(info.pseudo_inputs) == EXPECTED_DFFS[name]
+    assert len(info.pseudo_outputs) == EXPECTED_DFFS[name]
+    # Every flip-flop Q becomes a pseudo-PI, every D a pseudo-PO.
+    for q, d in info.flipflops:
+        assert circuit.is_input(q)
+        assert d in circuit.outputs
+
+
+def test_s15850_exceeds_ten_thousand_gates():
+    # The corpus must contain a 10k+-gate stress circuit for the large-
+    # circuit benchmark track (ROADMAP: scale past mul24).
+    assert build("s15850").n_gates >= 10_000
+
+
+@pytest.mark.parametrize("name", NETLIST_NAMES)
+def test_round_trip_through_writer(name):
+    circuit, info = read_bench(_netlist_text(name), name=name)
+    text = format_bench(circuit, info.flipflops)
+    again, info2 = read_bench(text, name=name)
+    assert again.inputs == circuit.inputs
+    assert again.outputs == circuit.outputs
+    assert info2.flipflops == info.flipflops
+    assert again.structural_hash() == circuit.structural_hash()

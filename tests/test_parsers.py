@@ -54,9 +54,17 @@ def test_parse_bench_errors_carry_line_numbers():
         parse_bench("INPUT(a)\nthis is garbage\n")
 
 
-def test_parse_bench_rejects_dff():
+def test_parse_bench_cuts_dff_by_default():
+    circuit = parse_bench("INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n")
+    assert "q" in circuit.inputs      # state output -> pseudo-PI
+    assert "a" in circuit.outputs     # data node -> pseudo-PO
+
+
+def test_parse_bench_rejects_dff_in_reject_mode():
     with pytest.raises(ParseError, match="DFF"):
-        parse_bench("INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n")
+        parse_bench(
+            "INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n", sequential="reject"
+        )
 
 
 def test_parse_bench_rejects_unknown_gate():

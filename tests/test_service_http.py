@@ -164,3 +164,17 @@ def test_request_validation(service):
     assert code == 404
     code, body = request(base, "DELETE", "/jobs/j424242")
     assert code == 404
+
+
+def test_verilog_upload_roundtrip(service):
+    base, _ = service
+    verilog = (
+        "module tiny (a, b, y);\ninput a, b;\noutput y;\n"
+        "and (y, a, b);\nendmodule\n"
+    )
+    code, sub = request(base, "POST", "/jobs",
+                        {"verilog": verilog, "config": "fast"})
+    assert code == 201
+    code, final = poll_result(base, sub["id"])
+    assert code == 200
+    assert final["result"]["n_faults"] > 0

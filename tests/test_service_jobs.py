@@ -202,3 +202,38 @@ def test_shutdown_cancels_queued_jobs():
     assert blocker.state in ("done", "cancelled")
     with pytest.raises(ServiceError):
         mgr.submit(circuit="c17")
+
+
+def test_verilog_upload_job(manager):
+    verilog = (
+        "module tiny (a, b, y);\ninput a, b;\noutput y;\n"
+        "nand (y, a, b);\nendmodule\n"
+    )
+    job = manager.wait(
+        manager.submit(verilog=verilog, config="fast").id, timeout=60
+    )
+    assert job.state == "done", job.error
+    assert job.result["n_faults"] > 0
+
+
+def test_bad_verilog_fails_with_parse_error(manager):
+    job = manager.wait(
+        manager.submit(verilog="module m (a);\ninput a;\nfrob (a);\n").id,
+        timeout=60,
+    )
+    assert job.state == "failed"
+    assert job.error["type"] == "ParseError"
+    assert "line 3" in job.error["message"]
+
+
+def test_verilog_exclusive_with_other_sources():
+    mgr = JobManager(workers=1)
+    try:
+        with pytest.raises(ServiceError):
+            mgr.submit(circuit="c17", verilog="module m; endmodule")
+        with pytest.raises(ServiceError):
+            mgr.submit(bench="INPUT(a)", verilog="module m; endmodule")
+        with pytest.raises(ServiceError):
+            mgr.submit(verilog=123)
+    finally:
+        mgr.shutdown(wait=False)
