@@ -173,6 +173,20 @@ def main(argv=None):
         "backends": backends,
         "circuits": results,
     }
+    from common import append_history
+
+    prefix = "smoke." if args.smoke else ""
+    for name, entry in results.items():
+        fsim = entry["fault_sim"]
+        for backend in backends:
+            append_history(
+                "bench_backends", f"{prefix}faultsim.{name}.{backend}",
+                fsim[backend]["warm_faults_x_patterns_per_s"],
+                "faults_x_patterns_per_s",
+                extra={"n_patterns": fsim["n_patterns"],
+                       "n_faults": fsim["n_faults"],
+                       "cold": fsim[backend]["cold_faults_x_patterns_per_s"]},
+            )
     if has_numpy:
         fsim = results[ACCEPTANCE_CIRCUIT]["fault_sim"]
         gain = (

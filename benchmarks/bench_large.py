@@ -73,6 +73,7 @@ def measure(name: str) -> dict:
         "n_inputs": len(circuit.inputs),
         "n_outputs": len(circuit.outputs),
         "n_faults": report.n_faults,
+        "backend": engine.backend_name,
         "build_s": build_s,
         "compile_s": compile_s,
         "analyze_s": analyze_s,
@@ -139,6 +140,8 @@ def main(argv=None) -> int:
     if args.smoke:
         return smoke()
 
+    from common import append_history
+
     results = {}
     for name in LARGE_CIRCUITS:
         entry = measure_in_subprocess(name)
@@ -148,8 +151,24 @@ def main(argv=None) -> int:
             f"faults: build {entry['build_s']:.2f}s, "
             f"compile {entry['compile_s']:.2f}s, "
             f"analyze {entry['analyze_s']:.2f}s, "
-            f"peak RSS {entry['peak_rss_bytes'] / 1e6:.1f} MB",
+            f"peak RSS {entry['peak_rss_bytes'] / 1e6:.1f} MB "
+            f"({entry['backend']})",
             flush=True,
+        )
+        # Per-circuit history rows: analyze throughput plus a peak-RSS
+        # series carrying the backend that produced it — the subprocess
+        # isolation makes the RSS per circuit, so the rows are directly
+        # comparable run to run.
+        append_history(
+            "bench_large", f"analyze.{name}",
+            entry["gates_per_analyze_s"], "gates_per_s",
+            extra={"backend": entry["backend"],
+                   "n_gates": entry["n_gates"]},
+        )
+        append_history(
+            "bench_large", f"rss.{name}.{entry['backend']}",
+            entry["peak_rss_bytes"], "bytes", kind="rss",
+            extra={"n_gates": entry["n_gates"]},
         )
 
     largest = max(results, key=lambda n: results[n]["n_gates"])

@@ -41,6 +41,8 @@ import time
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(ROOT / "src"))
 
+from common import append_history  # noqa: E402
+
 from repro.api import AnalysisEngine  # noqa: E402
 from repro.circuits.library import build  # noqa: E402
 from repro.faults.simulator import FaultSimulator  # noqa: E402
@@ -172,6 +174,9 @@ def bench_analyze(name):
 
 
 def run(circuits, sim_patterns, fsim_patterns, repeats, mode):
+    # Smoke series never mix into the full-run baselines: the workloads
+    # differ, so they live under their own prefix in the history.
+    prefix = "" if mode == "full" else "smoke."
     results = {}
     for name in circuits:
         circuit = build(name)
@@ -186,6 +191,15 @@ def run(circuits, sim_patterns, fsim_patterns, repeats, mode):
             f"  fault sim  : {fsim['kernel_faults_x_patterns_per_s']:.3e} "
             f"f*p/s (x{fsim['speedup']:.1f} vs legacy)", flush=True,
         )
+        for backend in ("kernel", "legacy", "numpy"):
+            value = fsim.get(f"{backend}_faults_x_patterns_per_s")
+            if value is not None:
+                append_history(
+                    "bench_perf", f"{prefix}faultsim.{name}.{backend}",
+                    value, "faults_x_patterns_per_s",
+                    extra={"n_patterns": fsim_patterns,
+                           "n_faults": fsim["n_faults"]},
+                )
         analyze = bench_analyze(name)
         print(
             f"  analyze    : {analyze['kernel_s']:.2f}s "
@@ -209,6 +223,11 @@ def run(circuits, sim_patterns, fsim_patterns, repeats, mode):
         f"{telemetry['enabled_faults_x_patterns_per_s']:.3e} f*p/s on, "
         f"{telemetry['disabled_faults_x_patterns_per_s']:.3e} f*p/s off "
         f"({telemetry['overhead_pct']:+.2f}% overhead)", flush=True,
+    )
+    append_history(
+        "bench_perf", f"{prefix}telemetry.overhead_pct",
+        telemetry["overhead_pct"], "pct", kind="overhead_pct",
+        extra={"circuit": largest},
     )
     return {
         "bench": "bench_perf",

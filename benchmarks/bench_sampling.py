@@ -161,6 +161,18 @@ def main(argv=None):
         )
     results = run(circuits)
 
+    from common import append_history
+
+    prefix = "smoke." if args.smoke else ""
+    for name, entry in results.items():
+        append_history(
+            "bench_sampling",
+            f"{prefix}sampling.{name}.{entry['backend']}",
+            entry["faults_x_patterns_per_s"], "faults_x_patterns_per_s",
+            extra={"n_patterns": entry["n_patterns"],
+                   "n_faults": entry["n_faults"]},
+        )
+
     flagged = {n: r["cross_validation"]["n_flagged"]
                for n, r in results.items()
                if r["cross_validation"]["n_flagged"]}

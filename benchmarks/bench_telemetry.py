@@ -31,6 +31,7 @@ import pathlib
 import platform
 import sys
 import tempfile
+import time
 import urllib.request
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
@@ -163,6 +164,55 @@ def validate_logs(proc):
     return {"log_records": records}
 
 
+def validate_profile(base, trace_dir):
+    """Submit a profiled job; assert the profile contract end to end.
+
+    The job status must carry a phase table whose self times are
+    internally consistent, ``profile-<job>.json`` must land next to the
+    trace, and the collapsed stacks are exported under
+    ``benchmarks/results/`` for CI artifact upload.
+    """
+    # A distinct seed so the profiled job misses the artifact cache: a
+    # cache hit deliberately carries no profile (nothing executed).
+    config = {**SAMPLED_CONFIG, "seed": SAMPLED_CONFIG.get("seed", 0) + 1}
+    payload = {"circuit": SMOKE_CIRCUIT, "config": config, "profile": True}
+    latency_s, job_id, body = submit_and_wait(base, payload)
+    assert body["state"] == "done", body
+    assert body["from_cache"] is False, body
+    # The slim /result body omits the profile; the full status carries it.
+    code, status = request(base, "GET", f"/jobs/{job_id}")
+    assert code == 200, (code, status)
+    profile = status.get("profile")
+    assert profile and profile["phases"], status
+    assert profile["self_total_s"] <= profile["wall_s"] * 1.10 + 1e-6, profile
+    assert profile["memory"]["peak_rss_bytes"] > 0, profile["memory"]
+    assert any(
+        row["path"].startswith("engine.sampling") for row in profile["phases"]
+    ), [row["path"] for row in profile["phases"]]
+    # The export races the status poll by one scheduler beat at most.
+    path = pathlib.Path(trace_dir) / f"profile-{job_id}.json"
+    deadline = time.monotonic() + 5.0
+    while not path.is_file() and time.monotonic() < deadline:
+        time.sleep(0.05)
+    assert path.is_file(), f"missing {path}"
+    exported = json.loads(path.read_text(encoding="utf-8"))
+    assert exported["phases"], exported
+    # Resubmitting hits the artifact cache: no engine ran, no profile.
+    _, cached_id, cached = submit_and_wait(base, payload)
+    assert cached["from_cache"] is True, cached
+    _, cached_status = request(base, "GET", f"/jobs/{cached_id}")
+    assert cached_status.get("profile") is None, cached_status["profile"]
+    flame = ROOT / "benchmarks" / "results" / "bench_telemetry_flame.txt"
+    flame.parent.mkdir(parents=True, exist_ok=True)
+    flame.write_text("\n".join(profile["collapsed"]) + "\n", encoding="utf-8")
+    return {
+        "profiled_submit_to_result_s": latency_s,
+        "profile_phases": len(profile["phases"]),
+        "profile_wall_s": profile["wall_s"],
+        "flamegraph": str(flame.relative_to(ROOT)),
+    }
+
+
 def run_smoke():
     trace_dir = tempfile.mkdtemp(prefix="protest-traces-")
     proc, base = spawn_server(
@@ -185,10 +235,13 @@ def run_smoke():
         assert "protest_jobs_submitted_total" in stats["telemetry"], (
             sorted(stats["telemetry"])
         )
+        assert stats["memory"]["peak_rss_bytes"] > 0, stats["memory"]
+        profile = validate_profile(base, trace_dir)
         print(
             f"[{SMOKE_CIRCUIT}] {exposition['families']} families / "
             f"{exposition['samples']} samples on /metrics, "
-            f"{trace['spans']} spans in trace-{job_id}.json", flush=True,
+            f"{trace['spans']} spans in trace-{job_id}.json, "
+            f"{profile['profile_phases']} profile phases", flush=True,
         )
     except BaseException:
         proc.kill()
@@ -197,6 +250,12 @@ def run_smoke():
     stop_server(proc)
     logs = validate_logs(proc)
     print(f"{logs['log_records']} structured log lines", flush=True)
+    from common import append_history
+
+    append_history(
+        "bench_telemetry", "smoke.submit_to_result_s",
+        latency_s, "s", kind="latency", extra={"circuit": SMOKE_CIRCUIT},
+    )
     return {
         "python": platform.python_version(),
         "circuit": SMOKE_CIRCUIT,
@@ -204,6 +263,7 @@ def run_smoke():
         **exposition,
         **trace,
         **logs,
+        **profile,
     }
 
 

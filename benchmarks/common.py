@@ -9,12 +9,22 @@ the whole bench suite finishes in minutes.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
 import pathlib
+import platform
+import subprocess
 import time
-from typing import Callable, Dict, List, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+#: Append-only JSONL perf history, one file per bench runner.  Every
+#: entry is fingerprinted by machine and stamped with the git sha, so
+#: ``bench_compare.py`` can build a rolling same-machine baseline and
+#: gate regressions against it.
+HISTORY_DIR = pathlib.Path(__file__).resolve().parent / "history"
 
 #: Paper-scale workloads when set (REPRO_FULL=1).
 FULL = os.environ.get("REPRO_FULL", "") == "1"
@@ -54,6 +64,101 @@ def timed(fn: Callable[[], object]) -> "tuple[object, float]":
     start = time.perf_counter()
     value = fn()
     return value, time.perf_counter() - start
+
+
+# --- Perf history (benchmarks/history/*.jsonl) --------------------------------
+
+
+def machine_fingerprint() -> str:
+    """A short stable id of this machine's perf-relevant shape.
+
+    Baselines only make sense against runs from a comparable machine;
+    the fingerprint keys entries by architecture, CPU model string,
+    core count and python minor version.
+    """
+    raw = "|".join([
+        platform.machine(),
+        platform.processor(),
+        str(os.cpu_count() or 0),
+        f"py{'.'.join(platform.python_version_tuple()[:2])}",
+    ])
+    return hashlib.sha256(raw.encode("utf-8")).hexdigest()[:12]
+
+
+def git_sha() -> str:
+    """The current commit sha, or ``"unknown"`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short=12", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=pathlib.Path(__file__).resolve().parent,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def append_history(
+    bench: str,
+    series: str,
+    value: float,
+    unit: str,
+    kind: str = "throughput",
+    extra: "Optional[Dict[str, Any]]" = None,
+    history_dir: "Optional[pathlib.Path]" = None,
+) -> Dict[str, Any]:
+    """Append one measurement to ``benchmarks/history/<bench>.jsonl``.
+
+    ``kind`` tells the regression gate which direction is bad:
+    ``"throughput"`` (higher is better), ``"rss"`` (lower is better) or
+    ``"overhead_pct"`` (lower is better).  Returns the entry written.
+    """
+    directory = pathlib.Path(history_dir) if history_dir else HISTORY_DIR
+    directory.mkdir(parents=True, exist_ok=True)
+    entry: Dict[str, Any] = {
+        "bench": bench,
+        "series": series,
+        "value": float(value),
+        "unit": unit,
+        "kind": kind,
+        "fingerprint": machine_fingerprint(),
+        "git_sha": git_sha(),
+        "timestamp": time.time(),
+        "full": FULL,
+    }
+    if extra:
+        entry["extra"] = dict(extra)
+    path = directory / f"{bench}.jsonl"
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entry
+
+
+def load_history(
+    history_dir: "Optional[pathlib.Path]" = None,
+) -> List[Dict[str, Any]]:
+    """Every parseable history entry, oldest first per file.
+
+    Unparseable lines are skipped (the file is append-only across
+    versions; one corrupt line must not invalidate the baseline).
+    """
+    directory = pathlib.Path(history_dir) if history_dir else HISTORY_DIR
+    entries: List[Dict[str, Any]] = []
+    if not directory.is_dir():
+        return entries
+    for path in sorted(directory.glob("*.jsonl")):
+        for line in path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(entry, dict) and "series" in entry:
+                entries.append(entry)
+    return entries
 
 
 # --- Paper values (for side-by-side reporting) --------------------------------

@@ -18,6 +18,7 @@ hit/miss counters the tests assert on.
 
 from __future__ import annotations
 
+import contextlib
 import threading
 import time
 from typing import (
@@ -66,6 +67,11 @@ from repro.sampling.montecarlo import (
     SignalSample,
 )
 from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.profiling import (
+    PhaseProfiler,
+    active_profiler,
+    peak_rss_bytes,
+)
 from repro.telemetry.tracing import span
 from repro.testlen.length import expected_coverage as _expected_coverage
 from repro.testlen.length import required_test_length
@@ -126,6 +132,18 @@ class AnalysisEngine:
         numpy is importable).  ``False`` selects the legacy interpreters
         throughout — the numerically identical parity reference the
         perf bench measures against.
+    registry:
+        Optional shared :class:`~repro.telemetry.metrics.MetricsRegistry`
+        for the stage counters (the service's job manager passes its
+        own); defaults to a private per-engine registry.
+    profile:
+        When true, attach a
+        :class:`~repro.telemetry.profiling.PhaseProfiler` that every
+        computed stage activates — stage spans, backend word calls,
+        estimator sub-phases and kernel level/opcode bins aggregate
+        into :meth:`profile_report`.  Subject to the telemetry
+        kill-switch (``PROTEST_TELEMETRY=0`` keeps the hot paths on
+        their unprofiled no-op branch).
 
     Thread safety
     -------------
@@ -146,6 +164,7 @@ class AnalysisEngine:
         faults: "Iterable[Fault] | None" = None,
         use_kernel: bool = True,
         registry: "MetricsRegistry | None" = None,
+        profile: bool = False,
     ) -> None:
         if isinstance(circuit, str):
             from repro.circuit.io import is_netlist_path, load_netlist
@@ -202,6 +221,27 @@ class AnalysisEngine:
             "protest_engine_stage_seconds",
             "Wall-clock seconds per computed (non-cached) engine stage",
             ("stage",),
+        )
+        self._stage_rss = self.metrics.gauge(
+            "protest_stage_peak_rss_bytes",
+            "Process peak RSS observed right after each computed stage",
+            ("stage",),
+        )
+        self._cone_elems = self.metrics.gauge(
+            "protest_cone_cache_resident_elems",
+            "Elements resident across the kernel's cone caches "
+            "(bounded by cone_cache_budget)",
+        )
+        self._cone_evictions = self.metrics.gauge(
+            "protest_cone_cache_evictions",
+            "Cone slices evicted from the kernel's bounded cone caches",
+        )
+        # Opt-in phase profiler (see repro.telemetry.profiling): every
+        # computed stage activates it, so stage spans, backend word
+        # calls, estimator sub-phases and kernel level/opcode bins all
+        # aggregate here.  ``profile_report()`` renders the payload.
+        self.profiler: "PhaseProfiler | None" = (
+            PhaseProfiler() if profile else None
         )
 
     # -- lazily built structure ---------------------------------------------------
@@ -314,6 +354,64 @@ class AnalysisEngine:
     def _stage_run(self, stage: str, seconds: float) -> None:
         self._stage_events.labels(stage=stage, event="run").inc()
         self._stage_seconds.labels(stage=stage).observe(seconds)
+        # Memory accounting per computed stage: the process peak RSS
+        # high-water mark and the kernel cone-cache occupancy, both as
+        # gauges so /metrics and /stats track them between scrapes.
+        rss = peak_rss_bytes()
+        if rss:
+            self._stage_rss.labels(stage=stage).set(rss)
+        # An engine-owned profiler or one activated by the caller (the
+        # CLI's --profile) both collect the memory section.
+        profiler = self.profiler or active_profiler()
+        cone = None
+        if self.use_kernel:
+            cone = self.cone_cache_info()
+            self._cone_elems.set(cone["resident_elems"])
+            self._cone_evictions.set(cone["evictions"])
+        if profiler is not None:
+            if rss:
+                profiler.record_memory(f"peak_rss_bytes.{stage}", rss)
+            if cone is not None:
+                profiler.record_memory("cone_cache", cone)
+
+    def cone_cache_info(self) -> Dict[str, int]:
+        """Kernel cone-cache counters, summed across the circuit's live
+        compiled artifacts (the analytic and word-backend compiles are
+        distinct artifacts with distinct caches)."""
+        from repro.kernel import compiled_artifacts
+
+        totals = {"hits": 0, "misses": 0, "evictions": 0,
+                  "resident_elems": 0, "resident_slices": 0,
+                  "budget_elems": CompiledCircuit.cone_cache_budget}
+        for artifact in compiled_artifacts(self.circuit):
+            info = artifact.cache_info()
+            for key in ("hits", "misses", "evictions", "resident_elems",
+                        "resident_slices"):
+                totals[key] += info[key]
+        return totals
+
+    @contextlib.contextmanager
+    def _profiled(self):
+        """Activate the engine's profiler (no-op without ``profile=True``)."""
+        if self.profiler is None:
+            yield
+            return
+        with self.profiler.activate():
+            yield
+
+    def profile_report(self) -> "Dict[str, object] | None":
+        """The phase-profile payload, or ``None`` off ``profile=True``.
+
+        Includes the self/cumulative phase table, collapsed-stack
+        (flamegraph) lines, and the memory section (per-stage peak RSS,
+        cone-cache occupancy).  Stages served from the engine's caches
+        contribute nothing — the profile shows computed work only.
+        """
+        if self.profiler is None:
+            return None
+        if self.use_kernel:
+            self.profiler.record_memory("cone_cache", self.cone_cache_info())
+        return self.profiler.to_payload()
 
     def cache_info(self) -> Dict[str, object]:
         """Per-stage run/hit counters, cache sizes and the active backend.
@@ -332,6 +430,9 @@ class AnalysisEngine:
         with self._lock:
             info["cached_input_tuples"] = len(self._signal_cache)
         info["backend"] = self.backend_name
+        info["peak_rss_bytes"] = peak_rss_bytes()
+        if self.use_kernel:
+            info["cone_cache"] = self.cone_cache_info()
         return info
 
     def clear_cache(self) -> None:
@@ -357,7 +458,9 @@ class AnalysisEngine:
                 self._stage_hit("signal")
                 return cached, 0.0, True
             probs = dict(zip(self.circuit.inputs, key))
-            with span("engine.signal", circuit=self.circuit.name) as stage:
+            with self._profiled(), span(
+                "engine.signal", circuit=self.circuit.name
+            ) as stage:
                 result = self.detector.signal_estimator.run(probs)
             self._signal_cache[key] = result
             self._stage_run("signal", stage.duration)
@@ -378,7 +481,7 @@ class AnalysisEngine:
                 timings["observability"] = 0.0
                 cached.append("observability")
             else:
-                with span(
+                with self._profiled(), span(
                     "engine.observability", circuit=self.circuit.name
                 ) as stage:
                     obs = self.detector.observability_analyzer.run(signal)
@@ -395,7 +498,9 @@ class AnalysisEngine:
                 self._stage_hit("detection")
                 return cached_det, {"detection": 0.0}, ["detection"]
             signal, obs, timings, cached = self._stages_for(key)
-            with span("engine.detection", circuit=self.circuit.name) as stage:
+            with self._profiled(), span(
+                "engine.detection", circuit=self.circuit.name
+            ) as stage:
                 detection = self.detector.run_with(signal, obs, self.faults)
             timings["detection"] = stage.duration
             self._detection_cache[key] = detection
@@ -440,7 +545,9 @@ class AnalysisEngine:
                         {"sampling": time.perf_counter() - start},
                         [],
                     ))
-            with span("engine.sampling", circuit=self.circuit.name) as stage:
+            with self._profiled(), span(
+                "engine.sampling", circuit=self.circuit.name
+            ) as stage:
                 sample = self.sampler.sample_detection_probabilities(
                     probs, checkpoint=inner, state_hook=state_hook,
                     resume=resume,
@@ -665,9 +772,10 @@ class AnalysisEngine:
             topology=self._topology,
             backend=self._block_backend(block_size),
         )
-        return simulator.run(
-            patterns, block_size=block_size, drop_detected=drop_detected
-        )
+        with self._profiled():
+            return simulator.run(
+                patterns, block_size=block_size, drop_detected=drop_detected
+            )
 
     # -- reporting --------------------------------------------------------------------
 
@@ -794,7 +902,7 @@ class AnalysisEngine:
             cached = self._signal_sample_cache.get(key)
             if cached is None:
                 probs = dict(zip(self.circuit.inputs, key))
-                with span(
+                with self._profiled(), span(
                     "engine.signal_sampling", circuit=self.circuit.name
                 ) as stage:
                     cached = self.sampler.sample_signal_probabilities(probs)
@@ -919,7 +1027,7 @@ class AnalysisEngine:
                 self._stage_hit("detection")
                 return cached_det, {"detection": 0.0}, ["detection"]
             signal, obs, timings, cached = self._stages_for(key)
-            with span(
+            with self._profiled(), span(
                 "engine.detection", circuit=self.circuit.name, subset=True
             ) as stage:
                 detection = self.detector.run_with(

@@ -43,10 +43,32 @@ from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
 from repro.backends.base import EvalBackend
 from repro.circuit.types import GateType
 from repro.errors import BackendError
+from repro.telemetry.metrics import REGISTRY
 
 __all__ = ["NumpyBackend"]
 
 _UNSET = object()
+
+# Word-matrix footprint accounting: every uint64 matrix this backend
+# allocates is counted by kind — "good" (the full-circuit value matrix
+# + mask/scratch rows), "cone" (shared fault register files), "det"
+# (detection accumulators) — so /metrics shows where the resident
+# memory of a numpy run comes from.
+_MATRIX_BYTES = REGISTRY.counter(
+    "protest_numpy_matrix_bytes_total",
+    "Bytes of uint64 word matrices allocated by the numpy backend",
+    ("kind",),
+)
+_MATRIX_ALLOCS = REGISTRY.counter(
+    "protest_numpy_matrix_allocs_total",
+    "Word-matrix allocations by the numpy backend",
+    ("kind",),
+)
+
+
+def _account_matrices(kind: str, *arrays) -> None:
+    _MATRIX_BYTES.labels(kind=kind).inc(sum(a.nbytes for a in arrays))
+    _MATRIX_ALLOCS.labels(kind=kind).inc()
 
 # Symbolic operand references used by the per-node step programs.
 _OUT = ("o",)        # the entry's output row
@@ -173,6 +195,7 @@ class _BlockState:
         self.mask_row = np.zeros(max(Wn, 1), dtype=np.uint64)
         self._tmp_rows = np.zeros((2, max(Wn, 1)), dtype=np.uint64)
         self._ufuncs = (np.bitwise_and, np.bitwise_or, np.bitwise_xor)
+        _account_matrices("good", self.good, self.mask_row, self._tmp_rows)
         self.good_prog = self._bind_good(compiled)
         # Fault-path state, built lazily per site.
         self.site_plans: Dict[int, tuple] = {}
@@ -265,6 +288,7 @@ class _BlockState:
             matrix = self.np.empty(
                 (bucket, lanes, max(self.Wn, 1)), dtype=self.np.uint64
             )
+            _account_matrices("cone", matrix)
             cached = (matrix, list(matrix))
             self._buffers[key] = cached
         return cached
@@ -276,6 +300,7 @@ class _BlockState:
             shape = (lanes, max(self.Wn, 1))
             cached = (np.zeros(shape, dtype=np.uint64),
                       np.empty(shape, dtype=np.uint64))
+            _account_matrices("det", *cached)
             self._det[lanes] = cached
         return cached
 

@@ -34,6 +34,7 @@ structured JSON logs and ``--trace-dir`` for per-job trace files.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
 from typing import Dict, List
@@ -54,6 +55,7 @@ from repro.report.tables import ascii_table, format_count
 from repro.sampling.intervals import INTERVAL_METHODS
 from repro.sampling.montecarlo import SamplingPlan
 from repro.telemetry.logs import LOG_LEVELS
+from repro.telemetry.profiling import PhaseProfiler
 from repro.telemetry.tracing import export_chrome_trace, span
 
 #: Defaults quoted in the ``sample`` subcommand's help text.
@@ -133,6 +135,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="write a Chrome/Perfetto trace-event JSON of "
                              "this command's spans (open in about:tracing "
                              "or ui.perfetto.dev)")
+    parser.add_argument("--profile", default=None, metavar="PATH",
+                        help="write a phase-profile JSON: self/cumulative "
+                             "times per stage, kernel level and opcode "
+                             "class, backend word calls, and estimator "
+                             "stages, plus collapsed flamegraph stacks and "
+                             "a memory section")
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -503,17 +511,28 @@ def main(argv: "List[str] | None" = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     trace_path = getattr(args, "trace", None)
+    profile_path = getattr(args, "profile", None)
+    profiler = PhaseProfiler() if profile_path is not None else None
     try:
-        with span(f"cli.{args.command}", command=args.command) as root:
-            status = args.func(args)
-            root.set("status", status)
+        with _activated(profiler):
+            with span(f"cli.{args.command}", command=args.command) as root:
+                status = args.func(args)
+                root.set("status", status)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
     if trace_path is not None:
         export_chrome_trace(trace_path, trace_id=root.trace_id)
         print(f"trace written to {trace_path}", file=sys.stderr)
+    if profiler is not None:
+        with open(profile_path, "w", encoding="utf-8") as handle:
+            json.dump(profiler.to_payload(), handle, indent=2, sort_keys=True)
+        print(f"profile written to {profile_path}", file=sys.stderr)
     return status
+
+
+def _activated(profiler: "PhaseProfiler | None"):
+    return contextlib.nullcontext() if profiler is None else profiler.activate()
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -40,6 +40,7 @@ from repro.kernel import compile_circuit
 from repro.logicsim.patterns import PatternSet
 from repro.logicsim.simulator import simulate
 from repro.telemetry.metrics import REGISTRY
+from repro.telemetry.profiling import phase_if_active
 from repro.telemetry.tracing import span
 
 __all__ = ["FaultSimulator", "FaultSimResult", "FaultRecord"]
@@ -59,6 +60,8 @@ _SIM_SECONDS = REGISTRY.counter(
     "Wall-clock seconds spent in fault simulation per backend",
     ("backend",),
 )
+
+
 
 
 @dataclasses.dataclass
@@ -269,7 +272,7 @@ class FaultSimulator:
                             backend=backend_name,
                             faults=len(alive),
                             patterns=block.n_patterns,
-                        ):
+                        ), phase_if_active(backend_name):
                             detect_words = self._backend.fault_sim_words(
                                 self._compiled, self._scratch, alive,
                                 block.words, mask, block.n_patterns,

@@ -8,7 +8,17 @@ and the estimator's ``ConditionalEvaluator``.  See
 :mod:`repro.kernel.compiled` for the compile-once contract.
 """
 
-from repro.kernel.compiled import CompiledCircuit, compile_circuit
+from repro.kernel.compiled import (
+    CompiledCircuit,
+    compile_circuit,
+    compiled_artifacts,
+)
 from repro.kernel.ops import OP_CODES, OP_INPUT
 
-__all__ = ["CompiledCircuit", "compile_circuit", "OP_CODES", "OP_INPUT"]
+__all__ = [
+    "CompiledCircuit",
+    "compile_circuit",
+    "compiled_artifacts",
+    "OP_CODES",
+    "OP_INPUT",
+]

@@ -31,13 +31,20 @@ from __future__ import annotations
 
 import weakref
 from array import array
+from time import perf_counter
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.circuit.netlist import Circuit
 from repro.circuit.types import PACKED_DISPATCH
 from repro.kernel.ops import OP_CODES, OP_INPUT, float_op, overlay_op, packed_op
+from repro.telemetry.profiling import active_profiler
 
-__all__ = ["CompiledCircuit", "compile_circuit"]
+__all__ = ["CompiledCircuit", "compile_circuit", "compiled_artifacts"]
+
+#: opcode int -> lower-case gate-class name (for profile attribution).
+_OPCODE_NAMES: Dict[int, str] = {
+    code: gtype.name.lower() for gtype, code in OP_CODES.items()
+}
 
 
 class CompiledCircuit:
@@ -137,8 +144,16 @@ class CompiledCircuit:
         self._cone_entry_cache: Dict[int, Tuple[tuple, ...]] = {}
         self._cone_cache_elems = 0
         self._cone_entry_elems = 0
+        # Cone-cache observability (plain ints: the cone paths are hot
+        # and must not touch telemetry objects).  Surfaced through
+        # :meth:`cache_info`, ``engine.cache_info()`` and /metrics.
+        self.cone_hits = 0
+        self.cone_misses = 0
+        self.cone_evictions = 0
         self._node_bit: Optional[List[int]] = None
         self._consumer_bits: Optional[List[int]] = None
+        self._levels: Optional[List[int]] = None
+        self._profile_keys: Optional[List[Tuple[str, str, str]]] = None
 
     # -- evaluation ---------------------------------------------------------------
 
@@ -160,6 +175,9 @@ class CompiledCircuit:
         for i in self.input_index:
             values[i] = words[names[i]] & mask
         if not overrides:
+            profiler = active_profiler()
+            if profiler is not None and profiler.kernel_detail:
+                return self._eval_packed_profiled(values, mask, profiler)
             for i, fn, args, table in self.plan:
                 values[i] = fn(values, args, mask, table)
             return values
@@ -172,6 +190,39 @@ class CompiledCircuit:
             if i in forced:
                 continue
             values[i] = entry[1](values, entry[2], mask, entry[3])
+        return values
+
+    def _eval_packed_profiled(
+        self, values: List[int], mask: int, profiler
+    ) -> List[int]:
+        """The plan-interpreter loop with per-entry attribution.
+
+        Chosen by :meth:`eval_packed_words` only while a profiler with
+        ``kernel_detail`` is active: two clock reads per gate, durations
+        binned by (level, opcode class) and merged into the profiler
+        under the current phase stack in one locked call.
+        """
+        keys = self._profile_keys
+        if keys is None:
+            levels = self.levels
+            keys = [
+                ("kernel", f"level{levels[i]:03d}",
+                 _OPCODE_NAMES.get(self.opcodes[i], "op?"))
+                for i, _fn, _args, _table in self.plan
+            ]
+            self._profile_keys = keys
+        bins: Dict[tuple, List[float]] = {}
+        for k, (i, fn, args, table) in enumerate(self.plan):
+            t0 = perf_counter()
+            values[i] = fn(values, args, mask, table)
+            dt = perf_counter() - t0
+            cell = bins.get(keys[k])
+            if cell is None:
+                bins[keys[k]] = [dt, 1]
+            else:
+                cell[0] += dt
+                cell[1] += 1
+        profiler.add_many(bins)
         return values
 
     def values_as_dict(self, values: Sequence[int]) -> Dict[str, int]:
@@ -200,7 +251,26 @@ class CompiledCircuit:
             if old_key == key:
                 break
             total -= len(cache.pop(old_key))
+            self.cone_evictions += 1
         setattr(self, counter, total)
+
+    def cache_info(self) -> Dict[str, int]:
+        """Cone-cache counters: occupancy and churn against the budget.
+
+        ``resident_elems`` is the total element count across both cone
+        caches — the quantity :attr:`cone_cache_budget` bounds;
+        ``evictions`` counts slices dropped (and later recomputed on
+        demand) once the budget was exceeded.
+        """
+        return {
+            "hits": self.cone_hits,
+            "misses": self.cone_misses,
+            "evictions": self.cone_evictions,
+            "resident_elems": self._cone_cache_elems + self._cone_entry_elems,
+            "resident_slices": len(self._cone_cache)
+            + len(self._cone_entry_cache),
+            "budget_elems": self.cone_cache_budget,
+        }
 
     def cone(self, idx: int) -> Tuple[int, ...]:
         """Gate indices in the transitive fan-out of node ``idx``.
@@ -211,7 +281,9 @@ class CompiledCircuit:
         """
         cached = self._cone_cache.get(idx)
         if cached is not None:
+            self.cone_hits += 1
             return cached
+        self.cone_misses += 1
         seen = set()
         stack = list(self.consumers[idx])
         while stack:
@@ -228,13 +300,32 @@ class CompiledCircuit:
         """Overlay plan entries of :meth:`cone`, ready to interpret."""
         cached = self._cone_entry_cache.get(idx)
         if cached is not None:
+            self.cone_hits += 1
             return cached
+        self.cone_misses += 1
         overlay = self.overlay_entry
         entries = tuple(overlay[i] for i in self.cone(idx))
         self._cache_put(
             self._cone_entry_cache, idx, entries, "_cone_entry_elems"
         )
         return entries
+
+    # -- levelization ---------------------------------------------------------------
+
+    @property
+    def levels(self) -> List[int]:
+        """Logic depth per node: inputs 0, gates ``1 + max(arg levels)``.
+
+        Computed lazily in one plan walk (the plan is topologically
+        ordered); used by the phase profiler to bin gate-evaluation time
+        by level.
+        """
+        if self._levels is None:
+            levels = [0] * self.n_nodes
+            for i, _fn, args, _table in self.plan:
+                levels[i] = 1 + max((levels[a] for a in args), default=0)
+            self._levels = levels
+        return self._levels
 
     # -- node/consumer bitsets -------------------------------------------------------
 
@@ -292,3 +383,11 @@ def compile_circuit(circuit: Circuit, backend=None) -> CompiledCircuit:
         compiled = CompiledCircuit(circuit)
         per_circuit[identity] = compiled
     return compiled
+
+
+def compiled_artifacts(circuit: Circuit) -> List[CompiledCircuit]:
+    """Every live compiled artifact of ``circuit`` (one per backend
+    identity) — lets observability aggregate cone-cache counters across
+    the analytic and word-backend compiles without forcing new ones."""
+    per_circuit = _COMPILE_CACHE.get(circuit)
+    return list(per_circuit.values()) if per_circuit else []

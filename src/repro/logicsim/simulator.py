@@ -19,6 +19,7 @@ from repro.circuit.types import eval_packed
 from repro.errors import SimulationError
 from repro.kernel import compile_circuit
 from repro.logicsim.patterns import PatternSet
+from repro.telemetry.profiling import active_profiler
 
 __all__ = ["simulate", "simulate_outputs", "node_probabilities"]
 
@@ -51,8 +52,16 @@ def simulate(
         resolved = resolve_backend(backend, circuit,
                                    block_bits=patterns.n_patterns)
         compiled = compile_circuit(circuit, resolved)
-        values = resolved.simulate_words(compiled, patterns.words, mask,
-                                         overrides)
+        profiler = active_profiler()
+        if profiler is None:
+            values = resolved.simulate_words(compiled, patterns.words, mask,
+                                             overrides)
+        else:
+            # Profiler-only phase (no span): true-value simulation sits
+            # inside hot loops and must stay span-free when unobserved.
+            with profiler.phase(f"backend.simulate_words.{resolved.name}"):
+                values = resolved.simulate_words(compiled, patterns.words,
+                                                 mask, overrides)
         return compiled.values_as_dict(values)
     if backend is not None:
         raise SimulationError(

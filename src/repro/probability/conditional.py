@@ -25,11 +25,13 @@ None``), which is kept as the parity reference and perf baseline.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Dict, Mapping
 
 from repro.circuit.topology import Topology
 from repro.circuit.types import gate_probability
 from repro.kernel import CompiledCircuit
+from repro.telemetry.profiling import active_profiler
 
 __all__ = ["ConditionalEvaluator"]
 
@@ -48,6 +50,10 @@ class ConditionalEvaluator:
         #: Path-length bound for the re-evaluated region (MAXLIST).
         self.depth = depth
         self.compiled = compiled
+        # The active phase profiler, cached once per estimation pass
+        # (see begin_pass): the influence/cone hot paths then pay one
+        # attribute load + None check when not profiling.
+        self._prof = None
         # Influence values memoized within one estimation pass (see
         # begin_pass).  The selection heuristic re-scores the same
         # (input, joining-point) pairs for every gate that shares them,
@@ -87,6 +93,7 @@ class ConditionalEvaluator:
         key = (target, frozenset(relevant))
         entries = self._cone_cache.get(key)
         if entries is None:
+            t0 = perf_counter()
             cone = self.topology.forward_cone_within(relevant, allowed)
             pinned = set(relevant)
             index = compiled.index
@@ -98,6 +105,9 @@ class ConditionalEvaluator:
                 float_entry[index[name]] for name in cone if name not in pinned
             )
             self._cone_cache[key] = entries
+            profiler = self._prof
+            if profiler is not None:
+                profiler.add("estimator.cone_schedule", perf_counter() - t0)
         scratch = self._scratch
         stamp = self._stamp
         self._version = version = self._version + 1
@@ -152,6 +162,7 @@ class ConditionalEvaluator:
         changes the base estimates, so the estimator calls this first.
         """
         self._influence_cache.clear()
+        self._prof = active_profiler()
 
     def influence(
         self,
@@ -170,6 +181,22 @@ class ConditionalEvaluator:
         cached = self._influence_cache.get(key)
         if cached is not None:
             return cached
+        profiler = self._prof
+        started = profiler.push("estimator.influence") if profiler else 0.0
+        try:
+            value = self._influence_uncached(target, node, base)
+        finally:
+            if profiler is not None:
+                profiler.pop(started)
+        self._influence_cache[key] = value
+        return value
+
+    def _influence_uncached(
+        self,
+        target: str,
+        node: str,
+        base: Mapping[str, float],
+    ) -> float:
         allowed = self.topology.bounded_tfi(target, self.depth)
         if node not in allowed:
             # Outside the re-evaluation region both conditionals collapse
@@ -190,12 +217,18 @@ class ConditionalEvaluator:
             ckey = (target, frozenset((node,)))
             entries = self._cone_cache.get(ckey)
             if entries is None:
+                t0 = perf_counter()
                 cone = self.topology.forward_cone_within([node], allowed)
                 float_entry = compiled.float_entry
                 entries = tuple(
                     float_entry[index[name]] for name in cone if name != node
                 )
                 self._cone_cache[ckey] = entries
+                profiler = self._prof
+                if profiler is not None:
+                    profiler.add(
+                        "estimator.cone_schedule", perf_counter() - t0
+                    )
             names = compiled.names
             scratch = self._scratch
             stamp = self._stamp
@@ -217,5 +250,4 @@ class ConditionalEvaluator:
                     else:
                         low = scratch[t]
             value = high - low
-        self._influence_cache[key] = value
         return value

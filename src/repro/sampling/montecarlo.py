@@ -30,6 +30,7 @@ executor it runs under.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import random
 from typing import (
@@ -62,6 +63,7 @@ from repro.sampling.intervals import (
     wilson_halfwidth,
 )
 from repro.telemetry.metrics import REGISTRY
+from repro.telemetry.profiling import PhaseProfiler, phase_if_active
 from repro.telemetry.tracing import span
 
 _BLOCKS_TOTAL = REGISTRY.counter(
@@ -333,10 +335,18 @@ class MonteCarloEstimator:
         use_kernel: bool = True,
         backend=None,
         fallback: bool = True,
+        profile: bool = False,
     ) -> None:
         self.circuit = circuit
         self.plan = plan if plan is not None else SamplingPlan()
         self.use_kernel = use_kernel
+        # Opt-in phase profiler (repro.telemetry.profiling): the two
+        # sampling entry points activate it, so block spans and backend
+        # word calls aggregate per phase.  Honours the telemetry
+        # kill-switch; ``None`` keeps the hot loop on its no-op branch.
+        self.profiler: "PhaseProfiler | None" = (
+            PhaseProfiler() if profile else None
+        )
         #: Degrade to the ``"python"`` engine when the selected backend
         #: raises mid-run (recorded in :attr:`degraded`); ``False``
         #: propagates the failure as :class:`BackendFailure` instead.
@@ -381,6 +391,16 @@ class MonteCarloEstimator:
         if self.degraded:
             return f"{self.degraded[0]['backend']}->{self.backend.name}"
         return self.backend.name
+
+    def _profiled(self):
+        """Activation context of :attr:`profiler` (no-op when ``None``)."""
+        if self.profiler is None:
+            return contextlib.nullcontext()
+        return self.profiler.activate()
+
+    def profile_report(self) -> "Dict[str, object] | None":
+        """The phase-profile payload, or ``None`` off ``profile=True``."""
+        return None if self.profiler is None else self.profiler.to_payload()
 
     @property
     def simulator(self) -> FaultSimulator:
@@ -434,7 +454,7 @@ class MonteCarloEstimator:
             with span(
                 "backend.sample_block",
                 backend=backend_name, patterns=patterns.n_patterns,
-            ):
+            ), phase_if_active(backend_name):
                 counts = backend.sample_block(compiled, patterns)
             return zip(names, counts)
 
@@ -467,6 +487,13 @@ class MonteCarloEstimator:
         input_probs: "float | Mapping[str, float] | None" = None,
     ) -> SignalSample:
         """Empirical 1-probability of every node, with intervals."""
+        with self._profiled():
+            return self._sample_signal_probabilities(input_probs)
+
+    def _sample_signal_probabilities(
+        self,
+        input_probs: "float | Mapping[str, float] | None" = None,
+    ) -> SignalSample:
         plan = self.plan
         inputs = self.circuit.inputs
         counts = {node: 0 for node in self.circuit.nodes}
@@ -552,6 +579,18 @@ class MonteCarloEstimator:
         fallback possible the failure surfaces as
         :class:`~repro.errors.BackendFailure`.
         """
+        with self._profiled():
+            return self._sample_detection(
+                input_probs, checkpoint, state_hook, resume
+            )
+
+    def _sample_detection(
+        self,
+        input_probs: "float | Mapping[str, float] | None",
+        checkpoint: "Callable[[DetectionSample], object] | None",
+        state_hook: "Callable[[SamplingState], object] | None",
+        resume: "SamplingState | None",
+    ) -> DetectionSample:
         if not self.faults:
             raise SimulationError("no faults to grade")
         plan = self.plan

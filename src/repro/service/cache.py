@@ -20,7 +20,9 @@ work regardless of display names or upload order:
 
 Both maps are size-bounded (least recently used entry evicted) and
 thread-safe; ``cache_info()`` surfaces hit/miss/eviction counters next
-to :meth:`AnalysisEngine.cache_info`'s per-stage counters.
+to :meth:`AnalysisEngine.cache_info`'s per-stage counters, plus byte
+estimates per cache (JSON wire size for reports, a structural model for
+circuits) that the ``protest_cache_bytes`` gauge mirrors on /metrics.
 
 Every mutation happens entirely under one lock, so a lookup can never
 observe a half-applied eviction.  The ``cache.get`` / ``cache.put``
@@ -32,6 +34,7 @@ deadlock the cache itself.
 
 from __future__ import annotations
 
+import json
 import threading
 from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Tuple
@@ -45,6 +48,35 @@ __all__ = ["ArtifactCache"]
 
 #: Key of one cached report: (circuit_hash, config_hash, method, probs key).
 ReportKey = Tuple[str, str, str, Tuple[float, ...]]
+
+
+def _report_bytes(payload: Dict[str, Any]) -> int:
+    """Byte estimate of one cached report: its JSON wire size.
+
+    That is exactly what the HTTP layer would serialize to serve it, so
+    the estimate tracks what the cache actually holds hostage.  Payloads
+    that fail to serialize (never produced by the engine) count as 0
+    rather than raising inside the cache.
+    """
+    try:
+        return len(json.dumps(payload, sort_keys=True))
+    except (TypeError, ValueError):  # pragma: no cover - defensive
+        return 0
+
+
+def _circuit_bytes(circuit: Circuit) -> int:
+    """Structural byte estimate of an interned circuit.
+
+    Not ``sys.getsizeof`` recursion (which double-counts shared interned
+    strings) but a model of the dominant containers: per node a name,
+    and per gate its type tag plus input references.
+    """
+    total = 0
+    for name in circuit.nodes:
+        total += 64 + len(name)
+    for gate in circuit.gates.values():
+        total += 96 + sum(24 + len(src) for src in gate.inputs)
+    return total
 
 
 class ArtifactCache:
@@ -83,6 +115,16 @@ class ArtifactCache:
             "Artifact cache LRU/explicit evictions",
             ("cache",),
         )
+        # Byte estimates per entry (same keys as the LRU maps) plus a
+        # gauge per cache, adjusted on insert and eviction so /metrics
+        # and stats() report what the cache currently pins in memory.
+        self._circuit_sizes: Dict[str, int] = {}
+        self._report_sizes: Dict[ReportKey, int] = {}
+        self._bytes_gauge = self.metrics.gauge(
+            "protest_cache_bytes",
+            "Estimated bytes held by the artifact cache, by cache",
+            ("cache",),
+        )
 
     # -- circuit interning ----------------------------------------------------
 
@@ -102,10 +144,15 @@ class ArtifactCache:
                 self._requests.labels(cache="circuit", outcome="hit").inc()
                 return cached, True
             self._circuits[digest] = circuit
+            self._circuit_sizes[digest] = _circuit_bytes(circuit)
             self._requests.labels(cache="circuit", outcome="miss").inc()
             while len(self._circuits) > self.max_circuits:
-                self._circuits.popitem(last=False)
+                evicted, _ = self._circuits.popitem(last=False)
+                self._circuit_sizes.pop(evicted, None)
                 self._evictions.labels(cache="circuit").inc()
+            self._bytes_gauge.labels(cache="circuit").set(
+                sum(self._circuit_sizes.values())
+            )
             return circuit, False
 
     # -- report caching -------------------------------------------------------
@@ -123,12 +170,18 @@ class ArtifactCache:
 
     def put_report(self, key: ReportKey, payload: Dict[str, Any]) -> None:
         chaos_point("cache.put", kind="report")
+        size = _report_bytes(payload)
         with self._lock:
             self._reports[key] = payload
+            self._report_sizes[key] = size
             self._reports.move_to_end(key)
             while len(self._reports) > self.max_reports:
-                self._reports.popitem(last=False)
+                evicted, _ = self._reports.popitem(last=False)
+                self._report_sizes.pop(evicted, None)
                 self._evictions.labels(cache="report").inc()
+            self._bytes_gauge.labels(cache="report").set(
+                sum(self._report_sizes.values())
+            )
 
     def evict_report(self, key: ReportKey) -> bool:
         """Drop one cached report (returns whether it existed).
@@ -140,7 +193,11 @@ class ArtifactCache:
         with self._lock:
             existed = self._reports.pop(key, None) is not None
             if existed:
+                self._report_sizes.pop(key, None)
                 self._evictions.labels(cache="report").inc()
+                self._bytes_gauge.labels(cache="report").set(
+                    sum(self._report_sizes.values())
+                )
             return existed
 
     def report_keys(self) -> List[ReportKey]:
@@ -169,6 +226,9 @@ class ArtifactCache:
         with self._lock:
             info["circuits"] = len(self._circuits)
             info["reports"] = len(self._reports)
+            info["circuit_bytes"] = sum(self._circuit_sizes.values())
+            info["report_bytes"] = sum(self._report_sizes.values())
+        info["total_bytes"] = info["circuit_bytes"] + info["report_bytes"]
         info["max_circuits"] = self.max_circuits
         info["max_reports"] = self.max_reports
         return info
@@ -177,3 +237,7 @@ class ArtifactCache:
         with self._lock:
             self._circuits.clear()
             self._reports.clear()
+            self._circuit_sizes.clear()
+            self._report_sizes.clear()
+            self._bytes_gauge.labels(cache="circuit").set(0)
+            self._bytes_gauge.labels(cache="report").set(0)

@@ -23,7 +23,7 @@ Routes
                            or ``{"sweep": {...}}``
                            plus optional ``config`` (preset name or
                            knob object), ``input_probs``, ``priority``,
-                           ``timeout``; responds ``201`` with the
+                           ``timeout``, ``profile``; responds ``201`` with the
                            queued job's status
 ``GET  /jobs/<id>``        status + snapshot history + latest
                            progressive snapshot
@@ -251,7 +251,7 @@ class ServiceHandler(BaseHTTPRequestHandler):
         if payload is None:
             return
         known = {"circuit", "bench", "verilog", "sweep", "config",
-                 "input_probs", "priority", "timeout"}
+                 "input_probs", "priority", "timeout", "profile"}
         unknown = set(payload) - known
         if unknown:
             self._send_error_json(
@@ -268,6 +268,7 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 input_probs=payload.get("input_probs"),
                 priority=payload.get("priority", 0),
                 timeout=payload.get("timeout"),
+                profile=payload.get("profile", False),
             )
         except QueueFull as error:
             body = json.dumps(

@@ -64,6 +64,7 @@ from __future__ import annotations
 import hashlib
 import heapq
 import itertools
+import json
 import os
 import threading
 import time
@@ -91,6 +92,7 @@ from repro.sampling.montecarlo import SamplingState
 from repro.service.cache import ArtifactCache
 from repro.telemetry.logs import get_logger
 from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.profiling import peak_rss_bytes
 from repro.telemetry.tracing import (
     SpanContext,
     current_context,
@@ -120,6 +122,7 @@ class Job:
         input_probs,
         priority: int,
         timeout: Optional[float],
+        profile: bool = False,
     ) -> None:
         self.id = job_id
         self.kind = kind                      # "analyze" | "sweep"
@@ -128,6 +131,10 @@ class Job:
         self.input_probs = input_probs
         self.priority = priority
         self.timeout = timeout
+        #: Request a phase profile of this job's engine run; the payload
+        #: (table + collapsed stacks + memory) lands in the job status.
+        self.profile = profile
+        self.profile_payload: Optional[Dict[str, Any]] = None
         self.state = "queued"
         self.created = time.time()
         self.started: Optional[float] = None
@@ -187,6 +194,7 @@ class Job:
             "n_snapshots": len(self.snapshots),
             "snapshots": list(self.snapshots),
             "snapshot": self.latest_snapshot,
+            "profile": self.profile_payload,
         }
 
     def summary_dict(self) -> Dict[str, Any]:
@@ -194,6 +202,7 @@ class Job:
         summary = self.status_dict()
         del summary["snapshots"]
         del summary["snapshot"]
+        del summary["profile"]
         return summary
 
 
@@ -360,6 +369,7 @@ class JobManager:
         input_probs=None,
         priority: int = 0,
         timeout: "float | None" = None,
+        profile: bool = False,
     ) -> Job:
         """Enqueue a job and return its (queued) :class:`Job` record.
 
@@ -375,6 +385,12 @@ class JobManager:
         error body, so one bad payload can never take down the service.
         With ``max_queue`` set, a full queue raises
         :class:`~repro.errors.QueueFull` (429 + ``Retry-After``).
+
+        ``profile=True`` runs the job's engine under a
+        :class:`~repro.telemetry.profiling.PhaseProfiler`; the profile
+        payload appears in the job status (and, with ``trace_dir`` set,
+        as ``profile-<job_id>.json``).  A report served from the cache
+        carries no profile — nothing was executed.
         """
         chosen = [x for x in (circuit, bench, verilog, sweep)
                   if x is not None]
@@ -396,6 +412,8 @@ class JobManager:
                 raise ServiceError("'sweep' requires a 'circuits' list")
         if not isinstance(priority, int) or isinstance(priority, bool):
             raise ServiceError(f"priority must be an int, got {priority!r}")
+        if not isinstance(profile, bool):
+            raise ServiceError(f"profile must be a bool, got {profile!r}")
         if timeout is None:
             timeout = self.default_timeout
         elif timeout <= 0:
@@ -437,7 +455,8 @@ class JobManager:
                     )
             job_id = f"j{next(self._seq):06d}"
             job = Job(
-                job_id, kind, payload, config, input_probs, priority, timeout
+                job_id, kind, payload, config, input_probs, priority,
+                timeout, profile=profile,
             )
             # Capture the submitter's span context (the HTTP request's),
             # so the worker's spans nest under it across the thread hop.
@@ -597,13 +616,18 @@ class JobManager:
                 "base_delay": self.retry.base_delay,
                 "max_delay": self.retry.max_delay,
             }
+        cache_info = self.cache.cache_info()
         return {
             "workers": len(self._workers),
             "queue_depth": queue_depth,
             "jobs": states,
-            "cache": self.cache.cache_info(),
+            "cache": cache_info,
             "throughput": throughput,
             "resilience": resilience,
+            "memory": {
+                "peak_rss_bytes": peak_rss_bytes(),
+                "cache_bytes": cache_info.get("total_bytes", 0),
+            },
             "uptime_seconds": round(self.uptime_seconds(), 3),
             "version": __version__,
             "telemetry": self.metrics.snapshot(),
@@ -765,6 +789,7 @@ class JobManager:
             # death) the entry must survive for the watchdog to find.
             self._running.pop(threading.get_ident(), None)
             self._maybe_export_trace(job)
+            self._maybe_export_profile(job)
 
     def _maybe_export_trace(self, job: Job) -> None:
         """Write the job's Chrome trace file once it is terminal."""
@@ -785,6 +810,26 @@ class JobManager:
             "trace exported",
             extra={"job": job.id, "path": path, "n_spans": count},
         )
+
+    def _maybe_export_profile(self, job: Job) -> None:
+        """Write ``profile-<job_id>.json`` next to the job's trace."""
+        if self.trace_dir is None or job.profile_payload is None:
+            return
+        if job.state not in TERMINAL_STATES:
+            return
+        path = os.path.join(self.trace_dir, f"profile-{job.id}.json")
+        try:
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(job.profile_payload, handle, indent=2,
+                          sort_keys=True)
+        except OSError as error:
+            self._log.warning(
+                "profile export failed",
+                extra={"job": job.id, "path": path, "error": str(error)},
+            )
+            return
+        self._log.debug("profile exported",
+                        extra={"job": job.id, "path": path})
 
     def _next_job(self) -> Optional[Job]:
         """Claim the next runnable job (call under the condition)."""
@@ -961,7 +1006,9 @@ class JobManager:
                 job.from_cache = True
             self._finish(job, "done", result=cached)
             return
-        engine = AnalysisEngine(circuit, config, registry=self.metrics)
+        engine = AnalysisEngine(
+            circuit, config, registry=self.metrics, profile=job.profile
+        )
         self._check_abort(job)
         if config.method == "sampled":
             report = self._run_sampled(job, engine, report_key)
@@ -969,6 +1016,9 @@ class JobManager:
             report = engine.analyze(job.input_probs)
         self._check_abort(job)
         payload = report.to_dict()
+        if job.profile:
+            with self._lock:
+                job.profile_payload = engine.profile_report()
         self.cache.put_report(report_key, payload)
         self._record_throughput(job, payload)
         self._finish(job, "done", result=payload)

@@ -14,6 +14,12 @@ Three cooperating zero-dependency layers:
 * :mod:`repro.telemetry.logs` — structured JSON logging that
   cross-links to traces by ``trace_id`` (``protest serve
   --log-level``).
+* :mod:`repro.telemetry.profiling` — an opt-in phase profiler that
+  attributes wall time to kernel levels/opcode classes, backend word
+  calls and estimator sub-phases, exporting a self/cumulative table
+  and collapsed-stack (flamegraph) text (``--profile out.json``,
+  ``AnalysisEngine(..., profile=True)``, service ``{"profile":
+  true}``); plus :func:`peak_rss_bytes` memory accounting.
 
 The whole layer honours one switch — :func:`set_enabled` or
 ``PROTEST_TELEMETRY=0`` — and its disabled-path cost is tracked in the
@@ -29,6 +35,12 @@ from repro.telemetry.metrics import (
     enabled,
     render_prometheus,
     set_enabled,
+)
+from repro.telemetry.profiling import (
+    PhaseProfiler,
+    active_profiler,
+    peak_rss_bytes,
+    phase_if_active,
 )
 from repro.telemetry.tracing import (
     Span,
@@ -50,8 +62,10 @@ __all__ = [
     "JsonFormatter",
     "LOG_LEVELS",
     "MetricsRegistry",
+    "PhaseProfiler",
     "REGISTRY",
     "Span",
+    "active_profiler",
     "SpanContext",
     "chrome_trace_payload",
     "clear_spans",
@@ -64,6 +78,8 @@ __all__ = [
     "get_logger",
     "ingest_spans",
     "new_context",
+    "peak_rss_bytes",
+    "phase_if_active",
     "render_prometheus",
     "set_enabled",
     "span",

@@ -1,0 +1,316 @@
+"""In-process phase profiler: where does the wall time actually go?
+
+The telemetry layer's spans (PR 8) say *that* a stage ran and how long
+it took; this module says *where inside it* the time went — kernel
+levels and opcode classes, backend word calls, estimator sub-phases
+(``influence()`` scoring, cone scheduling), sampled blocks — without a
+sampling profiler's noise or ``cProfile``'s 2-5x slowdown.
+
+Design:
+
+* One :class:`PhaseProfiler` aggregates durations keyed by the full
+  **phase stack path** (a tuple of names), so the same data renders as
+  a self/cumulative table *and* as collapsed-stack (flamegraph) text.
+  Self time of a node is its total minus its direct children's totals,
+  which makes the per-stage self times sum exactly to the root phases'
+  cumulative time — the invariant the acceptance check leans on.
+* Activation is a **contextvar**: :func:`active_profiler` is one
+  ``ContextVar.get`` — no allocation, no lock — so instrumented hot
+  paths (the kernel interpreter, the fault-sim block loop, the
+  estimator's influence scorer) pay a single pointer check when no
+  profiler is active.  Code that loops tightly should hoist the check:
+  fetch the profiler once per pass and branch on a local.
+* Every span opened by :func:`repro.telemetry.tracing.span` while a
+  profiler is active is pushed/popped as a phase automatically, so the
+  existing engine/service/sampling span tree *is* the profile skeleton;
+  subsystems only add the finer-grained phases spans don't cover.
+* The PR 8 kill-switch governs the whole layer: with
+  ``PROTEST_TELEMETRY=0`` (or :func:`set_enabled`\\ ``(False)``)
+  :meth:`PhaseProfiler.activate` is a no-op and the off-path stays the
+  off-path.
+
+Memory accounting rides along: :func:`peak_rss_bytes` reads
+``ru_maxrss`` (portably scaled to bytes) and profilers record per-stage
+peaks in their payload next to the timing table.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import sys
+import threading
+import time
+from contextvars import ContextVar
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.telemetry.metrics import enabled
+
+__all__ = [
+    "PhaseProfiler",
+    "active_profiler",
+    "peak_rss_bytes",
+    "phase_if_active",
+]
+
+#: The profiler observing the current context, or ``None``.  Reading it
+#: is the entire off-path cost of every instrumentation point.
+_ACTIVE: "ContextVar[Optional[PhaseProfiler]]" = ContextVar(
+    "protest_active_profiler", default=None
+)
+
+try:  # resource is POSIX-only; the accounting degrades to zeros elsewhere
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-POSIX
+    _resource = None
+
+#: ``ru_maxrss`` unit: bytes on darwin, KiB everywhere else (POSIX).
+_RSS_SCALE = 1 if sys.platform == "darwin" else 1024
+
+
+def peak_rss_bytes() -> int:
+    """Peak resident set size of this process, in bytes (0 if unknown)."""
+    if _resource is None:  # pragma: no cover - non-POSIX
+        return 0
+    return _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss * _RSS_SCALE
+
+
+def active_profiler() -> "Optional[PhaseProfiler]":
+    """The profiler active in this context (``None`` almost always).
+
+    This is the hook instrumented code calls on its hot path; it is a
+    bare ``ContextVar.get`` — no allocation, no branch beyond the
+    caller's ``is None`` check.
+    """
+    return _ACTIVE.get()
+
+
+def phase_if_active(name: str):
+    """A phase context manager when a profiler is active, else a no-op.
+
+    Convenience for call sites that add profiler-only detail under an
+    existing span (e.g. the per-backend word-call sub-phases) without
+    hand-rolling the ``None`` check.
+    """
+    profiler = _ACTIVE.get()
+    if profiler is None:
+        return contextlib.nullcontext()
+    return profiler.phase(name)
+
+
+class PhaseProfiler:
+    """Aggregates wall time per phase-stack path; thread-safe.
+
+    Phases nest per *thread* (each thread carries its own stack), while
+    the aggregation table is shared under one lock — a profiler attached
+    to an engine sees work done by whichever thread holds the engine
+    lock, and cross-thread phases (service workers) merge by path.
+
+    ``kernel_detail`` asks the kernel interpreter for per-opcode-class /
+    per-level attribution (2 clock reads per gate evaluation — only paid
+    while profiling).
+    """
+
+    def __init__(self, kernel_detail: bool = True) -> None:
+        self.kernel_detail = kernel_detail
+        self._lock = threading.Lock()
+        # path tuple -> [cumulative seconds, call count]
+        self._agg: Dict[Tuple[str, ...], List[float]] = {}
+        self._tls = threading.local()
+        self._wall_s = 0.0
+        self._activations = 0
+        #: Free-form memory section merged into the payload: per-stage
+        #: peak RSS, cone-cache occupancy, cache byte estimates.
+        self.memory: Dict[str, Any] = {}
+
+    # -- activation ---------------------------------------------------------------
+
+    @contextlib.contextmanager
+    def activate(self) -> "Iterator[PhaseProfiler]":
+        """Make this the context's active profiler (reentrant).
+
+        Honours the telemetry kill-switch: when :func:`set_enabled`
+        turned the layer off, activation is a no-op and every
+        instrumentation point keeps seeing ``None``.
+        """
+        if not enabled() or _ACTIVE.get() is self:
+            yield self
+            return
+        token = _ACTIVE.set(self)
+        started = time.perf_counter()
+        try:
+            yield self
+        finally:
+            elapsed = time.perf_counter() - started
+            _ACTIVE.reset(token)
+            with self._lock:
+                self._wall_s += elapsed
+                self._activations += 1
+
+    # -- recording ----------------------------------------------------------------
+
+    def _stack(self) -> List[str]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def push(self, name: str) -> float:
+        """Open a phase; returns the start timestamp for :meth:`pop`."""
+        self._stack().append(name)
+        return time.perf_counter()
+
+    def pop(self, started: float, duration: "float | None" = None) -> None:
+        """Close the innermost phase, attributing ``duration`` seconds
+        (measured from ``started`` when not supplied)."""
+        stack = self._stack()
+        if not stack:  # unbalanced pop: drop silently rather than corrupt
+            return
+        path = tuple(stack)
+        del stack[-1]
+        if duration is None:
+            duration = time.perf_counter() - started
+        with self._lock:
+            cell = self._agg.get(path)
+            if cell is None:
+                self._agg[path] = [duration, 1]
+            else:
+                cell[0] += duration
+                cell[1] += 1
+
+    @contextlib.contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        started = self.push(name)
+        try:
+            yield
+        finally:
+            self.pop(started)
+
+    def add(self, name: str, seconds: float, count: int = 1) -> None:
+        """Attribute pre-measured ``seconds`` to ``name`` as a child of
+        the current phase stack (for callers that batch their timing)."""
+        path = (*self._stack(), name)
+        with self._lock:
+            cell = self._agg.get(path)
+            if cell is None:
+                self._agg[path] = [seconds, count]
+            else:
+                cell[0] += seconds
+                cell[1] += count
+
+    def add_many(self, pairs: "Dict[Any, List[float]]") -> None:
+        """Bulk :meth:`add` under one lock: ``{name: [seconds, count]}``.
+
+        A key may be a single name or a tuple of names — the latter
+        nests as a sub-path under the current stack (the kernel uses
+        ``("kernel", "level012", "nand")`` triples).
+        """
+        prefix = tuple(self._stack())
+        with self._lock:
+            for name, (seconds, count) in pairs.items():
+                suffix = name if isinstance(name, tuple) else (name,)
+                path = prefix + suffix
+                cell = self._agg.get(path)
+                if cell is None:
+                    self._agg[path] = [seconds, count]
+                else:
+                    cell[0] += seconds
+                    cell[1] += count
+
+    def record_memory(self, key: str, value: Any) -> None:
+        with self._lock:
+            self.memory[key] = value
+
+    # -- reporting ----------------------------------------------------------------
+
+    @property
+    def wall_s(self) -> float:
+        """Total wall seconds spent inside :meth:`activate` windows."""
+        with self._lock:
+            return self._wall_s
+
+    def table(self) -> List[Dict[str, Any]]:
+        """Self/cumulative rows, sorted by self time descending.
+
+        ``self_s`` is cumulative minus direct children — so the sum of
+        every row's ``self_s`` equals the sum of the root rows'
+        ``cum_s`` exactly.  Paths recorded without their ancestors
+        (:meth:`add_many` tuples) get synthesized intermediate rows
+        (``cum`` = sum of children, 0 calls) to keep that invariant.
+        """
+        with self._lock:
+            agg = {path: (cell[0], int(cell[1])) for path, cell in
+                   self._agg.items()}
+        # Synthesize missing intermediate nodes (cum 0, 0 calls) ...
+        synthesized = set()
+        for path in list(agg):
+            parent = path[:-1]
+            while parent and parent not in agg:
+                agg[parent] = (0.0, 0)
+                synthesized.add(parent)
+                parent = parent[:-1]
+        # ... then fill them bottom-up with the sum of their children,
+        # so a leaf recorded via a tuple path still rolls up into its
+        # enclosing measured phase.
+        for path in sorted(agg, key=len, reverse=True):
+            parent = path[:-1]
+            if parent in synthesized:
+                total, count = agg[parent]
+                agg[parent] = (total + agg[path][0], count)
+        children_total: Dict[Tuple[str, ...], float] = {}
+        for path, (total, _count) in agg.items():
+            if len(path) > 1:
+                parent = path[:-1]
+                children_total[parent] = children_total.get(parent, 0.0) + total
+        rows = []
+        for path, (total, count) in agg.items():
+            self_s = total - children_total.get(path, 0.0)
+            rows.append({
+                "phase": path[-1],
+                "path": ";".join(path),
+                "depth": len(path) - 1,
+                "cum_s": total,
+                "self_s": max(0.0, self_s),
+                "calls": count,
+            })
+        rows.sort(key=lambda row: -row["self_s"])
+        return rows
+
+    def collapsed(self) -> List[str]:
+        """Collapsed-stack lines (``a;b;c <microseconds>``) — feed them
+        straight to ``flamegraph.pl`` / speedscope / inferno."""
+        lines = []
+        for row in self.table():
+            value = int(round(row["self_s"] * 1e6))
+            if value > 0:
+                lines.append(f"{row['path']} {value}")
+        return sorted(lines)
+
+    def format_table(self, limit: int = 30) -> str:
+        rows = self.table()[:limit]
+        out = [f"{'self s':>10}  {'cum s':>10}  {'calls':>9}  phase"]
+        for row in rows:
+            indent = "  " * row["depth"]
+            out.append(
+                f"{row['self_s']:>10.4f}  {row['cum_s']:>10.4f}  "
+                f"{row['calls']:>9d}  {indent}{row['phase']}"
+            )
+        return "\n".join(out)
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-ready profile: wall time, phase table, flamegraph lines,
+        memory section.  This is what ``--profile out.json`` writes and
+        what a profiled service job returns in its status."""
+        rows = self.table()
+        with self._lock:
+            memory = dict(self.memory)
+            wall = self._wall_s
+            activations = self._activations
+        memory.setdefault("peak_rss_bytes", peak_rss_bytes())
+        return {
+            "wall_s": wall,
+            "activations": activations,
+            "self_total_s": sum(row["self_s"] for row in rows),
+            "phases": rows,
+            "collapsed": self.collapsed(),
+            "memory": memory,
+        }

@@ -37,6 +37,7 @@ from typing import Any, Dict, Iterator, List, Mapping, Optional
 
 from repro.errors import ReproError
 from repro.telemetry.metrics import enabled
+from repro.telemetry.profiling import active_profiler as _active_profiler
 
 __all__ = [
     "Span",
@@ -190,15 +191,25 @@ def span(name: str, **args: Any) -> Iterator[Span]:
     for provenance timings even with telemetry disabled); buffering for
     export only happens while telemetry is enabled.  The span becomes
     the current context for anything opened inside the ``with`` body.
+
+    When a :class:`~repro.telemetry.profiling.PhaseProfiler` is active
+    in this context the span is also pushed/popped as a profiler phase,
+    so the existing span tree doubles as the profile skeleton.  The
+    off-path cost is one ``ContextVar.get``.
     """
     current = _CURRENT.get()
     opened = Span(name, current, dict(args))
     token = _CURRENT.set(opened.context)
+    profiler = _active_profiler()
+    if profiler is not None:
+        profiler.push(name)
     try:
         yield opened
     finally:
         _CURRENT.reset(token)
         opened._finish()
+        if profiler is not None:
+            profiler.pop(0.0, duration=opened.duration)
 
 
 def spans(trace_id: "str | None" = None) -> List[Dict[str, Any]]:

@@ -1,0 +1,188 @@
+"""benchmarks/bench_compare.py: the perf-history regression gate.
+
+Exercises the comparison core and the CLI exit codes against synthetic
+history directories — the acceptance contract is that the gate passes
+an unmodified re-run and exits non-zero on an injected 25% regression.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+BENCHMARKS = pathlib.Path(__file__).resolve().parent.parent / "benchmarks"
+if str(BENCHMARKS) not in sys.path:
+    sys.path.insert(0, str(BENCHMARKS))
+
+import bench_compare  # noqa: E402
+from bench_compare import (  # noqa: E402
+    compare,
+    inject_regression,
+    judge,
+    latest_per_series,
+    load_fixture,
+)
+from common import append_history, load_history  # noqa: E402
+
+
+def _seed(history_dir, series, values, kind="throughput", bench="b",
+          unit="u"):
+    for value in values:
+        append_history(bench, series, value, unit, kind=kind,
+                       history_dir=history_dir)
+
+
+def _row(series, value, kind="throughput", bench="b", unit="u"):
+    return {"bench": bench, "series": series, "value": value,
+            "unit": unit, "kind": kind}
+
+
+# -- judge thresholds --------------------------------------------------------
+
+
+class TestJudge:
+    def test_throughput_fails_past_20pct_drop(self):
+        assert judge("throughput", 81.0, 100.0)[0] is True
+        assert judge("throughput", 79.0, 100.0)[0] is False
+        assert judge("throughput", 150.0, 100.0)[0] is True  # faster is fine
+
+    def test_rss_fails_past_15pct_growth(self):
+        assert judge("rss", 114.0, 100.0)[0] is True
+        assert judge("rss", 116.0, 100.0)[0] is False
+        assert judge("rss", 50.0, 100.0)[0] is True  # shrinking is fine
+
+    def test_latency_fails_past_20pct_growth(self):
+        assert judge("latency", 119.0, 100.0)[0] is True
+        assert judge("latency", 121.0, 100.0)[0] is False
+
+    def test_overhead_fails_past_2_points_absolute(self):
+        assert judge("overhead_pct", 2.9, 1.0)[0] is True
+        assert judge("overhead_pct", 3.1, 1.0)[0] is False
+
+
+# -- comparison core ---------------------------------------------------------
+
+
+class TestCompare:
+    def test_no_baseline_passes_and_seeds(self, tmp_path):
+        verdicts, ok = compare([_row("s", 1.0)], [], window=5)
+        assert ok is True
+        assert verdicts[0]["status"] == "no-baseline"
+
+    def test_median_baseline_shrugs_off_one_outlier(self, tmp_path):
+        _seed(tmp_path, "s", [100.0, 101.0, 5.0, 99.0, 100.0])
+        history = load_history(tmp_path)
+        verdicts, ok = compare([_row("s", 95.0)], history, window=5,
+                               ignore_fingerprint=True)
+        assert ok is True  # median 100, not dragged down by the 5.0
+        assert verdicts[0]["baseline"] == pytest.approx(100.0)
+
+    def test_fingerprint_filter_excludes_other_machines(self, tmp_path):
+        _seed(tmp_path, "s", [100.0])
+        history = load_history(tmp_path)
+        for entry in history:
+            entry["fingerprint"] = "someone-elses-box"
+        verdicts, ok = compare([_row("s", 10.0)], history, window=5)
+        assert ok is True
+        assert verdicts[0]["status"] == "no-baseline"
+
+    def test_window_limits_the_baseline(self, tmp_path):
+        _seed(tmp_path, "s", [10.0, 10.0, 10.0, 100.0, 100.0, 100.0])
+        history = load_history(tmp_path)
+        verdicts, _ = compare([_row("s", 100.0)], history, window=3,
+                              ignore_fingerprint=True)
+        assert verdicts[0]["baseline"] == pytest.approx(100.0)
+
+    def test_inject_regression_worsens_every_kind(self):
+        rows = [_row("t", 100.0, kind="throughput"),
+                _row("r", 100.0, kind="rss"),
+                _row("l", 100.0, kind="latency"),
+                _row("o", 1.0, kind="overhead_pct")]
+        injected = {r["series"]: r["value"]
+                    for r in inject_regression(rows, 25.0)}
+        assert injected["t"] == pytest.approx(75.0)
+        assert injected["r"] == pytest.approx(125.0)
+        assert injected["l"] == pytest.approx(125.0)
+        assert injected["o"] == pytest.approx(3.5)
+
+
+# -- CLI exit codes (the acceptance contract) --------------------------------
+
+
+class TestCli:
+    def _gate(self, tmp_path, fresh, extra_args=()):
+        payload = tmp_path / "fresh.json"
+        payload.write_text(json.dumps(fresh), encoding="utf-8")
+        return bench_compare.main([
+            "--from-json", str(payload),
+            "--history-dir", str(tmp_path / "hist"),
+            "--ignore-fingerprint", "--no-append", *extra_args,
+        ])
+
+    def test_unmodified_rerun_passes(self, tmp_path):
+        _seed(tmp_path / "hist", "faultsim.x.kernel", [1e6, 1e6, 1e6])
+        assert self._gate(tmp_path, [_row("faultsim.x.kernel", 1e6)]) == 0
+
+    def test_injected_25pct_regression_fails(self, tmp_path):
+        _seed(tmp_path / "hist", "faultsim.x.kernel", [1e6, 1e6, 1e6])
+        assert self._gate(
+            tmp_path, [_row("faultsim.x.kernel", 1e6)],
+            extra_args=("--inject-regression", "25"),
+        ) == 1
+
+    def test_rss_growth_fails(self, tmp_path):
+        _seed(tmp_path / "hist", "rss.x", [100e6] * 3, kind="rss")
+        assert self._gate(
+            tmp_path, [_row("rss.x", 120e6, kind="rss")]
+        ) == 1
+        assert self._gate(
+            tmp_path, [_row("rss.x", 110e6, kind="rss")]
+        ) == 0
+
+    def test_gate_appends_after_comparing(self, tmp_path):
+        hist = tmp_path / "hist"
+        _seed(hist, "s", [1e6] * 3)
+        payload = tmp_path / "fresh.json"
+        payload.write_text(json.dumps([_row("s", 1e6)]), encoding="utf-8")
+        assert bench_compare.main([
+            "--from-json", str(payload), "--history-dir", str(hist),
+            "--ignore-fingerprint",
+        ]) == 0
+        values = [e["value"] for e in load_history(hist)
+                  if e["series"] == "s"]
+        assert len(values) == 4  # the fresh row landed in the history
+
+    def test_json_verdicts_export(self, tmp_path):
+        _seed(tmp_path / "hist", "s", [1e6] * 3)
+        out = tmp_path / "verdicts.json"
+        assert self._gate(tmp_path, [_row("s", 1e6)],
+                          extra_args=("--json", str(out))) == 0
+        doc = json.loads(out.read_text(encoding="utf-8"))
+        assert doc["ok"] is True
+        assert doc["verdicts"][0]["status"] == "ok"
+
+
+# -- the committed smoke fixture ---------------------------------------------
+
+
+class TestFixture:
+    def test_committed_fixture_parses_and_covers_all_kinds(self):
+        fixture = load_fixture(BENCHMARKS / "history")
+        assert fixture is not None
+        kinds = {entry["kind"] for entry in fixture}
+        assert kinds >= {"throughput", "rss", "latency", "overhead_pct"}
+
+    def test_fixture_passes_clean_and_trips_injected(self):
+        fixture = load_fixture(BENCHMARKS / "history")
+        fresh = latest_per_series(fixture)
+        _, clean_ok = compare(fresh, fixture, window=5,
+                              ignore_fingerprint=True)
+        assert clean_ok is True
+        injected = inject_regression(fresh, 25.0)
+        verdicts, injected_ok = compare(injected, fixture, window=5,
+                                        ignore_fingerprint=True)
+        assert injected_ok is False
+        assert all(v["status"] == "REGRESSION" for v in verdicts)

@@ -189,6 +189,24 @@ def test_stats_and_healthz_carry_uptime_version_telemetry(server):
     assert health["uptime_seconds"] >= 0
 
 
+def test_stats_and_build_info_pin_the_same_version(server):
+    """``/stats`` and the ``protest_build_info`` gauge must both report
+    ``repro.__version__`` — one source of truth for what's deployed."""
+    base, _manager = server
+    _, _, raw = _get(f"{base}/stats")
+    stats = json.loads(raw)
+    _, _, raw = _get(f"{base}/metrics")
+    build_lines = [
+        line for line in raw.decode("utf-8").splitlines()
+        if line.startswith("protest_build_info{")
+    ]
+    assert len(build_lines) == 1, build_lines
+    assert stats["version"] == __version__
+    assert build_lines[0] == (
+        f'protest_build_info{{version="{__version__}"}} 1'
+    )
+
+
 # -- per-job chrome traces ---------------------------------------------------
 
 
